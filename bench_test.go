@@ -1,0 +1,272 @@
+package hatric_test
+
+import (
+	"testing"
+
+	"hatric/internal/arch"
+	"hatric/internal/exp"
+	"hatric/internal/hv"
+	"hatric/internal/sim"
+	"hatric/internal/workload"
+)
+
+// The benchmarks below regenerate the paper's figures at a reduced scale
+// (exp.Quick): the same series as cmd/paperfigs, sized so one iteration
+// runs in seconds. Reported metrics are the figure's headline numbers so
+// `go test -bench` output doubles as a results summary. One benchmark
+// exists per table and figure in the evaluation (Sec. 6).
+
+func quickRunner(b *testing.B) *exp.Runner {
+	b.Helper()
+	r := exp.Quick()
+	// 60k references per thread keeps one iteration in seconds while
+	// staying out of the small-scale thrash regime (drift churn is
+	// ref-count-invariant, so very short runs overweight migration costs).
+	r.Refs = 60_000
+	r.Mixes = 8
+	return r
+}
+
+// BenchmarkFigure2 regenerates Fig. 2: no-hbm / inf-hbm / curr-best /
+// achievable for the five large-footprint workloads.
+func BenchmarkFigure2(b *testing.B) {
+	r := quickRunner(b)
+	for i := 0; i < b.N; i++ {
+		res, err := r.Figure2()
+		if err != nil {
+			b.Fatal(err)
+		}
+		var currSum, achSum float64
+		for _, row := range res.Rows {
+			currSum += row.CurrBest
+			achSum += row.Achievable
+		}
+		n := float64(len(res.Rows))
+		b.ReportMetric(currSum/n, "curr-best")
+		b.ReportMetric(achSum/n, "achievable")
+	}
+}
+
+// BenchmarkFigure7 regenerates Fig. 7: sw/hatric/ideal across vCPU counts.
+func BenchmarkFigure7(b *testing.B) {
+	r := quickRunner(b)
+	for i := 0; i < b.N; i++ {
+		res, err := r.Figure7()
+		if err != nil {
+			b.Fatal(err)
+		}
+		var gap float64
+		for _, c := range res.Cells {
+			gap += c.HATRIC - c.Ideal
+		}
+		b.ReportMetric(gap/float64(len(res.Cells)), "hatric-ideal-gap")
+	}
+}
+
+// BenchmarkFigure8 regenerates Fig. 8: paging policies under each protocol.
+func BenchmarkFigure8(b *testing.B) {
+	r := quickRunner(b)
+	for i := 0; i < b.N; i++ {
+		res, err := r.Figure8()
+		if err != nil {
+			b.Fatal(err)
+		}
+		var sw, ha float64
+		for _, c := range res.Cells {
+			sw += c.SW
+			ha += c.HATRIC
+		}
+		n := float64(len(res.Cells))
+		b.ReportMetric(sw/n, "sw")
+		b.ReportMetric(ha/n, "hatric")
+	}
+}
+
+// BenchmarkFigure9 regenerates Fig. 9: translation-structure size sweep.
+func BenchmarkFigure9(b *testing.B) {
+	r := quickRunner(b)
+	for i := 0; i < b.N; i++ {
+		res, err := r.Figure9()
+		if err != nil {
+			b.Fatal(err)
+		}
+		var big, small float64
+		for _, c := range res.Cells {
+			if c.Mult == 4 {
+				big += c.HATRIC
+			}
+			if c.Mult == 1 {
+				small += c.HATRIC
+			}
+		}
+		b.ReportMetric(small/5, "hatric-1x")
+		b.ReportMetric(big/5, "hatric-4x")
+	}
+}
+
+// BenchmarkFigure10 regenerates Fig. 10: multiprogrammed mixes, weighted
+// runtime and slowest-application fairness.
+func BenchmarkFigure10(b *testing.B) {
+	r := quickRunner(b)
+	for i := 0; i < b.N; i++ {
+		res, err := r.Figure10()
+		if err != nil {
+			b.Fatal(err)
+		}
+		var wsw, wha float64
+		for _, row := range res.Rows {
+			wsw += row.WeightedSW
+			wha += row.WeightedHATRIC
+		}
+		n := float64(len(res.Rows))
+		b.ReportMetric(wsw/n, "weighted-sw")
+		b.ReportMetric(wha/n, "weighted-hatric")
+		b.ReportMetric(float64(res.DegradedSW), "degraded-mixes-sw")
+	}
+}
+
+// BenchmarkFigure11 regenerates Fig. 11: performance-energy points (left)
+// and co-tag sizing (right).
+func BenchmarkFigure11(b *testing.B) {
+	r := quickRunner(b)
+	for i := 0; i < b.N; i++ {
+		left, err := r.Figure11Left()
+		if err != nil {
+			b.Fatal(err)
+		}
+		var run, en float64
+		for _, p := range left.Points {
+			run += p.Runtime
+			en += p.Energy
+		}
+		n := float64(len(left.Points))
+		b.ReportMetric(run/n, "hatric-runtime-vs-sw")
+		b.ReportMetric(en/n, "hatric-energy-vs-sw")
+		right, err := r.Figure11Right()
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, row := range right.Rows {
+			if row.CoTagBytes == 2 {
+				b.ReportMetric(row.Runtime, "cotag2B-runtime")
+			}
+		}
+	}
+}
+
+// BenchmarkFigure12 regenerates Fig. 12: coherence-directory ablations.
+func BenchmarkFigure12(b *testing.B) {
+	r := quickRunner(b)
+	for i := 0; i < b.N; i++ {
+		res, err := r.Figure12()
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, row := range res.Rows {
+			switch row.Variant {
+			case "hatric":
+				b.ReportMetric(row.Energy, "hatric-energy")
+			case "All":
+				b.ReportMetric(row.Energy, "all-variants-energy")
+			}
+		}
+	}
+}
+
+// BenchmarkFigure13 regenerates Fig. 13: HATRIC versus UNITD++.
+func BenchmarkFigure13(b *testing.B) {
+	r := quickRunner(b)
+	for i := 0; i < b.N; i++ {
+		res, err := r.Figure13()
+		if err != nil {
+			b.Fatal(err)
+		}
+		var u, h float64
+		for _, c := range res.Cells {
+			u += c.UNITDRuntime
+			h += c.HATRICRuntime
+		}
+		n := float64(len(res.Cells))
+		b.ReportMetric(u/n, "unitd-runtime")
+		b.ReportMetric(h/n, "hatric-runtime")
+	}
+}
+
+// BenchmarkXen regenerates the Sec. 6 Xen generality results.
+func BenchmarkXen(b *testing.B) {
+	r := quickRunner(b)
+	r.Refs = 60_000 // canneal needs enough churn to separate protocols
+	for i := 0; i < b.N; i++ {
+		res, err := r.XenTable()
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, row := range res.Rows {
+			b.ReportMetric(row.Improvement, row.Workload+"-improvement")
+		}
+	}
+}
+
+// BenchmarkMicroCosts regenerates the Sec. 3.2-3.3 microbenchmarks.
+func BenchmarkMicroCosts(b *testing.B) {
+	r := quickRunner(b)
+	for i := 0; i < b.N; i++ {
+		res, err := r.MicroCosts()
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(res.PerRemap["sw"], "sw-cycles-per-remap")
+		b.ReportMetric(res.PerRemap["hatric"], "hatric-cycles-per-remap")
+	}
+}
+
+// BenchmarkPrefetchExtension evaluates the Sec. 4.4 future-work extension
+// (hatric-pf): remap invalidations become in-place updates.
+func BenchmarkPrefetchExtension(b *testing.B) {
+	r := quickRunner(b)
+	for i := 0; i < b.N; i++ {
+		res, err := r.PrefetchAblation()
+		if err != nil {
+			b.Fatal(err)
+		}
+		var ha, pf float64
+		for _, row := range res.Rows {
+			ha += row.HATRIC
+			pf += row.HATRICPF
+		}
+		n := float64(len(res.Rows))
+		b.ReportMetric(ha/n, "hatric")
+		b.ReportMetric(pf/n, "hatric-pf")
+	}
+}
+
+// BenchmarkSimulatorThroughput measures raw simulation speed (references
+// simulated per second) — the cost of the infrastructure itself rather
+// than a paper figure.
+func BenchmarkSimulatorThroughput(b *testing.B) {
+	spec, err := workload.ByName("canneal")
+	if err != nil {
+		b.Fatal(err)
+	}
+	spec = spec.WithRefs(20_000)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		opts := sim.Options{
+			Config:    arch.DefaultConfig(),
+			Protocol:  "hatric",
+			Paging:    hv.BestPolicy(),
+			Mode:      hv.ModePaged,
+			Workloads: sim.SingleWorkload(spec, 16),
+			Seed:      uint64(i + 1),
+		}
+		sys, err := sim.New(opts)
+		if err != nil {
+			b.Fatal(err)
+		}
+		res, err := sys.Run()
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(float64(res.Agg.MemRefs), "refs/op")
+	}
+}

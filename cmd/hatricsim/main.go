@@ -1,0 +1,136 @@
+// Command hatricsim runs a single simulation configuration and prints a
+// detailed event summary: the tool for exploring one workload under one
+// translation-coherence protocol.
+//
+// Example:
+//
+//	hatricsim -workload data_caching -protocol hatric -threads 16 -mode paged
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"hatric/internal/arch"
+	"hatric/internal/hv"
+	"hatric/internal/sim"
+	"hatric/internal/stats"
+	"hatric/internal/workload"
+)
+
+func main() {
+	var (
+		name     = flag.String("workload", "canneal", "workload name (see internal/workload presets)")
+		protocol = flag.String("protocol", "hatric", "translation coherence: sw, hatric, unitd, ideal")
+		threads  = flag.Int("threads", 16, "vCPU/thread count")
+		modeStr  = flag.String("mode", "paged", "placement: paged, no-hbm, inf-hbm")
+		policy   = flag.String("policy", "lru", "eviction policy: lru, fifo")
+		daemon   = flag.Bool("daemon", true, "enable migration daemon")
+		prefetch = flag.Int("prefetch", 4, "pages prefetched per fault")
+		defrag   = flag.Uint64("defrag", 0, "defragmentation remap period (0 = off)")
+		refs     = flag.Uint64("refs", 0, "override per-thread references")
+		cotag    = flag.Int("cotag", 2, "co-tag bytes (1-3)")
+		seed     = flag.Uint64("seed", 1, "workload seed")
+		check    = flag.Bool("check", true, "audit stale translations")
+		xen      = flag.Bool("xen", false, "use the Xen cost profile")
+	)
+	flag.Parse()
+
+	spec, err := workload.ByName(*name)
+	if err != nil {
+		fatal(err)
+	}
+	if *refs > 0 {
+		spec = spec.WithRefs(*refs)
+	}
+
+	var mode hv.PlacementMode
+	switch *modeStr {
+	case "paged":
+		mode = hv.ModePaged
+	case "no-hbm":
+		mode = hv.ModeNoHBM
+	case "inf-hbm":
+		mode = hv.ModeInfHBM
+	default:
+		fatal(fmt.Errorf("unknown mode %q", *modeStr))
+	}
+
+	cfg := arch.DefaultConfig()
+	cfg.NumCPUs = *threads
+	cfg.TLB.CoTagBytes = *cotag
+	if *xen {
+		cfg.Cost = arch.XenCostModel()
+	}
+	if mode == hv.ModeInfHBM {
+		cfg.Mem.HBMFrames = spec.FootprintPages + 256
+	}
+	if need := spec.FootprintPages + 512; cfg.Mem.DRAMFrames < need {
+		cfg.Mem.DRAMFrames = need
+	}
+
+	sys, err := sim.New(sim.Options{
+		Config:   cfg,
+		Protocol: *protocol,
+		Paging: hv.PagingConfig{
+			Policy:      *policy,
+			Daemon:      *daemon,
+			Prefetch:    *prefetch,
+			DefragEvery: *defrag,
+		},
+		Mode:       mode,
+		Workloads:  sim.SingleWorkload(spec, *threads),
+		Seed:       *seed,
+		CheckStale: *check,
+	})
+	if err != nil {
+		fatal(err)
+	}
+	res, err := sys.Run()
+	if err != nil {
+		fatal(err)
+	}
+	printResult(spec, *protocol, res)
+}
+
+func printResult(spec workload.Spec, protocol string, res *sim.Result) {
+	a := &res.Agg
+	fmt.Printf("workload=%s protocol=%s\n", spec.Name, protocol)
+	fmt.Printf("runtime           %d cycles\n", res.Runtime)
+	fmt.Printf("cycles/ref        %.2f\n", float64(res.Runtime)/float64(a.MemRefs/uint64(len(res.Completion))))
+	t := stats.NewTable("", "event", "count")
+	t.AddRow("memrefs", a.MemRefs)
+	t.AddRow("walks", a.Walks)
+	t.AddRow("walk refs", a.WalkRefs)
+	t.AddRow("l1tlb miss", a.L1TLBMisses)
+	t.AddRow("l2tlb miss", a.L2TLBMisses)
+	t.AddRow("ntlb miss", a.NTLBMisses)
+	t.AddRow("mmu$ miss", a.MMUCacheMisses)
+	t.AddRow("page faults", a.PageFaults)
+	t.AddRow("migrations", a.PageMigrations)
+	t.AddRow("evictions", a.PageEvictions)
+	t.AddRow("prefetches", a.PagePrefetches)
+	t.AddRow("defrag remaps", a.DefragRemaps)
+	t.AddRow("vm exits", a.VMExits)
+	t.AddRow("ipis", a.IPIs)
+	t.AddRow("tlb flushes", a.TLBFlushes)
+	t.AddRow("tlb entries lost", a.TLBEntriesLost)
+	t.AddRow("mmu/ntlb lost", a.MMUEntriesLost+a.NTLBEntriesLost)
+	t.AddRow("cotag invalidations", a.CoTagInvalidations)
+	t.AddRow("selective invs", a.SelectiveInvalidations)
+	t.AddRow("spurious invs", a.SpuriousInvalidations)
+	t.AddRow("dir back-invals", a.DirBackInvalidations)
+	t.AddRow("llc misses", a.LLCMisses)
+	t.AddRow("hbm bytes", res.HBMBytes)
+	t.AddRow("dram bytes", res.DRAMBytes)
+	t.AddRow("stale uses", a.StaleTranslationUses)
+	fmt.Print(t)
+	fmt.Printf("energy            %.4g pJ (static %.4g, translation %.4g, cotag %.4g, cam %.4g)\n",
+		res.Energy.TotalPJ, res.Energy.StaticPJ, res.Energy.TranslationPJ, res.Energy.CoTagPJ, res.Energy.CAMPJ)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "hatricsim:", err)
+	os.Exit(1)
+}

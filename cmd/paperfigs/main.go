@@ -1,0 +1,142 @@
+// Command paperfigs regenerates the paper's figures and tables.
+//
+// Usage:
+//
+//	paperfigs [-fig 2,7,8,9,10,11,12,13,xen,micro] [-quick] [-refs N]
+//	          [-mixes N] [-threads N] [-check]
+//
+// Each figure prints the same series the paper plots, normalized the same
+// way. -quick shrinks reference counts for a fast pass; the full run is
+// what EXPERIMENTS.md records.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"hatric/internal/exp"
+)
+
+func main() {
+	figs := flag.String("fig", "2,7,8,9,10,11,12,13,xen,micro", "comma-separated figures to regenerate")
+	quick := flag.Bool("quick", false, "use reduced reference counts")
+	refs := flag.Uint64("refs", 0, "override per-thread reference count")
+	mixes := flag.Int("mixes", 0, "override number of Fig. 10 mixes")
+	threads := flag.Int("threads", 0, "override vCPU count")
+	check := flag.Bool("check", false, "enable stale-translation auditing")
+	parallel := flag.Int("parallel", 0, "bound concurrent simulations")
+	flag.Parse()
+
+	r := exp.Full()
+	if *quick {
+		r = exp.Quick()
+	}
+	if *refs > 0 {
+		r.Refs = *refs
+	}
+	if *mixes > 0 {
+		r.Mixes = *mixes
+	}
+	if *threads > 0 {
+		r.Threads = *threads
+	}
+	if *parallel > 0 {
+		r.Parallel = *parallel
+	}
+	r.CheckStale = *check
+
+	for _, f := range strings.Split(*figs, ",") {
+		f = strings.TrimSpace(f)
+		if f == "" {
+			continue
+		}
+		start := time.Now()
+		if err := runFig(r, f); err != nil {
+			fmt.Fprintf(os.Stderr, "paperfigs: figure %s: %v\n", f, err)
+			os.Exit(1)
+		}
+		fmt.Printf("(figure %s took %v)\n\n", f, time.Since(start).Round(time.Millisecond))
+	}
+}
+
+func runFig(r *exp.Runner, f string) error {
+	switch f {
+	case "2":
+		res, err := r.Figure2()
+		if err != nil {
+			return err
+		}
+		fmt.Println(res.Table())
+	case "7":
+		res, err := r.Figure7()
+		if err != nil {
+			return err
+		}
+		fmt.Println(res.Table())
+	case "8":
+		res, err := r.Figure8()
+		if err != nil {
+			return err
+		}
+		fmt.Println(res.Table())
+	case "9":
+		res, err := r.Figure9()
+		if err != nil {
+			return err
+		}
+		fmt.Println(res.Table())
+	case "10":
+		res, err := r.Figure10()
+		if err != nil {
+			return err
+		}
+		fmt.Println(res.Table())
+	case "11":
+		left, err := r.Figure11Left()
+		if err != nil {
+			return err
+		}
+		fmt.Println(left.Table())
+		right, err := r.Figure11Right()
+		if err != nil {
+			return err
+		}
+		fmt.Println(right.Table())
+	case "12":
+		res, err := r.Figure12()
+		if err != nil {
+			return err
+		}
+		fmt.Println(res.Table())
+	case "13":
+		res, err := r.Figure13()
+		if err != nil {
+			return err
+		}
+		fmt.Println(res.Table())
+	case "xen":
+		res, err := r.XenTable()
+		if err != nil {
+			return err
+		}
+		fmt.Println(res.Table())
+	case "micro":
+		res, err := r.MicroCosts()
+		if err != nil {
+			return err
+		}
+		fmt.Println(res.Table())
+	case "pf":
+		res, err := r.PrefetchAblation()
+		if err != nil {
+			return err
+		}
+		fmt.Println(res.Table())
+	default:
+		return fmt.Errorf("unknown figure %q", f)
+	}
+	return nil
+}

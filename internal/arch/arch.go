@@ -1,0 +1,115 @@
+// Package arch defines the address types, geometry constants, and system
+// configuration shared by every subsystem of the HATRIC simulator.
+//
+// The simulator models a virtualized x86-64-like machine. Three address
+// spaces exist:
+//
+//   - Guest virtual addresses (GVA), used by applications inside a VM.
+//   - Guest physical addresses (GPA), the physical space the guest OS thinks
+//     it owns. Guest page tables map GVA to GPA.
+//   - System physical addresses (SPA), the real machine memory. Nested page
+//     tables map GPA to SPA.
+//
+// Page-number forms (GVP, GPP, SPP) are the corresponding addresses shifted
+// right by PageShift.
+package arch
+
+const (
+	// PageShift is log2 of the (small) page size.
+	PageShift = 12
+	// PageSize is the base page size in bytes.
+	PageSize = 1 << PageShift
+
+	// LineShift is log2 of the cache line size.
+	LineShift = 6
+	// LineSize is the cache line size in bytes.
+	LineSize = 1 << LineShift
+
+	// PTESize is the size of one page-table entry in bytes.
+	PTESize = 8
+	// PTEsPerLine is how many page-table entries share one cache line.
+	// Line-granular coherence therefore invalidates translations in groups
+	// of PTEsPerLine (the "false sharing" the paper discusses).
+	PTEsPerLine = LineSize / PTESize
+
+	// LevelBits is the number of VPN bits consumed per radix level.
+	LevelBits = 9
+	// PTLevels is the number of radix levels in both the guest and the
+	// nested page table (x86-64 style, level 4 is the root).
+	PTLevels = 4
+	// EntriesPerTable is the fan-out of one page-table page.
+	EntriesPerTable = 1 << LevelBits
+
+	// LinesPerPage is the number of cache lines in one page.
+	LinesPerPage = PageSize / LineSize
+)
+
+// Cycles counts simulated processor clock cycles.
+type Cycles uint64
+
+// GVA is a guest virtual address.
+type GVA uint64
+
+// GPA is a guest physical address.
+type GPA uint64
+
+// SPA is a system physical address.
+type SPA uint64
+
+// GVP is a guest virtual page number.
+type GVP uint64
+
+// GPP is a guest physical page number.
+type GPP uint64
+
+// SPP is a system physical page number.
+type SPP uint64
+
+// Page returns the page number of the address.
+func (a GVA) Page() GVP { return GVP(a >> PageShift) }
+
+// Page returns the page number of the address.
+func (a GPA) Page() GPP { return GPP(a >> PageShift) }
+
+// Page returns the page number of the address.
+func (a SPA) Page() SPP { return SPP(a >> PageShift) }
+
+// Addr returns the base address of the page.
+func (p GVP) Addr() GVA { return GVA(p << PageShift) }
+
+// Addr returns the base address of the page.
+func (p GPP) Addr() GPA { return GPA(p << PageShift) }
+
+// Addr returns the base address of the page.
+func (p SPP) Addr() SPA { return SPA(p << PageShift) }
+
+// Offset returns the intra-page byte offset of the address.
+func (a GVA) Offset() uint64 { return uint64(a) & (PageSize - 1) }
+
+// Line returns the cache-line-aligned address containing a.
+func (a SPA) Line() SPA { return a &^ (LineSize - 1) }
+
+// LineIndex returns a dense per-line index (address >> LineShift), useful as
+// a map key for line-granular bookkeeping.
+func (a SPA) LineIndex() uint64 { return uint64(a) >> LineShift }
+
+// Index extracts the radix index of the page number at the given level.
+// Level PTLevels (4) is the root; level 1 is the leaf.
+func (p GVP) Index(level int) uint64 {
+	return (uint64(p) >> (uint(level-1) * LevelBits)) & (EntriesPerTable - 1)
+}
+
+// Index extracts the radix index of the page number at the given level.
+func (p GPP) Index(level int) uint64 {
+	return (uint64(p) >> (uint(level-1) * LevelBits)) & (EntriesPerTable - 1)
+}
+
+// PrefixKey returns the GVP truncated so that only the radix indices of
+// levels above `level` remain, tagged with the level. It identifies a
+// paging-structure-cache entry: a hit at `level` supplies the address of
+// the guest page-table page whose entries are indexed by Index(level), and
+// that page is selected by the indices of levels level+1..PTLevels only.
+func (p GVP) PrefixKey(level int) uint64 {
+	shift := uint(level) * LevelBits
+	return (uint64(p)>>shift)<<3 | uint64(level)
+}

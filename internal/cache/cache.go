@@ -1,0 +1,233 @@
+// Package cache implements the set-associative write-back caches of the
+// simulated machine: per-CPU private L1 and L2 caches and the shared,
+// banked last-level cache. Lines carry MESI states; the coherence package
+// drives state transitions.
+package cache
+
+import (
+	"hatric/internal/arch"
+)
+
+// State is a MESI cache-line state.
+type State uint8
+
+// MESI states.
+const (
+	Invalid State = iota
+	Shared
+	Exclusive
+	Modified
+)
+
+// String returns the one-letter MESI name.
+func (s State) String() string {
+	switch s {
+	case Invalid:
+		return "I"
+	case Shared:
+		return "S"
+	case Exclusive:
+		return "E"
+	case Modified:
+		return "M"
+	}
+	return "?"
+}
+
+// IsPTKind flags a cached line as holding guest or nested page-table data.
+// It mirrors the gPT/nPT directory bits at the private caches so evictions
+// can be classified.
+type IsPTKind uint8
+
+// Line kinds.
+const (
+	KindData IsPTKind = iota
+	KindGuestPT
+	KindNestedPT
+)
+
+type line struct {
+	tag   uint64 // line index (SPA >> LineShift); valid iff state != Invalid
+	state State
+	kind  IsPTKind
+	lru   uint64
+}
+
+// Cache is one set-associative cache. It stores only metadata (tags and
+// states); simulated data contents live in the page-table model.
+type Cache struct {
+	sets  int
+	ways  int
+	lines []line
+	tick  uint64
+
+	// Stats
+	Hits      uint64
+	Misses    uint64
+	Evictions uint64
+}
+
+// New builds a cache from the geometry. Sets are derived from size and
+// associativity; the set count is rounded down to a power of two to keep
+// indexing a mask operation.
+func New(cfg arch.CacheConfig) *Cache {
+	sets := cfg.Sets()
+	// Round down to a power of two.
+	p := 1
+	for p*2 <= sets {
+		p *= 2
+	}
+	sets = p
+	ways := cfg.Ways
+	if ways <= 0 {
+		ways = 1
+	}
+	return &Cache{
+		sets:  sets,
+		ways:  ways,
+		lines: make([]line, sets*ways),
+	}
+}
+
+// Sets returns the number of sets.
+func (c *Cache) Sets() int { return c.sets }
+
+// Ways returns the associativity.
+func (c *Cache) Ways() int { return c.ways }
+
+// Lines returns the total line capacity.
+func (c *Cache) Lines() int { return c.sets * c.ways }
+
+func (c *Cache) set(tag uint64) []line {
+	idx := int(tag) & (c.sets - 1)
+	return c.lines[idx*c.ways : (idx+1)*c.ways]
+}
+
+// Tag converts an address to this cache's tag (the global line index).
+func Tag(spa arch.SPA) uint64 { return uint64(spa) >> arch.LineShift }
+
+// Lookup probes the cache. On a hit it refreshes LRU state and returns the
+// line's state; on a miss it returns Invalid, false.
+func (c *Cache) Lookup(tag uint64) (State, bool) {
+	set := c.set(tag)
+	for i := range set {
+		if set[i].state != Invalid && set[i].tag == tag {
+			c.tick++
+			set[i].lru = c.tick
+			c.Hits++
+			return set[i].state, true
+		}
+	}
+	c.Misses++
+	return Invalid, false
+}
+
+// Peek returns the state without touching LRU or stats.
+func (c *Cache) Peek(tag uint64) (State, bool) {
+	set := c.set(tag)
+	for i := range set {
+		if set[i].state != Invalid && set[i].tag == tag {
+			return set[i].state, true
+		}
+	}
+	return Invalid, false
+}
+
+// Kind returns the PT-kind of a resident line (KindData if absent).
+func (c *Cache) Kind(tag uint64) IsPTKind {
+	set := c.set(tag)
+	for i := range set {
+		if set[i].state != Invalid && set[i].tag == tag {
+			return set[i].kind
+		}
+	}
+	return KindData
+}
+
+// Victim describes a line displaced by Insert.
+type Victim struct {
+	Tag   uint64
+	State State
+	Kind  IsPTKind
+}
+
+// Insert installs (or updates) a line. If the set was full, the LRU entry
+// is displaced and returned so the caller can write it back and/or notify
+// the directory.
+func (c *Cache) Insert(tag uint64, st State, kind IsPTKind) (Victim, bool) {
+	if st == Invalid {
+		panic("cache: Insert with Invalid state")
+	}
+	set := c.set(tag)
+	c.tick++
+	// Hit: update in place.
+	for i := range set {
+		if set[i].state != Invalid && set[i].tag == tag {
+			set[i].state = st
+			set[i].kind = kind
+			set[i].lru = c.tick
+			return Victim{}, false
+		}
+	}
+	// Free way.
+	for i := range set {
+		if set[i].state == Invalid {
+			set[i] = line{tag: tag, state: st, kind: kind, lru: c.tick}
+			return Victim{}, false
+		}
+	}
+	// Evict LRU.
+	v := 0
+	for i := 1; i < len(set); i++ {
+		if set[i].lru < set[v].lru {
+			v = i
+		}
+	}
+	victim := Victim{Tag: set[v].tag, State: set[v].state, Kind: set[v].kind}
+	set[v] = line{tag: tag, state: st, kind: kind, lru: c.tick}
+	c.Evictions++
+	return victim, true
+}
+
+// SetState changes a resident line's state; it reports whether the line was
+// present.
+func (c *Cache) SetState(tag uint64, st State) bool {
+	set := c.set(tag)
+	for i := range set {
+		if set[i].state != Invalid && set[i].tag == tag {
+			if st == Invalid {
+				set[i].state = Invalid
+			} else {
+				set[i].state = st
+			}
+			return true
+		}
+	}
+	return false
+}
+
+// Invalidate removes the line; it reports whether it was present.
+func (c *Cache) Invalidate(tag uint64) bool {
+	return c.SetState(tag, Invalid)
+}
+
+// Flush invalidates every line and returns how many were valid.
+func (c *Cache) Flush() int {
+	n := 0
+	for i := range c.lines {
+		if c.lines[i].state != Invalid {
+			c.lines[i].state = Invalid
+			n++
+		}
+	}
+	return n
+}
+
+// ForEachValid calls fn for each valid line.
+func (c *Cache) ForEachValid(fn func(tag uint64, st State, kind IsPTKind)) {
+	for i := range c.lines {
+		if c.lines[i].state != Invalid {
+			fn(c.lines[i].tag, c.lines[i].state, c.lines[i].kind)
+		}
+	}
+}

@@ -1,0 +1,175 @@
+package cache
+
+import (
+	"testing"
+	"testing/quick"
+
+	"hatric/internal/arch"
+)
+
+func small() *Cache {
+	return New(arch.CacheConfig{SizeBytes: 4 * arch.LineSize, Ways: 2}) // 2 sets x 2 ways
+}
+
+func TestInsertLookup(t *testing.T) {
+	c := small()
+	if _, ok := c.Lookup(5); ok {
+		t.Fatal("empty cache hit")
+	}
+	if _, ev := c.Insert(5, Shared, KindData); ev {
+		t.Fatal("insert into empty set evicted")
+	}
+	st, ok := c.Lookup(5)
+	if !ok || st != Shared {
+		t.Fatalf("lookup after insert: %v %v", st, ok)
+	}
+}
+
+func TestLRUEviction(t *testing.T) {
+	c := small()
+	// Tags 0, 2, 4 map to set 0 (2 sets).
+	c.Insert(0, Shared, KindData)
+	c.Insert(2, Shared, KindData)
+	c.Lookup(0) // make 2 the LRU
+	v, ev := c.Insert(4, Shared, KindData)
+	if !ev || v.Tag != 2 {
+		t.Fatalf("expected eviction of tag 2, got %+v (evicted=%v)", v, ev)
+	}
+	if _, ok := c.Peek(0); !ok {
+		t.Errorf("recently used line evicted")
+	}
+}
+
+func TestInsertUpdatesInPlace(t *testing.T) {
+	c := small()
+	c.Insert(8, Shared, KindData)
+	if _, ev := c.Insert(8, Modified, KindNestedPT); ev {
+		t.Fatal("update evicted")
+	}
+	st, _ := c.Peek(8)
+	if st != Modified || c.Kind(8) != KindNestedPT {
+		t.Errorf("update lost: st=%v kind=%v", st, c.Kind(8))
+	}
+}
+
+func TestSetStateAndInvalidate(t *testing.T) {
+	c := small()
+	c.Insert(3, Exclusive, KindData)
+	if !c.SetState(3, Modified) {
+		t.Fatal("SetState missed resident line")
+	}
+	if st, _ := c.Peek(3); st != Modified {
+		t.Errorf("state = %v", st)
+	}
+	if !c.Invalidate(3) {
+		t.Fatal("Invalidate missed")
+	}
+	if _, ok := c.Peek(3); ok {
+		t.Errorf("line survived invalidation")
+	}
+	if c.Invalidate(3) {
+		t.Errorf("double invalidation reported success")
+	}
+}
+
+func TestFlushAndForEach(t *testing.T) {
+	c := small()
+	c.Insert(1, Shared, KindGuestPT)
+	c.Insert(2, Modified, KindData)
+	count := 0
+	c.ForEachValid(func(tag uint64, st State, kind IsPTKind) { count++ })
+	if count != 2 {
+		t.Fatalf("ForEachValid visited %d", count)
+	}
+	if n := c.Flush(); n != 2 {
+		t.Errorf("Flush returned %d", n)
+	}
+	if n := c.Flush(); n != 0 {
+		t.Errorf("second Flush returned %d", n)
+	}
+}
+
+func TestStatsCounting(t *testing.T) {
+	c := small()
+	c.Lookup(9)
+	c.Insert(9, Shared, KindData)
+	c.Lookup(9)
+	if c.Misses != 1 || c.Hits != 1 {
+		t.Errorf("hits=%d misses=%d", c.Hits, c.Misses)
+	}
+}
+
+func TestGeometryRounding(t *testing.T) {
+	c := New(arch.CacheConfig{SizeBytes: 100 * arch.LineSize, Ways: 8})
+	if c.Sets()&(c.Sets()-1) != 0 {
+		t.Errorf("set count %d not a power of two", c.Sets())
+	}
+	if c.Lines() != c.Sets()*c.Ways() {
+		t.Errorf("capacity mismatch")
+	}
+}
+
+func TestInsertPanicsOnInvalid(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("Insert(Invalid) should panic")
+		}
+	}()
+	small().Insert(1, Invalid, KindData)
+}
+
+// Property: after inserting any sequence of tags, every reported victim was
+// previously inserted, and residency never exceeds capacity.
+func TestInsertVictimProperty(t *testing.T) {
+	f := func(tags []uint64) bool {
+		c := New(arch.CacheConfig{SizeBytes: 8 * arch.LineSize, Ways: 2})
+		inserted := map[uint64]bool{}
+		for _, tag := range tags {
+			tag %= 64
+			v, ev := c.Insert(tag, Shared, KindData)
+			if ev && !inserted[v.Tag] {
+				return false
+			}
+			inserted[tag] = true
+			if ev {
+				delete(inserted, v.Tag)
+			}
+		}
+		resident := 0
+		c.ForEachValid(func(uint64, State, IsPTKind) { resident++ })
+		return resident <= c.Lines()
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: a line just inserted is always resident until something else
+// displaces it; Peek never lies.
+func TestResidencyProperty(t *testing.T) {
+	f := func(tag uint64, st uint8) bool {
+		c := small()
+		state := State(st%3) + Shared
+		c.Insert(tag, state, KindData)
+		got, ok := c.Peek(tag)
+		return ok && got == state
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestStateString(t *testing.T) {
+	names := map[State]string{Invalid: "I", Shared: "S", Exclusive: "E", Modified: "M", State(9): "?"}
+	for s, want := range names {
+		if s.String() != want {
+			t.Errorf("%d.String() = %s, want %s", s, s.String(), want)
+		}
+	}
+}
+
+func TestTag(t *testing.T) {
+	if Tag(arch.SPA(0x1000)) != 0x1000>>arch.LineShift {
+		t.Errorf("Tag conversion wrong")
+	}
+}

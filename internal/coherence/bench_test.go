@@ -1,0 +1,52 @@
+package coherence
+
+import (
+	"testing"
+
+	"hatric/internal/arch"
+	"hatric/internal/cache"
+	"hatric/internal/memdev"
+	"hatric/internal/stats"
+)
+
+func benchHier(b *testing.B, cpus int) *Hierarchy {
+	b.Helper()
+	cfg := arch.DefaultConfig()
+	cfg.NumCPUs = cpus
+	cnt := make([]*stats.Counters, cpus)
+	for i := range cnt {
+		cnt[i] = &stats.Counters{}
+	}
+	return NewHierarchy(&cfg, memdev.New(cfg.Mem), cnt)
+}
+
+func BenchmarkReadL1Hit(b *testing.B) {
+	h := benchHier(b, 1)
+	h.Read(0, 0x10000, cache.KindData, 0)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		h.Read(0, 0x10000, cache.KindData, arch.Cycles(i))
+	}
+}
+
+func BenchmarkReadStream(b *testing.B) {
+	h := benchHier(b, 1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		h.Read(0, arch.SPA(uint64(i)%(1<<20))<<arch.LineShift, cache.KindData, arch.Cycles(i))
+	}
+}
+
+// BenchmarkPTWriteInvalidation measures the full directory path of a
+// nested-PTE store with sharers to invalidate — the remap hot path.
+func BenchmarkPTWriteInvalidation(b *testing.B) {
+	h := benchHier(b, 16)
+	spa := arch.SPA(0x40000)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for cpu := 1; cpu < 16; cpu++ {
+			h.Read(cpu, spa, cache.KindNestedPT, arch.Cycles(i))
+		}
+		h.Write(0, spa, cache.KindNestedPT, arch.Cycles(i))
+	}
+}

@@ -1,0 +1,151 @@
+// Package coherence implements the directory-based MESI protocol of the
+// simulated machine and HATRIC's extensions to it: page-table bits (nPT and
+// gPT) in directory entries, pseudo-specific relay of page-table line
+// invalidations to translation structures, lazy sharer-list demotion for
+// page-table lines, and back-invalidation on directory evictions.
+package coherence
+
+import (
+	"hatric/internal/arch"
+	"hatric/internal/cache"
+)
+
+// Entry is one coherence-directory entry. Sharer lists are 64-bit CPU
+// bitmaps. The directory is pseudo-specific: by default it does not record
+// whether a sharer caches the line in its private caches or its translation
+// structures (Sec. 4.2); the fine-grained mode (Fig. 12, FG-tracking) adds
+// the tsSharers mask.
+type Entry struct {
+	cacheSharers uint64
+	tsSharers    uint64 // used only in fine-grained mode
+	owner        int8   // CPU with the line in M/E, or -1
+	nPT          bool
+	gPT          bool
+}
+
+// Sharers returns the private-cache sharer mask.
+func (e *Entry) Sharers() uint64 { return e.cacheSharers }
+
+// IsPT reports whether the entry is tagged as holding page-table data.
+func (e *Entry) IsPT() bool { return e.nPT || e.gPT }
+
+// Kind returns the line kind implied by the PT bits (nested wins if both,
+// which cannot happen for well-formed page tables).
+func (e *Entry) Kind() cache.IsPTKind {
+	switch {
+	case e.nPT:
+		return cache.KindNestedPT
+	case e.gPT:
+		return cache.KindGuestPT
+	}
+	return cache.KindData
+}
+
+// Directory is the dual-grain-inspired coherence directory. It tracks every
+// line resident in any private cache (and, for page-table lines, lines whose
+// translations may live in translation structures). A finite capacity
+// forces back-invalidations, as in multi-grain directories (Zebchuk et al.).
+type Directory struct {
+	cfg     arch.DirectoryConfig
+	entries map[uint64]*Entry
+	fifo    []uint64 // insertion order, for deterministic capacity eviction
+
+	// Stats
+	Lookups        uint64
+	Inserts        uint64
+	CapacityEvicts uint64
+}
+
+// NewDirectory builds a directory with the given configuration.
+func NewDirectory(cfg arch.DirectoryConfig) *Directory {
+	return &Directory{
+		cfg:     cfg,
+		entries: make(map[uint64]*Entry),
+	}
+}
+
+// Lookup returns the entry for the line tag, or nil.
+func (d *Directory) Lookup(tag uint64) *Entry {
+	d.Lookups++
+	return d.entries[tag]
+}
+
+// Peek returns the entry without counting a lookup.
+func (d *Directory) Peek(tag uint64) *Entry { return d.entries[tag] }
+
+// Len returns the number of live entries.
+func (d *Directory) Len() int { return len(d.entries) }
+
+// Ensure returns the entry for tag, allocating one if needed. If capacity
+// is exceeded, a victim entry is chosen (FIFO order) and returned so the
+// caller can back-invalidate its sharers. A nil victimEntry means no
+// back-invalidation is required.
+func (d *Directory) Ensure(tag uint64) (e *Entry, victimTag uint64, victimEntry *Entry) {
+	if e = d.entries[tag]; e != nil {
+		return e, 0, nil
+	}
+	e = &Entry{owner: -1}
+	d.entries[tag] = e
+	d.fifo = append(d.fifo, tag)
+	d.Inserts++
+	if d.cfg.NoBackInvalidation || d.cfg.Entries <= 0 {
+		return e, 0, nil
+	}
+	for len(d.entries) > d.cfg.Entries && len(d.fifo) > 0 {
+		vt := d.fifo[0]
+		d.fifo = d.fifo[1:]
+		if vt == tag {
+			// Never evict the entry just allocated; re-queue it.
+			d.fifo = append(d.fifo, vt)
+			continue
+		}
+		ve := d.entries[vt]
+		if ve == nil {
+			continue // stale queue entry; already removed
+		}
+		delete(d.entries, vt)
+		d.CapacityEvicts++
+		return e, vt, ve
+	}
+	return e, 0, nil
+}
+
+// Remove deletes the entry for tag (used when its last sharer leaves).
+func (d *Directory) Remove(tag uint64) { delete(d.entries, tag) }
+
+// AddSharer records cpu as a private-cache sharer and merges the PT kind.
+func (e *Entry) AddSharer(cpu int, kind cache.IsPTKind) {
+	e.cacheSharers |= 1 << uint(cpu)
+	e.mergeKind(kind)
+}
+
+// AddTSSharer records cpu's translation structures as holding entries from
+// the line (fine-grained mode only).
+func (e *Entry) AddTSSharer(cpu int, kind cache.IsPTKind) {
+	e.tsSharers |= 1 << uint(cpu)
+	e.mergeKind(kind)
+}
+
+func (e *Entry) mergeKind(kind cache.IsPTKind) {
+	switch kind {
+	case cache.KindNestedPT:
+		e.nPT = true
+	case cache.KindGuestPT:
+		e.gPT = true
+	}
+}
+
+// RemoveSharer clears cpu from both sharer masks; it reports whether the
+// entry became empty.
+func (e *Entry) RemoveSharer(cpu int) bool {
+	mask := ^(uint64(1) << uint(cpu))
+	e.cacheSharers &= mask
+	e.tsSharers &= mask
+	if e.owner == int8(cpu) {
+		e.owner = -1
+	}
+	return e.cacheSharers == 0 && e.tsSharers == 0
+}
+
+// Empty reports whether no sharer remains.
+func (e *Entry) Empty() bool { return e.cacheSharers == 0 && e.tsSharers == 0 }

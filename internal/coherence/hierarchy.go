@@ -1,0 +1,422 @@
+package coherence
+
+import (
+	"hatric/internal/arch"
+	"hatric/internal/cache"
+	"hatric/internal/memdev"
+	"hatric/internal/stats"
+)
+
+// TranslationHook is implemented by the translation-coherence layer. The
+// hierarchy calls it when an invalidation (write-invalidation or directory
+// back-invalidation) of a page-table line must be relayed to a CPU's
+// translation structures. Hardware protocols (HATRIC, UNITD++) invalidate
+// matching entries; the software protocol installs no hook and relies on
+// hypervisor-driven flushes instead.
+type TranslationHook interface {
+	// OnPTInvalidation relays the invalidation of the page-table entry at
+	// spa to cpu's translation structures. It returns how many translation
+	// entries were dropped and whether entries sourced from the same cache
+	// line survive (possible under protocols with finer-than-line
+	// invalidation such as the ideal protocol, or partial structure
+	// coverage such as UNITD++); survivors keep the CPU on the sharer
+	// list so future writes still reach it.
+	OnPTInvalidation(cpu int, spa arch.SPA, kind cache.IsPTKind) (dropped int, remains bool)
+	// OnPTBackInvalidation handles a directory capacity eviction: the
+	// whole line loses its directory entry, so every translation sourced
+	// from it must drop regardless of the protocol's write-invalidation
+	// granularity. Returns entries dropped.
+	OnPTBackInvalidation(cpu int, spa arch.SPA, kind cache.IsPTKind) int
+	// CachesPTLine reports whether cpu's translation structures currently
+	// hold entries sourced from spa's cache line. Used by the eager
+	// directory update ablation; implementations count the lookup energy.
+	CachesPTLine(cpu int, spa arch.SPA, kind cache.IsPTKind) bool
+}
+
+// Hierarchy owns the private caches, the shared LLC, the coherence
+// directory, and the memory devices, and provides the Read/Write operations
+// every other subsystem uses to touch memory.
+type Hierarchy struct {
+	cfg  *arch.Config
+	cost arch.CostModel
+	mem  *memdev.Memory
+
+	l1  []*cache.Cache
+	l2  []*cache.Cache
+	llc *cache.Cache
+	dir *Directory
+
+	hook    TranslationHook
+	relayTS bool // relay PT invalidations to translation structures
+
+	cnt []*stats.Counters
+}
+
+// NewHierarchy builds the cache hierarchy for cfg.
+func NewHierarchy(cfg *arch.Config, mem *memdev.Memory, counters []*stats.Counters) *Hierarchy {
+	h := &Hierarchy{
+		cfg:  cfg,
+		cost: cfg.Cost,
+		mem:  mem,
+		llc:  cache.New(cfg.LLC),
+		dir:  NewDirectory(cfg.Dir),
+		cnt:  counters,
+	}
+	h.l1 = make([]*cache.Cache, cfg.NumCPUs)
+	h.l2 = make([]*cache.Cache, cfg.NumCPUs)
+	for i := 0; i < cfg.NumCPUs; i++ {
+		h.l1[i] = cache.New(cfg.L1)
+		h.l2[i] = cache.New(cfg.L2)
+	}
+	return h
+}
+
+// SetTranslationHook installs the translation-coherence hook. relay selects
+// whether PT-line invalidations are relayed to translation structures
+// (true for HATRIC and UNITD++, false for the software baseline).
+func (h *Hierarchy) SetTranslationHook(hook TranslationHook, relay bool) {
+	h.hook = hook
+	h.relayTS = relay
+}
+
+// Directory exposes the directory (tests and the experiment harness).
+func (h *Hierarchy) Directory() *Directory { return h.dir }
+
+// LLC exposes the shared cache.
+func (h *Hierarchy) LLC() *cache.Cache { return h.llc }
+
+// L1 returns cpu's private L1.
+func (h *Hierarchy) L1(cpu int) *cache.Cache { return h.l1[cpu] }
+
+// L2 returns cpu's private L2.
+func (h *Hierarchy) L2(cpu int) *cache.Cache { return h.l2[cpu] }
+
+// Read performs a coherent read of the line containing spa on behalf of
+// cpu and returns its latency. kind tags page-table lines so the directory
+// learns the nPT/gPT bits.
+func (h *Hierarchy) Read(cpu int, spa arch.SPA, kind cache.IsPTKind, now arch.Cycles) arch.Cycles {
+	tag := cache.Tag(spa)
+	c := h.cnt[cpu]
+	lat := h.cost.L1Hit
+	if _, ok := h.l1[cpu].Lookup(tag); ok {
+		c.L1Hits++
+		return lat
+	}
+	c.L1Misses++
+	lat += h.cost.L2Hit
+	if st, ok := h.l2[cpu].Lookup(tag); ok {
+		c.L2Hits++
+		h.insertPrivateL1(cpu, tag, st, kind)
+		return lat
+	}
+	c.L2Misses++
+
+	// Miss in the private hierarchy: consult the LLC bank's directory.
+	lat += h.cost.LLCHit + 2*h.cost.DirHop
+	c.DirLookups++
+	e, vTag, vEntry := h.dir.Ensure(tag)
+	if vEntry != nil {
+		h.backInvalidate(vTag, vEntry)
+		c.DirBackInvalidations++
+	}
+
+	// If another CPU owns the line in M/E, downgrade it to S and pull the
+	// data into the LLC.
+	if e.owner >= 0 && int(e.owner) != cpu {
+		o := int(e.owner)
+		lat += 2 * h.cost.DirHop
+		if h.l2[o].SetState(tag, cache.Shared) {
+			h.llc.Insert(tag, cache.Shared, kind)
+		} else {
+			// Lazily stale ownership (possible for PT lines).
+			c.SpuriousInvalidations++
+		}
+		h.l1[o].SetState(tag, cache.Shared)
+		e.owner = -1
+	}
+
+	if _, ok := h.llc.Lookup(tag); ok {
+		c.LLCHits++
+	} else {
+		c.LLCMisses++
+		lat += h.memAccess(cpu, spa, now+lat)
+		h.llc.Insert(tag, cache.Shared, kind)
+	}
+
+	st := cache.Shared
+	if (e.cacheSharers|e.tsSharers)&^(1<<uint(cpu)) == 0 {
+		st = cache.Exclusive
+		e.owner = int8(cpu)
+	}
+	e.AddSharer(cpu, kind)
+	h.insertPrivate(cpu, tag, st, kind)
+	return lat
+}
+
+// Write performs a coherent write of the line containing spa on behalf of
+// cpu and returns its latency. Writing a page-table line triggers the
+// invalidation relay that HATRIC piggybacks on.
+func (h *Hierarchy) Write(cpu int, spa arch.SPA, kind cache.IsPTKind, now arch.Cycles) arch.Cycles {
+	tag := cache.Tag(spa)
+	c := h.cnt[cpu]
+	lat := h.cost.L1Hit
+	// Writes to page-table lines always take the full directory path: even
+	// an M-state hit must relay the invalidation to translation structures
+	// (including the writer's own, which may have refilled from the cached
+	// line since the last write). Data writes keep the usual fast paths.
+	fastOK := kind == cache.KindData
+	if st, ok := h.l1[cpu].Lookup(tag); ok {
+		c.L1Hits++
+		if fastOK && st == cache.Modified {
+			return lat
+		}
+		if fastOK && st == cache.Exclusive {
+			// Silent E -> M upgrade.
+			h.l1[cpu].SetState(tag, cache.Modified)
+			h.l2[cpu].SetState(tag, cache.Modified)
+			if e := h.dir.Peek(tag); e != nil {
+				e.owner = int8(cpu)
+			}
+			return lat
+		}
+		// Shared (or a page-table line): upgrade via the directory.
+	} else {
+		c.L1Misses++
+		if st, ok := h.l2[cpu].Lookup(tag); fastOK && ok && (st == cache.Modified || st == cache.Exclusive) {
+			// Local upgrade without directory traffic.
+			c.L2Hits++
+			h.l2[cpu].SetState(tag, cache.Modified)
+			h.insertPrivateL1(cpu, tag, cache.Modified, kind)
+			if e := h.dir.Peek(tag); e != nil {
+				e.owner = int8(cpu)
+			}
+			return lat + h.cost.L2Hit
+		}
+	}
+
+	lat += h.cost.LLCHit + 2*h.cost.DirHop
+	c.DirLookups++
+	e, vTag, vEntry := h.dir.Ensure(tag)
+	if vEntry != nil {
+		h.backInvalidate(vTag, vEntry)
+		c.DirBackInvalidations++
+	}
+
+	// Invalidate all other sharers; one wave, so latency is two extra hops.
+	e.mergeKind(kind)
+	bitW := uint64(1) << uint(cpu)
+	cacheTargets := e.cacheSharers &^ bitW
+	tsTargets := (e.cacheSharers | e.tsSharers) &^ bitW // pseudo-specific relay
+	if h.cfg.Dir.FineGrained {
+		tsTargets = e.tsSharers &^ bitW
+	}
+	all := cacheTargets | tsTargets
+	if all != 0 {
+		lat += 2 * h.cost.DirHop
+	}
+	kindForRelay := e.Kind()
+	var survivors uint64
+	for t := 0; t < h.cfg.NumCPUs; t++ {
+		bit := uint64(1) << uint(t)
+		if all&bit == 0 {
+			continue
+		}
+		c.InvalidationsSent++
+		inCache := false
+		if cacheTargets&bit != 0 {
+			in1 := h.l1[t].Invalidate(tag)
+			in2 := h.l2[t].Invalidate(tag)
+			inCache = in1 || in2
+		}
+		tsDropped := 0
+		if h.relayTS && h.hook != nil && e.IsPT() && tsTargets&bit != 0 {
+			var remains bool
+			tsDropped, remains = h.hook.OnPTInvalidation(t, spa, kindForRelay)
+			h.cnt[t].SelectiveInvalidations += uint64(tsDropped)
+			if remains {
+				survivors |= bit
+			}
+		}
+		if !inCache && tsDropped == 0 {
+			// Spurious message: the target demotes itself lazily.
+			c.SpuriousInvalidations++
+			c.DirDemotions++
+		}
+	}
+	// The writer's own translation structures snoop its own store too: the
+	// CPU running the hypervisor may well cache the stale translation.
+	if h.relayTS && h.hook != nil && e.IsPT() {
+		dropped, remains := h.hook.OnPTInvalidation(cpu, spa, kindForRelay)
+		c.SelectiveInvalidations += uint64(dropped)
+		if remains {
+			survivors |= bitW
+		}
+	}
+	// After the invalidation wave the writer holds the only cached copy.
+	// CPUs whose translation structures keep same-line entries (partial
+	// coverage or finer-than-line invalidation) stay on the sharer list.
+	e.cacheSharers = 0
+	e.tsSharers = survivors
+
+	if _, ok := h.llc.Lookup(tag); ok {
+		c.LLCHits++
+	} else {
+		c.LLCMisses++
+		lat += h.memAccess(cpu, spa, now+lat)
+		h.llc.Insert(tag, cache.Modified, kind)
+	}
+
+	e.cacheSharers |= 1 << uint(cpu)
+	e.mergeKind(kind)
+	e.owner = int8(cpu)
+	h.insertPrivate(cpu, tag, cache.Modified, kind)
+	return lat
+}
+
+// NoteTranslationFill records that cpu's translation structures now hold an
+// entry sourced from the page-table line at spa. In the default
+// pseudo-specific directory this only merges the kind bits; in fine-grained
+// mode it also sets the translation-structure sharer bit.
+func (h *Hierarchy) NoteTranslationFill(cpu int, spa arch.SPA, kind cache.IsPTKind) {
+	if !h.relayTS {
+		// Software coherence: translation structures are not coherence
+		// participants; the hypervisor flushes them explicitly.
+		return
+	}
+	tag := cache.Tag(spa)
+	e, vTag, vEntry := h.dir.Ensure(tag)
+	if vEntry != nil {
+		h.backInvalidate(vTag, vEntry)
+		h.cnt[cpu].DirBackInvalidations++
+	}
+	e.mergeKind(kind)
+	e.AddTSSharer(cpu, kind)
+	if !h.cfg.Dir.FineGrained {
+		// Pseudo-specific: a single sharer list covers caches and
+		// translation structures.
+		e.cacheSharers |= 1 << uint(cpu)
+	}
+}
+
+// NoteTranslationEviction lets the translation-coherence layer react to a
+// translation-structure eviction. Lazy policy: nothing happens. Eager
+// policy: demote the CPU if neither its caches nor its translation
+// structures still reference the line.
+func (h *Hierarchy) NoteTranslationEviction(cpu int, spa arch.SPA, kind cache.IsPTKind) {
+	if !h.cfg.Dir.EagerUpdate {
+		return
+	}
+	tag := cache.Tag(spa)
+	e := h.dir.Peek(tag)
+	if e == nil {
+		return
+	}
+	if _, ok := h.l1[cpu].Peek(tag); ok {
+		return
+	}
+	if _, ok := h.l2[cpu].Peek(tag); ok {
+		return
+	}
+	if h.hook != nil && h.hook.CachesPTLine(cpu, spa.Line(), kind) {
+		return
+	}
+	if e.RemoveSharer(cpu) {
+		h.dir.Remove(tag)
+	}
+	h.cnt[cpu].DirDemotions++
+}
+
+// memAccess routes a line fill to the right device.
+func (h *Hierarchy) memAccess(cpu int, spa arch.SPA, now arch.Cycles) arch.Cycles {
+	dev := h.mem.Device(spa)
+	c := h.cnt[cpu]
+	if dev.Tier == arch.TierHBM {
+		c.HBMAccesses++
+		c.HBMBytes += arch.LineSize
+	} else {
+		c.DRAMAccesses++
+		c.DRAMBytes += arch.LineSize
+	}
+	return dev.Access(now, arch.LineSize)
+}
+
+// insertPrivate installs the line into cpu's L2 and L1 and handles
+// inclusive-hierarchy evictions plus directory notifications.
+func (h *Hierarchy) insertPrivate(cpu int, tag uint64, st cache.State, kind cache.IsPTKind) {
+	if v, ok := h.l2[cpu].Insert(tag, st, kind); ok {
+		// Inclusive L2: the victim must leave L1 too.
+		h.l1[cpu].Invalidate(v.Tag)
+		h.notePrivateEviction(cpu, v)
+	}
+	h.insertPrivateL1(cpu, tag, st, kind)
+}
+
+func (h *Hierarchy) insertPrivateL1(cpu int, tag uint64, st cache.State, kind cache.IsPTKind) {
+	if v, ok := h.l1[cpu].Insert(tag, st, kind); ok {
+		// The line remains in L2; no directory action needed.
+		_ = v
+	}
+}
+
+// notePrivateEviction updates the directory when a line leaves a CPU's
+// private hierarchy. Non-PT lines update the sharer list immediately; PT
+// lines follow the lazy policy unless EagerUpdate is on (Fig. 6, Fig. 12).
+func (h *Hierarchy) notePrivateEviction(cpu int, v cache.Victim) {
+	e := h.dir.Peek(v.Tag)
+	if e == nil {
+		return
+	}
+	if v.State == cache.Modified {
+		// Write back to the LLC (latency absorbed in the background).
+		h.llc.Insert(v.Tag, cache.Modified, v.Kind)
+	}
+	isPT := v.Kind != cache.KindData || e.IsPT()
+	if isPT && !h.cfg.Dir.EagerUpdate {
+		// Lazy: keep the sharer bit; translations may still be cached.
+		e.cacheSharers &^= 1 << uint(cpu)
+		e.tsSharers |= 1 << uint(cpu)
+		if e.owner == int8(cpu) {
+			e.owner = -1
+		}
+		return
+	}
+	if isPT && h.cfg.Dir.EagerUpdate && h.hook != nil &&
+		h.hook.CachesPTLine(cpu, arch.SPA(v.Tag<<arch.LineShift), e.Kind()) {
+		// Eager update still may not demote: translations remain cached.
+		e.cacheSharers &^= 1 << uint(cpu)
+		e.tsSharers |= 1 << uint(cpu)
+		if e.owner == int8(cpu) {
+			e.owner = -1
+		}
+		return
+	}
+	if e.RemoveSharer(cpu) {
+		h.dir.Remove(v.Tag)
+	}
+	h.cnt[cpu].DirDemotions++
+}
+
+// backInvalidate handles a directory capacity eviction: every sharer's
+// private caches drop the line, and page-table lines are relayed to the
+// translation structures as well (Sec. 4.2, directory evictions).
+func (h *Hierarchy) backInvalidate(tag uint64, e *Entry) {
+	spa := arch.SPA(tag << arch.LineShift)
+	for t := 0; t < h.cfg.NumCPUs; t++ {
+		bit := uint64(1) << uint(t)
+		if e.cacheSharers&bit == 0 && e.tsSharers&bit == 0 {
+			continue
+		}
+		h.l1[t].Invalidate(tag)
+		h.l2[t].Invalidate(tag)
+		if h.relayTS && h.hook != nil && e.IsPT() {
+			dropped := h.hook.OnPTBackInvalidation(t, spa, e.Kind())
+			h.cnt[t].SelectiveInvalidations += uint64(dropped)
+		}
+	}
+}
+
+// FlushPrivate invalidates cpu's private caches (used by tests).
+func (h *Hierarchy) FlushPrivate(cpu int) {
+	h.l1[cpu].Flush()
+	h.l2[cpu].Flush()
+}

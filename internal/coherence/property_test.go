@@ -1,0 +1,65 @@
+package coherence
+
+import (
+	"testing"
+	"testing/quick"
+
+	"hatric/internal/arch"
+	"hatric/internal/cache"
+	"hatric/internal/xrand"
+)
+
+// TestSharerSupersetInvariant drives the hierarchy with random reads,
+// writes, and translation fills/evictions on page-table lines and checks
+// the safety property HATRIC's correctness rests on: whenever a CPU's
+// translation structures hold entries from a line (per the hook's ground
+// truth), that CPU is still on the line's directory sharer list — so a
+// future write would reach it. Lazy sharer maintenance may overshoot
+// (extra sharers are only a performance cost) but must never undershoot.
+func TestSharerSupersetInvariant(t *testing.T) {
+	f := func(seed uint64) bool {
+		const cpus = 4
+		h, _, _ := testHier(t, cpus, func(c *arch.Config) {
+			c.Dir.Entries = 0 // infinite: isolate the lazy-update logic
+		})
+		hook := newFakeHook()
+		h.SetTranslationHook(hook, true)
+		rng := xrand.New(seed)
+		lines := []arch.SPA{0x10000, 0x10040, 0x20000, 0x20040}
+
+		for step := 0; step < 400; step++ {
+			cpu := rng.Intn(cpus)
+			spa := lines[rng.Intn(len(lines))]
+			switch rng.Intn(5) {
+			case 0, 1: // walker reads the PT line
+				h.Read(cpu, spa, cache.KindNestedPT, arch.Cycles(step))
+			case 2: // walker fills a translation from it
+				h.Read(cpu, spa, cache.KindNestedPT, arch.Cycles(step))
+				hook.hold(cpu, spa)
+				h.NoteTranslationFill(cpu, spa, cache.KindNestedPT)
+			case 3: // hypervisor writes a PTE in the line
+				h.Write(cpu, spa, cache.KindNestedPT, arch.Cycles(step))
+			case 4: // translation structure eviction (lazy by default)
+				delete(hook.holds[cpu], spa.LineIndex())
+				h.NoteTranslationEviction(cpu, spa, cache.KindNestedPT)
+			}
+			// Invariant: TS holders are always directory sharers.
+			for c := 0; c < cpus; c++ {
+				for lineIdx := range hook.holds[c] {
+					tag := lineIdx // line index == directory tag
+					e := h.Directory().Peek(tag)
+					if e == nil {
+						return false
+					}
+					if (e.cacheSharers|e.tsSharers)&(1<<uint(c)) == 0 {
+						return false
+					}
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}

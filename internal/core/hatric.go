@@ -1,0 +1,76 @@
+package core
+
+import (
+	"hatric/internal/arch"
+	"hatric/internal/cache"
+	"hatric/internal/coherence"
+	"hatric/internal/tstruct"
+)
+
+// HATRIC is the paper's hardware translation-coherence mechanism. All the
+// work happens in the cache-coherence relay (OnPTInvalidation): when the
+// hypervisor's store to a nested PTE invalidates the line's sharers, each
+// target compares the line against the co-tags of its TLB, MMU cache, and
+// nTLB entries and drops the matches. The relay compare works at cache-line
+// granularity above bit 6 and keeps only the co-tag's width of address
+// bits, so both the 8-PTE false sharing and co-tag aliasing are modeled.
+type HATRIC struct {
+	m     Machine
+	mask  uint64
+	bytes int
+}
+
+var _ Protocol = (*HATRIC)(nil)
+var _ coherence.TranslationHook = (*HATRIC)(nil)
+
+// NewHATRIC builds the protocol with the given co-tag width in bytes
+// (2 is the paper's design point).
+func NewHATRIC(m Machine, cotagBytes int) *HATRIC {
+	if cotagBytes <= 0 {
+		cotagBytes = 2
+	}
+	return &HATRIC{m: m, mask: tstruct.CoTagMask(cotagBytes), bytes: cotagBytes}
+}
+
+// Name implements Protocol.
+func (h *HATRIC) Name() string { return "hatric" }
+
+// CoTagBytes returns the configured co-tag width.
+func (h *HATRIC) CoTagBytes() int { return h.bytes }
+
+// Hook implements Protocol: HATRIC relays PT invalidations to translation
+// structures.
+func (h *HATRIC) Hook() (coherence.TranslationHook, bool) { return h, true }
+
+// OnRemap implements Protocol. HATRIC needs no hypervisor-side action: the
+// PTE store already did everything. (Precise target identification and
+// lightweight target-side handling are both inherited from the cache
+// coherence protocol.)
+func (h *HATRIC) OnRemap(initiator int, pteSPA arch.SPA, now arch.Cycles) arch.Cycles {
+	return 0
+}
+
+// OnPTInvalidation implements coherence.TranslationHook: the co-tag
+// compare-and-invalidate at one target CPU. Shift 3 converts PTE word
+// indices to line indices (coherence is line-granular). Because a co-tag
+// is a pure function of the source line, every entry from the written line
+// matches — nothing from the line ever survives, so remains is false.
+func (h *HATRIC) OnPTInvalidation(cpu int, spa arch.SPA, kind cache.IsPTKind) (int, bool) {
+	ts := h.m.TS(cpu)
+	n := ts.InvalidateMaskedAll(uint64(spa)>>3, 3, h.mask)
+	c := h.m.Counters(cpu)
+	c.CoTagInvalidations += uint64(n)
+	return n, false
+}
+
+// OnPTBackInvalidation implements coherence.TranslationHook: a directory
+// eviction is the same co-tag compare as a write invalidation.
+func (h *HATRIC) OnPTBackInvalidation(cpu int, spa arch.SPA, kind cache.IsPTKind) int {
+	n, _ := h.OnPTInvalidation(cpu, spa, kind)
+	return n
+}
+
+// CachesPTLine implements coherence.TranslationHook.
+func (h *HATRIC) CachesPTLine(cpu int, spa arch.SPA, kind cache.IsPTKind) bool {
+	return h.m.TS(cpu).CachesMaskedAny(uint64(spa)>>3, 3, h.mask)
+}

@@ -1,0 +1,58 @@
+package core
+
+import (
+	"hatric/internal/arch"
+	"hatric/internal/cache"
+	"hatric/internal/coherence"
+)
+
+// Ideal is the unachievable zero-overhead translation coherence the paper
+// uses as its upper bound ("achievable"/"ideal" bars): stale translations
+// disappear exactly — only entries derived from the single modified PTE are
+// dropped, neighbors in the same cache line survive, and nobody pays a
+// cycle for it.
+type Ideal struct {
+	m Machine
+}
+
+var _ Protocol = (*Ideal)(nil)
+var _ coherence.TranslationHook = (*Ideal)(nil)
+
+// NewIdeal builds the ideal protocol.
+func NewIdeal(m Machine) *Ideal { return &Ideal{m: m} }
+
+// Name implements Protocol.
+func (i *Ideal) Name() string { return "ideal" }
+
+// Hook implements Protocol: exact invalidations ride the relay for
+// correctness, at zero modeled cost.
+func (i *Ideal) Hook() (coherence.TranslationHook, bool) { return i, true }
+
+// OnRemap implements Protocol: free.
+func (i *Ideal) OnRemap(initiator int, pteSPA arch.SPA, now arch.Cycles) arch.Cycles { return 0 }
+
+// OnPTInvalidation implements coherence.TranslationHook with exact-PTE
+// granularity (shift 0, full mask): no false sharing, no aliasing. The
+// compare-energy counters the structures keep are ignored for the ideal
+// protocol by the energy model (it is a modeling fiction, not hardware).
+// Entries from sibling PTEs in the same line survive, so the CPU stays on
+// the sharer list whenever any remain.
+func (i *Ideal) OnPTInvalidation(cpu int, spa arch.SPA, kind cache.IsPTKind) (int, bool) {
+	ts := i.m.TS(cpu)
+	n := ts.InvalidateMaskedAll(uint64(spa)>>3, 0, ^uint64(0))
+	remains := ts.CachesMaskedAny(uint64(spa)>>3, 3, ^uint64(0))
+	return n, remains
+}
+
+// OnPTBackInvalidation implements coherence.TranslationHook: when a line
+// loses its directory entry, everything derived from it must go — even the
+// ideal protocol cannot keep exact tracking without a directory entry.
+func (i *Ideal) OnPTBackInvalidation(cpu int, spa arch.SPA, kind cache.IsPTKind) int {
+	return i.m.TS(cpu).InvalidateMaskedAll(uint64(spa)>>3, 3, ^uint64(0))
+}
+
+// CachesPTLine implements coherence.TranslationHook (line-granular: does
+// anything sourced from this line remain?).
+func (i *Ideal) CachesPTLine(cpu int, spa arch.SPA, kind cache.IsPTKind) bool {
+	return i.m.TS(cpu).CachesMaskedAny(uint64(spa)>>3, 3, ^uint64(0))
+}

@@ -1,0 +1,80 @@
+// Package core implements the paper's contribution: translation-coherence
+// protocols. Four protocols are provided:
+//
+//   - Software: today's mechanism (Fig. 3) — the hypervisor sets the flush
+//     request bit of every vCPU of the VM, sends IPIs, every target suffers
+//     a VM exit and flushes its TLBs, MMU cache, and nTLB wholesale.
+//   - HATRIC: the paper's design — co-tags on translation structures expose
+//     them to the cache-coherence protocol, so the hypervisor's nested-PTE
+//     store itself precisely invalidates stale entries; no IPIs, no VM
+//     exits, no flushes.
+//   - UNITDPP: UNITD upgraded for virtualization (Sec. 6, "UNITD++") — a
+//     reverse-lookup CAM keeps TLBs coherent in hardware, but MMU caches
+//     and nTLBs are not covered and must be flushed (by a hardware
+//     broadcast, sparing the VM exits).
+//   - Ideal: zero-overhead translation coherence — stale entries vanish
+//     exactly and for free. The paper's "achievable"/"ideal" bars.
+package core
+
+import (
+	"hatric/internal/arch"
+	"hatric/internal/coherence"
+	"hatric/internal/stats"
+	"hatric/internal/tstruct"
+)
+
+// Machine is the view of the simulated system the protocols need. The
+// simulator's System implements it.
+type Machine interface {
+	// NumCPUs returns the number of physical CPUs.
+	NumCPUs() int
+	// VMCPUs returns the physical CPUs that have run any vCPU of the VM
+	// owning the given nested PTE. Software coherence targets all of them
+	// (imprecise target identification, Sec. 3.2).
+	VMCPUs() []int
+	// TS returns a CPU's translation structures.
+	TS(cpu int) *tstruct.CPUSet
+	// Charge stalls a CPU for the given number of cycles (target-side
+	// costs: IPI delivery, VM exits, flush instructions).
+	Charge(cpu int, c arch.Cycles)
+	// Counters returns a CPU's statistics.
+	Counters(cpu int) *stats.Counters
+	// Cost returns the platform cost model.
+	Cost() arch.CostModel
+	// ReadPTE reads the page-table entry at spa (frame and present bit).
+	// The prefetch extension uses it to install updated mappings instead
+	// of invalidating.
+	ReadPTE(spa arch.SPA) (frame uint64, present bool)
+}
+
+// Protocol is a translation-coherence mechanism.
+type Protocol interface {
+	// Name identifies the protocol in reports ("sw", "hatric", ...).
+	Name() string
+	// Hook returns the hierarchy-side invalidation relay and whether
+	// page-table invalidations should be relayed to translation
+	// structures at all.
+	Hook() (coherence.TranslationHook, bool)
+	// OnRemap runs after the hypervisor's coherent store to the nested
+	// PTE at pteSPA, on the initiating CPU, and returns the extra cycles
+	// charged to the initiator (IPI loops, acknowledgment waits).
+	OnRemap(initiator int, pteSPA arch.SPA, now arch.Cycles) arch.Cycles
+}
+
+// New builds a protocol by name: "sw", "hatric", "hatric-pf", "unitd", or
+// "ideal". cotagBytes configures HATRIC's co-tag width.
+func New(name string, m Machine, cotagBytes int) Protocol {
+	switch name {
+	case "sw":
+		return NewSoftware(m)
+	case "hatric":
+		return NewHATRIC(m, cotagBytes)
+	case "hatric-pf":
+		return NewHATRICPF(m, cotagBytes)
+	case "unitd":
+		return NewUNITDPP(m)
+	case "ideal":
+		return NewIdeal(m)
+	}
+	panic("core: unknown protocol " + name)
+}

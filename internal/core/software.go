@@ -1,0 +1,89 @@
+package core
+
+import (
+	"hatric/internal/arch"
+	"hatric/internal/cache"
+	"hatric/internal/coherence"
+)
+
+// Software models today's translation coherence (Sec. 3.2, Fig. 3):
+//
+//  1. The hypervisor sets the TLB-flush-request bit of every vCPU of the
+//     VM (imprecise target identification: CPUs that never cached the
+//     translation are still targeted).
+//  2. It sends an IPI per target and waits for acknowledgments.
+//  3. Every target suffers a VM exit, flushes its TLBs, MMU cache, and
+//     nTLB completely (hypervisors do not know the guest virtual page, so
+//     selective invalidation is impossible), acknowledges, and re-enters.
+//
+// The flush costs keep paying later: every flushed entry is a future
+// two-dimensional page-table walk.
+type Software struct {
+	m Machine
+}
+
+var _ Protocol = (*Software)(nil)
+
+// NewSoftware builds the software baseline.
+func NewSoftware(m Machine) *Software { return &Software{m: m} }
+
+// Name implements Protocol.
+func (s *Software) Name() string { return "sw" }
+
+// Hook implements Protocol: no hardware relay; translation structures keep
+// stale entries until the hypervisor flushes them.
+func (s *Software) Hook() (coherence.TranslationHook, bool) { return nil, false }
+
+// OnRemap implements Protocol: the IPI broadcast and flush sequence.
+func (s *Software) OnRemap(initiator int, pteSPA arch.SPA, now arch.Cycles) arch.Cycles {
+	cost := s.m.Cost()
+	ic := s.m.Counters(initiator)
+	var init arch.Cycles
+
+	targets := s.m.VMCPUs()
+	first := true
+	for _, t := range targets {
+		tc := s.m.Counters(t)
+		tlb, mmu, ntlb := s.m.TS(t).FlushAll()
+		tc.TLBFlushes++
+		tc.MMUCacheFlushes++
+		tc.NTLBFlushes++
+		tc.TLBEntriesLost += uint64(tlb)
+		tc.MMUEntriesLost += uint64(mmu)
+		tc.NTLBEntriesLost += uint64(ntlb)
+		if t == initiator {
+			// Already in hypervisor context: flush locally, no IPI.
+			init += cost.FlushOp
+			continue
+		}
+		// KVM converts the broadcast into a loop of individual IPIs (or a
+		// loop across processor clusters): one expensive setup, then a
+		// smaller per-target increment.
+		ic.IPIs++
+		if first {
+			init += cost.IPISend
+			first = false
+		} else {
+			init += cost.IPISendPerTarget
+		}
+		tc.VMExits++
+		s.m.Charge(t, cost.IPIDeliver+cost.VMExit+cost.FlushOp+cost.VMEntry)
+	}
+	// The initiator pauses until every target acknowledges; the critical
+	// path is one delivery plus the slowest target's exit-and-flush.
+	if len(targets) > 1 {
+		init += cost.IPIDeliver + cost.VMExit + cost.FlushOp
+	}
+	return init
+}
+
+// OnPTInvalidation should never be called (no hook is installed).
+func (s *Software) OnPTInvalidation(cpu int, spa arch.SPA, kind cache.IsPTKind) (int, bool) {
+	return 0, false
+}
+
+// OnPTBackInvalidation should never be called (no hook is installed).
+func (s *Software) OnPTBackInvalidation(cpu int, spa arch.SPA, kind cache.IsPTKind) int { return 0 }
+
+// CachesPTLine reports false; the software baseline never asks.
+func (s *Software) CachesPTLine(cpu int, spa arch.SPA, kind cache.IsPTKind) bool { return false }

@@ -1,0 +1,191 @@
+// Package energy implements the analytic energy model of the simulated
+// machine. The paper models energy with CACTI (Sec. 5.1); this model keeps
+// CACTI-like *relative* magnitudes: per-event dynamic energies for every
+// structure plus static leakage proportional to runtime, with explicit
+// adders for HATRIC's co-tags (storage + compares), UNITD's full-width
+// reverse-lookup CAM, and the directory variants of Fig. 12. The figures
+// only ever interpret energy normalized to a baseline, which this model is
+// built to rank faithfully.
+package energy
+
+import (
+	"hatric/internal/arch"
+	"hatric/internal/stats"
+)
+
+// Params holds per-event dynamic energies (picojoules) and per-cycle
+// leakage (picojoules per cycle).
+type Params struct {
+	// Translation structures.
+	L1TLBLookup float64
+	L2TLBLookup float64
+	MMULookup   float64
+	NTLBLookup  float64
+	TLBFill     float64
+
+	// HATRIC co-tags: compare energy per entry per byte of co-tag width,
+	// and storage leakage per entry-byte.
+	CoTagComparePerEntryByte float64
+	CoTagLeakPerEntryByte    float64
+
+	// UNITD reverse-lookup CAM: full 8-byte compares and heavier cells.
+	CAMComparePerEntry float64
+	CAMLeakPerEntry    float64
+
+	// Cache hierarchy.
+	L1Access  float64
+	L2Access  float64
+	LLCAccess float64
+	DirAccess float64
+
+	// Memory devices (per byte moved).
+	DRAMPerByte float64
+	HBMPerByte  float64
+
+	// Virtualization events.
+	VMExit    float64
+	IPI       float64
+	Interrupt float64
+
+	// Leakage.
+	CorePerCycle         float64 // per CPU
+	DirPerCyclePerKEntry float64
+}
+
+// DefaultParams returns the model's CACTI-inspired constants.
+func DefaultParams() Params {
+	return Params{
+		L1TLBLookup: 2.0,
+		L2TLBLookup: 4.5,
+		MMULookup:   1.2,
+		NTLBLookup:  1.0,
+		TLBFill:     3.0,
+
+		// Sized so 2-byte co-tags add about 2% to a core's static power
+		// (the paper's 2% per-CPU area overhead), and UNITD's full-width
+		// CAM about 4x that.
+		CoTagComparePerEntryByte: 0.18,
+		CoTagLeakPerEntryByte:    0.0008,
+
+		CAMComparePerEntry: 1.6,
+		CAMLeakPerEntry:    0.0075,
+
+		L1Access:  8,
+		L2Access:  18,
+		LLCAccess: 60,
+		DirAccess: 12,
+
+		DRAMPerByte: 1.3,
+		HBMPerByte:  0.55,
+
+		VMExit:    5200,
+		IPI:       2400,
+		Interrupt: 1300,
+
+		CorePerCycle:         55,
+		DirPerCyclePerKEntry: 0.9,
+	}
+}
+
+// Input gathers everything one run produced.
+type Input struct {
+	Cfg        arch.Config
+	Protocol   string // "sw", "hatric", "unitd", "ideal"
+	CoTagBytes int
+	Agg        stats.Counters
+	Runtime    arch.Cycles
+	// Total bytes served by each device (line fills + page copies).
+	HBMBytes, DRAMBytes uint64
+	Params              *Params // nil selects DefaultParams
+}
+
+// Breakdown is the computed energy in picojoules.
+type Breakdown struct {
+	TranslationPJ float64
+	CoTagPJ       float64
+	CAMPJ         float64
+	CachePJ       float64
+	MemoryPJ      float64
+	VirtPJ        float64
+	StaticPJ      float64
+	TotalPJ       float64
+}
+
+// Compute evaluates the model.
+func Compute(in Input) Breakdown {
+	p := in.Params
+	if p == nil {
+		def := DefaultParams()
+		p = &def
+	}
+	a := &in.Agg
+	var b Breakdown
+
+	b.TranslationPJ = float64(a.L1TLBHits+a.L1TLBMisses)*p.L1TLBLookup +
+		float64(a.L2TLBHits+a.L2TLBMisses)*p.L2TLBLookup +
+		float64(a.MMUCacheHits+a.MMUCacheMisses)*p.MMULookup +
+		float64(a.NTLBHits+a.NTLBMisses)*p.NTLBLookup +
+		float64(a.Walks)*3*p.TLBFill
+
+	switch in.Protocol {
+	case "hatric", "hatric-pf":
+		b.CoTagPJ = float64(a.CoTagCompares) * p.CoTagComparePerEntryByte * float64(max(in.CoTagBytes, 1))
+	case "unitd":
+		b.CAMPJ = float64(a.CAMCompares) * p.CAMComparePerEntry
+	}
+
+	b.CachePJ = float64(a.L1Hits+a.L1Misses)*p.L1Access +
+		float64(a.L2Hits+a.L2Misses)*p.L2Access +
+		float64(a.LLCHits+a.LLCMisses)*p.LLCAccess +
+		float64(a.DirLookups+a.InvalidationsSent+a.DirBackInvalidations)*p.DirAccess
+
+	b.MemoryPJ = float64(in.DRAMBytes)*p.DRAMPerByte + float64(in.HBMBytes)*p.HBMPerByte
+
+	b.VirtPJ = float64(a.VMExits)*p.VMExit + float64(a.IPIs)*p.IPI + float64(a.Interrupts)*p.Interrupt
+
+	// Static energy: cores plus protocol- and directory-specific adders.
+	cycles := float64(in.Runtime)
+	ncpu := float64(in.Cfg.NumCPUs)
+	static := cycles * ncpu * p.CorePerCycle
+
+	entriesPerCPU := float64(tsEntries(in.Cfg.TLB))
+	switch in.Protocol {
+	case "hatric", "hatric-pf":
+		static += cycles * ncpu * entriesPerCPU * float64(max(in.CoTagBytes, 1)) * p.CoTagLeakPerEntryByte
+	case "unitd":
+		tlbEntries := float64((in.Cfg.TLB.L1TLBEntries + in.Cfg.TLB.L2TLBEntries) * maxI(in.Cfg.TLB.SizeMultiplier, 1))
+		static += cycles * ncpu * tlbEntries * p.CAMLeakPerEntry
+	}
+
+	dirEntries := float64(in.Cfg.Dir.Entries) / 1024.0
+	if in.Cfg.Dir.NoBackInvalidation || in.Cfg.Dir.Entries <= 0 {
+		// The "infinite" directory of Fig. 12 is a modeling fiction; charge
+		// it as the default finite directory so the figure isolates the
+		// back-invalidation traffic, as the paper does.
+		dirEntries = float64(arch.DefaultConfig().Dir.Entries) / 1024.0
+	}
+	dirLeak := cycles * dirEntries * p.DirPerCyclePerKEntry
+	if in.Cfg.Dir.FineGrained {
+		// Wider entries: separate translation-structure sharer tracking.
+		dirLeak *= 1.35
+	}
+	static += dirLeak
+	b.StaticPJ = static
+
+	b.TotalPJ = b.TranslationPJ + b.CoTagPJ + b.CAMPJ + b.CachePJ + b.MemoryPJ + b.VirtPJ + b.StaticPJ
+	return b
+}
+
+func tsEntries(t arch.TLBConfig) int {
+	m := maxI(t.SizeMultiplier, 1)
+	return (t.L1TLBEntries + t.L2TLBEntries + t.NTLBEntries + t.MMUCacheEntries) * m
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+func maxI(a, b int) int { return max(a, b) }

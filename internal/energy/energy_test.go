@@ -1,0 +1,153 @@
+package energy
+
+import (
+	"testing"
+	"testing/quick"
+
+	"hatric/internal/arch"
+	"hatric/internal/stats"
+)
+
+func baseInput() Input {
+	return Input{
+		Cfg:        arch.DefaultConfig(),
+		Protocol:   "hatric",
+		CoTagBytes: 2,
+		Agg: stats.Counters{
+			MemRefs:     1000,
+			L1TLBHits:   900,
+			L1TLBMisses: 100,
+			Walks:       50,
+			L1Hits:      800,
+			L1Misses:    200,
+			LLCHits:     100,
+			LLCMisses:   100,
+		},
+		Runtime:   1_000_000,
+		HBMBytes:  1 << 20,
+		DRAMBytes: 1 << 20,
+	}
+}
+
+func TestComputePositive(t *testing.T) {
+	b := Compute(baseInput())
+	if b.TotalPJ <= 0 || b.StaticPJ <= 0 || b.TranslationPJ <= 0 {
+		t.Errorf("non-positive energy: %+v", b)
+	}
+	sum := b.TranslationPJ + b.CoTagPJ + b.CAMPJ + b.CachePJ + b.MemoryPJ + b.VirtPJ + b.StaticPJ
+	if sum != b.TotalPJ {
+		t.Errorf("breakdown does not sum: %v vs %v", sum, b.TotalPJ)
+	}
+}
+
+func TestStaticScalesWithRuntime(t *testing.T) {
+	in := baseInput()
+	short := Compute(in)
+	in.Runtime *= 2
+	long := Compute(in)
+	if long.StaticPJ <= short.StaticPJ {
+		t.Errorf("static energy must grow with runtime")
+	}
+}
+
+func TestCoTagEnergyOnlyForHATRIC(t *testing.T) {
+	in := baseInput()
+	in.Agg.CoTagCompares = 10_000
+	in.Agg.CAMCompares = 10_000
+	hatric := Compute(in)
+	if hatric.CoTagPJ <= 0 {
+		t.Errorf("hatric co-tag energy missing")
+	}
+	if hatric.CAMPJ != 0 {
+		t.Errorf("hatric charged CAM energy")
+	}
+	in.Protocol = "unitd"
+	unitd := Compute(in)
+	if unitd.CAMPJ <= 0 || unitd.CoTagPJ != 0 {
+		t.Errorf("unitd energy misattributed: %+v", unitd)
+	}
+	in.Protocol = "ideal"
+	ideal := Compute(in)
+	if ideal.CoTagPJ != 0 || ideal.CAMPJ != 0 {
+		t.Errorf("ideal is a fiction and must not pay compare energy")
+	}
+	in.Protocol = "sw"
+	sw := Compute(in)
+	if sw.CoTagPJ != 0 || sw.CAMPJ != 0 {
+		t.Errorf("sw has no co-tags or CAM")
+	}
+}
+
+func TestCoTagWidthScalesEnergy(t *testing.T) {
+	in := baseInput()
+	in.Agg.CoTagCompares = 50_000
+	in.CoTagBytes = 1
+	narrow := Compute(in)
+	in.CoTagBytes = 3
+	wide := Compute(in)
+	if wide.CoTagPJ <= narrow.CoTagPJ {
+		t.Errorf("wider co-tags must cost more compare energy")
+	}
+	if wide.StaticPJ <= narrow.StaticPJ {
+		t.Errorf("wider co-tags must leak more")
+	}
+}
+
+func TestUNITDStaticAboveHATRIC(t *testing.T) {
+	in := baseInput()
+	hatric := Compute(in)
+	in.Protocol = "unitd"
+	unitd := Compute(in)
+	if unitd.StaticPJ <= hatric.StaticPJ {
+		t.Errorf("the reverse-lookup CAM must leak more than 2-byte co-tags: %v vs %v",
+			unitd.StaticPJ, hatric.StaticPJ)
+	}
+}
+
+func TestFineGrainedDirectoryCostsMore(t *testing.T) {
+	in := baseInput()
+	plain := Compute(in)
+	in.Cfg.Dir.FineGrained = true
+	fg := Compute(in)
+	if fg.StaticPJ <= plain.StaticPJ {
+		t.Errorf("FG-tracking should cost directory leakage")
+	}
+}
+
+func TestVMExitEnergy(t *testing.T) {
+	in := baseInput()
+	before := Compute(in)
+	in.Agg.VMExits = 10_000
+	in.Agg.IPIs = 10_000
+	after := Compute(in)
+	if after.VirtPJ <= before.VirtPJ {
+		t.Errorf("virtualization events must cost energy")
+	}
+}
+
+// Property: energy is monotone in memory traffic.
+func TestMemoryMonotonicity(t *testing.T) {
+	f := func(extra uint32) bool {
+		in := baseInput()
+		base := Compute(in)
+		in.DRAMBytes += uint64(extra)
+		more := Compute(in)
+		return more.TotalPJ >= base.TotalPJ
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestDefaultParamsOrdering(t *testing.T) {
+	p := DefaultParams()
+	if p.L1Access >= p.L2Access || p.L2Access >= p.LLCAccess {
+		t.Errorf("cache energies must grow with level")
+	}
+	if p.HBMPerByte >= p.DRAMPerByte {
+		t.Errorf("on-package HBM must cost less per byte than off-chip DRAM")
+	}
+	if p.Interrupt >= p.VMExit {
+		t.Errorf("interrupts cheaper than VM exits")
+	}
+}

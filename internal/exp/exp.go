@@ -1,0 +1,184 @@
+// Package exp is the experiment harness: one entry point per figure/table
+// of the paper's evaluation (Sec. 6), each regenerating the series the
+// paper plots — normalized runtimes per workload and configuration,
+// performance-energy points, and the ablation comparisons. EXPERIMENTS.md
+// records paper-versus-measured for each.
+package exp
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+
+	"hatric/internal/arch"
+	"hatric/internal/hv"
+	"hatric/internal/sim"
+	"hatric/internal/workload"
+)
+
+// Runner scopes an experiment campaign. The zero value runs at full scale;
+// Quick() shrinks reference counts for fast benchmark iterations.
+type Runner struct {
+	// Refs overrides the per-thread reference count (0 keeps presets).
+	Refs uint64
+	// Threads is the vCPU count for multithreaded workloads (default 16).
+	Threads int
+	// Mixes caps the number of Fig. 10 multiprogrammed mixes (default 80).
+	Mixes int
+	// Parallel bounds concurrent simulations (default NumCPU).
+	Parallel int
+	// CheckStale enables the stale-translation audit in every run.
+	CheckStale bool
+	// Seed perturbs workload generation (default 1).
+	Seed uint64
+}
+
+// Quick returns a runner sized for fast iteration (benchmarks, CI).
+func Quick() *Runner {
+	return &Runner{Refs: 40_000, Mixes: 12}
+}
+
+// Full returns the full-scale campaign used for EXPERIMENTS.md.
+func Full() *Runner { return &Runner{} }
+
+func (r *Runner) threads() int {
+	if r.Threads > 0 {
+		return r.Threads
+	}
+	return 16
+}
+
+func (r *Runner) mixes() int {
+	if r.Mixes > 0 && r.Mixes <= workload.NumMixes {
+		return r.Mixes
+	}
+	return workload.NumMixes
+}
+
+func (r *Runner) parallel() int {
+	if r.Parallel > 0 {
+		return r.Parallel
+	}
+	return runtime.NumCPU()
+}
+
+func (r *Runner) seed() uint64 {
+	if r.Seed != 0 {
+		return r.Seed
+	}
+	return 1
+}
+
+func (r *Runner) spec(s workload.Spec) workload.Spec {
+	if r.Refs > 0 {
+		s = s.WithRefs(r.Refs)
+	}
+	return s
+}
+
+// job describes one simulation to run.
+type job struct {
+	key  string
+	opts sim.Options
+}
+
+// runAll executes jobs concurrently and returns results keyed by job key.
+func (r *Runner) runAll(jobs []job) (map[string]*sim.Result, error) {
+	results := make(map[string]*sim.Result, len(jobs))
+	var mu sync.Mutex
+	var firstErr error
+	sem := make(chan struct{}, r.parallel())
+	var wg sync.WaitGroup
+	for _, j := range jobs {
+		wg.Add(1)
+		go func(j job) {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			res, err := runOne(j.opts)
+			mu.Lock()
+			defer mu.Unlock()
+			if err != nil {
+				if firstErr == nil {
+					firstErr = fmt.Errorf("exp: job %s: %w", j.key, err)
+				}
+				return
+			}
+			results[j.key] = res
+		}(j)
+	}
+	wg.Wait()
+	if firstErr != nil {
+		return nil, firstErr
+	}
+	return results, nil
+}
+
+func runOne(opts sim.Options) (*sim.Result, error) {
+	sys, err := sim.New(opts)
+	if err != nil {
+		return nil, err
+	}
+	return sys.Run()
+}
+
+// baseConfig builds the per-run configuration: the memory system is sized
+// so both tiers can hold the run's full footprint where the mode needs it.
+func (r *Runner) baseConfig(totalFootprint int, mode hv.PlacementMode) arch.Config {
+	cfg := arch.DefaultConfig()
+	if mode == hv.ModeInfHBM {
+		cfg.Mem.HBMFrames = totalFootprint + 256
+	}
+	if need := totalFootprint + 512; cfg.Mem.DRAMFrames < need {
+		cfg.Mem.DRAMFrames = need
+	}
+	// Page-table heap: leaves for data plus guest PT pages plus slack.
+	if need := totalFootprint/256 + 512; cfg.Mem.PTFrames < need {
+		cfg.Mem.PTFrames = need
+	}
+	return cfg
+}
+
+// runWorkload runs one multithreaded workload under the given protocol,
+// paging policy, and placement mode.
+func (r *Runner) workloadOpts(spec workload.Spec, protocol string, paging hv.PagingConfig,
+	mode hv.PlacementMode, threads int, mutate func(*arch.Config)) sim.Options {
+	spec = r.spec(spec)
+	cfg := r.baseConfig(spec.FootprintPages, mode)
+	cfg.NumCPUs = max(threads, 1)
+	if mutate != nil {
+		mutate(&cfg)
+	}
+	return sim.Options{
+		Config:     cfg,
+		Protocol:   protocol,
+		Paging:     paging,
+		Mode:       mode,
+		Workloads:  sim.SingleWorkload(spec, cfg.NumCPUs),
+		Seed:       r.seed(),
+		CheckStale: r.CheckStale,
+	}
+}
+
+// norm returns a's runtime normalized to base's.
+func norm(a, base *sim.Result) float64 {
+	if base == nil || base.Runtime == 0 {
+		return 0
+	}
+	return float64(a.Runtime) / float64(base.Runtime)
+}
+
+// normEnergy returns a's energy normalized to base's.
+func normEnergy(a, base *sim.Result) float64 {
+	if base == nil || base.Energy.TotalPJ == 0 {
+		return 0
+	}
+	return a.Energy.TotalPJ / base.Energy.TotalPJ
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

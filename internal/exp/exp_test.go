@@ -1,0 +1,183 @@
+package exp
+
+import (
+	"testing"
+)
+
+// tiny returns a runner small enough for unit tests while still producing
+// enough remaps for the protocols to differ.
+func tiny() *Runner {
+	return &Runner{Refs: 15_000, Mixes: 3, Threads: 8}
+}
+
+func TestFigure2Shape(t *testing.T) {
+	res, err := tiny().Figure2()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 5 {
+		t.Fatalf("rows = %d", len(res.Rows))
+	}
+	for _, row := range res.Rows {
+		if row.NoHBM != 1.0 {
+			t.Errorf("%s: no-hbm not normalized", row.Workload)
+		}
+		if row.InfHBM >= 1.0 {
+			t.Errorf("%s: infinite die-stacking must beat no-hbm (%.3f)", row.Workload, row.InfHBM)
+		}
+		if row.Achievable > row.CurrBest*1.02 {
+			t.Errorf("%s: achievable (%.3f) worse than curr-best (%.3f)",
+				row.Workload, row.Achievable, row.CurrBest)
+		}
+		if row.InfHBM > row.Achievable*1.05 {
+			t.Errorf("%s: inf-hbm (%.3f) should lower-bound achievable (%.3f)",
+				row.Workload, row.InfHBM, row.Achievable)
+		}
+	}
+	if res.Table().NumRows() != 5 {
+		t.Errorf("table rows wrong")
+	}
+}
+
+func TestFigure7Shape(t *testing.T) {
+	res, err := tiny().Figure7()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Cells) != 15 {
+		t.Fatalf("cells = %d", len(res.Cells))
+	}
+	for _, c := range res.Cells {
+		if c.HATRIC > c.SW*1.02 {
+			t.Errorf("%s/%d vCPUs: hatric (%.3f) worse than sw (%.3f)",
+				c.Workload, c.VCPUs, c.HATRIC, c.SW)
+		}
+		// Paper: HATRIC lands within a few percent of ideal.
+		if c.HATRIC > c.Ideal*1.08 {
+			t.Errorf("%s/%d vCPUs: hatric (%.3f) far from ideal (%.3f)",
+				c.Workload, c.VCPUs, c.HATRIC, c.Ideal)
+		}
+	}
+}
+
+func TestFigure13Shape(t *testing.T) {
+	res, err := tiny().Figure13()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, c := range res.Cells {
+		if c.HATRICRuntime > c.SW*1.02 {
+			t.Errorf("%s: hatric (%.3f) worse than sw (%.3f)", c.Workload, c.HATRICRuntime, c.SW)
+		}
+		if c.HATRICRuntime > c.UNITDRuntime*1.03 {
+			t.Errorf("%s: hatric (%.3f) worse than unitd++ (%.3f)",
+				c.Workload, c.HATRICRuntime, c.UNITDRuntime)
+		}
+		if c.HATRICEnergy > c.UNITDEnergy*1.02 {
+			t.Errorf("%s: hatric energy (%.3f) above unitd++ (%.3f)",
+				c.Workload, c.HATRICEnergy, c.UNITDEnergy)
+		}
+	}
+}
+
+func TestFigure10Shape(t *testing.T) {
+	r := tiny()
+	r.Threads = 16
+	res, err := r.Figure10()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 3 {
+		t.Fatalf("rows = %d", len(res.Rows))
+	}
+	for _, row := range res.Rows {
+		if row.WeightedHATRIC > row.WeightedSW*1.02 {
+			t.Errorf("mix %d: hatric weighted (%.3f) worse than sw (%.3f)",
+				row.Mix, row.WeightedHATRIC, row.WeightedSW)
+		}
+		if row.SlowestSW < row.WeightedSW*0.98 {
+			t.Errorf("mix %d: slowest (%.3f) cannot beat the mean (%.3f)",
+				row.Mix, row.SlowestSW, row.WeightedSW)
+		}
+	}
+}
+
+func TestFigure11RightShape(t *testing.T) {
+	res, err := tiny().Figure11Right()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 3 {
+		t.Fatalf("rows = %d", len(res.Rows))
+	}
+	// 1-byte co-tags alias more and cannot beat 2-byte performance.
+	if res.Rows[0].Runtime < res.Rows[1].Runtime*0.995 {
+		t.Errorf("1B co-tags (%.3f) should not beat 2B (%.3f)",
+			res.Rows[0].Runtime, res.Rows[1].Runtime)
+	}
+}
+
+func TestFigure12Shape(t *testing.T) {
+	res, err := tiny().Figure12()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 5 {
+		t.Fatalf("rows = %d", len(res.Rows))
+	}
+	base := res.Rows[0]
+	if base.Variant != "hatric" {
+		t.Fatalf("first row should be hatric")
+	}
+	for _, row := range res.Rows[1:] {
+		// Fig. 12's message: none of the fancier designs buys a meaningful
+		// runtime win over plain HATRIC.
+		if row.Runtime < base.Runtime*0.93 || row.Runtime > base.Runtime*1.07 {
+			t.Errorf("%s runtime (%.3f) should be near hatric (%.3f)",
+				row.Variant, row.Runtime, base.Runtime)
+		}
+	}
+}
+
+func TestXenShape(t *testing.T) {
+	// canneal drifts slowly; at very small scales its remap count is too
+	// low to separate the protocols, so this test runs a bit longer.
+	r := &Runner{Refs: 40_000, Threads: 8}
+	res, err := r.XenTable()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 2 {
+		t.Fatalf("rows = %d", len(res.Rows))
+	}
+	for _, row := range res.Rows {
+		if row.Improvement <= 0 {
+			t.Errorf("%s: HATRIC must improve Xen too (%.3f)", row.Workload, row.Improvement)
+		}
+	}
+}
+
+func TestMicroCosts(t *testing.T) {
+	res, err := tiny().MicroCosts()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.VMExitCycles != 1300 || res.InterruptCycles != 640 {
+		t.Errorf("platform costs drifted: %d %d", res.VMExitCycles, res.InterruptCycles)
+	}
+	if res.PerRemap["sw"] <= res.PerRemap["hatric"] {
+		t.Errorf("per-remap excess: sw (%.0f) must exceed hatric (%.0f)",
+			res.PerRemap["sw"], res.PerRemap["hatric"])
+	}
+}
+
+func TestRunnerDefaults(t *testing.T) {
+	r := &Runner{}
+	if r.threads() != 16 || r.mixes() != 80 || r.parallel() < 1 || r.seed() != 1 {
+		t.Errorf("defaults wrong: %d %d %d %d", r.threads(), r.mixes(), r.parallel(), r.seed())
+	}
+	q := Quick()
+	if q.Refs == 0 || q.Mixes == 0 {
+		t.Errorf("Quick not reduced")
+	}
+}

@@ -1,0 +1,144 @@
+package exp
+
+import (
+	"fmt"
+	"sort"
+
+	"hatric/internal/hv"
+	"hatric/internal/sim"
+	"hatric/internal/stats"
+	"hatric/internal/workload"
+)
+
+// Fig10Row is one multiprogrammed mix: weighted (mean) normalized runtime
+// across the 16 applications and the slowest application's normalized
+// runtime, for software coherence and HATRIC. Normalization is per-app
+// against the same mix with no die-stacked DRAM.
+type Fig10Row struct {
+	Mix            int
+	WeightedSW     float64
+	WeightedHATRIC float64
+	SlowestSW      float64
+	SlowestHATRIC  float64
+}
+
+// Fig10Result is the whole figure.
+type Fig10Result struct {
+	Rows []Fig10Row
+	// DegradedSW counts mixes whose weighted runtime got worse with
+	// die-stacking under software coherence (the paper: more than 70%).
+	DegradedSW int
+	// Over2xSW counts mixes with weighted runtime above 2x (paper: 11).
+	Over2xSW int
+	// ImprovedHATRIC counts mixes HATRIC improves versus no-hbm
+	// (paper: all of them).
+	ImprovedHATRIC int
+}
+
+// Figure10 reproduces Fig. 10: the 80 multiprogrammed SPEC-like mixes on a
+// 16-vCPU VM; per-app fairness suffers under software coherence because
+// every remap flushes every vCPU of the VM regardless of which process
+// mapped the page.
+func (r *Runner) Figure10() (*Fig10Result, error) {
+	n := r.mixes()
+	var jobs []job
+	for i := 0; i < n; i++ {
+		specs := workload.Mix(i)
+		for k := range specs {
+			specs[k] = r.spec(specs[k])
+		}
+		total := 0
+		for _, s := range specs {
+			total += s.FootprintPages
+		}
+		for _, variant := range []struct {
+			name     string
+			protocol string
+			paging   hv.PagingConfig
+			mode     hv.PlacementMode
+		}{
+			{"no", "sw", hv.PagingConfig{}, hv.ModeNoHBM},
+			{"sw", "sw", hv.BestPolicy(), hv.ModePaged},
+			{"hatric", "hatric", hv.BestPolicy(), hv.ModePaged},
+		} {
+			cfg := r.baseConfig(total, variant.mode)
+			cfg.NumCPUs = len(specs)
+			jobs = append(jobs, job{
+				key: fmt.Sprintf("%d/%s", i, variant.name),
+				opts: sim.Options{
+					Config:     cfg,
+					Protocol:   variant.protocol,
+					Paging:     variant.paging,
+					Mode:       variant.mode,
+					Workloads:  sim.Multiprogrammed(specs),
+					Seed:       r.seed() + uint64(i)*1000,
+					CheckStale: r.CheckStale,
+				},
+			})
+		}
+	}
+	res, err := r.runAll(jobs)
+	if err != nil {
+		return nil, err
+	}
+	out := &Fig10Result{}
+	for i := 0; i < n; i++ {
+		base := res[fmt.Sprintf("%d/no", i)]
+		sw := res[fmt.Sprintf("%d/sw", i)]
+		ha := res[fmt.Sprintf("%d/hatric", i)]
+		row := Fig10Row{Mix: i}
+		row.WeightedSW, row.SlowestSW = fairness(sw, base)
+		row.WeightedHATRIC, row.SlowestHATRIC = fairness(ha, base)
+		out.Rows = append(out.Rows, row)
+		if row.WeightedSW > 1.0 {
+			out.DegradedSW++
+		}
+		if row.WeightedSW > 2.0 {
+			out.Over2xSW++
+		}
+		if row.WeightedHATRIC < 1.0 {
+			out.ImprovedHATRIC++
+		}
+	}
+	// The paper plots mixes in ascending runtime order.
+	sort.Slice(out.Rows, func(a, b int) bool {
+		return out.Rows[a].WeightedSW < out.Rows[b].WeightedSW
+	})
+	return out, nil
+}
+
+// fairness computes the weighted (arithmetic mean) normalized runtime and
+// the slowest application's normalized runtime for one mix.
+func fairness(run, base *sim.Result) (weighted, slowest float64) {
+	if run == nil || base == nil {
+		return 0, 0
+	}
+	n := 0
+	for cpu := range run.Completion {
+		if base.Completion[cpu] == 0 {
+			continue
+		}
+		ratio := float64(run.Completion[cpu]) / float64(base.Completion[cpu])
+		weighted += ratio
+		if ratio > slowest {
+			slowest = ratio
+		}
+		n++
+	}
+	if n > 0 {
+		weighted /= float64(n)
+	}
+	return weighted, slowest
+}
+
+// Table renders the figure.
+func (f *Fig10Result) Table() *stats.Table {
+	t := stats.NewTable(
+		fmt.Sprintf("Figure 10: %d multiprogrammed mixes (normalized to no-hbm); degraded under sw: %d, >2x under sw: %d, improved by HATRIC: %d",
+			len(f.Rows), f.DegradedSW, f.Over2xSW, f.ImprovedHATRIC),
+		"mix", "weighted-sw", "weighted-hatric", "slowest-sw", "slowest-hatric")
+	for _, row := range f.Rows {
+		t.AddRow(row.Mix, row.WeightedSW, row.WeightedHATRIC, row.SlowestSW, row.SlowestHATRIC)
+	}
+	return t
+}

@@ -1,0 +1,162 @@
+package exp
+
+import (
+	"fmt"
+	"math"
+
+	"hatric/internal/arch"
+	"hatric/internal/hv"
+	"hatric/internal/stats"
+	"hatric/internal/workload"
+)
+
+// Fig11Point is one workload's performance-energy point: HATRIC normalized
+// to the software-coherence baseline with the best paging policy.
+type Fig11Point struct {
+	Workload string
+	Runtime  float64
+	Energy   float64
+	// SmallFootprint marks the workloads whose data fits in die-stacked
+	// DRAM (translation coherence comes only from defragmentation remaps).
+	SmallFootprint bool
+}
+
+// Fig11LeftResult is the left graph of Fig. 11.
+type Fig11LeftResult struct {
+	Points []Fig11Point
+}
+
+// defragPaging adds the defragmentation remapper to the best paging policy
+// (the paper's systems keep remapping pages for superpage compaction even
+// when nothing pages between tiers).
+func defragPaging() hv.PagingConfig {
+	p := hv.BestPolicy()
+	p.DefragEvery = 30_000
+	return p
+}
+
+// Figure11Left reproduces the left graph of Fig. 11: performance-energy
+// points of HATRIC versus the sw baseline for all workloads, including the
+// small-footprint group.
+func (r *Runner) Figure11Left() (*Fig11LeftResult, error) {
+	threads := r.threads()
+	paging := defragPaging()
+	type item struct {
+		spec  workload.Spec
+		small bool
+	}
+	var items []item
+	for _, s := range workload.BigFive() {
+		items = append(items, item{s, false})
+	}
+	for _, s := range workload.SmallSet() {
+		items = append(items, item{s, true})
+	}
+	var jobs []job
+	for _, it := range items {
+		jobs = append(jobs,
+			job{it.spec.Name + "/sw", r.workloadOpts(it.spec, "sw", paging, hv.ModePaged, threads, nil)},
+			job{it.spec.Name + "/hatric", r.workloadOpts(it.spec, "hatric", paging, hv.ModePaged, threads, nil)},
+		)
+	}
+	res, err := r.runAll(jobs)
+	if err != nil {
+		return nil, err
+	}
+	out := &Fig11LeftResult{}
+	for _, it := range items {
+		sw := res[it.spec.Name+"/sw"]
+		ha := res[it.spec.Name+"/hatric"]
+		out.Points = append(out.Points, Fig11Point{
+			Workload:       it.spec.Name,
+			Runtime:        norm(ha, sw),
+			Energy:         normEnergy(ha, sw),
+			SmallFootprint: it.small,
+		})
+	}
+	return out, nil
+}
+
+// Table renders the left graph's points.
+func (f *Fig11LeftResult) Table() *stats.Table {
+	t := stats.NewTable("Figure 11 (left): HATRIC normalized to sw baseline (runtime, energy)",
+		"workload", "norm-runtime", "norm-energy", "fits-in-stack")
+	for _, p := range f.Points {
+		t.AddRow(p.Workload, p.Runtime, p.Energy, p.SmallFootprint)
+	}
+	return t
+}
+
+// Fig11RightRow is one co-tag width's average performance-energy point.
+type Fig11RightRow struct {
+	CoTagBytes int
+	Runtime    float64 // geometric mean across workloads, normalized to sw
+	Energy     float64
+}
+
+// Fig11RightResult is the right graph of Fig. 11.
+type Fig11RightResult struct {
+	Rows []Fig11RightRow
+}
+
+// Figure11Right reproduces the right graph of Fig. 11: co-tag sizing.
+// 2-byte co-tags should balance invalidation precision against lookup and
+// static energy; 1-byte co-tags alias heavily and lose both performance and
+// energy; 3-byte co-tags barely improve performance but cost energy.
+func (r *Runner) Figure11Right() (*Fig11RightResult, error) {
+	threads := r.threads()
+	widths := []int{1, 2, 3}
+	var jobs []job
+	for _, spec := range workload.BigFive() {
+		jobs = append(jobs, job{spec.Name + "/sw",
+			r.workloadOpts(spec, "sw", hv.BestPolicy(), hv.ModePaged, threads, nil)})
+		for _, w := range widths {
+			mut := func(w int) func(*arch.Config) {
+				return func(c *arch.Config) { c.TLB.CoTagBytes = w }
+			}(w)
+			key := fmt.Sprintf("%s/cotag%d", spec.Name, w)
+			jobs = append(jobs, job{key,
+				r.workloadOpts(spec, "hatric", hv.BestPolicy(), hv.ModePaged, threads, mut)})
+		}
+	}
+	res, err := r.runAll(jobs)
+	if err != nil {
+		return nil, err
+	}
+	out := &Fig11RightResult{}
+	for _, w := range widths {
+		gRun, gEn := 1.0, 1.0
+		n := 0
+		for _, spec := range workload.BigFive() {
+			sw := res[spec.Name+"/sw"]
+			ha := res[fmt.Sprintf("%s/cotag%d", spec.Name, w)]
+			gRun *= norm(ha, sw)
+			gEn *= normEnergy(ha, sw)
+			n++
+		}
+		out.Rows = append(out.Rows, Fig11RightRow{
+			CoTagBytes: w,
+			Runtime:    root(gRun, n),
+			Energy:     root(gEn, n),
+		})
+	}
+	return out, nil
+}
+
+// Table renders the right graph.
+func (f *Fig11RightResult) Table() *stats.Table {
+	t := stats.NewTable("Figure 11 (right): co-tag sizing (geomean, normalized to sw)",
+		"co-tag", "norm-runtime", "norm-energy")
+	for _, row := range f.Rows {
+		t.AddRow(fmt.Sprintf("%dB", row.CoTagBytes), row.Runtime, row.Energy)
+	}
+	return t
+}
+
+// root computes the n-th root (geometric mean helper).
+func root(x float64, n int) float64 {
+	if n == 0 || x <= 0 {
+		return 0
+	}
+	return math.Pow(x, 1.0/float64(n))
+}

@@ -1,0 +1,145 @@
+package exp
+
+import (
+	"hatric/internal/arch"
+	"hatric/internal/hv"
+	"hatric/internal/stats"
+	"hatric/internal/workload"
+)
+
+// Fig12Row is one directory-design variant's average runtime and energy,
+// normalized to the software-coherence best-paging baseline.
+type Fig12Row struct {
+	Variant string
+	Runtime float64
+	Energy  float64
+}
+
+// Fig12Result is the whole figure.
+type Fig12Result struct {
+	Rows []Fig12Row
+}
+
+// fig12Variants enumerates the directory designs of Fig. 12.
+func fig12Variants() []struct {
+	Name string
+	Mut  func(*arch.Config)
+} {
+	return []struct {
+		Name string
+		Mut  func(*arch.Config)
+	}{
+		{"hatric", nil},
+		{"EGR-dir-update", func(c *arch.Config) { c.Dir.EagerUpdate = true }},
+		{"FG-tracking", func(c *arch.Config) { c.Dir.FineGrained = true }},
+		{"No-back-inv", func(c *arch.Config) { c.Dir.NoBackInvalidation = true }},
+		{"All", func(c *arch.Config) {
+			c.Dir.EagerUpdate = true
+			c.Dir.FineGrained = true
+			c.Dir.NoBackInvalidation = true
+		}},
+	}
+}
+
+// Figure12 reproduces Fig. 12: HATRIC versus eager directory updates,
+// fine-grained translation tracking, an infinite directory without
+// back-invalidations, and all three combined; averaged over the big five.
+func (r *Runner) Figure12() (*Fig12Result, error) {
+	threads := r.threads()
+	var jobs []job
+	for _, spec := range workload.BigFive() {
+		jobs = append(jobs, job{spec.Name + "/sw",
+			r.workloadOpts(spec, "sw", hv.BestPolicy(), hv.ModePaged, threads, nil)})
+		for _, v := range fig12Variants() {
+			jobs = append(jobs, job{spec.Name + "/" + v.Name,
+				r.workloadOpts(spec, "hatric", hv.BestPolicy(), hv.ModePaged, threads, v.Mut)})
+		}
+	}
+	res, err := r.runAll(jobs)
+	if err != nil {
+		return nil, err
+	}
+	out := &Fig12Result{}
+	for _, v := range fig12Variants() {
+		gRun, gEn := 1.0, 1.0
+		n := 0
+		for _, spec := range workload.BigFive() {
+			sw := res[spec.Name+"/sw"]
+			vr := res[spec.Name+"/"+v.Name]
+			gRun *= norm(vr, sw)
+			gEn *= normEnergy(vr, sw)
+			n++
+		}
+		out.Rows = append(out.Rows, Fig12Row{Variant: v.Name, Runtime: root(gRun, n), Energy: root(gEn, n)})
+	}
+	return out, nil
+}
+
+// Table renders the figure.
+func (f *Fig12Result) Table() *stats.Table {
+	t := stats.NewTable("Figure 12: directory design variants (geomean, normalized to sw baseline)",
+		"variant", "norm-runtime", "norm-energy")
+	for _, row := range f.Rows {
+		t.AddRow(row.Variant, row.Runtime, row.Energy)
+	}
+	return t
+}
+
+// Fig13Cell is one workload's comparison of HATRIC and UNITD++.
+type Fig13Cell struct {
+	Workload      string
+	SW            float64
+	UNITDRuntime  float64
+	HATRICRuntime float64
+	UNITDEnergy   float64
+	HATRICEnergy  float64
+}
+
+// Fig13Result is the whole figure.
+type Fig13Result struct {
+	Cells []Fig13Cell
+}
+
+// Figure13 reproduces Fig. 13: HATRIC versus UNITD++ (runtime and energy
+// normalized to no-hbm; sw shown for reference). HATRIC's additional gain
+// comes from covering MMU caches and nTLBs; its energy advantage from
+// replacing the reverse-lookup CAM with 2-byte co-tags.
+func (r *Runner) Figure13() (*Fig13Result, error) {
+	threads := r.threads()
+	var jobs []job
+	for _, spec := range workload.BigFive() {
+		jobs = append(jobs,
+			job{spec.Name + "/no", r.workloadOpts(spec, "sw", hv.PagingConfig{}, hv.ModeNoHBM, threads, nil)},
+			job{spec.Name + "/sw", r.workloadOpts(spec, "sw", hv.BestPolicy(), hv.ModePaged, threads, nil)},
+			job{spec.Name + "/unitd", r.workloadOpts(spec, "unitd", hv.BestPolicy(), hv.ModePaged, threads, nil)},
+			job{spec.Name + "/hatric", r.workloadOpts(spec, "hatric", hv.BestPolicy(), hv.ModePaged, threads, nil)},
+		)
+	}
+	res, err := r.runAll(jobs)
+	if err != nil {
+		return nil, err
+	}
+	out := &Fig13Result{}
+	for _, spec := range workload.BigFive() {
+		base := res[spec.Name+"/no"]
+		out.Cells = append(out.Cells, Fig13Cell{
+			Workload:      spec.Name,
+			SW:            norm(res[spec.Name+"/sw"], base),
+			UNITDRuntime:  norm(res[spec.Name+"/unitd"], base),
+			HATRICRuntime: norm(res[spec.Name+"/hatric"], base),
+			UNITDEnergy:   normEnergy(res[spec.Name+"/unitd"], base),
+			HATRICEnergy:  normEnergy(res[spec.Name+"/hatric"], base),
+		})
+	}
+	return out, nil
+}
+
+// Table renders the figure.
+func (f *Fig13Result) Table() *stats.Table {
+	t := stats.NewTable("Figure 13: HATRIC vs UNITD++ (normalized to no-hbm)",
+		"workload", "sw", "unitd++ runtime", "hatric runtime", "unitd++ energy", "hatric energy")
+	for _, c := range f.Cells {
+		t.AddRow(c.Workload, c.SW, c.UNITDRuntime, c.HATRICRuntime, c.UNITDEnergy, c.HATRICEnergy)
+	}
+	return t
+}

@@ -1,0 +1,281 @@
+package exp
+
+import (
+	"fmt"
+
+	"hatric/internal/arch"
+	"hatric/internal/hv"
+	"hatric/internal/stats"
+	"hatric/internal/workload"
+)
+
+// --- Figure 2: the motivation study ---
+
+// Fig2Row is one workload's bars in Fig. 2, normalized to no-hbm.
+type Fig2Row struct {
+	Workload   string
+	NoHBM      float64 // always 1.0
+	InfHBM     float64
+	CurrBest   float64 // best paging policy, software translation coherence
+	Achievable float64 // best paging policy, zero-overhead coherence
+}
+
+// Fig2Result is the whole figure.
+type Fig2Result struct {
+	Rows []Fig2Row
+}
+
+// Figure2 reproduces Fig. 2: runtime of no-hbm, inf-hbm, curr-best, and
+// achievable for the five large-footprint workloads (16 vCPUs).
+func (r *Runner) Figure2() (*Fig2Result, error) {
+	threads := r.threads()
+	var jobs []job
+	for _, spec := range workload.BigFive() {
+		jobs = append(jobs,
+			job{spec.Name + "/no", r.workloadOpts(spec, "sw", hv.PagingConfig{}, hv.ModeNoHBM, threads, nil)},
+			job{spec.Name + "/inf", r.workloadOpts(spec, "sw", hv.PagingConfig{}, hv.ModeInfHBM, threads, nil)},
+			job{spec.Name + "/curr", r.workloadOpts(spec, "sw", hv.BestPolicy(), hv.ModePaged, threads, nil)},
+			job{spec.Name + "/ach", r.workloadOpts(spec, "ideal", hv.BestPolicy(), hv.ModePaged, threads, nil)},
+		)
+	}
+	res, err := r.runAll(jobs)
+	if err != nil {
+		return nil, err
+	}
+	out := &Fig2Result{}
+	for _, spec := range workload.BigFive() {
+		base := res[spec.Name+"/no"]
+		out.Rows = append(out.Rows, Fig2Row{
+			Workload:   spec.Name,
+			NoHBM:      1.0,
+			InfHBM:     norm(res[spec.Name+"/inf"], base),
+			CurrBest:   norm(res[spec.Name+"/curr"], base),
+			Achievable: norm(res[spec.Name+"/ach"], base),
+		})
+	}
+	return out, nil
+}
+
+// Table renders the figure as the paper reports it.
+func (f *Fig2Result) Table() *stats.Table {
+	t := stats.NewTable("Figure 2: runtime normalized to no-hbm (lower is better)",
+		"workload", "no-hbm", "inf-hbm", "curr-best", "achievable")
+	for _, row := range f.Rows {
+		t.AddRow(row.Workload, row.NoHBM, row.InfHBM, row.CurrBest, row.Achievable)
+	}
+	return t
+}
+
+// --- Figure 7: sw / hatric / ideal across vCPU counts ---
+
+// Fig7Cell is one (workload, vCPUs) group of bars, normalized to no-hbm at
+// the same vCPU count.
+type Fig7Cell struct {
+	Workload string
+	VCPUs    int
+	SW       float64
+	HATRIC   float64
+	Ideal    float64
+}
+
+// Fig7Result is the whole figure.
+type Fig7Result struct {
+	Cells []Fig7Cell
+}
+
+// Figure7 reproduces Fig. 7: best paging policy under software coherence,
+// HATRIC, and ideal coherence for 4, 8, and 16 vCPUs. Total work is held
+// constant: fewer vCPUs each execute more references.
+func (r *Runner) Figure7() (*Fig7Result, error) {
+	vcpuCounts := []int{4, 8, 16}
+	totalThreads := uint64(r.threads())
+	var jobs []job
+	for _, spec := range workload.BigFive() {
+		spec = r.spec(spec)
+		totalRefs := spec.Refs * totalThreads
+		for _, v := range vcpuCounts {
+			// Total work is fixed: fewer vCPUs each run more references.
+			// DriftEvery is total-work-relative, so churn stays constant.
+			s := spec
+			s.Refs = totalRefs / uint64(v)
+			for _, p := range []string{"sw", "hatric", "ideal"} {
+				key := fmt.Sprintf("%s/%d/%s", s.Name, v, p)
+				jobs = append(jobs, job{key, r.workloadOpts(s, p, hv.BestPolicy(), hv.ModePaged, v, nil)})
+			}
+			key := fmt.Sprintf("%s/%d/no", s.Name, v)
+			jobs = append(jobs, job{key, r.workloadOpts(s, "sw", hv.PagingConfig{}, hv.ModeNoHBM, v, nil)})
+		}
+	}
+	res, err := r.runAll(jobs)
+	if err != nil {
+		return nil, err
+	}
+	out := &Fig7Result{}
+	for _, spec := range workload.BigFive() {
+		for _, v := range vcpuCounts {
+			base := res[fmt.Sprintf("%s/%d/no", spec.Name, v)]
+			out.Cells = append(out.Cells, Fig7Cell{
+				Workload: spec.Name,
+				VCPUs:    v,
+				SW:       norm(res[fmt.Sprintf("%s/%d/sw", spec.Name, v)], base),
+				HATRIC:   norm(res[fmt.Sprintf("%s/%d/hatric", spec.Name, v)], base),
+				Ideal:    norm(res[fmt.Sprintf("%s/%d/ideal", spec.Name, v)], base),
+			})
+		}
+	}
+	return out, nil
+}
+
+// Table renders the figure.
+func (f *Fig7Result) Table() *stats.Table {
+	t := stats.NewTable("Figure 7: runtime normalized to no-hbm, by vCPU count",
+		"workload", "vcpus", "sw", "hatric", "ideal")
+	for _, c := range f.Cells {
+		t.AddRow(c.Workload, c.VCPUs, c.SW, c.HATRIC, c.Ideal)
+	}
+	return t
+}
+
+// --- Figure 8: paging policies ---
+
+// Fig8Cell is one (workload, policy) group of bars.
+type Fig8Cell struct {
+	Workload string
+	Policy   string
+	SW       float64
+	HATRIC   float64
+	Ideal    float64
+}
+
+// Fig8Result is the whole figure.
+type Fig8Result struct {
+	Cells []Fig8Cell
+}
+
+// fig8Policies returns the three KVM paging configurations of Fig. 8.
+func fig8Policies() []struct {
+	Name string
+	Cfg  hv.PagingConfig
+} {
+	return []struct {
+		Name string
+		Cfg  hv.PagingConfig
+	}{
+		{"lru", hv.PagingConfig{Policy: "lru"}},
+		{"mig-dmn", hv.PagingConfig{Policy: "lru", Daemon: true}},
+		{"pref", hv.PagingConfig{Policy: "lru", Daemon: true, Prefetch: 4}},
+	}
+}
+
+// Figure8 reproduces Fig. 8: runtime under LRU, +migration daemon, and
+// +prefetching, each with sw/hatric/ideal coherence, 16 vCPUs.
+func (r *Runner) Figure8() (*Fig8Result, error) {
+	threads := r.threads()
+	var jobs []job
+	for _, spec := range workload.BigFive() {
+		jobs = append(jobs, job{spec.Name + "/no",
+			r.workloadOpts(spec, "sw", hv.PagingConfig{}, hv.ModeNoHBM, threads, nil)})
+		for _, pol := range fig8Policies() {
+			for _, p := range []string{"sw", "hatric", "ideal"} {
+				key := spec.Name + "/" + pol.Name + "/" + p
+				jobs = append(jobs, job{key, r.workloadOpts(spec, p, pol.Cfg, hv.ModePaged, threads, nil)})
+			}
+		}
+	}
+	res, err := r.runAll(jobs)
+	if err != nil {
+		return nil, err
+	}
+	out := &Fig8Result{}
+	for _, spec := range workload.BigFive() {
+		base := res[spec.Name+"/no"]
+		for _, pol := range fig8Policies() {
+			out.Cells = append(out.Cells, Fig8Cell{
+				Workload: spec.Name,
+				Policy:   pol.Name,
+				SW:       norm(res[spec.Name+"/"+pol.Name+"/sw"], base),
+				HATRIC:   norm(res[spec.Name+"/"+pol.Name+"/hatric"], base),
+				Ideal:    norm(res[spec.Name+"/"+pol.Name+"/ideal"], base),
+			})
+		}
+	}
+	return out, nil
+}
+
+// Table renders the figure.
+func (f *Fig8Result) Table() *stats.Table {
+	t := stats.NewTable("Figure 8: runtime normalized to no-hbm, by paging policy",
+		"workload", "policy", "sw", "hatric", "ideal")
+	for _, c := range f.Cells {
+		t.AddRow(c.Workload, c.Policy, c.SW, c.HATRIC, c.Ideal)
+	}
+	return t
+}
+
+// --- Figure 9: translation-structure sizes ---
+
+// Fig9Cell is one (workload, size multiplier) group of bars.
+type Fig9Cell struct {
+	Workload string
+	Mult     int
+	SW       float64
+	HATRIC   float64
+	Ideal    float64
+}
+
+// Fig9Result is the whole figure.
+type Fig9Result struct {
+	Cells []Fig9Cell
+}
+
+// Figure9 reproduces Fig. 9: the same comparison with 1x, 2x, and 4x
+// translation-structure sizes; each cell is normalized to no-hbm at the
+// same sizes.
+func (r *Runner) Figure9() (*Fig9Result, error) {
+	threads := r.threads()
+	mults := []int{1, 2, 4}
+	var jobs []job
+	for _, spec := range workload.BigFive() {
+		for _, m := range mults {
+			mut := func(m int) func(*arch.Config) {
+				return func(c *arch.Config) { c.TLB.SizeMultiplier = m }
+			}(m)
+			key := func(p string) string { return fmt.Sprintf("%s/%d/%s", spec.Name, m, p) }
+			jobs = append(jobs,
+				job{key("no"), r.workloadOpts(spec, "sw", hv.PagingConfig{}, hv.ModeNoHBM, threads, mut)},
+				job{key("sw"), r.workloadOpts(spec, "sw", hv.BestPolicy(), hv.ModePaged, threads, mut)},
+				job{key("hatric"), r.workloadOpts(spec, "hatric", hv.BestPolicy(), hv.ModePaged, threads, mut)},
+				job{key("ideal"), r.workloadOpts(spec, "ideal", hv.BestPolicy(), hv.ModePaged, threads, mut)},
+			)
+		}
+	}
+	res, err := r.runAll(jobs)
+	if err != nil {
+		return nil, err
+	}
+	out := &Fig9Result{}
+	for _, spec := range workload.BigFive() {
+		for _, m := range mults {
+			key := func(p string) string { return fmt.Sprintf("%s/%d/%s", spec.Name, m, p) }
+			base := res[key("no")]
+			out.Cells = append(out.Cells, Fig9Cell{
+				Workload: spec.Name,
+				Mult:     m,
+				SW:       norm(res[key("sw")], base),
+				HATRIC:   norm(res[key("hatric")], base),
+				Ideal:    norm(res[key("ideal")], base),
+			})
+		}
+	}
+	return out, nil
+}
+
+// Table renders the figure.
+func (f *Fig9Result) Table() *stats.Table {
+	t := stats.NewTable("Figure 9: runtime normalized to no-hbm, by translation-structure size",
+		"workload", "size", "sw", "hatric", "ideal")
+	for _, c := range f.Cells {
+		t.AddRow(c.Workload, fmt.Sprintf("%dx", c.Mult), c.SW, c.HATRIC, c.Ideal)
+	}
+	return t
+}

@@ -1,0 +1,86 @@
+package exp
+
+import (
+	"hatric/internal/arch"
+	"hatric/internal/hv"
+	"hatric/internal/sim"
+	"hatric/internal/stats"
+	"hatric/internal/workload"
+)
+
+// MicroResult reports the cost-model microbenchmarks of Secs. 3.2-3.3: the
+// platform event costs the paper measured on Haswell, plus the measured
+// per-remap translation-coherence bill of each protocol on this simulator.
+type MicroResult struct {
+	// Platform costs (model parameters, mirroring the paper's
+	// microbenchmark measurements).
+	VMExitCycles    arch.Cycles
+	InterruptCycles arch.Cycles
+	IPISendCycles   arch.Cycles
+
+	// PerRemap is the measured average runtime excess over the ideal
+	// protocol per page remap (initiator stalls plus target stalls plus
+	// induced refill walks), from a run of data caching.
+	PerRemap map[string]float64
+}
+
+// MicroCosts runs the microbenchmark study.
+func (r *Runner) MicroCosts() (*MicroResult, error) {
+	cost := arch.KVMCostModel()
+	out := &MicroResult{
+		VMExitCycles:    cost.VMExit,
+		InterruptCycles: cost.Interrupt,
+		IPISendCycles:   cost.IPISend,
+		PerRemap:        map[string]float64{},
+	}
+	// data_caching drifts fastest and therefore remaps the most, giving
+	// the per-remap estimate a large sample even at reduced scale.
+	spec, err := workload.ByName("data_caching")
+	if err != nil {
+		return nil, err
+	}
+	threads := r.threads()
+	var jobs []job
+	protos := []string{"sw", "hatric", "unitd", "ideal"}
+	for _, p := range protos {
+		jobs = append(jobs, job{p, r.workloadOpts(spec, p, hv.BestPolicy(), hv.ModePaged, threads, nil)})
+	}
+	res, err := r.runAll(jobs)
+	if err != nil {
+		return nil, err
+	}
+	ideal := res["ideal"]
+	for _, p := range protos {
+		out.PerRemap[p] = perRemapCost(res[p], ideal)
+	}
+	return out, nil
+}
+
+// perRemapCost estimates the translation-coherence cycles per remap as the
+// total runtime excess over the ideal protocol divided by remap count.
+func perRemapCost(run, ideal *sim.Result) float64 {
+	if run == nil || ideal == nil {
+		return 0
+	}
+	remaps := run.Agg.PageEvictions + run.Agg.DefragRemaps
+	if remaps == 0 {
+		return 0
+	}
+	excess := float64(int64(run.Runtime) - int64(ideal.Runtime))
+	if excess < 0 {
+		excess = 0
+	}
+	return excess / float64(remaps)
+}
+
+// Table renders the study.
+func (f *MicroResult) Table() *stats.Table {
+	t := stats.NewTable("Microbenchmarks (Secs. 3.2-3.3)", "quantity", "cycles")
+	t.AddRow("VM exit", uint64(f.VMExitCycles))
+	t.AddRow("lightweight interrupt", uint64(f.InterruptCycles))
+	t.AddRow("IPI send (initiator)", uint64(f.IPISendCycles))
+	for _, p := range []string{"sw", "unitd", "hatric", "ideal"} {
+		t.AddRow("runtime excess vs ideal per remap ("+p+")", f.PerRemap[p])
+	}
+	return t
+}

@@ -1,0 +1,69 @@
+package exp
+
+import (
+	"hatric/internal/hv"
+	"hatric/internal/stats"
+	"hatric/internal/workload"
+)
+
+// PrefetchRow compares baseline HATRIC with the Sec. 4.4 prefetching
+// extension on one workload (runtimes normalized to the sw baseline).
+type PrefetchRow struct {
+	Workload        string
+	HATRIC          float64
+	HATRICPF        float64
+	PrefetchUpdates uint64
+	WalksSaved      int64
+}
+
+// PrefetchResult is the extension ablation (not a paper figure; the paper
+// leaves the idea as future work in Sec. 4.4).
+type PrefetchResult struct {
+	Rows []PrefetchRow
+}
+
+// PrefetchAblation evaluates hatric-pf: on present-to-present remaps
+// (defragmentation moves) the updated mapping is installed into matching
+// TLB/nTLB entries instead of invalidating them, saving the subsequent
+// two-dimensional walks. The defragmentation remapper is enabled so the
+// update path has work to do.
+func (r *Runner) PrefetchAblation() (*PrefetchResult, error) {
+	threads := r.threads()
+	paging := defragPaging()
+	var jobs []job
+	for _, spec := range workload.BigFive() {
+		jobs = append(jobs,
+			job{spec.Name + "/sw", r.workloadOpts(spec, "sw", paging, hv.ModePaged, threads, nil)},
+			job{spec.Name + "/hatric", r.workloadOpts(spec, "hatric", paging, hv.ModePaged, threads, nil)},
+			job{spec.Name + "/pf", r.workloadOpts(spec, "hatric-pf", paging, hv.ModePaged, threads, nil)},
+		)
+	}
+	res, err := r.runAll(jobs)
+	if err != nil {
+		return nil, err
+	}
+	out := &PrefetchResult{}
+	for _, spec := range workload.BigFive() {
+		sw := res[spec.Name+"/sw"]
+		ha := res[spec.Name+"/hatric"]
+		pf := res[spec.Name+"/pf"]
+		out.Rows = append(out.Rows, PrefetchRow{
+			Workload:        spec.Name,
+			HATRIC:          norm(ha, sw),
+			HATRICPF:        norm(pf, sw),
+			PrefetchUpdates: pf.Agg.PrefetchUpdates,
+			WalksSaved:      int64(ha.Agg.Walks) - int64(pf.Agg.Walks),
+		})
+	}
+	return out, nil
+}
+
+// Table renders the ablation.
+func (f *PrefetchResult) Table() *stats.Table {
+	t := stats.NewTable("Prefetching extension (Sec. 4.4 future work): hatric vs hatric-pf, normalized to sw",
+		"workload", "hatric", "hatric-pf", "updates", "walks saved")
+	for _, row := range f.Rows {
+		t.AddRow(row.Workload, row.HATRIC, row.HATRICPF, row.PrefetchUpdates, row.WalksSaved)
+	}
+	return t
+}

@@ -1,0 +1,69 @@
+package exp
+
+import (
+	"hatric/internal/arch"
+	"hatric/internal/hv"
+	"hatric/internal/stats"
+	"hatric/internal/workload"
+)
+
+// XenRow is one workload's HATRIC improvement under the Xen hypervisor
+// profile (Sec. 6, "Xen results": canneal improves 21%, data caching 33%).
+type XenRow struct {
+	Workload    string
+	SW          float64 // normalized to no-hbm
+	HATRIC      float64
+	Improvement float64 // 1 - hatric/sw, as the paper quotes it
+}
+
+// XenResult is the Xen generality study.
+type XenResult struct {
+	Rows []XenRow
+}
+
+// XenTable reproduces the Xen results: canneal and data caching with
+// 16 vCPUs on the Xen cost profile, HATRIC versus the best software paging
+// policy.
+func (r *Runner) XenTable() (*XenResult, error) {
+	threads := r.threads()
+	mut := func(c *arch.Config) { c.Cost = arch.XenCostModel() }
+	names := []string{"canneal", "data_caching"}
+	var jobs []job
+	for _, name := range names {
+		spec, err := workload.ByName(name)
+		if err != nil {
+			return nil, err
+		}
+		jobs = append(jobs,
+			job{name + "/no", r.workloadOpts(spec, "sw", hv.PagingConfig{}, hv.ModeNoHBM, threads, mut)},
+			job{name + "/sw", r.workloadOpts(spec, "sw", hv.BestPolicy(), hv.ModePaged, threads, mut)},
+			job{name + "/hatric", r.workloadOpts(spec, "hatric", hv.BestPolicy(), hv.ModePaged, threads, mut)},
+		)
+	}
+	res, err := r.runAll(jobs)
+	if err != nil {
+		return nil, err
+	}
+	out := &XenResult{}
+	for _, name := range names {
+		base := res[name+"/no"]
+		sw := norm(res[name+"/sw"], base)
+		ha := norm(res[name+"/hatric"], base)
+		impr := 0.0
+		if sw > 0 {
+			impr = 1 - ha/sw
+		}
+		out.Rows = append(out.Rows, XenRow{Workload: name, SW: sw, HATRIC: ha, Improvement: impr})
+	}
+	return out, nil
+}
+
+// Table renders the study.
+func (f *XenResult) Table() *stats.Table {
+	t := stats.NewTable("Xen results (Sec. 6): HATRIC improvement over best sw paging policy",
+		"workload", "sw", "hatric", "improvement")
+	for _, row := range f.Rows {
+		t.AddRow(row.Workload, row.SW, row.HATRIC, row.Improvement)
+	}
+	return t
+}

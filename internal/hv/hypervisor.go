@@ -1,0 +1,252 @@
+package hv
+
+import (
+	"fmt"
+
+	"hatric/internal/arch"
+	"hatric/internal/cache"
+	"hatric/internal/coherence"
+	"hatric/internal/core"
+	"hatric/internal/memdev"
+	"hatric/internal/xrand"
+)
+
+// PagingConfig selects the paging policy combination (Sec. 5.2 / Fig. 8).
+type PagingConfig struct {
+	// Policy is "fifo" or "lru".
+	Policy string
+	// Daemon enables the migration daemon: evictions happen pre-emptively
+	// in the background so a pool of free frames always exists and the
+	// eviction (and its translation coherence initiation) moves off the
+	// faulting vCPU's critical path. Target-side costs remain.
+	Daemon bool
+	// DaemonLow and DaemonHigh are the free-frame watermarks, as fractions
+	// of die-stacked capacity. Zero values default to 2% and 6%.
+	DaemonLow, DaemonHigh float64
+	// Prefetch migrates this many adjacent pages on every demand fault.
+	Prefetch int
+	// DefragEvery injects one defragmentation remap (a live page moved
+	// between frames to build contiguity for superpages) per this many
+	// memory references on a CPU. Zero disables. These remaps hit
+	// present translations and therefore always trigger full translation
+	// coherence.
+	DefragEvery uint64
+}
+
+// BestPolicy returns the best-performing paging configuration found in the
+// study (LRU + migration daemon + prefetching), the paper's "curr-best".
+func BestPolicy() PagingConfig {
+	return PagingConfig{Policy: "lru", Daemon: true, Prefetch: 4}
+}
+
+// Hypervisor manages one VM's inter-tier paging and initiates translation
+// coherence through the configured protocol.
+type Hypervisor struct {
+	cfg      PagingConfig
+	cost     arch.CostModel
+	mem      *memdev.Memory
+	hier     *coherence.Hierarchy
+	machine  core.Machine
+	protocol core.Protocol
+	vm       *VM
+	policy   Policy
+	rng      *xrand.RNG
+
+	low, high int
+}
+
+// New builds the hypervisor.
+func New(cfg PagingConfig, cost arch.CostModel, mem *memdev.Memory, hier *coherence.Hierarchy,
+	machine core.Machine, protocol core.Protocol, vm *VM, seed uint64) (*Hypervisor, error) {
+	h := &Hypervisor{
+		cfg: cfg, cost: cost, mem: mem, hier: hier,
+		machine: machine, protocol: protocol, vm: vm,
+		rng: xrand.New(seed ^ 0x9a7c15),
+	}
+	switch cfg.Policy {
+	case "", "lru":
+		h.policy = NewClock(vm.Nested)
+	case "fifo":
+		h.policy = NewFIFO()
+	default:
+		return nil, fmt.Errorf("hv: unknown paging policy %q", cfg.Policy)
+	}
+	total := mem.Layout.HBMFrames
+	lowF, highF := cfg.DaemonLow, cfg.DaemonHigh
+	if lowF <= 0 {
+		lowF = 0.02
+	}
+	if highF <= 0 {
+		highF = 0.06
+	}
+	h.low = int(float64(total) * lowF)
+	h.high = int(float64(total) * highF)
+	if h.high <= h.low {
+		h.high = h.low + 1
+	}
+	return h, nil
+}
+
+// Policy returns the active eviction policy.
+func (h *Hypervisor) Policy() Policy { return h.policy }
+
+// Protocol returns the translation-coherence protocol in use.
+func (h *Hypervisor) Protocol() core.Protocol { return h.protocol }
+
+// HandleFault services a nested page fault on (cpu, gpp): the VM exit, the
+// page-fault handler, frame reclamation if needed, the page copy, and the
+// nested page-table update. It returns the cycles the faulting vCPU is
+// stalled.
+func (h *Hypervisor) HandleFault(cpu int, gpp arch.GPP, now arch.Cycles) (arch.Cycles, error) {
+	c := h.machine.Counters(cpu)
+	c.PageFaults++
+	c.VMExits++
+	lat := h.cost.VMExit + h.cost.HypervisorFault
+
+	// Reclaim frames on the critical path only when the pool is dry.
+	for h.mem.FreeFrames(arch.TierHBM) == 0 {
+		evLat, err := h.evictOne(cpu, now+lat, true)
+		if err != nil {
+			return lat, err
+		}
+		lat += evLat
+	}
+
+	mLat, err := h.migrateIn(cpu, gpp, now+lat, true)
+	if err != nil {
+		return lat, err
+	}
+	lat += mLat
+
+	// Prefetch adjacent pages (charged to the devices, not the vCPU).
+	for i := 1; i <= h.cfg.Prefetch; i++ {
+		if h.mem.FreeFrames(arch.TierHBM) <= h.low {
+			break
+		}
+		next := gpp + arch.GPP(i)
+		if _, present, ok := h.vm.Nested.Translate(next); !ok || present {
+			continue
+		}
+		if _, err := h.migrateIn(cpu, next, now+lat, false); err != nil {
+			break
+		}
+		c.PagePrefetches++
+	}
+
+	// Migration daemon: refill the free pool in the background.
+	if h.cfg.Daemon && h.mem.FreeFrames(arch.TierHBM) < h.low {
+		for h.mem.FreeFrames(arch.TierHBM) < h.high {
+			if _, err := h.evictOne(cpu, now+lat, false); err != nil {
+				break
+			}
+		}
+	}
+
+	lat += h.cost.VMEntry
+	return lat, nil
+}
+
+// migrateIn moves gpp's page from off-chip DRAM into a die-stacked frame
+// and maps it present. A not-present-to-present transition leaves no stale
+// translation entries, so no translation coherence is initiated — only the
+// ordinary coherent PTE store.
+func (h *Hypervisor) migrateIn(cpu int, gpp arch.GPP, now arch.Cycles, critical bool) (arch.Cycles, error) {
+	oldSPP, present, ok := h.vm.Nested.Translate(gpp)
+	if !ok {
+		return 0, fmt.Errorf("hv: fault on unmapped gpp %#x", uint64(gpp))
+	}
+	if present {
+		return 0, nil // raced with a prefetch of the same page
+	}
+	frame, got := h.mem.AllocFrame(arch.TierHBM)
+	if !got {
+		return 0, fmt.Errorf("hv: no free die-stacked frame")
+	}
+	copyLat := h.mem.CopyPage(now, oldSPP, frame)
+	h.mem.FreeFrame(oldSPP)
+	pteSPA, err := h.vm.Nested.Remap(gpp, frame, true)
+	if err != nil {
+		return 0, err
+	}
+	c := h.machine.Counters(cpu)
+	c.PTEWrites++
+	c.PageMigrations++
+	wLat := h.cost.PTEWrite + h.hier.Write(cpu, pteSPA, cache.KindNestedPT, now)
+	h.policy.NoteResident(gpp)
+	if !critical {
+		return 0, nil
+	}
+	return copyLat + wLat, nil
+}
+
+// evictOne unmaps one die-stacked-resident page and migrates it back to
+// off-chip DRAM. This is the present-to-not-present transition of Fig. 3:
+// stale translations may be cached anywhere, so translation coherence runs.
+// When critical is false (migration daemon), the initiator-side costs stay
+// off the faulting vCPU; target-side costs (VM exits, flushes) are charged
+// to the targets either way.
+func (h *Hypervisor) evictOne(cpu int, now arch.Cycles, critical bool) (arch.Cycles, error) {
+	victim, ok := h.policy.PickVictim()
+	if !ok {
+		return 0, fmt.Errorf("hv: nothing to evict")
+	}
+	oldSPP, _, ok := h.vm.Nested.Translate(victim)
+	if !ok {
+		return 0, fmt.Errorf("hv: victim gpp %#x unmapped", uint64(victim))
+	}
+	dramFrame, got := h.mem.AllocFrame(arch.TierDRAM)
+	if !got {
+		return 0, fmt.Errorf("hv: off-chip DRAM full")
+	}
+	copyLat := h.mem.CopyPage(now, oldSPP, dramFrame)
+	pteSPA, err := h.vm.Nested.Remap(victim, dramFrame, false)
+	if err != nil {
+		return 0, err
+	}
+	h.mem.FreeFrame(oldSPP)
+	c := h.machine.Counters(cpu)
+	c.PTEWrites++
+	c.PageEvictions++
+	wLat := h.cost.PTEWrite + h.hier.Write(cpu, pteSPA, cache.KindNestedPT, now)
+	tcLat := h.protocol.OnRemap(cpu, pteSPA, now)
+	if !critical {
+		return 0, nil
+	}
+	return copyLat + wLat + tcLat, nil
+}
+
+// Defrag relocates one live die-stacked page to another die-stacked frame
+// (contiguity building for superpages). The mapping stays present, so
+// cached translations go stale and translation coherence runs, exactly as
+// for an eviction. Returns initiator cycles.
+func (h *Hypervisor) Defrag(cpu int, now arch.Cycles) arch.Cycles {
+	pages := h.policy.ResidentPages()
+	if len(pages) == 0 {
+		return 0
+	}
+	gpp := pages[h.rng.Intn(len(pages))]
+	oldSPP, present, ok := h.vm.Nested.Translate(gpp)
+	if !ok || !present {
+		return 0
+	}
+	frame, got := h.mem.AllocFrame(arch.TierHBM)
+	if !got {
+		return 0
+	}
+	copyLat := h.mem.CopyPage(now, oldSPP, frame)
+	pteSPA, err := h.vm.Nested.Remap(gpp, frame, true)
+	if err != nil {
+		h.mem.FreeFrame(frame)
+		return 0
+	}
+	h.mem.FreeFrame(oldSPP)
+	c := h.machine.Counters(cpu)
+	c.PTEWrites++
+	c.DefragRemaps++
+	wLat := h.cost.PTEWrite + h.hier.Write(cpu, pteSPA, cache.KindNestedPT, now)
+	tcLat := h.protocol.OnRemap(cpu, pteSPA, now)
+	return copyLat + wLat + tcLat
+}
+
+// DefragEvery exposes the configured defragmentation period.
+func (h *Hypervisor) DefragEvery() uint64 { return h.cfg.DefragEvery }

@@ -1,0 +1,108 @@
+package hv
+
+import (
+	"hatric/internal/arch"
+)
+
+// AccessBits abstracts the nested page table's accessed-bit interface the
+// CLOCK policy scans (the paper repurposes Linux's pseudo-LRU CLOCK,
+// Sec. 5.2).
+type AccessBits interface {
+	Accessed(gpp arch.GPP) bool
+	SetAccessed(gpp arch.GPP, on bool)
+}
+
+// Policy decides which die-stacked-resident page to evict next.
+type Policy interface {
+	Name() string
+	// NoteResident records that gpp now lives in die-stacked DRAM.
+	NoteResident(gpp arch.GPP)
+	// PickVictim chooses and removes the next eviction candidate.
+	PickVictim() (arch.GPP, bool)
+	// Resident returns the number of tracked resident pages.
+	Resident() int
+	// ResidentPages lists tracked pages (defragmentation candidates).
+	ResidentPages() []arch.GPP
+}
+
+// FIFOPolicy evicts in arrival order.
+type FIFOPolicy struct {
+	queue []arch.GPP
+}
+
+// NewFIFO builds the FIFO policy.
+func NewFIFO() *FIFOPolicy { return &FIFOPolicy{} }
+
+// Name implements Policy.
+func (p *FIFOPolicy) Name() string { return "fifo" }
+
+// NoteResident implements Policy.
+func (p *FIFOPolicy) NoteResident(gpp arch.GPP) { p.queue = append(p.queue, gpp) }
+
+// PickVictim implements Policy.
+func (p *FIFOPolicy) PickVictim() (arch.GPP, bool) {
+	if len(p.queue) == 0 {
+		return 0, false
+	}
+	v := p.queue[0]
+	p.queue = p.queue[1:]
+	return v, true
+}
+
+// Resident implements Policy.
+func (p *FIFOPolicy) Resident() int { return len(p.queue) }
+
+// ResidentPages implements Policy.
+func (p *FIFOPolicy) ResidentPages() []arch.GPP { return p.queue }
+
+// ClockPolicy approximates LRU with the classic CLOCK algorithm over the
+// nested page table's accessed bits: the hand skips (and clears) recently
+// accessed pages and evicts the first page found with a clear bit.
+type ClockPolicy struct {
+	bits AccessBits
+	ring []arch.GPP
+	hand int
+}
+
+// NewClock builds the CLOCK/LRU policy over the given accessed bits.
+func NewClock(bits AccessBits) *ClockPolicy { return &ClockPolicy{bits: bits} }
+
+// Name implements Policy.
+func (p *ClockPolicy) Name() string { return "lru" }
+
+// NoteResident implements Policy.
+func (p *ClockPolicy) NoteResident(gpp arch.GPP) { p.ring = append(p.ring, gpp) }
+
+// PickVictim implements Policy.
+func (p *ClockPolicy) PickVictim() (arch.GPP, bool) {
+	if len(p.ring) == 0 {
+		return 0, false
+	}
+	// Two sweeps guarantee termination: the first sweep clears bits.
+	for i := 0; i < 2*len(p.ring); i++ {
+		if p.hand >= len(p.ring) {
+			p.hand = 0
+		}
+		g := p.ring[p.hand]
+		if p.bits.Accessed(g) {
+			p.bits.SetAccessed(g, false)
+			p.hand++
+			continue
+		}
+		p.ring = append(p.ring[:p.hand], p.ring[p.hand+1:]...)
+		return g, true
+	}
+	// Everything was hot; evict at the hand.
+	if p.hand >= len(p.ring) {
+		p.hand = 0
+	}
+	g := p.ring[p.hand]
+	p.ring = append(p.ring[:p.hand], p.ring[p.hand+1:]...)
+	return g, true
+}
+
+// Resident implements Policy.
+func (p *ClockPolicy) Resident() int { return len(p.ring) }
+
+// ResidentPages implements Policy.
+func (p *ClockPolicy) ResidentPages() []arch.GPP { return p.ring }

@@ -1,0 +1,145 @@
+// Package hv implements the hypervisor of the simulated machine: virtual
+// machines with vCPUs, nested page-table management, demand paging between
+// die-stacked and off-chip DRAM (the paper's KVM modifications, Sec. 5.2),
+// paging policies (FIFO, LRU/CLOCK, migration daemon, prefetching), and the
+// defragmentation remapper that keeps translation coherence relevant even
+// for workloads that fit in die-stacked DRAM (Sec. 6, Fig. 11).
+package hv
+
+import (
+	"fmt"
+
+	"hatric/internal/arch"
+	"hatric/internal/memdev"
+	"hatric/internal/pagetable"
+)
+
+// PlacementMode selects the initial placement of guest data pages.
+type PlacementMode int
+
+const (
+	// ModePaged places all data in off-chip DRAM, not-present, so first
+	// touch faults and the hypervisor migrates the page into die-stacked
+	// DRAM (the paper's paging configuration).
+	ModePaged PlacementMode = iota
+	// ModeNoHBM places all data in off-chip DRAM, present (the no-hbm
+	// baseline of Fig. 2).
+	ModeNoHBM
+	// ModeInfHBM places all data in die-stacked DRAM, present (the
+	// unachievable inf-hbm bound of Fig. 2; the configuration must
+	// provision enough HBM frames).
+	ModeInfHBM
+)
+
+// String names the mode as the paper does.
+func (m PlacementMode) String() string {
+	switch m {
+	case ModePaged:
+		return "paged"
+	case ModeNoHBM:
+		return "no-hbm"
+	case ModeInfHBM:
+		return "inf-hbm"
+	}
+	return "unknown-mode"
+}
+
+// VM is one virtual machine: a nested page table, one guest page table per
+// process, and the set of physical CPUs its vCPUs run on.
+type VM struct {
+	Nested *pagetable.NestedPT
+	Guests []*pagetable.GuestPT
+	CPUs   []int
+
+	mem     *memdev.Memory
+	store   *pagetable.Store
+	gppNext uint64
+}
+
+// NewVM builds a VM with numProcs processes (each with an empty guest page
+// table) runnable on the given physical CPUs.
+func NewVM(store *pagetable.Store, mem *memdev.Memory, numProcs int, cpus []int) (*VM, error) {
+	vm := &VM{mem: mem, store: store, CPUs: append([]int(nil), cpus...), gppNext: 1}
+	nested, err := pagetable.NewNestedPT(store, mem.AllocPT)
+	if err != nil {
+		return nil, err
+	}
+	vm.Nested = nested
+	for p := 0; p < numProcs; p++ {
+		g, err := pagetable.NewGuestPT(store, vm.allocPTPage)
+		if err != nil {
+			return nil, fmt.Errorf("hv: building guest PT for process %d: %w", p, err)
+		}
+		vm.Guests = append(vm.Guests, g)
+	}
+	return vm, nil
+}
+
+// allocGPP hands out the next guest physical page.
+func (vm *VM) allocGPP() arch.GPP {
+	g := arch.GPP(vm.gppNext)
+	vm.gppNext++
+	return g
+}
+
+// allocPTPage backs a new guest page-table page with a pinned frame from
+// the page-table heap and maps it in the nested page table.
+func (vm *VM) allocPTPage() (arch.GPP, arch.SPP, error) {
+	gpp := vm.allocGPP()
+	spp, err := vm.mem.AllocPT()
+	if err != nil {
+		return 0, 0, err
+	}
+	if _, err := vm.Nested.Map(gpp, spp, true); err != nil {
+		return 0, 0, err
+	}
+	return gpp, spp, nil
+}
+
+// MapProcess maps pages guest virtual pages [base, base+pages) of process
+// pid according to the placement mode and returns the guest physical pages
+// assigned (in GVP order).
+func (vm *VM) MapProcess(pid int, base arch.GVP, pages int, mode PlacementMode) ([]arch.GPP, error) {
+	if pid < 0 || pid >= len(vm.Guests) {
+		return nil, fmt.Errorf("hv: no process %d", pid)
+	}
+	gpps := make([]arch.GPP, 0, pages)
+	for i := 0; i < pages; i++ {
+		gvp := base + arch.GVP(i)
+		gpp := vm.allocGPP()
+		if err := vm.Guests[pid].Map(gvp, gpp); err != nil {
+			return nil, err
+		}
+		tier := arch.TierDRAM
+		present := true
+		switch mode {
+		case ModePaged:
+			present = false
+		case ModeInfHBM:
+			tier = arch.TierHBM
+		}
+		frame, ok := vm.mem.AllocFrame(tier)
+		if !ok {
+			return nil, fmt.Errorf("hv: out of %v frames mapping process %d page %d", tier, pid, i)
+		}
+		if _, err := vm.Nested.Map(gpp, frame, present); err != nil {
+			return nil, err
+		}
+		gpps = append(gpps, gpp)
+	}
+	return gpps, nil
+}
+
+// Translate functionally resolves (pid, gvp) through both page tables.
+// Used by the simulator's stale-translation checker.
+func (vm *VM) Translate(pid int, gvp arch.GVP) (arch.SPP, bool) {
+	gpp, ok := vm.Guests[pid].Translate(gvp)
+	if !ok {
+		return 0, false
+	}
+	spp, present, ok := vm.Nested.Translate(gpp)
+	if !ok || !present {
+		return 0, false
+	}
+	return spp, true
+}

@@ -1,0 +1,186 @@
+package memdev
+
+import (
+	"testing"
+	"testing/quick"
+
+	"hatric/internal/arch"
+)
+
+func testConfig() arch.MemConfig {
+	return arch.MemConfig{
+		HBMFrames:         16,
+		DRAMFrames:        32,
+		HBMLatency:        100,
+		DRAMLatency:       200,
+		HBMBytesPerCycle:  64,
+		DRAMBytesPerCycle: 16,
+		PTFrames:          8,
+	}
+}
+
+func TestDeviceUnloadedLatency(t *testing.T) {
+	d := NewDevice(arch.TierDRAM, 200, 16)
+	lat := d.Access(0, 64)
+	// 200 base + 64/16 = 4 service cycles.
+	if lat != 204 {
+		t.Errorf("unloaded latency = %d, want 204", lat)
+	}
+}
+
+func TestDeviceQueueing(t *testing.T) {
+	d := NewDevice(arch.TierDRAM, 200, 16)
+	first := d.Access(0, 64)
+	second := d.Access(0, 64) // arrives while busy
+	if second <= first {
+		t.Errorf("queued request (%d) should observe more latency than first (%d)", second, first)
+	}
+	// After the queue drains, latency returns to unloaded.
+	relaxed := d.Access(1_000_000, 64)
+	if relaxed != first {
+		t.Errorf("relaxed latency = %d, want %d", relaxed, first)
+	}
+}
+
+func TestDeviceBandwidthRatioMatters(t *testing.T) {
+	hbm := NewDevice(arch.TierHBM, 100, 64)
+	dram := NewDevice(arch.TierDRAM, 100, 16)
+	var hbmTotal, dramTotal arch.Cycles
+	for i := 0; i < 100; i++ {
+		hbmTotal += hbm.Access(0, 64)
+		dramTotal += dram.Access(0, 64)
+	}
+	if dramTotal <= hbmTotal {
+		t.Errorf("equal-latency DRAM under load (%d) should be slower than HBM (%d)", dramTotal, hbmTotal)
+	}
+}
+
+func TestDeviceCounters(t *testing.T) {
+	d := NewDevice(arch.TierHBM, 10, 64)
+	d.Access(0, 64)
+	d.Occupy(0, 4096)
+	if d.Accesses != 2 || d.Bytes != 64+4096 {
+		t.Errorf("counters: accesses=%d bytes=%d", d.Accesses, d.Bytes)
+	}
+	d.Reset()
+	if d.Accesses != 0 || d.Bytes != 0 {
+		t.Errorf("reset failed")
+	}
+}
+
+func TestLayoutTiers(t *testing.T) {
+	l := NewLayout(testConfig())
+	if l.HBMBase != 8 || l.DRAMBase != 24 || l.End != 56 {
+		t.Fatalf("layout bases: %+v", l)
+	}
+	if l.TierOf(0) != arch.TierDRAM { // PT heap is DRAM-backed
+		t.Errorf("PT heap should be DRAM tier")
+	}
+	if l.TierOf(8) != arch.TierHBM || l.TierOf(23) != arch.TierHBM {
+		t.Errorf("HBM range wrong")
+	}
+	if l.TierOf(24) != arch.TierDRAM {
+		t.Errorf("DRAM range wrong")
+	}
+	if l.TierOfAddr(arch.SPP(9).Addr()+17) != arch.TierHBM {
+		t.Errorf("TierOfAddr wrong")
+	}
+}
+
+func TestAllocFrameExhaustion(t *testing.T) {
+	m := New(testConfig())
+	seen := map[arch.SPP]bool{}
+	for i := 0; i < 16; i++ {
+		f, ok := m.AllocFrame(arch.TierHBM)
+		if !ok {
+			t.Fatalf("HBM exhausted early at %d", i)
+		}
+		if seen[f] {
+			t.Fatalf("frame %d allocated twice", f)
+		}
+		if m.Layout.TierOf(f) != arch.TierHBM {
+			t.Fatalf("allocated frame %d not in HBM", f)
+		}
+		seen[f] = true
+	}
+	if _, ok := m.AllocFrame(arch.TierHBM); ok {
+		t.Errorf("allocation beyond capacity succeeded")
+	}
+	if got := m.FreeFrames(arch.TierHBM); got != 0 {
+		t.Errorf("FreeFrames = %d, want 0", got)
+	}
+}
+
+func TestFreeFrameRoundTrip(t *testing.T) {
+	f := func(seed uint64) bool {
+		m := New(testConfig())
+		var frames []arch.SPP
+		for i := 0; i < 10; i++ {
+			fr, ok := m.AllocFrame(arch.TierHBM)
+			if !ok {
+				return false
+			}
+			frames = append(frames, fr)
+		}
+		for _, fr := range frames {
+			m.FreeFrame(fr)
+		}
+		return m.FreeFrames(arch.TierHBM) == 16
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 10}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestAllocPT(t *testing.T) {
+	m := New(testConfig())
+	for i := 0; i < 8; i++ {
+		f, err := m.AllocPT()
+		if err != nil {
+			t.Fatalf("AllocPT %d: %v", i, err)
+		}
+		if int(f) != i {
+			t.Errorf("PT frames should be sequential: got %d want %d", f, i)
+		}
+	}
+	if _, err := m.AllocPT(); err == nil {
+		t.Errorf("PT heap exhaustion not reported")
+	}
+}
+
+func TestDeviceRouting(t *testing.T) {
+	m := New(testConfig())
+	if m.Device(arch.SPP(10).Addr()) != m.HBM {
+		t.Errorf("HBM frame routed to wrong device")
+	}
+	if m.Device(arch.SPP(30).Addr()) != m.DRAM {
+		t.Errorf("DRAM frame routed to wrong device")
+	}
+	if m.Device(0) != m.DRAM {
+		t.Errorf("PT heap should use DRAM timing")
+	}
+}
+
+func TestCopyPage(t *testing.T) {
+	m := New(testConfig())
+	src, _ := m.AllocFrame(arch.TierDRAM)
+	dst, _ := m.AllocFrame(arch.TierHBM)
+	lat := m.CopyPage(0, src, dst)
+	// Bounded below by the slower device's service time for 4 KB.
+	minService := arch.Cycles(4096 / 16)
+	if lat < minService {
+		t.Errorf("copy latency %d below DRAM service time %d", lat, minService)
+	}
+	if m.DRAM.Bytes != 4096 || m.HBM.Bytes != 4096 {
+		t.Errorf("copy bytes not accounted: dram=%d hbm=%d", m.DRAM.Bytes, m.HBM.Bytes)
+	}
+}
+
+func TestNewDevicePanicsOnZeroRate(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic for zero service rate")
+		}
+	}()
+	NewDevice(arch.TierHBM, 1, 0)
+}

@@ -1,0 +1,99 @@
+// Package pagetable implements the two page tables of a virtualized x86-64
+// system: 4-level radix guest page tables (guest virtual to guest physical)
+// and 4-level radix nested page tables (guest physical to system physical).
+// Page-table pages are materialized at real simulated system physical
+// addresses inside a reserved page-table heap, so every page-table entry has
+// an SPA — the address HATRIC's co-tags store and the address cache
+// coherence acts on.
+package pagetable
+
+import (
+	"fmt"
+
+	"hatric/internal/arch"
+)
+
+// PTE is a simulated page-table entry. The layout loosely follows x86-64:
+// bit 0 present, bit 5 accessed, bit 6 dirty, bits 12+ frame number.
+type PTE uint64
+
+// PTE flag bits.
+const (
+	FlagPresent  PTE = 1 << 0
+	FlagAccessed PTE = 1 << 5
+	FlagDirty    PTE = 1 << 6
+)
+
+// MakePTE builds an entry pointing at the given frame.
+func MakePTE(frame uint64, present bool) PTE {
+	e := PTE(frame << arch.PageShift)
+	if present {
+		e |= FlagPresent
+	}
+	return e
+}
+
+// Present reports bit 0.
+func (e PTE) Present() bool { return e&FlagPresent != 0 }
+
+// Accessed reports bit 5.
+func (e PTE) Accessed() bool { return e&FlagAccessed != 0 }
+
+// Dirty reports bit 6.
+func (e PTE) Dirty() bool { return e&FlagDirty != 0 }
+
+// Frame returns the stored frame number.
+func (e PTE) Frame() uint64 { return uint64(e) >> arch.PageShift }
+
+// Valid reports whether the entry holds any mapping at all (present or
+// swapped-out-but-tracked). The zero PTE is invalid.
+func (e PTE) Valid() bool { return e != 0 }
+
+// withFlag returns e with the flag set or cleared.
+func (e PTE) withFlag(f PTE, on bool) PTE {
+	if on {
+		return e | f
+	}
+	return e &^ f
+}
+
+// Store holds the simulated contents of the page-table heap: the SPA range
+// [0, frames*PageSize). Only page-table pages have simulated contents; data
+// pages never do.
+type Store struct {
+	words []uint64
+	limit arch.SPA
+}
+
+// NewStore sizes the heap to the given number of page-table frames.
+func NewStore(frames int) *Store {
+	return &Store{
+		words: make([]uint64, frames*(arch.PageSize/8)),
+		limit: arch.SPA(frames * arch.PageSize),
+	}
+}
+
+// Read8 loads the 8-byte word at spa.
+func (s *Store) Read8(spa arch.SPA) uint64 {
+	if spa >= s.limit {
+		panic(fmt.Sprintf("pagetable: read outside PT heap: %#x", uint64(spa)))
+	}
+	return s.words[spa>>3]
+}
+
+// Write8 stores the 8-byte word at spa.
+func (s *Store) Write8(spa arch.SPA, v uint64) {
+	if spa >= s.limit {
+		panic(fmt.Sprintf("pagetable: write outside PT heap: %#x", uint64(spa)))
+	}
+	s.words[spa>>3] = v
+}
+
+// ReadPTE loads the entry at spa.
+func (s *Store) ReadPTE(spa arch.SPA) PTE { return PTE(s.Read8(spa)) }
+
+// WritePTE stores the entry at spa.
+func (s *Store) WritePTE(spa arch.SPA, e PTE) { s.Write8(spa, uint64(e)) }
+
+// InHeap reports whether spa lies inside the page-table heap.
+func (s *Store) InHeap(spa arch.SPA) bool { return spa < s.limit }

@@ -1,0 +1,98 @@
+package sim
+
+import (
+	"testing"
+
+	"hatric/internal/arch"
+	"hatric/internal/hv"
+	"hatric/internal/workload"
+)
+
+func smokeSpec() workload.Spec {
+	return workload.Spec{
+		Name: "smoke", FootprintPages: 1200, Refs: 20_000,
+		RegionPages: 400, Theta: 0.6, DriftEvery: 2000, DriftPages: 24,
+		StreamFrac: 0.1, WriteFrac: 0.3, GapMean: 3, Threads: 4,
+	}
+}
+
+func smokeConfig() arch.Config {
+	cfg := arch.DefaultConfig()
+	cfg.NumCPUs = 4
+	cfg.Mem.HBMFrames = 448
+	cfg.Mem.DRAMFrames = 4096
+	cfg.Mem.PTFrames = 2048
+	cfg.L1 = arch.CacheConfig{SizeBytes: 8 << 10, Ways: 4}
+	cfg.L2 = arch.CacheConfig{SizeBytes: 32 << 10, Ways: 8}
+	cfg.LLC = arch.CacheConfig{SizeBytes: 256 << 10, Ways: 16}
+	return cfg
+}
+
+func runSmoke(t *testing.T, protocol string, mode hv.PlacementMode) *Result {
+	t.Helper()
+	cfg := smokeConfig()
+	if mode == hv.ModeInfHBM {
+		cfg.Mem.HBMFrames = 4096
+	}
+	sys, err := New(Options{
+		Config:     cfg,
+		Protocol:   protocol,
+		Paging:     hv.PagingConfig{Policy: "lru"},
+		Mode:       mode,
+		Workloads:  SingleWorkload(smokeSpec(), 4),
+		Seed:       42,
+		CheckStale: true,
+	})
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	res, err := sys.Run()
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	return res
+}
+
+func TestSmokeProtocols(t *testing.T) {
+	results := map[string]*Result{}
+	for _, p := range []string{"sw", "hatric", "unitd", "ideal"} {
+		res := runSmoke(t, p, hv.ModePaged)
+		results[p] = res
+		if res.Agg.StaleTranslationUses != 0 {
+			t.Errorf("%s: %d stale translation uses", p, res.Agg.StaleTranslationUses)
+		}
+		if res.Agg.MemRefs != 4*20_000 {
+			t.Errorf("%s: memrefs = %d", p, res.Agg.MemRefs)
+		}
+		if res.Runtime == 0 {
+			t.Errorf("%s: zero runtime", p)
+		}
+		t.Logf("%s: runtime=%d faults=%d evictions=%d vmexits=%d ipis=%d walks=%d cotagInv=%d energy=%.3g",
+			p, res.Runtime, res.Agg.PageFaults, res.Agg.PageEvictions, res.Agg.VMExits,
+			res.Agg.IPIs, res.Agg.Walks, res.Agg.CoTagInvalidations, res.Energy.TotalPJ)
+	}
+	if results["hatric"].Agg.IPIs != 0 {
+		t.Errorf("hatric sent IPIs")
+	}
+	if results["sw"].Agg.IPIs == 0 {
+		t.Errorf("sw sent no IPIs")
+	}
+	if results["ideal"].Runtime > results["sw"].Runtime {
+		t.Errorf("ideal (%d) slower than sw (%d)", results["ideal"].Runtime, results["sw"].Runtime)
+	}
+	if results["hatric"].Runtime > results["sw"].Runtime {
+		t.Errorf("hatric (%d) slower than sw (%d)", results["hatric"].Runtime, results["sw"].Runtime)
+	}
+}
+
+func TestSmokeModes(t *testing.T) {
+	no := runSmoke(t, "hatric", hv.ModeNoHBM)
+	inf := runSmoke(t, "hatric", hv.ModeInfHBM)
+	if no.Agg.PageFaults != 0 || inf.Agg.PageFaults != 0 {
+		t.Errorf("static modes faulted: no-hbm=%d inf-hbm=%d", no.Agg.PageFaults, inf.Agg.PageFaults)
+	}
+	if inf.Runtime >= no.Runtime {
+		t.Errorf("inf-hbm (%d) not faster than no-hbm (%d)", inf.Runtime, no.Runtime)
+	}
+	t.Logf("no-hbm=%d inf-hbm=%d ratio=%.3f", no.Runtime, inf.Runtime, float64(inf.Runtime)/float64(no.Runtime))
+}

@@ -1,0 +1,138 @@
+// Package stats collects simulator event counts and provides small helpers
+// for formatting result tables. Counters are plain uint64 fields so that
+// hot-path increments stay allocation-free.
+package stats
+
+// Counters aggregates every event class the simulator and the energy model
+// care about. One Counters value exists per CPU plus one system-wide
+// aggregate obtained with Add.
+type Counters struct {
+	// Front end.
+	Instructions uint64
+	MemRefs      uint64
+
+	// Translation structures.
+	L1TLBHits      uint64
+	L1TLBMisses    uint64
+	L2TLBHits      uint64
+	L2TLBMisses    uint64
+	NTLBHits       uint64
+	NTLBMisses     uint64
+	MMUCacheHits   uint64
+	MMUCacheMisses uint64
+
+	// Page-table walks.
+	Walks    uint64
+	WalkRefs uint64
+
+	// Cache hierarchy.
+	L1Hits    uint64
+	L1Misses  uint64
+	L2Hits    uint64
+	L2Misses  uint64
+	LLCHits   uint64
+	LLCMisses uint64
+
+	// Memory devices.
+	HBMAccesses  uint64
+	DRAMAccesses uint64
+	HBMBytes     uint64
+	DRAMBytes    uint64
+
+	// Coherence.
+	DirLookups            uint64
+	InvalidationsSent     uint64
+	SpuriousInvalidations uint64
+	DirBackInvalidations  uint64
+	DirDemotions          uint64
+
+	// Translation coherence.
+	CoTagCompares          uint64
+	CoTagInvalidations     uint64
+	CAMCompares            uint64
+	CAMInvalidations       uint64
+	TLBFlushes             uint64
+	MMUCacheFlushes        uint64
+	NTLBFlushes            uint64
+	TLBEntriesLost         uint64
+	MMUEntriesLost         uint64
+	NTLBEntriesLost        uint64
+	SelectiveInvalidations uint64
+	// PrefetchUpdates counts translation entries rewritten in place by the
+	// hatric-pf prefetching extension instead of being invalidated.
+	PrefetchUpdates uint64
+
+	// Virtualization events.
+	VMExits    uint64
+	IPIs       uint64
+	Interrupts uint64
+
+	// Hypervisor paging.
+	PageFaults     uint64
+	PageMigrations uint64
+	PageEvictions  uint64
+	PagePrefetches uint64
+	DefragRemaps   uint64
+	PTEWrites      uint64
+
+	// StaleTranslationUses counts translations served from a TLB that no
+	// longer match the page table. Correct coherence keeps this at zero;
+	// the integration tests assert it.
+	StaleTranslationUses uint64
+}
+
+// Add accumulates o into c.
+func (c *Counters) Add(o *Counters) {
+	c.Instructions += o.Instructions
+	c.MemRefs += o.MemRefs
+	c.L1TLBHits += o.L1TLBHits
+	c.L1TLBMisses += o.L1TLBMisses
+	c.L2TLBHits += o.L2TLBHits
+	c.L2TLBMisses += o.L2TLBMisses
+	c.NTLBHits += o.NTLBHits
+	c.NTLBMisses += o.NTLBMisses
+	c.MMUCacheHits += o.MMUCacheHits
+	c.MMUCacheMisses += o.MMUCacheMisses
+	c.Walks += o.Walks
+	c.WalkRefs += o.WalkRefs
+	c.L1Hits += o.L1Hits
+	c.L1Misses += o.L1Misses
+	c.L2Hits += o.L2Hits
+	c.L2Misses += o.L2Misses
+	c.LLCHits += o.LLCHits
+	c.LLCMisses += o.LLCMisses
+	c.HBMAccesses += o.HBMAccesses
+	c.DRAMAccesses += o.DRAMAccesses
+	c.HBMBytes += o.HBMBytes
+	c.DRAMBytes += o.DRAMBytes
+	c.DirLookups += o.DirLookups
+	c.InvalidationsSent += o.InvalidationsSent
+	c.SpuriousInvalidations += o.SpuriousInvalidations
+	c.DirBackInvalidations += o.DirBackInvalidations
+	c.DirDemotions += o.DirDemotions
+	c.CoTagCompares += o.CoTagCompares
+	c.CoTagInvalidations += o.CoTagInvalidations
+	c.CAMCompares += o.CAMCompares
+	c.CAMInvalidations += o.CAMInvalidations
+	c.TLBFlushes += o.TLBFlushes
+	c.MMUCacheFlushes += o.MMUCacheFlushes
+	c.NTLBFlushes += o.NTLBFlushes
+	c.TLBEntriesLost += o.TLBEntriesLost
+	c.MMUEntriesLost += o.MMUEntriesLost
+	c.NTLBEntriesLost += o.NTLBEntriesLost
+	c.SelectiveInvalidations += o.SelectiveInvalidations
+	c.PrefetchUpdates += o.PrefetchUpdates
+	c.VMExits += o.VMExits
+	c.IPIs += o.IPIs
+	c.Interrupts += o.Interrupts
+	c.PageFaults += o.PageFaults
+	c.PageMigrations += o.PageMigrations
+	c.PageEvictions += o.PageEvictions
+	c.PagePrefetches += o.PagePrefetches
+	c.DefragRemaps += o.DefragRemaps
+	c.PTEWrites += o.PTEWrites
+	c.StaleTranslationUses += o.StaleTranslationUses
+}
+
+// Reset zeroes every counter.
+func (c *Counters) Reset() { *c = Counters{} }

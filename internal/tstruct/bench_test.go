@@ -1,0 +1,60 @@
+package tstruct
+
+import (
+	"testing"
+
+	"hatric/internal/arch"
+)
+
+func BenchmarkTLBLookupHit(b *testing.B) {
+	s := New("l2tlb", 512, 8)
+	for i := uint64(0); i < 512; i++ {
+		s.Fill(i, i, i*8, 0)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.Lookup(uint64(i) & 511)
+	}
+}
+
+func BenchmarkTLBLookupMiss(b *testing.B) {
+	s := New("l2tlb", 512, 8)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.Lookup(uint64(i))
+	}
+}
+
+func BenchmarkTLBFill(b *testing.B) {
+	s := New("l2tlb", 512, 8)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.Fill(uint64(i), uint64(i), uint64(i), 0)
+	}
+}
+
+// BenchmarkCoTagInvalidation measures the full-structure co-tag compare —
+// HATRIC's per-invalidation hardware action, and the simulator's hot path
+// during remap storms.
+func BenchmarkCoTagInvalidation(b *testing.B) {
+	cs := NewCPUSet(arch.DefaultTLBConfig())
+	for i := uint64(0); i < 512; i++ {
+		cs.L2TLB.Fill(i, i, i*8, 0)
+	}
+	mask := CoTagMask(2)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		cs.InvalidateMaskedAll(uint64(i)*8, 3, mask)
+	}
+}
+
+func BenchmarkFlushAll(b *testing.B) {
+	cs := NewCPUSet(arch.DefaultTLBConfig())
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for j := uint64(0); j < 64; j++ {
+			cs.L2TLB.Fill(j, j, j, 0)
+		}
+		cs.FlushAll()
+	}
+}

@@ -1,0 +1,119 @@
+package tstruct
+
+import (
+	"hatric/internal/arch"
+)
+
+// Keys: translation structures are tagged with an address-space identifier
+// (the process within the VM) so multiprogrammed guests keep their
+// translations apart, like PCIDs/ASIDs on real hardware.
+
+// TLBKey builds the L1/L2 TLB key from a process id and guest virtual page.
+func TLBKey(pid int, gvp arch.GVP) uint64 {
+	return uint64(pid)<<44 | uint64(gvp)
+}
+
+// MMUKey builds the paging-structure-cache key from a process id and a
+// guest-virtual prefix key (arch.GVP.PrefixKey).
+func MMUKey(pid int, prefix uint64) uint64 {
+	return uint64(pid)<<44 | prefix
+}
+
+// NTLBKey builds the nested-TLB key from a guest physical page. The nested
+// TLB is per-VM, not per-process.
+func NTLBKey(gpp arch.GPP) uint64 { return uint64(gpp) }
+
+// TLB values pack the system physical page with the guest physical page
+// backing it (the simulator maintains accessed bits per reference, and the
+// prefetch extension rewrites the SPP part in place).
+const tlbGPPShift = 24
+
+// PackTLBVal builds a TLB value from a system physical page and the guest
+// physical page behind it.
+func PackTLBVal(spp, gpp uint64) uint64 { return spp | gpp<<tlbGPPShift }
+
+// UnpackTLBVal splits a TLB value.
+func UnpackTLBVal(v uint64) (spp, gpp uint64) {
+	return v & (1<<tlbGPPShift - 1), v >> tlbGPPShift
+}
+
+// CPUSet bundles one CPU's translation structures.
+type CPUSet struct {
+	L1TLB *Struct
+	L2TLB *Struct
+	NTLB  *Struct
+	MMU   *Struct
+}
+
+// NewCPUSet builds the translation structures from the configuration,
+// applying the Fig. 9 size multiplier.
+func NewCPUSet(cfg arch.TLBConfig) *CPUSet {
+	m := cfg.SizeMultiplier
+	if m <= 0 {
+		m = 1
+	}
+	return &CPUSet{
+		L1TLB: New("l1tlb", cfg.L1TLBEntries*m, cfg.L1TLBWays),
+		L2TLB: New("l2tlb", cfg.L2TLBEntries*m, cfg.L2TLBWays),
+		NTLB:  New("ntlb", cfg.NTLBEntries*m, cfg.NTLBWays),
+		MMU:   New("mmucache", cfg.MMUCacheEntries*m, cfg.MMUCacheWays),
+	}
+}
+
+// All returns the four structures.
+func (c *CPUSet) All() []*Struct {
+	return []*Struct{c.L1TLB, c.L2TLB, c.NTLB, c.MMU}
+}
+
+// FlushAll flushes every structure and returns entries lost per class.
+func (c *CPUSet) FlushAll() (tlb, mmu, ntlb int) {
+	tlb = c.L1TLB.Flush() + c.L2TLB.Flush()
+	mmu = c.MMU.Flush()
+	ntlb = c.NTLB.Flush()
+	return tlb, mmu, ntlb
+}
+
+// InvalidateMaskedAll performs the co-tag compare-and-invalidate across
+// all structures (HATRIC's relay target) and returns entries dropped.
+func (c *CPUSet) InvalidateMaskedAll(src uint64, shift uint, mask uint64) int {
+	n := c.L1TLB.InvalidateMasked(src, shift, mask)
+	n += c.L2TLB.InvalidateMasked(src, shift, mask)
+	n += c.NTLB.InvalidateMasked(src, shift, mask)
+	n += c.MMU.InvalidateMasked(src, shift, mask)
+	return n
+}
+
+// CachesMaskedAny reports whether any structure holds a matching entry.
+func (c *CPUSet) CachesMaskedAny(src uint64, shift uint, mask uint64) bool {
+	return c.L1TLB.CachesMasked(src, shift, mask) ||
+		c.L2TLB.CachesMasked(src, shift, mask) ||
+		c.NTLB.CachesMasked(src, shift, mask) ||
+		c.MMU.CachesMasked(src, shift, mask)
+}
+
+// CoTagMask converts a co-tag width in bytes into the line-index mask the
+// compare uses. Wider co-tags keep more address bits and alias less:
+//
+//	1 byte  -> 8 bits of line index (the paper's bits 13-6)
+//	2 bytes -> 14 bits (the paper's bits 19-6; design point)
+//	3 bytes -> 22 bits (the paper's bits 27-6)
+//
+// Width 0 (software coherence, no co-tags) returns a full mask, which makes
+// an accidental call behave like an exact line match.
+func CoTagMask(bytes int) uint64 {
+	switch bytes {
+	case 1:
+		return (1 << 8) - 1
+	case 2:
+		return (1 << 14) - 1
+	case 3:
+		return (1 << 22) - 1
+	default:
+		return ^uint64(0)
+	}
+}
+
+// ValidTotal returns the total number of valid entries across structures.
+func (c *CPUSet) ValidTotal() int {
+	return c.L1TLB.ValidCount() + c.L2TLB.ValidCount() + c.NTLB.ValidCount() + c.MMU.ValidCount()
+}

@@ -1,0 +1,295 @@
+// Package tstruct implements the per-CPU translation structures: L1 and L2
+// TLBs (guest virtual page -> system physical page), the paging-structure
+// MMU cache (guest virtual prefix -> guest page-table page), and the nested
+// TLB (guest physical page -> system physical page).
+//
+// Every entry carries a HATRIC co-tag: bits of the system physical address
+// of the page-table entry the translation was filled from. The simulator
+// stores the full source line index per entry and applies the configured
+// co-tag mask at invalidation time, which models co-tag aliasing exactly:
+// an invalidation for line L drops every entry whose masked line index
+// equals L's, including unlucky entries from other lines.
+package tstruct
+
+// Entry is one translation-structure entry. Valid corresponds to the
+// Shared coherence state of Sec. 4.2; invalid to Invalid.
+//
+// Src is the word index (SPA >> 3) of the page-table entry this translation
+// was filled from. Real hardware stores only the truncated co-tag; the
+// simulator keeps the full source and applies each protocol's granularity
+// (shift) and width (mask) at compare time, which models both the
+// 8-PTEs-per-line false sharing and co-tag aliasing exactly.
+type Entry struct {
+	Key   uint64
+	Val   uint64
+	Src   uint64 // source PTE word index (SPA >> 3)
+	Kind  uint8  // which page table the entry derives from (cache.IsPTKind)
+	lru   uint64
+	Valid bool
+}
+
+// Struct is one set-associative translation structure.
+type Struct struct {
+	name    string
+	sets    int
+	ways    int
+	entries []Entry
+	tick    uint64
+
+	// Stats
+	Hits               uint64
+	Misses             uint64
+	Fills              uint64
+	Evictions          uint64
+	FlushedEntries     uint64
+	Flushes            uint64
+	CoTagCompares      uint64
+	CoTagInvalidations uint64
+}
+
+// New builds a structure with the given total entries and associativity.
+// The set count is totalEntries/ways exactly (translation structures come
+// in non-power-of-two sizes, e.g. the 48-entry paging-structure cache), so
+// indexing uses a modulo of a mixed key.
+func New(name string, totalEntries, ways int) *Struct {
+	if ways <= 0 {
+		ways = 1
+	}
+	if totalEntries < ways {
+		totalEntries = ways
+	}
+	sets := totalEntries / ways
+	return &Struct{
+		name:    name,
+		sets:    sets,
+		ways:    ways,
+		entries: make([]Entry, sets*ways),
+	}
+}
+
+// Name returns the structure's name.
+func (s *Struct) Name() string { return s.name }
+
+// Capacity returns the number of entries.
+func (s *Struct) Capacity() int { return s.sets * s.ways }
+
+func (s *Struct) set(key uint64) []Entry {
+	idx := int(mix(key) % uint64(s.sets))
+	return s.entries[idx*s.ways : (idx+1)*s.ways]
+}
+
+// mix spreads structured keys (page numbers, prefix keys) across sets.
+func mix(x uint64) uint64 {
+	x ^= x >> 33
+	x *= 0xff51afd7ed558ccd
+	x ^= x >> 33
+	return x
+}
+
+// Lookup probes for key; a hit refreshes LRU state.
+func (s *Struct) Lookup(key uint64) (uint64, bool) {
+	set := s.set(key)
+	for i := range set {
+		if set[i].Valid && set[i].Key == key {
+			s.tick++
+			set[i].lru = s.tick
+			s.Hits++
+			return set[i].Val, true
+		}
+	}
+	s.Misses++
+	return 0, false
+}
+
+// LookupEntry probes for key and returns the whole entry on a hit,
+// refreshing LRU state. Callers that need the co-tag (L2 to L1 refills)
+// use this instead of Lookup.
+func (s *Struct) LookupEntry(key uint64) (Entry, bool) {
+	set := s.set(key)
+	for i := range set {
+		if set[i].Valid && set[i].Key == key {
+			s.tick++
+			set[i].lru = s.tick
+			s.Hits++
+			return set[i], true
+		}
+	}
+	s.Misses++
+	return Entry{}, false
+}
+
+// Peek probes without touching LRU or stats.
+func (s *Struct) Peek(key uint64) (uint64, bool) {
+	set := s.set(key)
+	for i := range set {
+		if set[i].Valid && set[i].Key == key {
+			return set[i].Val, true
+		}
+	}
+	return 0, false
+}
+
+// Fill inserts a translation. If a valid victim had to be displaced, it is
+// returned so the caller can lazily (or eagerly) update the directory.
+func (s *Struct) Fill(key, val, src uint64, kind uint8) (victim Entry, evicted bool) {
+	set := s.set(key)
+	s.tick++
+	s.Fills++
+	for i := range set {
+		if set[i].Valid && set[i].Key == key {
+			set[i].Val = val
+			set[i].Src = src
+			set[i].Kind = kind
+			set[i].lru = s.tick
+			return Entry{}, false
+		}
+	}
+	for i := range set {
+		if !set[i].Valid {
+			set[i] = Entry{Key: key, Val: val, Src: src, Kind: kind, lru: s.tick, Valid: true}
+			return Entry{}, false
+		}
+	}
+	v := 0
+	for i := 1; i < len(set); i++ {
+		if set[i].lru < set[v].lru {
+			v = i
+		}
+	}
+	victim = set[v]
+	set[v] = Entry{Key: key, Val: val, Src: src, Kind: kind, lru: s.tick, Valid: true}
+	s.Evictions++
+	return victim, true
+}
+
+// InvalidateKey drops the entry for key (selective invalidation with a
+// known key, e.g. invlpg with a known guest virtual page).
+func (s *Struct) InvalidateKey(key uint64) bool {
+	set := s.set(key)
+	for i := range set {
+		if set[i].Valid && set[i].Key == key {
+			set[i].Valid = false
+			return true
+		}
+	}
+	return false
+}
+
+// InvalidateMasked drops every valid entry matching the co-tag compare
+// ((Src >> shift) & mask == (src >> shift) & mask). Shift 3 compares at
+// cache-line granularity (HATRIC, UNITD); shift 0 at exact-PTE granularity
+// (the ideal protocol). All entries are compared (a CAM-style parallel
+// compare), which the energy model charges. It returns the number of
+// entries invalidated.
+func (s *Struct) InvalidateMasked(src uint64, shift uint, mask uint64) int {
+	n := 0
+	target := (src >> shift) & mask
+	for i := range s.entries {
+		if !s.entries[i].Valid {
+			continue
+		}
+		s.CoTagCompares++
+		if (s.entries[i].Src>>shift)&mask == target {
+			s.entries[i].Valid = false
+			n++
+		}
+	}
+	s.CoTagInvalidations += uint64(n)
+	return n
+}
+
+// InvalidateMaskedExcept behaves like InvalidateMasked but spares entries
+// whose exact source word is exceptSrc (they were just updated in place by
+// the prefetch extension rather than made stale).
+func (s *Struct) InvalidateMaskedExcept(src uint64, shift uint, mask, exceptSrc uint64) int {
+	n := 0
+	target := (src >> shift) & mask
+	for i := range s.entries {
+		if !s.entries[i].Valid {
+			continue
+		}
+		s.CoTagCompares++
+		if s.entries[i].Src == exceptSrc {
+			continue
+		}
+		if (s.entries[i].Src>>shift)&mask == target {
+			s.entries[i].Valid = false
+			n++
+		}
+	}
+	s.CoTagInvalidations += uint64(n)
+	return n
+}
+
+// CachesMasked reports whether any valid entry matches the masked compare
+// (used by the eager directory-update ablation; counts compare energy).
+func (s *Struct) CachesMasked(src uint64, shift uint, mask uint64) bool {
+	target := (src >> shift) & mask
+	for i := range s.entries {
+		if !s.entries[i].Valid {
+			continue
+		}
+		s.CoTagCompares++
+		if (s.entries[i].Src>>shift)&mask == target {
+			return true
+		}
+	}
+	return false
+}
+
+// UpdateMatching visits every valid entry whose exact source word matches
+// src and replaces its value with upd's result (or invalidates it when upd
+// reports keep == false). It returns how many entries were touched. This
+// is the mechanism behind the paper's Sec. 4.4 prefetching extension:
+// instead of dropping a translation made stale by a remap, hardware can
+// install the new mapping directly.
+func (s *Struct) UpdateMatching(src uint64, upd func(Entry) (uint64, bool)) int {
+	n := 0
+	for i := range s.entries {
+		if !s.entries[i].Valid || s.entries[i].Src != src {
+			continue
+		}
+		newVal, keep := upd(s.entries[i])
+		if keep {
+			s.entries[i].Val = newVal
+		} else {
+			s.entries[i].Valid = false
+		}
+		n++
+	}
+	return n
+}
+
+// Flush invalidates everything and returns how many entries were lost.
+func (s *Struct) Flush() int {
+	n := 0
+	for i := range s.entries {
+		if s.entries[i].Valid {
+			s.entries[i].Valid = false
+			n++
+		}
+	}
+	s.Flushes++
+	s.FlushedEntries += uint64(n)
+	return n
+}
+
+// ValidCount returns the number of valid entries.
+func (s *Struct) ValidCount() int {
+	n := 0
+	for i := range s.entries {
+		if s.entries[i].Valid {
+			n++
+		}
+	}
+	return n
+}
+
+// ForEachValid visits every valid entry.
+func (s *Struct) ForEachValid(fn func(e Entry)) {
+	for i := range s.entries {
+		if s.entries[i].Valid {
+			fn(s.entries[i])
+		}
+	}
+}

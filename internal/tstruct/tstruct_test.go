@@ -1,0 +1,255 @@
+package tstruct
+
+import (
+	"testing"
+	"testing/quick"
+
+	"hatric/internal/arch"
+)
+
+func TestFillLookup(t *testing.T) {
+	s := New("tlb", 8, 2)
+	if _, ok := s.Lookup(1); ok {
+		t.Fatal("empty hit")
+	}
+	s.Fill(1, 100, 0x40, 0)
+	v, ok := s.Lookup(1)
+	if !ok || v != 100 {
+		t.Fatalf("lookup: %d %v", v, ok)
+	}
+	e, ok := s.LookupEntry(1)
+	if !ok || e.Src != 0x40 {
+		t.Fatalf("LookupEntry: %+v %v", e, ok)
+	}
+}
+
+func TestFillUpdatesInPlace(t *testing.T) {
+	s := New("tlb", 8, 2)
+	s.Fill(1, 100, 11, 0)
+	if _, ev := s.Fill(1, 200, 22, 1); ev {
+		t.Fatal("update evicted")
+	}
+	e, _ := s.LookupEntry(1)
+	if e.Val != 200 || e.Src != 22 || e.Kind != 1 {
+		t.Errorf("update lost: %+v", e)
+	}
+}
+
+func TestLRUVictim(t *testing.T) {
+	s := New("tlb", 2, 2) // one set, two ways
+	s.Fill(1, 10, 0, 0)
+	s.Fill(2, 20, 0, 0)
+	s.Lookup(1)
+	v, ev := s.Fill(3, 30, 0, 0)
+	if !ev || v.Key != 2 {
+		t.Fatalf("victim %+v (evicted=%v), want key 2", v, ev)
+	}
+}
+
+func TestInvalidateKey(t *testing.T) {
+	s := New("tlb", 8, 2)
+	s.Fill(5, 50, 0, 0)
+	if !s.InvalidateKey(5) {
+		t.Fatal("InvalidateKey missed")
+	}
+	if _, ok := s.Lookup(5); ok {
+		t.Errorf("entry survived")
+	}
+	if s.InvalidateKey(5) {
+		t.Errorf("double invalidation succeeded")
+	}
+}
+
+func TestInvalidateMaskedLineGranularity(t *testing.T) {
+	s := New("tlb", 16, 4)
+	// Three entries: two sourced from PTEs in the same cache line (word
+	// indices 8..15 share line 1), one from another line.
+	s.Fill(1, 10, 8, 0)                       // line 1
+	s.Fill(2, 20, 15, 0)                      // line 1
+	s.Fill(3, 30, 16, 0)                      // line 2
+	n := s.InvalidateMasked(9, 3, ^uint64(0)) // any word in line 1
+	if n != 2 {
+		t.Fatalf("line-granular invalidation dropped %d, want 2", n)
+	}
+	if _, ok := s.Lookup(3); !ok {
+		t.Errorf("unrelated line collateral-damaged")
+	}
+}
+
+func TestInvalidateMaskedExact(t *testing.T) {
+	s := New("tlb", 16, 4)
+	s.Fill(1, 10, 8, 0)
+	s.Fill(2, 20, 9, 0) // same line, different PTE
+	n := s.InvalidateMasked(8, 0, ^uint64(0))
+	if n != 1 {
+		t.Fatalf("exact invalidation dropped %d, want 1", n)
+	}
+	if _, ok := s.Lookup(2); !ok {
+		t.Errorf("sibling PTE entry dropped under exact matching")
+	}
+}
+
+func TestInvalidateMaskedAliasing(t *testing.T) {
+	s := New("tlb", 16, 4)
+	// With a 1-byte co-tag (8 line bits), lines 1 and 257 alias.
+	s.Fill(1, 10, 1*8, 0)
+	s.Fill(2, 20, 257*8, 0)
+	s.Fill(3, 30, 2*8, 0)
+	n := s.InvalidateMasked(1*8, 3, CoTagMask(1))
+	if n != 2 {
+		t.Fatalf("aliased invalidation dropped %d, want 2 (the alias must go too)", n)
+	}
+	if _, ok := s.Lookup(3); !ok {
+		t.Errorf("non-aliasing line dropped")
+	}
+}
+
+func TestCachesMasked(t *testing.T) {
+	s := New("tlb", 8, 2)
+	s.Fill(1, 10, 40, 0)
+	if !s.CachesMasked(41, 3, ^uint64(0)) {
+		t.Errorf("CachesMasked missed same-line entry")
+	}
+	if s.CachesMasked(48, 3, ^uint64(0)) {
+		t.Errorf("CachesMasked false positive")
+	}
+}
+
+func TestFlushCounts(t *testing.T) {
+	s := New("tlb", 8, 2)
+	s.Fill(1, 1, 0, 0)
+	s.Fill(2, 2, 0, 0)
+	if n := s.Flush(); n != 2 {
+		t.Errorf("flush lost %d", n)
+	}
+	if s.ValidCount() != 0 {
+		t.Errorf("entries survive flush")
+	}
+	if s.Flushes != 1 || s.FlushedEntries != 2 {
+		t.Errorf("flush stats: %d %d", s.Flushes, s.FlushedEntries)
+	}
+}
+
+func TestCompareEnergyCounting(t *testing.T) {
+	s := New("tlb", 8, 2)
+	s.Fill(1, 1, 8, 0)
+	s.Fill(2, 2, 16, 0)
+	before := s.CoTagCompares
+	s.InvalidateMasked(8, 3, ^uint64(0))
+	if s.CoTagCompares != before+2 {
+		t.Errorf("every valid entry must be compared: %d", s.CoTagCompares-before)
+	}
+}
+
+func TestCoTagMask(t *testing.T) {
+	if CoTagMask(1) != 0xFF {
+		t.Errorf("1B mask = %#x", CoTagMask(1))
+	}
+	if CoTagMask(2) != 0x3FFF {
+		t.Errorf("2B mask = %#x", CoTagMask(2))
+	}
+	if CoTagMask(3) != 0x3FFFFF {
+		t.Errorf("3B mask = %#x", CoTagMask(3))
+	}
+	if CoTagMask(0) != ^uint64(0) || CoTagMask(7) != ^uint64(0) {
+		t.Errorf("degenerate widths should be exact")
+	}
+}
+
+// Property: masked invalidation drops exactly the entries whose masked line
+// index matches, and compare counts equal valid entries scanned.
+func TestInvalidateMaskedProperty(t *testing.T) {
+	f := func(srcs []uint16, target uint16, width uint8) bool {
+		s := New("tlb", 64, 4)
+		mask := CoTagMask(int(width%3) + 1)
+		want := 0
+		kept := map[uint64]bool{}
+		for i, src := range srcs {
+			if i >= 30 {
+				break
+			}
+			s.Fill(uint64(i), uint64(i), uint64(src), 0)
+		}
+		s.ForEachValid(func(e Entry) {
+			if (e.Src>>3)&mask == (uint64(target)>>3)&mask {
+				want++
+			} else {
+				kept[e.Key] = true
+			}
+		})
+		got := s.InvalidateMasked(uint64(target), 3, mask)
+		if got != want {
+			return false
+		}
+		ok := true
+		for key := range kept {
+			if _, hit := s.Peek(key); !hit {
+				ok = false
+			}
+		}
+		return ok
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestCPUSetFlushAll(t *testing.T) {
+	cs := NewCPUSet(arch.DefaultTLBConfig())
+	cs.L1TLB.Fill(1, 1, 0, 0)
+	cs.L2TLB.Fill(2, 2, 0, 0)
+	cs.NTLB.Fill(3, 3, 0, 0)
+	cs.MMU.Fill(4, 4, 0, 0)
+	tlb, mmu, ntlb := cs.FlushAll()
+	if tlb != 2 || mmu != 1 || ntlb != 1 {
+		t.Errorf("FlushAll: %d %d %d", tlb, mmu, ntlb)
+	}
+	if cs.ValidTotal() != 0 {
+		t.Errorf("entries survive FlushAll")
+	}
+}
+
+func TestCPUSetSizes(t *testing.T) {
+	cfg := arch.DefaultTLBConfig()
+	cs := NewCPUSet(cfg)
+	if cs.L1TLB.Capacity() != 64 || cs.L2TLB.Capacity() != 512 ||
+		cs.NTLB.Capacity() != 32 || cs.MMU.Capacity() != 48 {
+		t.Errorf("paper sizes: %d %d %d %d",
+			cs.L1TLB.Capacity(), cs.L2TLB.Capacity(), cs.NTLB.Capacity(), cs.MMU.Capacity())
+	}
+	cfg.SizeMultiplier = 4
+	cs4 := NewCPUSet(cfg)
+	if cs4.L2TLB.Capacity() != 2048 {
+		t.Errorf("4x multiplier: %d", cs4.L2TLB.Capacity())
+	}
+	if len(cs.All()) != 4 {
+		t.Errorf("All() returned %d structures", len(cs.All()))
+	}
+}
+
+func TestCPUSetInvalidateAll(t *testing.T) {
+	cs := NewCPUSet(arch.DefaultTLBConfig())
+	cs.L1TLB.Fill(1, 1, 8, 0)
+	cs.L2TLB.Fill(1, 1, 8, 0)
+	cs.NTLB.Fill(2, 2, 9, 0)
+	cs.MMU.Fill(3, 3, 64, 0)
+	n := cs.InvalidateMaskedAll(8, 3, ^uint64(0))
+	if n != 3 {
+		t.Errorf("dropped %d, want 3 (MMU entry from another line survives)", n)
+	}
+	if !cs.CachesMaskedAny(64, 3, ^uint64(0)) {
+		t.Errorf("MMU entry should remain")
+	}
+}
+
+func TestKeys(t *testing.T) {
+	if TLBKey(1, 2) == TLBKey(2, 1) {
+		t.Errorf("TLB keys must separate processes")
+	}
+	if MMUKey(1, 5) == MMUKey(2, 5) {
+		t.Errorf("MMU keys must separate processes")
+	}
+	if NTLBKey(7) != 7 {
+		t.Errorf("nTLB key is the GPP")
+	}
+}

@@ -1,0 +1,60 @@
+package walker
+
+import (
+	"testing"
+	"testing/quick"
+
+	"hatric/internal/arch"
+	"hatric/internal/xrand"
+)
+
+// TestWalkerMatchesFunctionalTranslation maps random pages, issues random
+// translations (interleaved with remaps performed directly on the nested
+// page table plus matching co-tag invalidations), and checks the hardware
+// walker always agrees with the functional page-table walk.
+func TestWalkerMatchesFunctionalTranslation(t *testing.T) {
+	f := func(seed uint64) bool {
+		r := newRig(t)
+		rng := xrand.New(seed)
+		const pages = 64
+		gpps := make([]arch.GPP, pages)
+		for i := 0; i < pages; i++ {
+			gvp := arch.GVP(i * 3) // spread across the radix a little
+			gpp := arch.GPP(0x1000 + i)
+			r.mapPage(t, gvp, gpp, true)
+			gpps[i] = gpp
+		}
+		for step := 0; step < 500; step++ {
+			i := rng.Intn(pages)
+			gvp := arch.GVP(i * 3)
+			if rng.Bool(0.1) {
+				// Remap the page to a fresh frame and invalidate like
+				// HATRIC would (line-granular).
+				frame, ok := r.mem.AllocFrame(arch.TierHBM)
+				if !ok {
+					continue
+				}
+				spa, err := r.nested.Remap(gpps[i], frame, true)
+				if err != nil {
+					return false
+				}
+				r.w.TS.InvalidateMaskedAll(uint64(spa)>>3, 3, ^uint64(0))
+			}
+			spp, gpp, _, fault := r.w.Translate(0, gvp, arch.Cycles(step))
+			if fault != nil {
+				return false
+			}
+			want, present, ok := r.nested.Translate(gpps[i])
+			if !ok || !present {
+				return false
+			}
+			if spp != want || gpp != gpps[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 15}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,18 @@
+package workload
+
+import "testing"
+
+func BenchmarkStreamNext(b *testing.B) {
+	spec := Spec{
+		Name: "bench", FootprintPages: 4096, Refs: 1 << 62,
+		RegionPages: 512, Theta: 0.7, DriftEvery: 10_000, DriftPages: 8,
+		StreamFrac: 0.2, WriteFrac: 0.3, GapMean: 4,
+	}
+	s := NewStream(spec, 1, 0)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, ok := s.Next(); !ok {
+			b.Fatal("stream exhausted")
+		}
+	}
+}

@@ -1,0 +1,9 @@
+package workload
+
+import "hatric/internal/xrand"
+
+// newMixRNG derives the deterministic generator used to compose
+// multiprogrammed mixes.
+func newMixRNG(mix uint64) *xrand.RNG {
+	return xrand.New(0xC0FFEE ^ (mix * 0x9E3779B97F4A7C15))
+}

@@ -1,0 +1,131 @@
+package workload
+
+import "fmt"
+
+// The big-five server workloads of the paper's main figures. Footprints
+// and regions are expressed at simulation scale, where die-stacked DRAM
+// holds 768 pages (3 MB): every footprint exceeds die-stacked capacity
+// (forcing inter-tier paging) while the active region fits, as in the
+// paper's 10 GB-footprint-over-2 GB-stack setup. Regions slightly exceed
+// L2 TLB reach (512 entries) so that larger translation structures have
+// something to win (Fig. 9). Drift rate sets the page migration (and hence
+// translation coherence) rate; data caching and tunkrank drift fastest,
+// which is why the paper sees them lose performance under software
+// coherence (Fig. 2).
+var bigFive = []Spec{
+	{
+		Name: "canneal", FootprintPages: 2048, Refs: 200_000,
+		RegionPages: 576, Theta: 0.60, DriftEvery: 130_000, DriftPages: 14,
+		StreamFrac: 0.05, WriteFrac: 0.30, GapMean: 3, Threads: 16,
+	},
+	{
+		Name: "data_caching", FootprintPages: 2560, Refs: 200_000,
+		RegionPages: 640, Theta: 0.82, DriftEvery: 26_000, DriftPages: 12,
+		StreamFrac: 0.02, WriteFrac: 0.10, GapMean: 4, Threads: 16,
+	},
+	{
+		Name: "graph500", FootprintPages: 3072, Refs: 200_000,
+		RegionPages: 544, Theta: 0.45, DriftEvery: 64_000, DriftPages: 14,
+		StreamFrac: 0.10, WriteFrac: 0.15, GapMean: 2, Threads: 16,
+	},
+	{
+		Name: "tunkrank", FootprintPages: 2304, Refs: 200_000,
+		RegionPages: 576, Theta: 0.55, DriftEvery: 21_000, DriftPages: 10,
+		StreamFrac: 0.05, WriteFrac: 0.20, GapMean: 2, Threads: 16,
+	},
+	{
+		Name: "facesim", FootprintPages: 1536, Refs: 200_000,
+		RegionPages: 512, Theta: 0.50, DriftEvery: 100_000, DriftPages: 12,
+		StreamFrac: 0.55, WriteFrac: 0.35, GapMean: 4, Threads: 16,
+	},
+}
+
+// specPool is the SPEC-CPU-like single-threaded application pool used to
+// build the 80 multiprogrammed mixes (Sec. 5.3). Footprints, locality, and
+// memory intensity vary widely; DriftEvery == 0 entries never migrate after
+// warm-up and model compute-bound applications with small working sets.
+var specPool = []Spec{
+	{Name: "perlbench", FootprintPages: 24, Refs: 120_000, RegionPages: 16, Theta: 0.70, GapMean: 8, WriteFrac: 0.20},
+	{Name: "bzip2", FootprintPages: 72, Refs: 120_000, RegionPages: 24, Theta: 0.55, DriftEvery: 13333, DriftPages: 4, StreamFrac: 0.30, GapMean: 4, WriteFrac: 0.25},
+	{Name: "gcc", FootprintPages: 104, Refs: 120_000, RegionPages: 32, Theta: 0.65, DriftEvery: 10000, DriftPages: 6, GapMean: 5, WriteFrac: 0.25},
+	{Name: "mcf", FootprintPages: 288, Refs: 120_000, RegionPages: 48, Theta: 0.40, DriftEvery: 5000, DriftPages: 10, GapMean: 2, WriteFrac: 0.15},
+	{Name: "milc", FootprintPages: 184, Refs: 120_000, RegionPages: 40, Theta: 0.45, DriftEvery: 6666, DriftPages: 8, StreamFrac: 0.50, GapMean: 3, WriteFrac: 0.30},
+	{Name: "namd", FootprintPages: 32, Refs: 120_000, RegionPages: 20, Theta: 0.60, GapMean: 7, WriteFrac: 0.20},
+	{Name: "gobmk", FootprintPages: 24, Refs: 120_000, RegionPages: 14, Theta: 0.72, GapMean: 9, WriteFrac: 0.20},
+	{Name: "dealII", FootprintPages: 76, Refs: 120_000, RegionPages: 28, Theta: 0.58, DriftEvery: 11666, DriftPages: 4, GapMean: 5, WriteFrac: 0.25},
+	{Name: "soplex", FootprintPages: 204, Refs: 120_000, RegionPages: 44, Theta: 0.48, DriftEvery: 6000, DriftPages: 8, GapMean: 3, WriteFrac: 0.20},
+	{Name: "povray", FootprintPages: 24, Refs: 120_000, RegionPages: 12, Theta: 0.75, GapMean: 10, WriteFrac: 0.15},
+	{Name: "calculix", FootprintPages: 28, Refs: 120_000, RegionPages: 18, Theta: 0.62, GapMean: 6, WriteFrac: 0.25},
+	{Name: "hmmer", FootprintPages: 24, Refs: 120_000, RegionPages: 16, Theta: 0.66, StreamFrac: 0.40, GapMean: 6, WriteFrac: 0.15},
+	{Name: "sjeng", FootprintPages: 24, Refs: 120_000, RegionPages: 16, Theta: 0.70, GapMean: 8, WriteFrac: 0.20},
+	{Name: "GemsFDTD", FootprintPages: 216, Refs: 120_000, RegionPages: 40, Theta: 0.42, DriftEvery: 5333, DriftPages: 8, StreamFrac: 0.55, GapMean: 3, WriteFrac: 0.30},
+	{Name: "libquantum", FootprintPages: 232, Refs: 120_000, RegionPages: 32, Theta: 0.35, DriftEvery: 4666, DriftPages: 8, StreamFrac: 0.70, GapMean: 2, WriteFrac: 0.10},
+	{Name: "h264ref", FootprintPages: 32, Refs: 120_000, RegionPages: 20, Theta: 0.64, StreamFrac: 0.35, GapMean: 5, WriteFrac: 0.25},
+	{Name: "tonto", FootprintPages: 36, Refs: 120_000, RegionPages: 22, Theta: 0.60, GapMean: 6, WriteFrac: 0.25},
+	{Name: "lbm", FootprintPages: 408, Refs: 120_000, RegionPages: 48, Theta: 0.38, DriftEvery: 4000, DriftPages: 12, StreamFrac: 0.75, GapMean: 2, WriteFrac: 0.40},
+	{Name: "omnetpp", FootprintPages: 160, Refs: 120_000, RegionPages: 32, Theta: 0.52, DriftEvery: 7333, DriftPages: 8, GapMean: 4, WriteFrac: 0.25},
+	{Name: "astar", FootprintPages: 98, Refs: 120_000, RegionPages: 26, Theta: 0.55, DriftEvery: 9333, DriftPages: 6, GapMean: 4, WriteFrac: 0.20},
+	{Name: "wrf", FootprintPages: 180, Refs: 120_000, RegionPages: 36, Theta: 0.46, DriftEvery: 6666, DriftPages: 8, StreamFrac: 0.45, GapMean: 4, WriteFrac: 0.30},
+	{Name: "sphinx3", FootprintPages: 106, Refs: 120_000, RegionPages: 28, Theta: 0.55, DriftEvery: 8666, DriftPages: 6, StreamFrac: 0.30, GapMean: 4, WriteFrac: 0.15},
+	{Name: "xalancbmk", FootprintPages: 98, Refs: 120_000, RegionPages: 26, Theta: 0.60, DriftEvery: 10000, DriftPages: 6, GapMean: 5, WriteFrac: 0.20},
+	{Name: "bwaves", FootprintPages: 216, Refs: 120_000, RegionPages: 40, Theta: 0.40, DriftEvery: 5333, DriftPages: 8, StreamFrac: 0.60, GapMean: 3, WriteFrac: 0.35},
+	{Name: "zeusmp", FootprintPages: 152, Refs: 120_000, RegionPages: 32, Theta: 0.48, DriftEvery: 8000, DriftPages: 8, StreamFrac: 0.40, GapMean: 4, WriteFrac: 0.30},
+	{Name: "cactusADM", FootprintPages: 196, Refs: 120_000, RegionPages: 36, Theta: 0.44, DriftEvery: 6000, DriftPages: 8, StreamFrac: 0.50, GapMean: 4, WriteFrac: 0.30},
+}
+
+// smallSet is the second workload group of Sec. 5.3: applications whose
+// data fits within die-stacked DRAM. Inter-tier paging is rare, but the
+// hypervisor still remaps pages to defragment memory for superpages, which
+// is how Fig. 11 finds energy/performance effects even here.
+var smallSet = []Spec{
+	{Name: "blackscholes", FootprintPages: 112, Refs: 150_000, RegionPages: 96, Theta: 0.60, StreamFrac: 0.40, GapMean: 6, WriteFrac: 0.20, Threads: 16},
+	{Name: "bodytrack", FootprintPages: 128, Refs: 150_000, RegionPages: 112, Theta: 0.62, GapMean: 5, WriteFrac: 0.25, Threads: 16},
+	{Name: "swaptions", FootprintPages: 80, Refs: 150_000, RegionPages: 64, Theta: 0.68, GapMean: 7, WriteFrac: 0.20, Threads: 16},
+	{Name: "fluidanimate", FootprintPages: 192, Refs: 150_000, RegionPages: 160, Theta: 0.55, StreamFrac: 0.35, GapMean: 4, WriteFrac: 0.35, Threads: 16},
+	{Name: "streamcluster", FootprintPages: 224, Refs: 150_000, RegionPages: 176, Theta: 0.50, StreamFrac: 0.60, GapMean: 3, WriteFrac: 0.20, Threads: 16},
+	{Name: "freqmine", FootprintPages: 160, Refs: 150_000, RegionPages: 128, Theta: 0.58, GapMean: 5, WriteFrac: 0.25, Threads: 16},
+}
+
+// BigFive returns the five large-footprint workloads of Figs. 2 and 7-9.
+func BigFive() []Spec { return cloneSpecs(bigFive) }
+
+// SpecPool returns the SPEC-like application pool.
+func SpecPool() []Spec { return cloneSpecs(specPool) }
+
+// SmallSet returns the die-stack-resident workloads of Fig. 11.
+func SmallSet() []Spec { return cloneSpecs(smallSet) }
+
+// ByName finds a workload in any of the preset groups.
+func ByName(name string) (Spec, error) {
+	for _, group := range [][]Spec{bigFive, specPool, smallSet} {
+		for _, s := range group {
+			if s.Name == name {
+				return s, nil
+			}
+		}
+	}
+	return Spec{}, fmt.Errorf("workload: unknown workload %q", name)
+}
+
+// Mix returns the 16 applications of multiprogrammed mix i (0..79),
+// drawn deterministically from the SPEC-like pool with repetition across
+// mixes but not within one mix when avoidable.
+func Mix(i int) []Spec {
+	pool := SpecPool()
+	rng := newMixRNG(uint64(i))
+	out := make([]Spec, 0, 16)
+	perm := rng.Perm(len(pool))
+	for k := 0; k < 16; k++ {
+		out = append(out, pool[perm[k%len(perm)]])
+	}
+	return out
+}
+
+// NumMixes is the number of multiprogrammed workloads in Fig. 10.
+const NumMixes = 80
+
+func cloneSpecs(in []Spec) []Spec {
+	out := make([]Spec, len(in))
+	copy(out, in)
+	return out
+}

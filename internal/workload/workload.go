@@ -1,0 +1,202 @@
+// Package workload generates deterministic synthetic memory-reference
+// streams standing in for the paper's workloads (PARSEC's canneal and
+// facesim, CloudSuite's data caching and tunkrank, graph500, and SPEC-like
+// single-threaded applications). The paper drives its simulator with Pin
+// traces of the real applications; the phenomena its figures depend on —
+// footprint relative to die-stacked capacity, access locality, drift of the
+// active working set (which sets the inter-tier migration rate), and
+// memory-level intensity — are captured here as generator parameters.
+package workload
+
+import (
+	"hatric/internal/arch"
+	"hatric/internal/xrand"
+)
+
+// Access is one memory reference of a trace.
+type Access struct {
+	VA    arch.GVA
+	Write bool
+	// Gap is the number of non-memory instructions preceding the access.
+	Gap uint32
+}
+
+// Spec parameterizes one workload's generator.
+type Spec struct {
+	Name string
+	// FootprintPages is the data footprint in 4 KB pages (per process).
+	FootprintPages int
+	// Refs is the number of memory references per thread.
+	Refs uint64
+	// RegionPages is the active working-set window within the footprint.
+	RegionPages int
+	// Theta is the Zipf skew of accesses within the region (0 < theta < 1;
+	// larger is hotter).
+	Theta float64
+	// DriftEvery shifts the region by DriftPages every DriftEvery
+	// references of TOTAL work (summed over the workload's threads); drift
+	// is what forces inter-tier page migration. The simulator divides it
+	// by the thread count so total churn is independent of vCPU count, as
+	// it is for a real application doing fixed work.
+	DriftEvery uint64
+	DriftPages int
+	// StreamFrac is the fraction of references that belong to a sequential
+	// scan through the region (streaming workloads).
+	StreamFrac float64
+	// WriteFrac is the store fraction.
+	WriteFrac float64
+	// GapMean is the mean number of non-memory instructions between
+	// references (memory intensity knob).
+	GapMean int
+	// Threads is the natural thread count of the workload (1 for the
+	// SPEC-like applications, many for the server workloads).
+	Threads int
+}
+
+// WithRefs returns a copy with the per-thread reference count replaced.
+// The drift period scales with the change so the migration churn per run
+// is preserved at reduced reference counts.
+func (s Spec) WithRefs(refs uint64) Spec {
+	if s.DriftEvery > 0 && s.Refs > 0 && refs != s.Refs {
+		s.DriftEvery = s.DriftEvery * refs / s.Refs
+		if s.DriftEvery == 0 {
+			s.DriftEvery = 1
+		}
+	}
+	s.Refs = refs
+	return s
+}
+
+// PerThread divides the drift period across the given thread count (total
+// churn stays a function of total work done).
+func (s Spec) PerThread(threads int) Spec {
+	if threads > 1 && s.DriftEvery > 0 {
+		s.DriftEvery /= uint64(threads)
+		if s.DriftEvery == 0 {
+			s.DriftEvery = 1
+		}
+	}
+	return s
+}
+
+// ScaleFootprint returns a copy with footprint and region scaled by num/den
+// (used to keep footprint:HBM ratios fixed when memory capacity changes).
+func (s Spec) ScaleFootprint(num, den int) Spec {
+	s.FootprintPages = s.FootprintPages * num / den
+	s.RegionPages = s.RegionPages * num / den
+	if s.RegionPages < 16 {
+		s.RegionPages = 16
+	}
+	if s.FootprintPages < s.RegionPages {
+		s.FootprintPages = s.RegionPages
+	}
+	return s
+}
+
+// Stream generates one thread's reference sequence. Streams of the same
+// multithreaded workload share the footprint and drift schedule (so threads
+// actually share hot translations) but draw independently.
+type Stream struct {
+	spec    Spec
+	rng     *xrand.RNG
+	zipf    *xrand.Zipf
+	stride  uint64
+	emitted uint64
+
+	regionStart uint64
+	seqPtr      uint64
+	lineCtr     uint64
+}
+
+// NewStream builds a generator for the spec. Threads of one workload use
+// the same workloadSeed and distinct thread ids.
+func NewStream(spec Spec, workloadSeed uint64, thread int) *Stream {
+	if spec.RegionPages <= 0 || spec.RegionPages > spec.FootprintPages {
+		spec.RegionPages = spec.FootprintPages
+	}
+	s := &Stream{
+		spec: spec,
+		rng:  xrand.New(workloadSeed*1e9 + uint64(thread)*7919 + 13),
+		zipf: xrand.NewZipf(uint64(spec.RegionPages), clampTheta(spec.Theta)),
+	}
+	s.stride = coprimeStride(uint64(spec.RegionPages))
+	return s
+}
+
+func clampTheta(t float64) float64 {
+	if t <= 0.01 {
+		return 0.01
+	}
+	if t >= 0.99 {
+		return 0.99
+	}
+	return t
+}
+
+// coprimeStride finds a multiplier coprime with n, used to scatter Zipf
+// ranks across the region so hot pages are not physically clustered.
+func coprimeStride(n uint64) uint64 {
+	if n <= 2 {
+		return 1
+	}
+	s := n*2/3 | 1
+	for gcd(s, n) != 1 {
+		s += 2
+	}
+	return s
+}
+
+func gcd(a, b uint64) uint64 {
+	for b != 0 {
+		a, b = b, a%b
+	}
+	return a
+}
+
+// Done reports whether the stream is exhausted.
+func (s *Stream) Done() bool { return s.emitted >= s.spec.Refs }
+
+// Emitted returns how many references have been produced.
+func (s *Stream) Emitted() uint64 { return s.emitted }
+
+// Spec returns the generator parameters.
+func (s *Stream) Spec() Spec { return s.spec }
+
+// Next produces the next access; ok is false when the stream is exhausted.
+func (s *Stream) Next() (Access, bool) {
+	if s.Done() {
+		return Access{}, false
+	}
+	sp := &s.spec
+	if sp.DriftEvery > 0 && s.emitted > 0 && s.emitted%sp.DriftEvery == 0 {
+		span := uint64(sp.FootprintPages - sp.RegionPages + 1)
+		s.regionStart = (s.regionStart + uint64(sp.DriftPages)) % span
+	}
+	s.emitted++
+
+	var page uint64
+	var offset uint64
+	if s.rng.Float64() < sp.StreamFrac {
+		// Sequential scan through the region, line by line.
+		s.lineCtr++
+		page = s.regionStart + (s.seqPtr % uint64(sp.RegionPages))
+		offset = (s.lineCtr % arch.LinesPerPage) * arch.LineSize
+		if s.lineCtr%arch.LinesPerPage == 0 {
+			s.seqPtr++
+		}
+	} else {
+		rank := s.zipf.Sample(s.rng)
+		page = s.regionStart + (rank*s.stride)%uint64(sp.RegionPages)
+		offset = (s.rng.Uint64() % arch.LinesPerPage) * arch.LineSize
+	}
+
+	gap := uint32(sp.GapMean)
+	if sp.GapMean > 1 {
+		gap = uint32(sp.GapMean/2) + uint32(s.rng.Uint64n(uint64(sp.GapMean)))
+	}
+	return Access{
+		VA:    arch.GVA(page*arch.PageSize + offset),
+		Write: s.rng.Bool(sp.WriteFrac),
+		Gap:   gap,
+	}, true
+}

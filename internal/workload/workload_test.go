@@ -1,0 +1,310 @@
+package workload
+
+import (
+	"testing"
+	"testing/quick"
+
+	"hatric/internal/arch"
+)
+
+func testSpec() Spec {
+	return Spec{
+		Name: "test", FootprintPages: 256, Refs: 5000,
+		RegionPages: 64, Theta: 0.7, DriftEvery: 1000, DriftPages: 8,
+		StreamFrac: 0.2, WriteFrac: 0.3, GapMean: 4, Threads: 4,
+	}
+}
+
+func TestStreamDeterminism(t *testing.T) {
+	a := NewStream(testSpec(), 7, 0)
+	b := NewStream(testSpec(), 7, 0)
+	for i := 0; i < 2000; i++ {
+		av, aok := a.Next()
+		bv, bok := b.Next()
+		if av != bv || aok != bok {
+			t.Fatalf("streams diverged at ref %d", i)
+		}
+	}
+}
+
+func TestStreamThreadsDiffer(t *testing.T) {
+	a := NewStream(testSpec(), 7, 0)
+	b := NewStream(testSpec(), 7, 1)
+	same := 0
+	for i := 0; i < 500; i++ {
+		av, _ := a.Next()
+		bv, _ := b.Next()
+		if av == bv {
+			same++
+		}
+	}
+	if same > 250 {
+		t.Errorf("threads too correlated: %d/500 identical accesses", same)
+	}
+}
+
+func TestStreamBounds(t *testing.T) {
+	f := func(seed uint64) bool {
+		s := NewStream(testSpec(), seed%1000, 0)
+		limit := arch.GVA(testSpec().FootprintPages * arch.PageSize)
+		for i := 0; i < 1000; i++ {
+			a, ok := s.Next()
+			if !ok {
+				return false
+			}
+			if a.VA >= limit {
+				return false
+			}
+			if a.VA%arch.LineSize != 0 {
+				return false // accesses are line-aligned
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestStreamExhausts(t *testing.T) {
+	spec := testSpec()
+	spec.Refs = 100
+	s := NewStream(spec, 1, 0)
+	n := 0
+	for {
+		if _, ok := s.Next(); !ok {
+			break
+		}
+		n++
+		if n > 200 {
+			t.Fatal("stream did not terminate")
+		}
+	}
+	if n != 100 {
+		t.Errorf("emitted %d, want 100", n)
+	}
+	if !s.Done() || s.Emitted() != 100 {
+		t.Errorf("Done/Emitted inconsistent")
+	}
+}
+
+func TestStreamHotness(t *testing.T) {
+	spec := testSpec()
+	spec.StreamFrac = 0
+	spec.DriftEvery = 0
+	s := NewStream(spec, 3, 0)
+	counts := map[arch.GVP]int{}
+	for i := 0; i < 5000; i++ {
+		a, _ := s.Next()
+		counts[a.VA.Page()]++
+	}
+	maxC := 0
+	for _, c := range counts {
+		if c > maxC {
+			maxC = c
+		}
+	}
+	if maxC < 5000/64*2 {
+		t.Errorf("zipf hot page only %d accesses; distribution too flat", maxC)
+	}
+	if len(counts) > spec.RegionPages {
+		t.Errorf("touched %d pages, region is %d", len(counts), spec.RegionPages)
+	}
+}
+
+func TestStreamDriftMovesRegion(t *testing.T) {
+	spec := testSpec()
+	spec.StreamFrac = 0
+	s := NewStream(spec, 3, 0)
+	early := map[arch.GVP]bool{}
+	for i := 0; i < 900; i++ {
+		a, _ := s.Next()
+		early[a.VA.Page()] = true
+	}
+	// Skip past several drifts.
+	for i := 0; i < 3000; i++ {
+		s.Next()
+	}
+	fresh := 0
+	for i := 0; i < 900; i++ {
+		a, _ := s.Next()
+		if !early[a.VA.Page()] {
+			fresh++
+		}
+	}
+	if fresh == 0 {
+		t.Errorf("drift never introduced new pages")
+	}
+}
+
+func TestStreamNoDrift(t *testing.T) {
+	spec := testSpec()
+	spec.DriftEvery = 0
+	s := NewStream(spec, 3, 0)
+	for i := 0; i < 3000; i++ {
+		a, ok := s.Next()
+		if !ok {
+			break
+		}
+		if a.VA.Page() >= arch.GVP(spec.RegionPages) {
+			t.Fatalf("access outside static region: page %d", a.VA.Page())
+		}
+	}
+}
+
+func TestWriteFraction(t *testing.T) {
+	s := NewStream(testSpec(), 5, 0)
+	writes := 0
+	const n = 5000
+	for i := 0; i < n; i++ {
+		a, _ := s.Next()
+		if a.Write {
+			writes++
+		}
+	}
+	frac := float64(writes) / n
+	if frac < 0.2 || frac > 0.4 {
+		t.Errorf("write fraction %.3f, want about 0.3", frac)
+	}
+}
+
+func TestWithRefsScalesDrift(t *testing.T) {
+	s := testSpec().WithRefs(2500) // half the refs
+	if s.Refs != 2500 {
+		t.Errorf("refs = %d", s.Refs)
+	}
+	if s.DriftEvery != 500 {
+		t.Errorf("drift period should halve with refs: %d", s.DriftEvery)
+	}
+}
+
+func TestPerThreadDividesDrift(t *testing.T) {
+	s := testSpec().PerThread(4)
+	if s.DriftEvery != 250 {
+		t.Errorf("PerThread(4): DriftEvery = %d, want 250", s.DriftEvery)
+	}
+	if testSpec().PerThread(1).DriftEvery != 1000 {
+		t.Errorf("PerThread(1) must not change the period")
+	}
+}
+
+func TestScaleFootprint(t *testing.T) {
+	s := testSpec().ScaleFootprint(1, 2)
+	if s.FootprintPages != 128 || s.RegionPages != 32 {
+		t.Errorf("scaled: %d %d", s.FootprintPages, s.RegionPages)
+	}
+}
+
+func TestPresetsWellFormed(t *testing.T) {
+	seen := map[string]bool{}
+	for _, group := range [][]Spec{BigFive(), SpecPool(), SmallSet()} {
+		for _, s := range group {
+			if seen[s.Name] {
+				t.Errorf("duplicate workload name %q", s.Name)
+			}
+			seen[s.Name] = true
+			if s.RegionPages <= 0 || s.RegionPages > s.FootprintPages {
+				t.Errorf("%s: region %d vs footprint %d", s.Name, s.RegionPages, s.FootprintPages)
+			}
+			if s.Refs == 0 || s.GapMean <= 0 {
+				t.Errorf("%s: degenerate refs/gap", s.Name)
+			}
+			if s.Theta <= 0 || s.Theta >= 1 {
+				t.Errorf("%s: theta %v", s.Name, s.Theta)
+			}
+			if s.DriftEvery > 0 && s.DriftPages <= 0 {
+				t.Errorf("%s: drift with zero pages", s.Name)
+			}
+		}
+	}
+	if len(BigFive()) != 5 {
+		t.Errorf("big five has %d workloads", len(BigFive()))
+	}
+}
+
+func TestBigFiveExceedsStack(t *testing.T) {
+	// Every big-five footprint must exceed default die-stacked capacity
+	// (otherwise no inter-tier paging and no translation coherence).
+	const hbm = 768
+	for _, s := range BigFive() {
+		if s.FootprintPages <= hbm {
+			t.Errorf("%s footprint %d fits in the %d-frame stack", s.Name, s.FootprintPages, hbm)
+		}
+		if s.RegionPages >= hbm {
+			t.Errorf("%s region %d cannot fit in the stack", s.Name, s.RegionPages)
+		}
+	}
+}
+
+func TestByName(t *testing.T) {
+	s, err := ByName("canneal")
+	if err != nil || s.Name != "canneal" {
+		t.Errorf("ByName(canneal): %v %v", s.Name, err)
+	}
+	if _, err := ByName("nope"); err == nil {
+		t.Errorf("unknown name accepted")
+	}
+}
+
+func TestMixDeterministicAndSized(t *testing.T) {
+	a := Mix(3)
+	b := Mix(3)
+	if len(a) != 16 {
+		t.Fatalf("mix size %d", len(a))
+	}
+	for i := range a {
+		if a[i].Name != b[i].Name {
+			t.Fatalf("mix not deterministic at %d", i)
+		}
+	}
+	c := Mix(4)
+	same := 0
+	for i := range a {
+		if a[i].Name == c[i].Name {
+			same++
+		}
+	}
+	if same == 16 {
+		t.Errorf("mixes 3 and 4 identical")
+	}
+	// No duplicates within one mix (pool has 26 >= 16 entries).
+	names := map[string]bool{}
+	for _, s := range a {
+		if names[s.Name] {
+			t.Errorf("duplicate %q in mix", s.Name)
+		}
+		names[s.Name] = true
+	}
+}
+
+func TestCoprimeStride(t *testing.T) {
+	f := func(n uint16) bool {
+		m := uint64(n%2000) + 2
+		s := coprimeStride(m)
+		return gcd(s, m) == 1
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: the zipf scatter is a bijection over the region, so hot ranks
+// never collide on one page.
+func TestScatterBijection(t *testing.T) {
+	f := func(n uint16) bool {
+		m := uint64(n%500) + 2
+		s := coprimeStride(m)
+		seen := make([]bool, m)
+		for r := uint64(0); r < m; r++ {
+			p := (r * s) % m
+			if seen[p] {
+				return false
+			}
+			seen[p] = true
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,209 @@
+package xrand
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestDeterminism(t *testing.T) {
+	a, b := New(42), New(42)
+	for i := 0; i < 1000; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatalf("same seed diverged at step %d", i)
+		}
+	}
+	c := New(43)
+	same := 0
+	a = New(42)
+	for i := 0; i < 100; i++ {
+		if a.Uint64() == c.Uint64() {
+			same++
+		}
+	}
+	if same > 2 {
+		t.Errorf("different seeds produced %d identical values", same)
+	}
+}
+
+func TestUint64nBounds(t *testing.T) {
+	f := func(seed uint64, n uint64) bool {
+		n = n%1000 + 1
+		r := New(seed)
+		for i := 0; i < 50; i++ {
+			if r.Uint64n(n) >= n {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestUint64nPanicsOnZero(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("Uint64n(0) should panic")
+		}
+	}()
+	New(1).Uint64n(0)
+}
+
+func TestFloat64Range(t *testing.T) {
+	r := New(7)
+	for i := 0; i < 10000; i++ {
+		v := r.Float64()
+		if v < 0 || v >= 1 {
+			t.Fatalf("Float64 out of range: %v", v)
+		}
+	}
+}
+
+func TestUint64nUniformity(t *testing.T) {
+	r := New(11)
+	const n, draws = 10, 100000
+	counts := make([]int, n)
+	for i := 0; i < draws; i++ {
+		counts[r.Uint64n(n)]++
+	}
+	want := draws / n
+	for i, c := range counts {
+		if c < want*8/10 || c > want*12/10 {
+			t.Errorf("bucket %d: %d draws, want about %d", i, c, want)
+		}
+	}
+}
+
+func TestPermIsPermutation(t *testing.T) {
+	f := func(seed uint64, n uint8) bool {
+		m := int(n%64) + 1
+		p := New(seed).Perm(m)
+		if len(p) != m {
+			return false
+		}
+		seen := make([]bool, m)
+		for _, v := range p {
+			if v < 0 || v >= m || seen[v] {
+				return false
+			}
+			seen[v] = true
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestShuffle(t *testing.T) {
+	vals := []int{0, 1, 2, 3, 4, 5, 6, 7}
+	r := New(3)
+	r.Shuffle(len(vals), func(i, j int) { vals[i], vals[j] = vals[j], vals[i] })
+	seen := map[int]bool{}
+	for _, v := range vals {
+		seen[v] = true
+	}
+	if len(seen) != 8 {
+		t.Errorf("shuffle lost elements: %v", vals)
+	}
+}
+
+func TestBoolProbability(t *testing.T) {
+	r := New(5)
+	hits := 0
+	const draws = 100000
+	for i := 0; i < draws; i++ {
+		if r.Bool(0.25) {
+			hits++
+		}
+	}
+	got := float64(hits) / draws
+	if math.Abs(got-0.25) > 0.02 {
+		t.Errorf("Bool(0.25) frequency = %.3f", got)
+	}
+}
+
+func TestMul128(t *testing.T) {
+	hi, lo := mul128(math.MaxUint64, math.MaxUint64)
+	// (2^64-1)^2 = 2^128 - 2^65 + 1
+	if hi != math.MaxUint64-1 || lo != 1 {
+		t.Errorf("mul128 max: hi=%#x lo=%#x", hi, lo)
+	}
+	hi, lo = mul128(1<<32, 1<<32)
+	if hi != 1 || lo != 0 {
+		t.Errorf("mul128 2^32*2^32: hi=%#x lo=%#x", hi, lo)
+	}
+}
+
+func TestZipfBounds(t *testing.T) {
+	f := func(seed uint64, n uint16) bool {
+		m := uint64(n%5000) + 2
+		z := NewZipf(m, 0.8)
+		r := New(seed)
+		for i := 0; i < 100; i++ {
+			if z.Sample(r) >= m {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestZipfSkew(t *testing.T) {
+	z := NewZipf(1000, 0.8)
+	r := New(21)
+	counts := map[uint64]int{}
+	const draws = 200000
+	for i := 0; i < draws; i++ {
+		counts[z.Sample(r)]++
+	}
+	if counts[0] <= counts[1] || counts[1] <= counts[10] {
+		t.Errorf("rank frequencies not descending: c0=%d c1=%d c10=%d",
+			counts[0], counts[1], counts[10])
+	}
+	// Rank 0 of a theta=0.8 zipf over 1000 items carries several percent
+	// of the mass.
+	if counts[0] < draws/100 {
+		t.Errorf("rank 0 too cold: %d of %d", counts[0], draws)
+	}
+}
+
+func TestZipfHigherThetaIsHotter(t *testing.T) {
+	hot := NewZipf(1000, 0.9)
+	cold := NewZipf(1000, 0.3)
+	rh, rc := New(9), New(9)
+	hits := func(z *Zipf, r *RNG) int {
+		n := 0
+		for i := 0; i < 50000; i++ {
+			if z.Sample(r) < 10 {
+				n++
+			}
+		}
+		return n
+	}
+	if hits(hot, rh) <= hits(cold, rc) {
+		t.Errorf("theta=0.9 should concentrate more than theta=0.3")
+	}
+}
+
+func TestZipfPanics(t *testing.T) {
+	for _, fn := range []func(){
+		func() { NewZipf(0, 0.5) },
+		func() { NewZipf(10, 0) },
+		func() { NewZipf(10, 1) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("expected panic")
+				}
+			}()
+			fn()
+		}()
+	}
+}

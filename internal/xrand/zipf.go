@@ -1,0 +1,62 @@
+package xrand
+
+import "math"
+
+// Zipf samples from a Zipfian distribution over [0, n) with skew theta in
+// (0, 1). It uses the constant-time method of Gray et al. ("Quickly
+// generating billion-record synthetic databases", SIGMOD 1994), the same
+// generator popularized by YCSB. Rank 0 is the most popular item.
+type Zipf struct {
+	n     uint64
+	theta float64
+	alpha float64
+	zetan float64
+	eta   float64
+	half  float64 // zeta(2, theta)
+}
+
+// NewZipf builds a Zipf sampler over [0, n) with skew theta. It precomputes
+// the harmonic normalizer in O(n).
+func NewZipf(n uint64, theta float64) *Zipf {
+	if n == 0 {
+		panic("xrand: NewZipf with n == 0")
+	}
+	if theta <= 0 || theta >= 1 {
+		panic("xrand: NewZipf theta must be in (0,1)")
+	}
+	z := &Zipf{n: n, theta: theta}
+	z.zetan = zeta(n, theta)
+	z.half = zeta(2, theta)
+	z.alpha = 1.0 / (1.0 - theta)
+	z.eta = (1 - math.Pow(2.0/float64(n), 1-theta)) / (1 - z.half/z.zetan)
+	return z
+}
+
+// N returns the domain size.
+func (z *Zipf) N() uint64 { return z.n }
+
+// Sample draws the next rank in [0, n) using r.
+func (z *Zipf) Sample(r *RNG) uint64 {
+	u := r.Float64()
+	uz := u * z.zetan
+	if uz < 1.0 {
+		return 0
+	}
+	if uz < 1.0+math.Pow(0.5, z.theta) {
+		return 1
+	}
+	v := uint64(float64(z.n) * math.Pow(z.eta*u-z.eta+1, z.alpha))
+	if v >= z.n {
+		v = z.n - 1
+	}
+	return v
+}
+
+// zeta computes the generalized harmonic number sum_{i=1..n} 1/i^theta.
+func zeta(n uint64, theta float64) float64 {
+	sum := 0.0
+	for i := uint64(1); i <= n; i++ {
+		sum += 1.0 / math.Pow(float64(i), theta)
+	}
+	return sum
+}
