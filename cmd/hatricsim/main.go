@@ -5,6 +5,9 @@
 // Example:
 //
 //	hatricsim -workload data_caching -protocol hatric -threads 16 -mode paged
+//
+// With -vms N the machine runs N consolidated VMs, each executing the
+// workload on its own -threads CPUs, and reports a per-VM breakdown.
 package main
 
 import (
@@ -23,7 +26,8 @@ func main() {
 	var (
 		name     = flag.String("workload", "canneal", "workload name (see internal/workload presets)")
 		protocol = flag.String("protocol", "hatric", "translation coherence: sw, hatric, unitd, ideal")
-		threads  = flag.Int("threads", 16, "vCPU/thread count")
+		threads  = flag.Int("threads", 16, "vCPU/thread count per VM")
+		vms      = flag.Int("vms", 1, "number of VMs, each running the workload on its own CPUs")
 		modeStr  = flag.String("mode", "paged", "placement: paged, no-hbm, inf-hbm")
 		policy   = flag.String("policy", "lru", "eviction policy: lru, fifo")
 		daemon   = flag.Bool("daemon", true, "enable migration daemon")
@@ -57,20 +61,18 @@ func main() {
 		fatal(fmt.Errorf("unknown mode %q", *modeStr))
 	}
 
+	if *vms < 1 {
+		fatal(fmt.Errorf("need at least one VM, got %d", *vms))
+	}
 	cfg := arch.DefaultConfig()
-	cfg.NumCPUs = *threads
+	cfg.NumCPUs = *threads * *vms
 	cfg.TLB.CoTagBytes = *cotag
 	if *xen {
 		cfg.Cost = arch.XenCostModel()
 	}
-	if mode == hv.ModeInfHBM {
-		cfg.Mem.HBMFrames = spec.FootprintPages + 256
-	}
-	if need := spec.FootprintPages + 512; cfg.Mem.DRAMFrames < need {
-		cfg.Mem.DRAMFrames = need
-	}
+	sim.SizeConfig(&cfg, spec.FootprintPages**vms, mode)
 
-	sys, err := sim.New(sim.Options{
+	opts := sim.Options{
 		Config:   cfg,
 		Protocol: *protocol,
 		Paging: hv.PagingConfig{
@@ -80,10 +82,20 @@ func main() {
 			DefragEvery: *defrag,
 		},
 		Mode:       mode,
-		Workloads:  sim.SingleWorkload(spec, *threads),
 		Seed:       *seed,
 		CheckStale: *check,
-	})
+	}
+	// Each VM runs its own instance of the workload on its own slice of
+	// physical CPUs — the consolidation setup (one VM is the paper's).
+	for v := 0; v < *vms; v++ {
+		cpus := make([]int, *threads)
+		for i := range cpus {
+			cpus[i] = v**threads + i
+		}
+		opts.VMs = append(opts.VMs, sim.VMSpec{
+			Workloads: []sim.AssignedWorkload{{Spec: spec, CPUs: cpus}}})
+	}
+	sys, err := sim.New(opts)
 	if err != nil {
 		fatal(err)
 	}
@@ -92,6 +104,21 @@ func main() {
 		fatal(err)
 	}
 	printResult(spec, *protocol, res)
+	if *vms > 1 {
+		printPerVM(res)
+	}
+}
+
+// printPerVM summarizes each VM's runtime and coherence bill.
+func printPerVM(res *sim.Result) {
+	t := stats.NewTable("per-VM breakdown", "vm", "finish", "faults", "evictions",
+		"vm exits", "tlb flushes", "cotag invs", "cross-vm filtered")
+	for v := range res.PerVM {
+		c := &res.PerVM[v]
+		t.AddRow(v, uint64(res.VMFinish(v)), c.PageFaults, c.PageEvictions, c.VMExits,
+			c.TLBFlushes, c.CoTagInvalidations, c.CrossVMFiltered)
+	}
+	fmt.Print(t)
 }
 
 func printResult(spec workload.Spec, protocol string, res *sim.Result) {

@@ -5,9 +5,11 @@
 //	paperfigs [-fig 2,7,8,9,10,11,12,13,xen,micro] [-quick] [-refs N]
 //	          [-mixes N] [-threads N] [-check]
 //
+// Beyond the paper's figures, -fig pf runs the Sec. 4.4 prefetching
+// ablation and -fig interference the multi-VM noisy-neighbor study.
+//
 // Each figure prints the same series the paper plots, normalized the same
-// way. -quick shrinks reference counts for a fast pass; the full run is
-// what EXPERIMENTS.md records.
+// way. -quick shrinks reference counts for a fast pass.
 package main
 
 import (
@@ -131,6 +133,12 @@ func runFig(r *exp.Runner, f string) error {
 		fmt.Println(res.Table())
 	case "pf":
 		res, err := r.PrefetchAblation()
+		if err != nil {
+			return err
+		}
+		fmt.Println(res.Table())
+	case "interference":
+		res, err := r.Interference()
 		if err != nil {
 			return err
 		}

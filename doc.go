@@ -1,13 +1,14 @@
 // Package hatric is a from-scratch reproduction of "Hardware Translation
 // Coherence for Virtualized Systems" (Yan, Cox, Veselý, Bhattacharjee;
-// 2017): a simulated virtualized machine with two-dimensional page tables,
-// TLB/MMU-cache/nTLB translation structures, a directory-based MESI cache
-// hierarchy, a two-tier (die-stacked + off-chip) memory system, a paging
-// hypervisor, and four translation-coherence protocols — today's software
-// shootdowns, HATRIC's co-tag piggybacking, an upgraded UNITD, and an ideal
-// zero-overhead bound.
+// 2017): a simulated virtualized machine running N consolidated VMs with
+// two-dimensional page tables, TLB/MMU-cache/nTLB translation structures,
+// a directory-based MESI cache hierarchy, a two-tier (die-stacked +
+// off-chip) memory system, a paging hypervisor, and four VM-scoped
+// translation-coherence protocols — today's software shootdowns, HATRIC's
+// co-tag piggybacking, an upgraded UNITD, and an ideal zero-overhead
+// bound.
 //
-// See README.md for a tour, DESIGN.md for the system inventory, and
-// EXPERIMENTS.md for paper-versus-measured results. The benchmarks in
-// bench_test.go regenerate every figure of the paper's evaluation.
+// See README.md for a package tour and how to run the examples,
+// benchmarks, and figure regeneration. The benchmarks in bench_test.go
+// regenerate every figure of the paper's evaluation.
 package hatric

@@ -64,18 +64,9 @@ func main() {
 }
 
 func run(specs []workload.Spec, protocol string, mode hv.PlacementMode) *sim.Result {
-	total := 0
-	for _, s := range specs {
-		total += s.FootprintPages
-	}
 	cfg := arch.DefaultConfig()
 	cfg.NumCPUs = len(specs)
-	if mode == hv.ModeInfHBM {
-		cfg.Mem.HBMFrames = total + 256
-	}
-	if need := total + 512; cfg.Mem.DRAMFrames < need {
-		cfg.Mem.DRAMFrames = need
-	}
+	sim.SizeConfig(&cfg, sim.FootprintPages(sim.Multiprogrammed(specs)), mode)
 	sys, err := sim.New(sim.Options{
 		Config:    cfg,
 		Protocol:  protocol,

@@ -1,0 +1,84 @@
+// Multi-VM consolidation: two virtual machines share one die-stacked
+// machine — a latency-sensitive VM (canneal on 2 vCPUs) beside a
+// paging-heavy noisy neighbor (data_caching on 6 vCPUs). The neighbor's
+// churn evicts the victim's pages; every eviction of a victim page runs
+// translation coherence against the victim's vCPUs only (per-VM target
+// sets), while the neighbor's paging of its own pages never touches the
+// victim under any protocol.
+//
+//	go run ./examples/multivm
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"hatric/internal/arch"
+	"hatric/internal/hv"
+	"hatric/internal/sim"
+	"hatric/internal/stats"
+	"hatric/internal/workload"
+)
+
+func main() {
+	victim, err := workload.ByName("canneal")
+	if err != nil {
+		log.Fatal(err)
+	}
+	noisy, err := workload.ByName("data_caching")
+	if err != nil {
+		log.Fatal(err)
+	}
+	victim = victim.WithRefs(30_000)
+	noisy = noisy.WithRefs(30_000)
+
+	victimCPUs := []int{0, 1}
+	noisyCPUs := []int{2, 3, 4, 5, 6, 7}
+
+	table := stats.NewTable(
+		fmt.Sprintf("%s (VM 0, latency-sensitive) beside %s (VM 1, noisy neighbor)", victim.Name, noisy.Name),
+		"protocol", "victim slowdown", "victim flushes", "victim vm exits", "cross-vm filtered")
+	for _, protocol := range []string{"sw", "hatric", "ideal"} {
+		alone := run(protocol, victim, noisy, victimCPUs, noisyCPUs, false)
+		beside := run(protocol, victim, noisy, victimCPUs, noisyCPUs, true)
+		slow := float64(beside.VMFinish(0)) / float64(alone.VMFinish(0))
+		table.AddRow(protocol, slow,
+			beside.PerVM[0].TLBFlushes, beside.PerVM[0].VMExits, beside.Agg.CrossVMFiltered)
+	}
+	fmt.Print(table)
+	fmt.Println("\nsw pays shootdowns on the victim whenever the neighbor's pressure evicts a")
+	fmt.Println("victim page; hatric invalidates precisely and the victim barely notices the")
+	fmt.Println("coherence (capacity interference remains — that is the point of the study).")
+}
+
+func run(protocol string, victim, noisy workload.Spec, victimCPUs, noisyCPUs []int, withNoisy bool) *sim.Result {
+	cfg := arch.DefaultConfig()
+	cfg.NumCPUs = len(victimCPUs) + len(noisyCPUs)
+	sim.SizeConfig(&cfg, victim.FootprintPages+noisy.FootprintPages, hv.ModePaged)
+	vms := []sim.VMSpec{
+		{Workloads: []sim.AssignedWorkload{{Spec: victim, CPUs: victimCPUs}}},
+	}
+	if withNoisy {
+		vms = append(vms, sim.VMSpec{Workloads: []sim.AssignedWorkload{{Spec: noisy, CPUs: noisyCPUs}}})
+	}
+	sys, err := sim.New(sim.Options{
+		Config:     cfg,
+		Protocol:   protocol,
+		Paging:     hv.BestPolicy(),
+		Mode:       hv.ModePaged,
+		VMs:        vms,
+		Seed:       7,
+		CheckStale: true,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	res, err := sys.Run()
+	if err != nil {
+		log.Fatal(err)
+	}
+	if res.Agg.StaleTranslationUses != 0 {
+		log.Fatalf("%s: %d stale translation uses", protocol, res.Agg.StaleTranslationUses)
+	}
+	return res
+}

@@ -1,0 +1,3 @@
+module hatric
+
+go 1.24

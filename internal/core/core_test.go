@@ -10,30 +10,46 @@ import (
 )
 
 // fakeMachine implements Machine over in-memory translation structures.
+// By default every CPU belongs to one VM (id 0) that owns every PT line;
+// tests for VM isolation repartition cpuVM and install an ownerOf func.
 type fakeMachine struct {
 	ts      []*tstruct.CPUSet
 	cnt     []*stats.Counters
 	charged []arch.Cycles
 	cost    arch.CostModel
+	cpuVM   []int
+	numVMs  int
+	ownerOf func(arch.SPA) int
 }
 
 func newFakeMachine(cpus int) *fakeMachine {
-	m := &fakeMachine{cost: arch.KVMCostModel()}
+	m := &fakeMachine{cost: arch.KVMCostModel(), numVMs: 1}
 	for i := 0; i < cpus; i++ {
 		m.ts = append(m.ts, tstruct.NewCPUSet(arch.DefaultTLBConfig()))
 		m.cnt = append(m.cnt, &stats.Counters{})
 		m.charged = append(m.charged, 0)
+		m.cpuVM = append(m.cpuVM, 0)
 	}
 	return m
 }
 
 func (m *fakeMachine) NumCPUs() int { return len(m.ts) }
-func (m *fakeMachine) VMCPUs() []int {
-	out := make([]int, len(m.ts))
-	for i := range out {
-		out[i] = i
+func (m *fakeMachine) NumVMs() int  { return m.numVMs }
+func (m *fakeMachine) VMCPUs(vm int) []int {
+	var out []int
+	for i, v := range m.cpuVM {
+		if v == vm {
+			out = append(out, i)
+		}
 	}
 	return out
+}
+func (m *fakeMachine) VMOf(cpu int) int { return m.cpuVM[cpu] }
+func (m *fakeMachine) OwnerVM(spa arch.SPA) int {
+	if m.ownerOf != nil {
+		return m.ownerOf(spa)
+	}
+	return 0
 }
 func (m *fakeMachine) TS(cpu int) *tstruct.CPUSet       { return m.ts[cpu] }
 func (m *fakeMachine) Charge(cpu int, c arch.Cycles)    { m.charged[cpu] += c }
@@ -94,7 +110,7 @@ func TestSoftwareRemapFlushesEveryone(t *testing.T) {
 	for cpu := 0; cpu < 4; cpu++ {
 		fillAll(m, cpu, 0x100)
 	}
-	init := sw.OnRemap(0, arch.SPA(0x800), 0)
+	init := sw.OnRemap(0, 0, arch.SPA(0x800), 0)
 	if init == 0 {
 		t.Errorf("initiator paid nothing")
 	}
@@ -125,8 +141,8 @@ func TestSoftwareRemapFlushesEveryone(t *testing.T) {
 func TestSoftwareIPICostScalesWithTargets(t *testing.T) {
 	small := newFakeMachine(2)
 	big := newFakeMachine(16)
-	cSmall := NewSoftware(small).OnRemap(0, 0x800, 0)
-	cBig := NewSoftware(big).OnRemap(0, 0x800, 0)
+	cSmall := NewSoftware(small).OnRemap(0, 0, 0x800, 0)
+	cBig := NewSoftware(big).OnRemap(0, 0, 0x800, 0)
 	if cBig <= cSmall {
 		t.Errorf("more vCPUs must cost the initiator more: %d vs %d", cBig, cSmall)
 	}
@@ -176,7 +192,7 @@ func TestHATRICAliasingWithNarrowCoTags(t *testing.T) {
 func TestHATRICRemapFree(t *testing.T) {
 	m := newFakeMachine(4)
 	h := NewHATRIC(m, 2)
-	if c := h.OnRemap(0, 0x800, 0); c != 0 {
+	if c := h.OnRemap(0, 0, 0x800, 0); c != 0 {
 		t.Errorf("HATRIC remap cost = %d, want 0 (all work rides the store)", c)
 	}
 	for cpu := range m.charged {
@@ -212,7 +228,7 @@ func TestUNITDRemapFlushesUncoveredStructures(t *testing.T) {
 	for cpu := 0; cpu < 3; cpu++ {
 		fillAll(m, cpu, 0x500)
 	}
-	init := u.OnRemap(0, 0x800, 0)
+	init := u.OnRemap(0, 0, 0x800, 0)
 	if init == 0 {
 		t.Errorf("broadcast should cost something")
 	}
@@ -242,7 +258,7 @@ func TestIdealExactInvalidation(t *testing.T) {
 	if !remains {
 		t.Errorf("sibling survives; sharer bit must too")
 	}
-	if c := i.OnRemap(0, 0x800, 0); c != 0 {
+	if c := i.OnRemap(0, 0, 0x800, 0); c != 0 {
 		t.Errorf("ideal costs %d", c)
 	}
 }

@@ -46,7 +46,7 @@ func (h *HATRIC) Hook() (coherence.TranslationHook, bool) { return h, true }
 // PTE store already did everything. (Precise target identification and
 // lightweight target-side handling are both inherited from the cache
 // coherence protocol.)
-func (h *HATRIC) OnRemap(initiator int, pteSPA arch.SPA, now arch.Cycles) arch.Cycles {
+func (h *HATRIC) OnRemap(initiator, vm int, pteSPA arch.SPA, now arch.Cycles) arch.Cycles {
 	return 0
 }
 
@@ -55,7 +55,13 @@ func (h *HATRIC) OnRemap(initiator int, pteSPA arch.SPA, now arch.Cycles) arch.C
 // indices to line indices (coherence is line-granular). Because a co-tag
 // is a pure function of the source line, every entry from the written line
 // matches — nothing from the line ever survives, so remains is false.
+// Co-tags are VM-qualified: a relay for a PTE owned by a different VM than
+// the one this CPU runs compares nothing and drops nothing, so co-tag
+// aliasing can never leak invalidations across VM boundaries.
 func (h *HATRIC) OnPTInvalidation(cpu int, spa arch.SPA, kind cache.IsPTKind) (int, bool) {
+	if crossVM(h.m, cpu, spa) {
+		return 0, false
+	}
 	ts := h.m.TS(cpu)
 	n := ts.InvalidateMaskedAll(uint64(spa)>>3, 3, h.mask)
 	c := h.m.Counters(cpu)
@@ -72,5 +78,8 @@ func (h *HATRIC) OnPTBackInvalidation(cpu int, spa arch.SPA, kind cache.IsPTKind
 
 // CachesPTLine implements coherence.TranslationHook.
 func (h *HATRIC) CachesPTLine(cpu int, spa arch.SPA, kind cache.IsPTKind) bool {
+	if isCrossVM(h.m, cpu, spa) {
+		return false
+	}
 	return h.m.TS(cpu).CachesMaskedAny(uint64(spa)>>3, 3, h.mask)
 }

@@ -39,8 +39,12 @@ func (h *HATRICPF) Name() string { return "hatric-pf" }
 func (h *HATRICPF) Hook() (coherence.TranslationHook, bool) { return h, true }
 
 // OnPTInvalidation implements coherence.TranslationHook: update exact
-// matches in place, invalidate the rest of the co-tag match set.
+// matches in place, invalidate the rest of the co-tag match set. As in
+// baseline HATRIC, the compare is VM-qualified.
 func (h *HATRICPF) OnPTInvalidation(cpu int, spa arch.SPA, kind cache.IsPTKind) (int, bool) {
+	if crossVM(h.m, cpu, spa) {
+		return 0, false
+	}
 	frame, present := h.m.ReadPTE(spa)
 	ts := h.m.TS(cpu)
 	c := h.m.Counters(cpu)

@@ -29,7 +29,7 @@ func (i *Ideal) Name() string { return "ideal" }
 func (i *Ideal) Hook() (coherence.TranslationHook, bool) { return i, true }
 
 // OnRemap implements Protocol: free.
-func (i *Ideal) OnRemap(initiator int, pteSPA arch.SPA, now arch.Cycles) arch.Cycles { return 0 }
+func (i *Ideal) OnRemap(initiator, vm int, pteSPA arch.SPA, now arch.Cycles) arch.Cycles { return 0 }
 
 // OnPTInvalidation implements coherence.TranslationHook with exact-PTE
 // granularity (shift 0, full mask): no false sharing, no aliasing. The
@@ -38,6 +38,9 @@ func (i *Ideal) OnRemap(initiator int, pteSPA arch.SPA, now arch.Cycles) arch.Cy
 // Entries from sibling PTEs in the same line survive, so the CPU stays on
 // the sharer list whenever any remain.
 func (i *Ideal) OnPTInvalidation(cpu int, spa arch.SPA, kind cache.IsPTKind) (int, bool) {
+	if crossVM(i.m, cpu, spa) {
+		return 0, false
+	}
 	ts := i.m.TS(cpu)
 	n := ts.InvalidateMaskedAll(uint64(spa)>>3, 0, ^uint64(0))
 	remains := ts.CachesMaskedAny(uint64(spa)>>3, 3, ^uint64(0))
@@ -48,11 +51,17 @@ func (i *Ideal) OnPTInvalidation(cpu int, spa arch.SPA, kind cache.IsPTKind) (in
 // loses its directory entry, everything derived from it must go — even the
 // ideal protocol cannot keep exact tracking without a directory entry.
 func (i *Ideal) OnPTBackInvalidation(cpu int, spa arch.SPA, kind cache.IsPTKind) int {
+	if crossVM(i.m, cpu, spa) {
+		return 0
+	}
 	return i.m.TS(cpu).InvalidateMaskedAll(uint64(spa)>>3, 3, ^uint64(0))
 }
 
 // CachesPTLine implements coherence.TranslationHook (line-granular: does
 // anything sourced from this line remain?).
 func (i *Ideal) CachesPTLine(cpu int, spa arch.SPA, kind cache.IsPTKind) bool {
+	if isCrossVM(i.m, cpu, spa) {
+		return false
+	}
 	return i.m.TS(cpu).CachesMaskedAny(uint64(spa)>>3, 3, ^uint64(0))
 }

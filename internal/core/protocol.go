@@ -24,14 +24,29 @@ import (
 )
 
 // Machine is the view of the simulated system the protocols need. The
-// simulator's System implements it.
+// simulator's System implements it. The machine runs N virtual machines
+// (identified by dense IDs 0..NumVMs-1) against the shared memory system;
+// translation coherence is always scoped to the VM owning the modified
+// page-table entry — a remap in one VM must never invalidate or flush
+// another VM's translation structures.
 type Machine interface {
 	// NumCPUs returns the number of physical CPUs.
 	NumCPUs() int
-	// VMCPUs returns the physical CPUs that have run any vCPU of the VM
-	// owning the given nested PTE. Software coherence targets all of them
-	// (imprecise target identification, Sec. 3.2).
-	VMCPUs() []int
+	// NumVMs returns the number of virtual machines sharing the machine.
+	NumVMs() int
+	// VMCPUs returns the physical CPUs that have run any vCPU of VM vm.
+	// Software coherence targets all of them on a remap of that VM's
+	// pages (imprecise target identification, Sec. 3.2) — but never the
+	// CPUs of any other VM.
+	VMCPUs(vm int) []int
+	// VMOf returns the VM whose vCPU cpu currently runs, or -1 when the
+	// CPU is idle. Translation structures are VM-qualified (VPID/ASID
+	// style): a CPU's entries all belong to its current VM.
+	VMOf(cpu int) int
+	// OwnerVM returns the VM whose page tables (nested or guest) contain
+	// the page-table page at spa, or -1 when no VM owns it. Hardware
+	// protocols use it to VM-qualify co-tag and CAM compares.
+	OwnerVM(spa arch.SPA) int
 	// TS returns a CPU's translation structures.
 	TS(cpu int) *tstruct.CPUSet
 	// Charge stalls a CPU for the given number of cycles (target-side
@@ -57,8 +72,31 @@ type Protocol interface {
 	Hook() (coherence.TranslationHook, bool)
 	// OnRemap runs after the hypervisor's coherent store to the nested
 	// PTE at pteSPA, on the initiating CPU, and returns the extra cycles
-	// charged to the initiator (IPI loops, acknowledgment waits).
-	OnRemap(initiator int, pteSPA arch.SPA, now arch.Cycles) arch.Cycles
+	// charged to the initiator (IPI loops, acknowledgment waits). vm is
+	// the VM owning the remapped page; software-visible costs (IPIs, VM
+	// exits, flushes) land only on that VM's CPUs.
+	OnRemap(initiator, vm int, pteSPA arch.SPA, now arch.Cycles) arch.Cycles
+}
+
+// isCrossVM reports whether the page-table line at spa belongs to a VM
+// other than the one cpu currently runs — the VPID check every
+// VM-qualified relay and sharer query performs before comparing co-tags or
+// CAM entries.
+func isCrossVM(m Machine, cpu int, spa arch.SPA) bool {
+	owner := m.OwnerVM(spa)
+	return owner >= 0 && owner != m.VMOf(cpu)
+}
+
+// crossVM is the counting variant used on invalidation relays (not on
+// sharer-status queries such as CachesPTLine): filtered relays advance the
+// CrossVMFiltered diagnostic so cross-VM isolation stays observable
+// without eviction-time queries inflating it.
+func crossVM(m Machine, cpu int, spa arch.SPA) bool {
+	if !isCrossVM(m, cpu, spa) {
+		return false
+	}
+	m.Counters(cpu).CrossVMFiltered++
+	return true
 }
 
 // New builds a protocol by name: "sw", "hatric", "hatric-pf", "unitd", or

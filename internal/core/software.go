@@ -9,8 +9,9 @@ import (
 // Software models today's translation coherence (Sec. 3.2, Fig. 3):
 //
 //  1. The hypervisor sets the TLB-flush-request bit of every vCPU of the
-//     VM (imprecise target identification: CPUs that never cached the
-//     translation are still targeted).
+//     VM owning the remapped page (imprecise target identification: CPUs
+//     of that VM that never cached the translation are still targeted;
+//     CPUs of other VMs never are).
 //  2. It sends an IPI per target and waits for acknowledgments.
 //  3. Every target suffers a VM exit, flushes its TLBs, MMU cache, and
 //     nTLB completely (hypervisors do not know the guest virtual page, so
@@ -34,14 +35,16 @@ func (s *Software) Name() string { return "sw" }
 // stale entries until the hypervisor flushes them.
 func (s *Software) Hook() (coherence.TranslationHook, bool) { return nil, false }
 
-// OnRemap implements Protocol: the IPI broadcast and flush sequence.
-func (s *Software) OnRemap(initiator int, pteSPA arch.SPA, now arch.Cycles) arch.Cycles {
+// OnRemap implements Protocol: the IPI broadcast and flush sequence,
+// scoped to the owning VM's CPUs.
+func (s *Software) OnRemap(initiator, vm int, pteSPA arch.SPA, now arch.Cycles) arch.Cycles {
 	cost := s.m.Cost()
 	ic := s.m.Counters(initiator)
 	var init arch.Cycles
 
-	targets := s.m.VMCPUs()
+	targets := s.m.VMCPUs(vm)
 	first := true
+	ipis := 0
 	for _, t := range targets {
 		tc := s.m.Counters(t)
 		tlb, mmu, ntlb := s.m.TS(t).FlushAll()
@@ -60,6 +63,7 @@ func (s *Software) OnRemap(initiator int, pteSPA arch.SPA, now arch.Cycles) arch
 		// loop across processor clusters): one expensive setup, then a
 		// smaller per-target increment.
 		ic.IPIs++
+		ipis++
 		if first {
 			init += cost.IPISend
 			first = false
@@ -70,8 +74,11 @@ func (s *Software) OnRemap(initiator int, pteSPA arch.SPA, now arch.Cycles) arch
 		s.m.Charge(t, cost.IPIDeliver+cost.VMExit+cost.FlushOp+cost.VMEntry)
 	}
 	// The initiator pauses until every target acknowledges; the critical
-	// path is one delivery plus the slowest target's exit-and-flush.
-	if len(targets) > 1 {
+	// path is one delivery plus the slowest target's exit-and-flush. (The
+	// initiator may belong to a different VM than the remapped page — a
+	// fault in one VM evicting another VM's frame — in which case every
+	// target needs an IPI.)
+	if ipis > 0 {
 		init += cost.IPIDeliver + cost.VMExit + cost.FlushOp
 	}
 	return init

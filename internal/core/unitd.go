@@ -34,10 +34,11 @@ func (u *UNITDPP) Name() string { return "unitd" }
 func (u *UNITDPP) Hook() (coherence.TranslationHook, bool) { return u, true }
 
 // OnRemap implements Protocol: the hardware broadcast flush of the
-// uncovered structures (MMU caches and nTLBs).
-func (u *UNITDPP) OnRemap(initiator int, pteSPA arch.SPA, now arch.Cycles) arch.Cycles {
+// uncovered structures (MMU caches and nTLBs). The broadcast carries the
+// owning VM's tag, so only that VM's CPUs flush.
+func (u *UNITDPP) OnRemap(initiator, vm int, pteSPA arch.SPA, now arch.Cycles) arch.Cycles {
 	cost := u.m.Cost()
-	for _, t := range u.m.VMCPUs() {
+	for _, t := range u.m.VMCPUs(vm) {
 		tc := u.m.Counters(t)
 		mmu := u.m.TS(t).MMU.Flush()
 		ntlb := u.m.TS(t).NTLB.Flush()
@@ -56,8 +57,12 @@ func (u *UNITDPP) OnRemap(initiator int, pteSPA arch.SPA, now arch.Cycles) arch.
 // OnPTInvalidation implements coherence.TranslationHook: the reverse CAM
 // compares the full line address (no co-tag truncation, so no aliasing)
 // against TLB entries only. MMU-cache and nTLB entries from the line are
-// not covered and survive, so the CPU must stay on the sharer list.
+// not covered and survive, so the CPU must stay on the sharer list. The
+// CAM is VM-qualified: relays for another VM's page tables are ignored.
 func (u *UNITDPP) OnPTInvalidation(cpu int, spa arch.SPA, kind cache.IsPTKind) (int, bool) {
+	if crossVM(u.m, cpu, spa) {
+		return 0, false
+	}
 	ts := u.m.TS(cpu)
 	src := uint64(spa) >> 3
 	n := ts.L1TLB.InvalidateMasked(src, 3, ^uint64(0))
@@ -81,6 +86,9 @@ func (u *UNITDPP) OnPTBackInvalidation(cpu int, spa arch.SPA, kind cache.IsPTKin
 
 // CachesPTLine implements coherence.TranslationHook.
 func (u *UNITDPP) CachesPTLine(cpu int, spa arch.SPA, kind cache.IsPTKind) bool {
+	if isCrossVM(u.m, cpu, spa) {
+		return false
+	}
 	ts := u.m.TS(cpu)
 	src := uint64(spa) >> 3
 	c := u.m.Counters(cpu)

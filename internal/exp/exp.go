@@ -1,8 +1,10 @@
 // Package exp is the experiment harness: one entry point per figure/table
 // of the paper's evaluation (Sec. 6), each regenerating the series the
 // paper plots — normalized runtimes per workload and configuration,
-// performance-energy points, and the ablation comparisons. EXPERIMENTS.md
-// records paper-versus-measured for each.
+// performance-energy points, and the ablation comparisons — plus studies
+// beyond the paper (the hatric-pf prefetching ablation and the multi-VM
+// noisy-neighbor interference scenario). See README.md for how the
+// harness is driven from cmd/paperfigs and bench_test.go.
 package exp
 
 import (
@@ -38,7 +40,7 @@ func Quick() *Runner {
 	return &Runner{Refs: 40_000, Mixes: 12}
 }
 
-// Full returns the full-scale campaign used for EXPERIMENTS.md.
+// Full returns the full-scale campaign (the numbers README.md discusses).
 func Full() *Runner { return &Runner{} }
 
 func (r *Runner) threads() int {
@@ -126,16 +128,7 @@ func runOne(opts sim.Options) (*sim.Result, error) {
 // so both tiers can hold the run's full footprint where the mode needs it.
 func (r *Runner) baseConfig(totalFootprint int, mode hv.PlacementMode) arch.Config {
 	cfg := arch.DefaultConfig()
-	if mode == hv.ModeInfHBM {
-		cfg.Mem.HBMFrames = totalFootprint + 256
-	}
-	if need := totalFootprint + 512; cfg.Mem.DRAMFrames < need {
-		cfg.Mem.DRAMFrames = need
-	}
-	// Page-table heap: leaves for data plus guest PT pages plus slack.
-	if need := totalFootprint/256 + 512; cfg.Mem.PTFrames < need {
-		cfg.Mem.PTFrames = need
-	}
+	sim.SizeConfig(&cfg, totalFootprint, mode)
 	return cfg
 }
 
@@ -174,11 +167,4 @@ func normEnergy(a, base *sim.Result) float64 {
 		return 0
 	}
 	return a.Energy.TotalPJ / base.Energy.TotalPJ
-}
-
-func max(a, b int) int {
-	if a > b {
-		return a
-	}
-	return b
 }

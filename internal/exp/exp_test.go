@@ -157,6 +157,43 @@ func TestXenShape(t *testing.T) {
 	}
 }
 
+func TestInterferenceShape(t *testing.T) {
+	r := tiny()
+	r.CheckStale = true
+	res, err := r.Interference()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 3 {
+		t.Fatalf("rows = %d", len(res.Rows))
+	}
+	byProto := map[string]InterferenceRow{}
+	for _, row := range res.Rows {
+		byProto[row.Protocol] = row
+		if row.Slowdown <= 1.0 {
+			t.Errorf("%s: the noisy neighbor must slow the victim (%.3f)", row.Protocol, row.Slowdown)
+		}
+		if row.NoisyEvictions == 0 {
+			t.Errorf("%s: no paging pressure; the scenario is broken", row.Protocol)
+		}
+	}
+	// Software shootdowns amplify the interference; HATRIC keeps only the
+	// capacity component.
+	if byProto["sw"].Slowdown <= byProto["hatric"].Slowdown {
+		t.Errorf("sw slowdown (%.3f) should exceed hatric's (%.3f)",
+			byProto["sw"].Slowdown, byProto["hatric"].Slowdown)
+	}
+	if byProto["sw"].VictimFlushes == 0 {
+		t.Errorf("sw: victim was never flushed despite evictions of its pages")
+	}
+	if byProto["hatric"].VictimFlushes != 0 {
+		t.Errorf("hatric: victim flushed %d times", byProto["hatric"].VictimFlushes)
+	}
+	if res.Table().NumRows() != 3 {
+		t.Errorf("table rows wrong")
+	}
+}
+
 func TestMicroCosts(t *testing.T) {
 	res, err := tiny().MicroCosts()
 	if err != nil {

@@ -1,0 +1,152 @@
+package exp
+
+import (
+	"fmt"
+
+	"hatric/internal/hv"
+	"hatric/internal/sim"
+	"hatric/internal/stats"
+	"hatric/internal/workload"
+)
+
+// InterferenceRow is one protocol's inter-VM interference numbers: the
+// latency-sensitive victim VM's runtime beside a paging-heavy "noisy
+// neighbor" VM, normalized to the victim running alone on the same
+// hardware (identical CPU count, caches, and memory system — the neighbor
+// CPUs are simply idle in the alone run).
+type InterferenceRow struct {
+	Protocol string
+	// Slowdown is victim-beside-neighbor runtime over victim-alone
+	// runtime (1.0 = perfect isolation).
+	Slowdown float64
+	// VictimFlushes counts TLB flushes suffered by the victim VM's CPUs
+	// in the consolidated run; under per-VM software coherence these come
+	// only from remaps of the victim's own pages (neighbor-driven
+	// capacity evictions included), never from the neighbor's paging of
+	// its own pages.
+	VictimFlushes uint64
+	// NoisyEvictions counts the machine-wide evictions in the
+	// consolidated run — the paging pressure the neighbor generates.
+	NoisyEvictions uint64
+	// CrossVMFiltered counts coherence relays the VM-qualified (VPID)
+	// structures ignored. These are real in consolidated runs: a CPU that
+	// reclaims a frame from another VM walks that VM's nested page table
+	// in hypervisor context and becomes a cache sharer of its PT lines,
+	// so later stores to those lines relay to it — and the VM
+	// qualification is what keeps the relay from touching its
+	// translations.
+	CrossVMFiltered uint64
+}
+
+// InterferenceResult is the noisy-neighbor study.
+type InterferenceResult struct {
+	Victim, Noisy string
+	Rows          []InterferenceRow
+}
+
+// interferenceVMs splits the machine: the victim VM gets a quarter of the
+// CPUs (at least 2), the noisy neighbor the rest.
+func interferenceVMs(threads int) (victimCPUs, noisyCPUs []int) {
+	nv := threads / 4
+	if nv < 2 {
+		nv = 2
+	}
+	for c := 0; c < nv; c++ {
+		victimCPUs = append(victimCPUs, c)
+	}
+	for c := nv; c < threads; c++ {
+		noisyCPUs = append(noisyCPUs, c)
+	}
+	return victimCPUs, noisyCPUs
+}
+
+// Interference runs the consolidation scenario the paper's motivation
+// describes: a paging-heavy VM (data_caching, the fastest-drifting
+// workload) shares the die-stacked tier with a latency-sensitive VM
+// (canneal). The neighbor's churn evicts victim pages, and every eviction
+// of a victim page runs translation coherence against the victim's vCPUs
+// — a full shootdown under sw, precise co-tag invalidations under HATRIC,
+// nothing under ideal. The neighbor's paging of its own pages never
+// touches the victim under any protocol (per-VM target sets).
+func (r *Runner) Interference() (*InterferenceResult, error) {
+	threads := r.threads()
+	if threads < 3 {
+		return nil, fmt.Errorf("exp: interference needs at least 3 vCPUs (victim + neighbor), got %d", threads)
+	}
+	victimCPUs, noisyCPUs := interferenceVMs(threads)
+
+	victim, err := workload.ByName("canneal")
+	if err != nil {
+		return nil, err
+	}
+	noisy, err := workload.ByName("data_caching")
+	if err != nil {
+		return nil, err
+	}
+	victim = r.spec(victim)
+	noisy = r.spec(noisy)
+
+	total := victim.FootprintPages + noisy.FootprintPages
+	protos := []string{"sw", "hatric", "ideal"}
+	var jobs []job
+	for _, p := range protos {
+		cfg := r.baseConfig(total, hv.ModePaged)
+		cfg.NumCPUs = threads
+		victimVM := sim.VMSpec{Workloads: []sim.AssignedWorkload{
+			{Spec: victim, CPUs: victimCPUs}}}
+		noisyVM := sim.VMSpec{Workloads: []sim.AssignedWorkload{
+			{Spec: noisy, CPUs: noisyCPUs}}}
+		jobs = append(jobs,
+			job{p + "/alone", sim.Options{
+				Config:     cfg,
+				Protocol:   p,
+				Paging:     hv.BestPolicy(),
+				Mode:       hv.ModePaged,
+				VMs:        []sim.VMSpec{victimVM},
+				Seed:       r.seed(),
+				CheckStale: r.CheckStale,
+			}},
+			job{p + "/beside", sim.Options{
+				Config:     cfg,
+				Protocol:   p,
+				Paging:     hv.BestPolicy(),
+				Mode:       hv.ModePaged,
+				VMs:        []sim.VMSpec{victimVM, noisyVM},
+				Seed:       r.seed(),
+				CheckStale: r.CheckStale,
+			}},
+		)
+	}
+	res, err := r.runAll(jobs)
+	if err != nil {
+		return nil, err
+	}
+	out := &InterferenceResult{Victim: victim.Name, Noisy: noisy.Name}
+	for _, p := range protos {
+		alone := res[p+"/alone"]
+		beside := res[p+"/beside"]
+		row := InterferenceRow{Protocol: p}
+		a := alone.VMFinish(0)
+		b := beside.VMFinish(0)
+		if a > 0 {
+			row.Slowdown = float64(b) / float64(a)
+		}
+		row.VictimFlushes = beside.PerVM[0].TLBFlushes
+		row.NoisyEvictions = beside.Agg.PageEvictions
+		row.CrossVMFiltered = beside.Agg.CrossVMFiltered
+		out.Rows = append(out.Rows, row)
+	}
+	return out, nil
+}
+
+// Table renders the study.
+func (f *InterferenceResult) Table() *stats.Table {
+	t := stats.NewTable(
+		fmt.Sprintf("Inter-VM interference: %s (latency-sensitive) beside %s (noisy neighbor); victim slowdown vs running alone",
+			f.Victim, f.Noisy),
+		"protocol", "victim slowdown", "victim tlb flushes", "evictions", "cross-vm filtered")
+	for _, row := range f.Rows {
+		t.AddRow(row.Protocol, row.Slowdown, row.VictimFlushes, row.NoisyEvictions, row.CrossVMFiltered)
+	}
+	return t
+}

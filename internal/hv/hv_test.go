@@ -33,7 +33,10 @@ func newMachineStub(cpus int) *machineStub {
 }
 
 func (m *machineStub) NumCPUs() int                     { return len(m.ts) }
-func (m *machineStub) VMCPUs() []int                    { return m.cpus }
+func (m *machineStub) NumVMs() int                      { return 1 }
+func (m *machineStub) VMCPUs(vm int) []int              { return m.cpus }
+func (m *machineStub) VMOf(cpu int) int                 { return 0 }
+func (m *machineStub) OwnerVM(arch.SPA) int             { return 0 }
 func (m *machineStub) TS(cpu int) *tstruct.CPUSet       { return m.ts[cpu] }
 func (m *machineStub) Charge(cpu int, c arch.Cycles)    { m.charged[cpu] += c }
 func (m *machineStub) Counters(cpu int) *stats.Counters { return m.cnt[cpu] }
@@ -69,7 +72,7 @@ func newHVRig(t *testing.T, pcfg PagingConfig, pages int, mode PlacementMode) *h
 	machine := newMachineStub(2)
 	cnts := []*stats.Counters{machine.cnt[0], machine.cnt[1]}
 	hier := coherence.NewHierarchy(&cfg, mem, cnts)
-	vm, err := NewVM(store, mem, 1, []int{0, 1})
+	vm, err := NewVM(0, store, mem, 1, []int{0, 1})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -77,7 +80,7 @@ func newHVRig(t *testing.T, pcfg PagingConfig, pages int, mode PlacementMode) *h
 		t.Fatal(err)
 	}
 	proto := core.NewSoftware(machine)
-	hyp, err := New(pcfg, cfg.Cost, mem, hier, machine, proto, vm, 1)
+	hyp, err := New(pcfg, cfg.Cost, mem, hier, machine, proto, []*VM{vm}, 1)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -186,7 +189,7 @@ func TestVMTranslate(t *testing.T) {
 func TestHandleFaultMigratesIn(t *testing.T) {
 	r := newHVRig(t, PagingConfig{Policy: "lru"}, 8, ModePaged)
 	gpp, _ := r.vm.Guests[0].Translate(0)
-	lat, err := r.hyp.HandleFault(0, gpp, 0)
+	lat, err := r.hyp.HandleFault(0, 0, gpp, 0)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -210,7 +213,7 @@ func TestEvictionWhenFull(t *testing.T) {
 	// Fault in more pages than the 32-frame die-stack holds.
 	for gvp := arch.GVP(0); gvp < 40; gvp++ {
 		gpp, _ := r.vm.Guests[0].Translate(gvp)
-		if _, err := r.hyp.HandleFault(0, gpp, 0); err != nil {
+		if _, err := r.hyp.HandleFault(0, 0, gpp, 0); err != nil {
 			t.Fatalf("fault %d: %v", gvp, err)
 		}
 	}
@@ -243,7 +246,7 @@ func TestMigrationDaemonKeepsPool(t *testing.T) {
 	r := newHVRig(t, PagingConfig{Policy: "fifo", Daemon: true, DaemonLow: 0.1, DaemonHigh: 0.25}, 64, ModePaged)
 	for gvp := arch.GVP(0); gvp < 48; gvp++ {
 		gpp, _ := r.vm.Guests[0].Translate(gvp)
-		if _, err := r.hyp.HandleFault(0, gpp, 0); err != nil {
+		if _, err := r.hyp.HandleFault(0, 0, gpp, 0); err != nil {
 			t.Fatalf("fault %d: %v", gvp, err)
 		}
 	}
@@ -259,7 +262,7 @@ func TestPrefetchMigratesNeighbors(t *testing.T) {
 	// neighbors are data pages (the very first page neighbors the guest
 	// page-table pages, which are pinned and skipped).
 	gpp, _ := r.vm.Guests[0].Translate(5)
-	if _, err := r.hyp.HandleFault(0, gpp, 0); err != nil {
+	if _, err := r.hyp.HandleFault(0, 0, gpp, 0); err != nil {
 		t.Fatal(err)
 	}
 	c := r.machine.cnt[0]
@@ -277,7 +280,7 @@ func TestPrefetchMigratesNeighbors(t *testing.T) {
 	// page's neighbors are PT pages and get skipped.
 	r2 := newHVRig(t, PagingConfig{Policy: "fifo", Prefetch: 3}, 16, ModePaged)
 	g0, _ := r2.vm.Guests[0].Translate(0)
-	if _, err := r2.hyp.HandleFault(0, g0, 0); err != nil {
+	if _, err := r2.hyp.HandleFault(0, 0, g0, 0); err != nil {
 		t.Fatal(err)
 	}
 	if r2.machine.cnt[0].PagePrefetches != 0 {
@@ -288,9 +291,9 @@ func TestPrefetchMigratesNeighbors(t *testing.T) {
 func TestDefragRemapsLivePage(t *testing.T) {
 	r := newHVRig(t, PagingConfig{Policy: "fifo", DefragEvery: 1}, 8, ModePaged)
 	gpp, _ := r.vm.Guests[0].Translate(0)
-	r.hyp.HandleFault(0, gpp, 0)
+	r.hyp.HandleFault(0, 0, gpp, 0)
 	before, _, _ := r.vm.Nested.Translate(gpp)
-	lat := r.hyp.Defrag(0, 0)
+	lat := r.hyp.Defrag(0, 0, 0)
 	if lat == 0 {
 		t.Fatalf("defrag did nothing")
 	}
@@ -324,8 +327,8 @@ func TestUnknownPolicyRejected(t *testing.T) {
 	store := pagetable.NewStore(cfg.Mem.PTFrames)
 	machine := newMachineStub(1)
 	hier := coherence.NewHierarchy(&cfg, mem, []*stats.Counters{machine.cnt[0]})
-	vm, _ := NewVM(store, mem, 1, []int{0})
-	if _, err := New(PagingConfig{Policy: "mru"}, cfg.Cost, mem, hier, machine, core.NewSoftware(machine), vm, 1); err == nil {
+	vm, _ := NewVM(0, store, mem, 1, []int{0})
+	if _, err := New(PagingConfig{Policy: "mru"}, cfg.Cost, mem, hier, machine, core.NewSoftware(machine), []*VM{vm}, 1); err == nil {
 		t.Errorf("bogus policy accepted")
 	}
 }

@@ -39,8 +39,14 @@ func BestPolicy() PagingConfig {
 	return PagingConfig{Policy: "lru", Daemon: true, Prefetch: 4}
 }
 
-// Hypervisor manages one VM's inter-tier paging and initiates translation
-// coherence through the configured protocol.
+// Hypervisor manages the inter-tier paging of every VM on the machine and
+// initiates translation coherence through the configured protocol. All VMs
+// compete for the same pool of die-stacked frames; each VM has its own
+// eviction policy instance (its victim candidates are per-VM guest
+// physical pages), and capacity pressure is spread across VMs by a
+// round-robin eviction hand — so a paging-heavy VM steals frames from its
+// neighbors, but the translation coherence each eviction triggers is
+// always scoped to the VM owning the evicted page.
 type Hypervisor struct {
 	cfg      PagingConfig
 	cost     arch.CostModel
@@ -48,28 +54,37 @@ type Hypervisor struct {
 	hier     *coherence.Hierarchy
 	machine  core.Machine
 	protocol core.Protocol
-	vm       *VM
-	policy   Policy
+	vms      []*VM
+	policies []Policy
 	rng      *xrand.RNG
+
+	// hand is the round-robin eviction cursor over VMs.
+	hand int
 
 	low, high int
 }
 
-// New builds the hypervisor.
+// New builds the hypervisor for the given VMs.
 func New(cfg PagingConfig, cost arch.CostModel, mem *memdev.Memory, hier *coherence.Hierarchy,
-	machine core.Machine, protocol core.Protocol, vm *VM, seed uint64) (*Hypervisor, error) {
+	machine core.Machine, protocol core.Protocol, vms []*VM, seed uint64) (*Hypervisor, error) {
+	if len(vms) == 0 {
+		return nil, fmt.Errorf("hv: no VMs")
+	}
 	h := &Hypervisor{
 		cfg: cfg, cost: cost, mem: mem, hier: hier,
-		machine: machine, protocol: protocol, vm: vm,
+		machine: machine, protocol: protocol,
+		vms: append([]*VM(nil), vms...),
 		rng: xrand.New(seed ^ 0x9a7c15),
 	}
-	switch cfg.Policy {
-	case "", "lru":
-		h.policy = NewClock(vm.Nested)
-	case "fifo":
-		h.policy = NewFIFO()
-	default:
-		return nil, fmt.Errorf("hv: unknown paging policy %q", cfg.Policy)
+	for _, vm := range h.vms {
+		switch cfg.Policy {
+		case "", "lru":
+			h.policies = append(h.policies, NewClock(vm.Nested))
+		case "fifo":
+			h.policies = append(h.policies, NewFIFO())
+		default:
+			return nil, fmt.Errorf("hv: unknown paging policy %q", cfg.Policy)
+		}
 	}
 	total := mem.Layout.HBMFrames
 	lowF, highF := cfg.DaemonLow, cfg.DaemonHigh
@@ -87,23 +102,30 @@ func New(cfg PagingConfig, cost arch.CostModel, mem *memdev.Memory, hier *cohere
 	return h, nil
 }
 
-// Policy returns the active eviction policy.
-func (h *Hypervisor) Policy() Policy { return h.policy }
+// VMs returns the managed virtual machines.
+func (h *Hypervisor) VMs() []*VM { return h.vms }
+
+// Policy returns VM vm's active eviction policy.
+func (h *Hypervisor) Policy(vm int) Policy { return h.policies[vm] }
 
 // Protocol returns the translation-coherence protocol in use.
 func (h *Hypervisor) Protocol() core.Protocol { return h.protocol }
 
-// HandleFault services a nested page fault on (cpu, gpp): the VM exit, the
-// page-fault handler, frame reclamation if needed, the page copy, and the
-// nested page-table update. It returns the cycles the faulting vCPU is
-// stalled.
-func (h *Hypervisor) HandleFault(cpu int, gpp arch.GPP, now arch.Cycles) (arch.Cycles, error) {
+// HandleFault services a nested page fault on (cpu, gpp) of VM vm: the VM
+// exit, the page-fault handler, frame reclamation if needed, the page
+// copy, and the nested page-table update. It returns the cycles the
+// faulting vCPU is stalled.
+func (h *Hypervisor) HandleFault(cpu, vm int, gpp arch.GPP, now arch.Cycles) (arch.Cycles, error) {
+	if vm < 0 || vm >= len(h.vms) {
+		return 0, fmt.Errorf("hv: fault on unknown VM %d", vm)
+	}
 	c := h.machine.Counters(cpu)
 	c.PageFaults++
 	c.VMExits++
 	lat := h.cost.VMExit + h.cost.HypervisorFault
 
-	// Reclaim frames on the critical path only when the pool is dry.
+	// Reclaim frames on the critical path only when the pool is dry. The
+	// victim may belong to any VM (shared frame pool).
 	for h.mem.FreeFrames(arch.TierHBM) == 0 {
 		evLat, err := h.evictOne(cpu, now+lat, true)
 		if err != nil {
@@ -112,7 +134,7 @@ func (h *Hypervisor) HandleFault(cpu int, gpp arch.GPP, now arch.Cycles) (arch.C
 		lat += evLat
 	}
 
-	mLat, err := h.migrateIn(cpu, gpp, now+lat, true)
+	mLat, err := h.migrateIn(cpu, vm, gpp, now+lat, true)
 	if err != nil {
 		return lat, err
 	}
@@ -124,10 +146,10 @@ func (h *Hypervisor) HandleFault(cpu int, gpp arch.GPP, now arch.Cycles) (arch.C
 			break
 		}
 		next := gpp + arch.GPP(i)
-		if _, present, ok := h.vm.Nested.Translate(next); !ok || present {
+		if _, present, ok := h.vms[vm].Nested.Translate(next); !ok || present {
 			continue
 		}
-		if _, err := h.migrateIn(cpu, next, now+lat, false); err != nil {
+		if _, err := h.migrateIn(cpu, vm, next, now+lat, false); err != nil {
 			break
 		}
 		c.PagePrefetches++
@@ -146,14 +168,14 @@ func (h *Hypervisor) HandleFault(cpu int, gpp arch.GPP, now arch.Cycles) (arch.C
 	return lat, nil
 }
 
-// migrateIn moves gpp's page from off-chip DRAM into a die-stacked frame
-// and maps it present. A not-present-to-present transition leaves no stale
-// translation entries, so no translation coherence is initiated — only the
-// ordinary coherent PTE store.
-func (h *Hypervisor) migrateIn(cpu int, gpp arch.GPP, now arch.Cycles, critical bool) (arch.Cycles, error) {
-	oldSPP, present, ok := h.vm.Nested.Translate(gpp)
+// migrateIn moves gpp's page of VM vm from off-chip DRAM into a
+// die-stacked frame and maps it present. A not-present-to-present
+// transition leaves no stale translation entries, so no translation
+// coherence is initiated — only the ordinary coherent PTE store.
+func (h *Hypervisor) migrateIn(cpu, vm int, gpp arch.GPP, now arch.Cycles, critical bool) (arch.Cycles, error) {
+	oldSPP, present, ok := h.vms[vm].Nested.Translate(gpp)
 	if !ok {
-		return 0, fmt.Errorf("hv: fault on unmapped gpp %#x", uint64(gpp))
+		return 0, fmt.Errorf("hv: fault on unmapped gpp %#x (VM %d)", uint64(gpp), vm)
 	}
 	if present {
 		return 0, nil // raced with a prefetch of the same page
@@ -164,7 +186,7 @@ func (h *Hypervisor) migrateIn(cpu int, gpp arch.GPP, now arch.Cycles, critical 
 	}
 	copyLat := h.mem.CopyPage(now, oldSPP, frame)
 	h.mem.FreeFrame(oldSPP)
-	pteSPA, err := h.vm.Nested.Remap(gpp, frame, true)
+	pteSPA, err := h.vms[vm].Nested.Remap(gpp, frame, true)
 	if err != nil {
 		return 0, err
 	}
@@ -172,34 +194,54 @@ func (h *Hypervisor) migrateIn(cpu int, gpp arch.GPP, now arch.Cycles, critical 
 	c.PTEWrites++
 	c.PageMigrations++
 	wLat := h.cost.PTEWrite + h.hier.Write(cpu, pteSPA, cache.KindNestedPT, now)
-	h.policy.NoteResident(gpp)
+	h.policies[vm].NoteResident(gpp)
 	if !critical {
 		return 0, nil
 	}
 	return copyLat + wLat, nil
 }
 
+// nextVictimVM advances the round-robin hand to the next VM with resident
+// pages to evict.
+func (h *Hypervisor) nextVictimVM() (int, bool) {
+	for i := 0; i < len(h.vms); i++ {
+		idx := (h.hand + i) % len(h.vms)
+		if h.policies[idx].Resident() > 0 {
+			h.hand = (idx + 1) % len(h.vms)
+			return idx, true
+		}
+	}
+	return 0, false
+}
+
 // evictOne unmaps one die-stacked-resident page and migrates it back to
 // off-chip DRAM. This is the present-to-not-present transition of Fig. 3:
-// stale translations may be cached anywhere, so translation coherence runs.
-// When critical is false (migration daemon), the initiator-side costs stay
-// off the faulting vCPU; target-side costs (VM exits, flushes) are charged
-// to the targets either way.
+// stale translations may be cached anywhere, so translation coherence runs
+// — against the CPUs of the VM owning the victim page, which need not be
+// the faulting CPU's VM (inter-VM capacity pressure). When critical is
+// false (migration daemon), the initiator-side costs stay off the faulting
+// vCPU; target-side costs (VM exits, flushes) are charged to the targets
+// either way.
 func (h *Hypervisor) evictOne(cpu int, now arch.Cycles, critical bool) (arch.Cycles, error) {
-	victim, ok := h.policy.PickVictim()
+	vmIdx, ok := h.nextVictimVM()
 	if !ok {
 		return 0, fmt.Errorf("hv: nothing to evict")
 	}
-	oldSPP, _, ok := h.vm.Nested.Translate(victim)
+	vm := h.vms[vmIdx]
+	victim, ok := h.policies[vmIdx].PickVictim()
 	if !ok {
-		return 0, fmt.Errorf("hv: victim gpp %#x unmapped", uint64(victim))
+		return 0, fmt.Errorf("hv: nothing to evict in VM %d", vmIdx)
+	}
+	oldSPP, _, ok := vm.Nested.Translate(victim)
+	if !ok {
+		return 0, fmt.Errorf("hv: victim gpp %#x unmapped (VM %d)", uint64(victim), vmIdx)
 	}
 	dramFrame, got := h.mem.AllocFrame(arch.TierDRAM)
 	if !got {
 		return 0, fmt.Errorf("hv: off-chip DRAM full")
 	}
 	copyLat := h.mem.CopyPage(now, oldSPP, dramFrame)
-	pteSPA, err := h.vm.Nested.Remap(victim, dramFrame, false)
+	pteSPA, err := vm.Nested.Remap(victim, dramFrame, false)
 	if err != nil {
 		return 0, err
 	}
@@ -208,24 +250,27 @@ func (h *Hypervisor) evictOne(cpu int, now arch.Cycles, critical bool) (arch.Cyc
 	c.PTEWrites++
 	c.PageEvictions++
 	wLat := h.cost.PTEWrite + h.hier.Write(cpu, pteSPA, cache.KindNestedPT, now)
-	tcLat := h.protocol.OnRemap(cpu, pteSPA, now)
+	tcLat := h.protocol.OnRemap(cpu, vm.ID, pteSPA, now)
 	if !critical {
 		return 0, nil
 	}
 	return copyLat + wLat + tcLat, nil
 }
 
-// Defrag relocates one live die-stacked page to another die-stacked frame
-// (contiguity building for superpages). The mapping stays present, so
-// cached translations go stale and translation coherence runs, exactly as
-// for an eviction. Returns initiator cycles.
-func (h *Hypervisor) Defrag(cpu int, now arch.Cycles) arch.Cycles {
-	pages := h.policy.ResidentPages()
+// Defrag relocates one live die-stacked page of VM vm to another
+// die-stacked frame (contiguity building for superpages). The mapping
+// stays present, so cached translations go stale and translation coherence
+// runs, exactly as for an eviction. Returns initiator cycles.
+func (h *Hypervisor) Defrag(cpu, vm int, now arch.Cycles) arch.Cycles {
+	if vm < 0 || vm >= len(h.vms) {
+		return 0
+	}
+	pages := h.policies[vm].ResidentPages()
 	if len(pages) == 0 {
 		return 0
 	}
 	gpp := pages[h.rng.Intn(len(pages))]
-	oldSPP, present, ok := h.vm.Nested.Translate(gpp)
+	oldSPP, present, ok := h.vms[vm].Nested.Translate(gpp)
 	if !ok || !present {
 		return 0
 	}
@@ -234,7 +279,7 @@ func (h *Hypervisor) Defrag(cpu int, now arch.Cycles) arch.Cycles {
 		return 0
 	}
 	copyLat := h.mem.CopyPage(now, oldSPP, frame)
-	pteSPA, err := h.vm.Nested.Remap(gpp, frame, true)
+	pteSPA, err := h.vms[vm].Nested.Remap(gpp, frame, true)
 	if err != nil {
 		h.mem.FreeFrame(frame)
 		return 0
@@ -244,7 +289,7 @@ func (h *Hypervisor) Defrag(cpu int, now arch.Cycles) arch.Cycles {
 	c.PTEWrites++
 	c.DefragRemaps++
 	wLat := h.cost.PTEWrite + h.hier.Write(cpu, pteSPA, cache.KindNestedPT, now)
-	tcLat := h.protocol.OnRemap(cpu, pteSPA, now)
+	tcLat := h.protocol.OnRemap(cpu, h.vms[vm].ID, pteSPA, now)
 	return copyLat + wLat + tcLat
 }
 

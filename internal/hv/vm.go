@@ -44,9 +44,13 @@ func (m PlacementMode) String() string {
 	return "unknown-mode"
 }
 
-// VM is one virtual machine: a nested page table, one guest page table per
-// process, and the set of physical CPUs its vCPUs run on.
+// VM is one virtual machine: a dense machine-wide ID (the hardware VPID
+// that VM-qualifies translation coherence), a nested page table, one guest
+// page table per process, and the set of physical CPUs its vCPUs run on.
+// Many VMs share one machine; each owns a disjoint set of page-table heap
+// frames, which is how the machine attributes a page-table line to its VM.
 type VM struct {
+	ID     int
 	Nested *pagetable.NestedPT
 	Guests []*pagetable.GuestPT
 	CPUs   []int
@@ -54,13 +58,21 @@ type VM struct {
 	mem     *memdev.Memory
 	store   *pagetable.Store
 	gppNext uint64
+	// ptFrames records every page-table-heap frame backing this VM's
+	// nested tables and guest PT pages: the ownership set behind
+	// OwnsPTPage and the machine's OwnerVM query.
+	ptFrames map[arch.SPP]struct{}
 }
 
-// NewVM builds a VM with numProcs processes (each with an empty guest page
-// table) runnable on the given physical CPUs.
-func NewVM(store *pagetable.Store, mem *memdev.Memory, numProcs int, cpus []int) (*VM, error) {
-	vm := &VM{mem: mem, store: store, CPUs: append([]int(nil), cpus...), gppNext: 1}
-	nested, err := pagetable.NewNestedPT(store, mem.AllocPT)
+// NewVM builds VM id with numProcs processes (each with an empty guest
+// page table) runnable on the given physical CPUs.
+func NewVM(id int, store *pagetable.Store, mem *memdev.Memory, numProcs int, cpus []int) (*VM, error) {
+	vm := &VM{
+		ID: id, mem: mem, store: store,
+		CPUs: append([]int(nil), cpus...), gppNext: 1,
+		ptFrames: make(map[arch.SPP]struct{}),
+	}
+	nested, err := pagetable.NewNestedPT(store, vm.allocNestedFrame)
 	if err != nil {
 		return nil, err
 	}
@@ -73,6 +85,23 @@ func NewVM(store *pagetable.Store, mem *memdev.Memory, numProcs int, cpus []int)
 		vm.Guests = append(vm.Guests, g)
 	}
 	return vm, nil
+}
+
+// allocNestedFrame backs one nested page-table page, recording ownership.
+func (vm *VM) allocNestedFrame() (arch.SPP, error) {
+	spp, err := vm.mem.AllocPT()
+	if err != nil {
+		return 0, err
+	}
+	vm.ptFrames[spp] = struct{}{}
+	return spp, nil
+}
+
+// OwnsPTPage reports whether the page-table-heap frame spp backs one of
+// this VM's page-table pages (nested tables or guest PT pages).
+func (vm *VM) OwnsPTPage(spp arch.SPP) bool {
+	_, ok := vm.ptFrames[spp]
+	return ok
 }
 
 // allocGPP hands out the next guest physical page.
@@ -90,6 +119,7 @@ func (vm *VM) allocPTPage() (arch.GPP, arch.SPP, error) {
 	if err != nil {
 		return 0, 0, err
 	}
+	vm.ptFrames[spp] = struct{}{}
 	if _, err := vm.Nested.Map(gpp, spp, true); err != nil {
 		return 0, 0, err
 	}

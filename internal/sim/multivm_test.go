@@ -1,0 +1,184 @@
+package sim
+
+import (
+	"testing"
+
+	"hatric/internal/arch"
+	"hatric/internal/hv"
+	"hatric/internal/workload"
+)
+
+// twoVMOpts consolidates two instances of the smoke workload: VM 0 on
+// CPUs 0-1 and VM 1 on CPUs 2-3.
+func twoVMOpts(protocol string, cfg arch.Config, specA, specB workload.Spec) Options {
+	return Options{
+		Config:   cfg,
+		Protocol: protocol,
+		Paging:   hv.PagingConfig{Policy: "lru", Daemon: true, Prefetch: 2},
+		Mode:     hv.ModePaged,
+		VMs: []VMSpec{
+			{Workloads: []AssignedWorkload{{Spec: specA, CPUs: []int{0, 1}}}},
+			{Workloads: []AssignedWorkload{{Spec: specB, CPUs: []int{2, 3}}}},
+		},
+		Seed:       17,
+		CheckStale: true,
+	}
+}
+
+// TestTwoVMStaleAudit runs a consolidated two-VM machine under capacity
+// pressure (cross-VM evictions happen) and asserts the paper's correctness
+// property VM by VM: no CPU ever uses a stale translation, under any
+// protocol.
+func TestTwoVMStaleAudit(t *testing.T) {
+	spec := smokeSpec()
+	spec.Threads = 2
+	spec.Refs = 10_000
+	for _, proto := range []string{"sw", "hatric", "hatric-pf", "unitd", "ideal"} {
+		t.Run(proto, func(t *testing.T) {
+			cfg := smokeConfig()
+			// Die-stacked tier far below the combined footprint: the VMs
+			// constantly steal frames from each other.
+			cfg.Mem.HBMFrames = 448
+			sys, err := New(twoVMOpts(proto, cfg, spec, spec))
+			if err != nil {
+				t.Fatal(err)
+			}
+			res, err := sys.Run()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if res.Agg.StaleTranslationUses != 0 {
+				t.Errorf("%d stale translation uses", res.Agg.StaleTranslationUses)
+			}
+			if res.Agg.PageEvictions == 0 {
+				t.Errorf("no evictions; the test exercised no cross-VM pressure")
+			}
+			if len(res.PerVM) != 2 {
+				t.Fatalf("PerVM has %d entries", len(res.PerVM))
+			}
+			for v := range res.PerVM {
+				if res.PerVM[v].MemRefs != 2*spec.Refs {
+					t.Errorf("VM %d memrefs = %d", v, res.PerVM[v].MemRefs)
+				}
+			}
+		})
+	}
+}
+
+// TestSWFlushesOnlyOwningVM is the acceptance property of the multi-VM
+// refactor: under software coherence, remaps in VM 0 shoot down only
+// VM 0's CPUs. VM 1 runs too few references to ever trigger its own
+// defragmentation remap, and the die-stacked tier is sized so no capacity
+// eviction occurs — so every remap on the machine belongs to VM 0, and
+// VM 1 must see zero flushes, zero shootdown exits, and zero IPIs.
+func TestSWFlushesOnlyOwningVM(t *testing.T) {
+	active := smokeSpec()
+	active.Threads = 2
+	active.Refs = 20_000
+	quiet := active
+	quiet.Refs = 1_500 // below the defrag period: initiates no remaps
+
+	cfg := smokeConfig()
+	cfg.Mem.HBMFrames = 2*active.FootprintPages + 512 // no evictions
+	opts := twoVMOpts("sw", cfg, active, quiet)
+	opts.Paging = hv.PagingConfig{Policy: "lru", DefragEvery: 2_000}
+
+	sys, err := New(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := sys.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Agg.PageEvictions != 0 {
+		t.Fatalf("%d evictions; sizing was supposed to prevent them", res.Agg.PageEvictions)
+	}
+	vm0, vm1 := &res.PerVM[0], &res.PerVM[1]
+	if vm0.DefragRemaps == 0 {
+		t.Fatalf("VM 0 never remapped; the test proves nothing")
+	}
+	if vm0.TLBFlushes == 0 || vm0.IPIs == 0 {
+		t.Errorf("VM 0's own shootdowns missing: flushes=%d ipis=%d", vm0.TLBFlushes, vm0.IPIs)
+	}
+	if vm1.DefragRemaps != 0 {
+		t.Fatalf("VM 1 remapped %d times; it was sized not to", vm1.DefragRemaps)
+	}
+	if vm1.TLBFlushes != 0 || vm1.MMUCacheFlushes != 0 || vm1.NTLBFlushes != 0 {
+		t.Errorf("VM 0's remaps flushed VM 1: tlb=%d mmu=%d ntlb=%d",
+			vm1.TLBFlushes, vm1.MMUCacheFlushes, vm1.NTLBFlushes)
+	}
+	if vm1.IPIs != 0 {
+		t.Errorf("VM 1 initiated or relayed %d IPIs", vm1.IPIs)
+	}
+	// VM 1's only VM exits are its own page faults — no shootdown exits.
+	if vm1.VMExits != vm1.PageFaults {
+		t.Errorf("VM 1 suffered %d shootdown VM exits", vm1.VMExits-vm1.PageFaults)
+	}
+	if res.Agg.StaleTranslationUses != 0 {
+		t.Errorf("%d stale uses", res.Agg.StaleTranslationUses)
+	}
+	// The result maps CPUs to VMs for consumers.
+	want := []int{0, 0, 1, 1}
+	for cpu, v := range res.VMOf {
+		if v != want[cpu] {
+			t.Errorf("VMOf[%d] = %d, want %d", cpu, v, want[cpu])
+		}
+	}
+}
+
+// TestTwoVMDeterminism: consolidated runs stay reproducible.
+func TestTwoVMDeterminism(t *testing.T) {
+	spec := smokeSpec()
+	spec.Threads = 2
+	spec.Refs = 8_000
+	run := func() *Result {
+		cfg := smokeConfig()
+		cfg.Mem.HBMFrames = 448
+		sys, err := New(twoVMOpts("hatric", cfg, spec, spec))
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := sys.Run()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	a, b := run(), run()
+	if a.Runtime != b.Runtime {
+		t.Errorf("two-VM runs diverged: %d vs %d", a.Runtime, b.Runtime)
+	}
+	if a.Agg != b.Agg {
+		t.Errorf("two-VM counters diverged")
+	}
+}
+
+// TestMultiVMOptionsRejected: malformed VM descriptions fail fast.
+func TestMultiVMOptionsRejected(t *testing.T) {
+	cfg := smokeConfig()
+	spec := smokeSpec()
+	cases := []Options{
+		// Same CPU pinned in two VMs.
+		{Config: cfg, Protocol: "hatric", VMs: []VMSpec{
+			{Workloads: []AssignedWorkload{{Spec: spec, CPUs: []int{0}}}},
+			{Workloads: []AssignedWorkload{{Spec: spec, CPUs: []int{0}}}},
+		}},
+		// Workloads and VMs both set.
+		{Config: cfg, Protocol: "hatric",
+			Workloads: SingleWorkload(spec, 2),
+			VMs: []VMSpec{
+				{Workloads: []AssignedWorkload{{Spec: spec, CPUs: []int{3}}}},
+			}},
+		// A VM with no processes.
+		{Config: cfg, Protocol: "hatric", VMs: []VMSpec{
+			{Workloads: []AssignedWorkload{{Spec: spec, CPUs: []int{0}}}},
+			{},
+		}},
+	}
+	for i, opts := range cases {
+		if _, err := New(opts); err == nil {
+			t.Errorf("case %d: invalid multi-VM options accepted", i)
+		}
+	}
+}

@@ -1,10 +1,11 @@
 // Package sim wires every substrate into a runnable system: CPUs with
 // translation structures and hardware walkers, the coherent cache
-// hierarchy, the two-tier memory, one VM with its guest and nested page
-// tables, the hypervisor's paging machinery, and a translation-coherence
-// protocol. It executes workload streams with min-clock-first scheduling
-// (per-CPU cycle counters stay within one reference of each other) and
-// reports runtime, event counts, and energy.
+// hierarchy, the two-tier memory, N virtual machines each with its own
+// guest and nested page tables, the hypervisor's paging machinery, and a
+// translation-coherence protocol. It executes workload streams with
+// min-clock-first scheduling (per-CPU cycle counters stay within one
+// reference of each other) and reports runtime, event counts, and energy
+// — per CPU, per VM, and machine-wide.
 package sim
 
 import (
@@ -30,15 +31,33 @@ type AssignedWorkload struct {
 	CPUs []int
 }
 
+// VMSpec describes one virtual machine of the consolidated server: its
+// processes and the physical CPUs they are pinned to. CPU sets of
+// different VMs must be disjoint.
+type VMSpec struct {
+	// Workloads lists the VM's processes; element i is process i.
+	Workloads []AssignedWorkload
+}
+
+// OneVM wraps a process list into a single-VM machine description.
+func OneVM(workloads []AssignedWorkload) []VMSpec {
+	return []VMSpec{{Workloads: workloads}}
+}
+
 // Options configures one simulation run.
 type Options struct {
 	Config   arch.Config
 	Protocol string // "sw", "hatric", "unitd", "ideal"
 	Paging   hv.PagingConfig
 	Mode     hv.PlacementMode
-	// Workloads lists the VM's processes; element i is process i.
+	// Workloads lists a single VM's processes; element i is process i.
+	// It is the one-VM convenience form of VMs — exactly one of the two
+	// may be set.
 	Workloads []AssignedWorkload
-	Seed      uint64
+	// VMs lists the machine's virtual machines; element v becomes VM v.
+	// Leave empty to run the single VM described by Workloads.
+	VMs  []VMSpec
+	Seed uint64
 	// CheckStale verifies every translation against the page tables and
 	// counts mismatches (must stay zero under a correct protocol).
 	CheckStale bool
@@ -75,10 +94,26 @@ type Result struct {
 	Agg stats.Counters
 	// PerCPU are the per-CPU counters.
 	PerCPU []stats.Counters
+	// PerVM aggregates the counters of each VM's CPUs (element v is VM v),
+	// making per-VM translation-coherence target sets observable.
+	PerVM []stats.Counters
+	// VMOf maps each CPU to its VM, or -1 for idle CPUs.
+	VMOf []int
 	// Energy is the modeled energy.
 	Energy energy.Breakdown
 	// Device byte totals (line fills plus page copies).
 	HBMBytes, DRAMBytes uint64
+}
+
+// VMFinish returns the last completion cycle among VM vm's CPUs.
+func (r *Result) VMFinish(vm int) arch.Cycles {
+	var last arch.Cycles
+	for cpu, v := range r.VMOf {
+		if v == vm && r.Completion[cpu] > last {
+			last = r.Completion[cpu]
+		}
+	}
+	return last
 }
 
 // System is a fully wired simulated machine.
@@ -91,7 +126,7 @@ type System struct {
 	hier    *coherence.Hierarchy
 	ts      []*tstruct.CPUSet
 	walkers []*walker.Walker
-	vm      *hv.VM
+	vms     []*hv.VM
 	hyp     *hv.Hypervisor
 	proto   core.Protocol
 
@@ -100,6 +135,8 @@ type System struct {
 
 	streams []*workload.Stream
 	pid     []int
+	vmOf    []int
+	guestFn []walker.GuestPTResolver
 	active  int
 	done    []arch.Cycles
 }
@@ -110,8 +147,19 @@ func New(opts Options) (*System, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
-	if len(opts.Workloads) == 0 {
+	vmSpecs := opts.VMs
+	switch {
+	case len(vmSpecs) == 0 && len(opts.Workloads) == 0:
 		return nil, fmt.Errorf("sim: no workloads assigned")
+	case len(vmSpecs) > 0 && len(opts.Workloads) > 0:
+		return nil, fmt.Errorf("sim: set either Workloads (one VM) or VMs, not both")
+	case len(vmSpecs) == 0:
+		vmSpecs = OneVM(opts.Workloads)
+	}
+	for v, spec := range vmSpecs {
+		if len(spec.Workloads) == 0 {
+			return nil, fmt.Errorf("sim: VM %d has no workloads", v)
+		}
 	}
 
 	s := &System{opts: opts, cfg: cfg}
@@ -130,9 +178,11 @@ func New(opts Options) (*System, error) {
 	s.done = make([]arch.Cycles, cfg.NumCPUs)
 	s.streams = make([]*workload.Stream, cfg.NumCPUs)
 	s.pid = make([]int, cfg.NumCPUs)
+	s.vmOf = make([]int, cfg.NumCPUs)
 	for i := 0; i < cfg.NumCPUs; i++ {
 		s.ts[i] = tstruct.NewCPUSet(cfg.TLB)
 		s.pid[i] = -1
+		s.vmOf[i] = -1
 	}
 
 	// Protocol, then its relay hook into the hierarchy.
@@ -140,56 +190,73 @@ func New(opts Options) (*System, error) {
 	hook, relay := s.proto.Hook()
 	s.hier.SetTranslationHook(hook, relay)
 
-	// The VM and its processes.
+	// The VMs and their processes. CPU pinnings must be disjoint across
+	// the whole machine. Stream seeds advance with a machine-wide process
+	// index so no two processes anywhere share a reference stream.
 	cpuSet := map[int]bool{}
-	for _, w := range opts.Workloads {
-		for _, c := range w.CPUs {
-			if c < 0 || c >= cfg.NumCPUs {
-				return nil, fmt.Errorf("sim: CPU %d out of range", c)
+	globalPID := 0
+	for v, spec := range vmSpecs {
+		vmCPUSet := map[int]bool{}
+		for _, w := range spec.Workloads {
+			if len(w.CPUs) == 0 {
+				return nil, fmt.Errorf("sim: process %s of VM %d has no CPUs", w.Spec.Name, v)
 			}
-			if cpuSet[c] {
-				return nil, fmt.Errorf("sim: CPU %d assigned twice", c)
+			for _, c := range w.CPUs {
+				if c < 0 || c >= cfg.NumCPUs {
+					return nil, fmt.Errorf("sim: CPU %d out of range", c)
+				}
+				if cpuSet[c] {
+					return nil, fmt.Errorf("sim: CPU %d assigned twice", c)
+				}
+				cpuSet[c] = true
+				vmCPUSet[c] = true
 			}
-			cpuSet[c] = true
 		}
-	}
-	vmCPUs := make([]int, 0, len(cpuSet))
-	for c := 0; c < cfg.NumCPUs; c++ {
-		if cpuSet[c] {
-			vmCPUs = append(vmCPUs, c)
+		vmCPUs := make([]int, 0, len(vmCPUSet))
+		for c := 0; c < cfg.NumCPUs; c++ {
+			if vmCPUSet[c] {
+				vmCPUs = append(vmCPUs, c)
+			}
 		}
-	}
-	vm, err := hv.NewVM(s.store, s.mem, len(opts.Workloads), vmCPUs)
-	if err != nil {
-		return nil, err
-	}
-	s.vm = vm
-	for pidx, w := range opts.Workloads {
-		if _, err := vm.MapProcess(pidx, 0, w.Spec.FootprintPages, opts.Mode); err != nil {
-			return nil, fmt.Errorf("sim: mapping %s: %w", w.Spec.Name, err)
+		vm, err := hv.NewVM(v, s.store, s.mem, len(spec.Workloads), vmCPUs)
+		if err != nil {
+			return nil, fmt.Errorf("sim: building VM %d: %w", v, err)
 		}
-		threadSpec := w.Spec.PerThread(len(w.CPUs))
-		for ti, cpu := range w.CPUs {
-			s.pid[cpu] = pidx
-			s.streams[cpu] = workload.NewStream(threadSpec, opts.Seed+uint64(pidx)*101, ti)
-			s.active++
+		s.vms = append(s.vms, vm)
+		for pidx, w := range spec.Workloads {
+			if _, err := vm.MapProcess(pidx, 0, w.Spec.FootprintPages, opts.Mode); err != nil {
+				return nil, fmt.Errorf("sim: mapping %s (VM %d): %w", w.Spec.Name, v, err)
+			}
+			threadSpec := w.Spec.PerThread(len(w.CPUs))
+			for ti, cpu := range w.CPUs {
+				s.pid[cpu] = pidx
+				s.vmOf[cpu] = v
+				s.streams[cpu] = workload.NewStream(threadSpec, opts.Seed+uint64(globalPID)*101, ti)
+				s.active++
+			}
+			globalPID++
 		}
 	}
 
+	// One guest-PT resolver per VM, built once so the per-translation VM
+	// resolution below stays allocation-free on the hot path.
+	s.guestFn = make([]walker.GuestPTResolver, len(s.vms))
+	for v, vm := range s.vms {
+		s.guestFn[v] = func(pid int) *pagetable.GuestPT { return vm.Guests[pid] }
+	}
 	s.walkers = make([]*walker.Walker, cfg.NumCPUs)
 	for i := 0; i < cfg.NumCPUs; i++ {
 		s.walkers[i] = &walker.Walker{
-			CPU:    i,
-			Cost:   cfg.Cost,
-			Hier:   s.hier,
-			TS:     s.ts[i],
-			Cnt:    s.cnt[i],
-			Nested: vm.Nested,
-			Guest:  func(pid int) *pagetable.GuestPT { return vm.Guests[pid] },
+			CPU:  i,
+			Cost: cfg.Cost,
+			Hier: s.hier,
+			TS:   s.ts[i],
+			Cnt:  s.cnt[i],
+			VM:   s.vmResolver(i),
 		}
 	}
 
-	hyp, err := hv.New(opts.Paging, cfg.Cost, s.mem, s.hier, s, s.proto, vm, opts.Seed)
+	hyp, err := hv.New(opts.Paging, cfg.Cost, s.mem, s.hier, s, s.proto, s.vms, opts.Seed)
 	if err != nil {
 		return nil, err
 	}
@@ -197,14 +264,48 @@ func New(opts Options) (*System, error) {
 	return s, nil
 }
 
+// vmResolver returns the walker hook resolving cpu's current VM's page
+// tables. Idle CPUs (no stream) borrow VM 0's tables; they never walk.
+func (s *System) vmResolver(cpu int) walker.VMResolver {
+	return func() (*pagetable.NestedPT, walker.GuestPTResolver) {
+		v := s.vmOf[cpu]
+		if v < 0 {
+			v = 0
+		}
+		return s.vms[v].Nested, s.guestFn[v]
+	}
+}
+
 // --- core.Machine implementation ---
 
 // NumCPUs implements core.Machine.
 func (s *System) NumCPUs() int { return s.cfg.NumCPUs }
 
-// VMCPUs implements core.Machine: every physical CPU that runs any of the
-// VM's vCPUs (software coherence's imprecise target set).
-func (s *System) VMCPUs() []int { return s.vm.CPUs }
+// NumVMs implements core.Machine.
+func (s *System) NumVMs() int { return len(s.vms) }
+
+// VMCPUs implements core.Machine: every physical CPU that runs any of VM
+// vm's vCPUs (software coherence's imprecise target set — imprecise within
+// the VM, but never crossing into another VM's CPUs).
+func (s *System) VMCPUs(vm int) []int { return s.vms[vm].CPUs }
+
+// VMOf implements core.Machine.
+func (s *System) VMOf(cpu int) int { return s.vmOf[cpu] }
+
+// OwnerVM implements core.Machine: the VM whose page tables contain the
+// page-table page at spa.
+func (s *System) OwnerVM(spa arch.SPA) int {
+	if len(s.vms) == 1 {
+		return 0
+	}
+	spp := spa.Page()
+	for _, vm := range s.vms {
+		if vm.OwnsPTPage(spp) {
+			return vm.ID
+		}
+	}
+	return -1
+}
 
 // TS implements core.Machine.
 func (s *System) TS(cpu int) *tstruct.CPUSet { return s.ts[cpu] }
@@ -226,8 +327,12 @@ func (s *System) ReadPTE(spa arch.SPA) (uint64, bool) {
 
 // --- accessors used by tests and the experiment harness ---
 
-// VM returns the virtual machine.
-func (s *System) VM() *hv.VM { return s.vm }
+// VM returns the first virtual machine (the whole machine in single-VM
+// runs).
+func (s *System) VM() *hv.VM { return s.vms[0] }
+
+// VMs returns every virtual machine on the simulated server.
+func (s *System) VMs() []*hv.VM { return s.vms }
 
 // Hypervisor returns the paging engine.
 func (s *System) Hypervisor() *hv.Hypervisor { return s.hyp }
@@ -278,15 +383,17 @@ func (s *System) step(cpu int) error {
 	}
 	c := s.cnt[cpu]
 	pid := s.pid[cpu]
+	vm := s.vmOf[cpu]
 
 	// Non-memory instructions.
 	c.Instructions += uint64(acc.Gap) + 1
 	s.clock[cpu] += arch.Cycles(float64(acc.Gap) * s.cfg.Cost.BaseCPI)
 	c.MemRefs++
 
-	// Periodic defragmentation remaps (superpage compaction).
+	// Periodic defragmentation remaps (superpage compaction) in the
+	// CPU's own VM.
 	if de := s.hyp.DefragEvery(); de > 0 && c.MemRefs%de == 0 {
-		s.clock[cpu] += s.hyp.Defrag(cpu, s.clock[cpu])
+		s.clock[cpu] += s.hyp.Defrag(cpu, vm, s.clock[cpu])
 	}
 
 	// Translate, servicing nested faults through the hypervisor.
@@ -304,7 +411,7 @@ func (s *System) step(cpu int) error {
 		if attempt >= 4 {
 			return fmt.Errorf("sim: CPU %d livelocked faulting on gvp %#x", cpu, uint64(gvp))
 		}
-		hlat, err := s.hyp.HandleFault(cpu, fault.GPP, s.clock[cpu])
+		hlat, err := s.hyp.HandleFault(cpu, vm, fault.GPP, s.clock[cpu])
 		if err != nil {
 			return err
 		}
@@ -315,12 +422,12 @@ func (s *System) step(cpu int) error {
 	// trace-driven setup gives its LRU policy precise access information;
 	// relying on walk-time-only updates would starve CLOCK of signal for
 	// exactly the protocols that avoid TLB flushes).
-	s.vm.Nested.SetAccessed(gpp, true)
+	s.vms[vm].Nested.SetAccessed(gpp, true)
 
 	// Stale-translation audit: the paper's correctness property is that
 	// translation coherence never lets a CPU use a stale mapping.
 	if s.opts.CheckStale {
-		want, ok := s.vm.Translate(pid, gvp)
+		want, ok := s.vms[vm].Translate(pid, gvp)
 		if !ok || want != spp {
 			c.StaleTranslationUses++
 			if ok {
@@ -350,8 +457,10 @@ func (s *System) collect() *Result {
 	r := &Result{
 		Protocol:   s.opts.Protocol,
 		Completion: append([]arch.Cycles(nil), s.done...),
+		VMOf:       append([]int(nil), s.vmOf...),
 	}
 	r.PerCPU = make([]stats.Counters, s.cfg.NumCPUs)
+	r.PerVM = make([]stats.Counters, len(s.vms))
 	for i, c := range s.cnt {
 		// Merge structure-level counters the hot paths keep locally.
 		for _, t := range s.ts[i].All() {
@@ -360,6 +469,9 @@ func (s *System) collect() *Result {
 		}
 		r.PerCPU[i] = *c
 		r.Agg.Add(c)
+		if v := s.vmOf[i]; v >= 0 {
+			r.PerVM[v].Add(c)
+		}
 		if s.done[i] > r.Runtime {
 			r.Runtime = s.done[i]
 		}

@@ -170,7 +170,7 @@ func TestVMCPUsImprecision(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if got := len(sys.VMCPUs()); got != 3 {
+	if got := len(sys.VMCPUs(0)); got != 3 {
 		t.Errorf("VMCPUs = %d, want all 3", got)
 	}
 }

@@ -1,0 +1,34 @@
+package sim
+
+import (
+	"hatric/internal/arch"
+	"hatric/internal/hv"
+)
+
+// SizeConfig grows cfg's memory system to hold a run with the given total
+// data footprint (pages, summed over every process of every VM) under the
+// placement mode: inf-hbm needs the whole footprint die-stacked, every
+// mode needs off-chip DRAM for the footprint plus slack, and the
+// page-table heap needs leaves for the data plus guest PT pages. The
+// experiment harness, examples, and CLI all size their runs through this
+// one helper.
+func SizeConfig(cfg *arch.Config, totalFootprint int, mode hv.PlacementMode) {
+	if mode == hv.ModeInfHBM {
+		cfg.Mem.HBMFrames = totalFootprint + 256
+	}
+	if need := totalFootprint + 512; cfg.Mem.DRAMFrames < need {
+		cfg.Mem.DRAMFrames = need
+	}
+	if need := totalFootprint/256 + 512; cfg.Mem.PTFrames < need {
+		cfg.Mem.PTFrames = need
+	}
+}
+
+// FootprintPages sums the data footprints of a process list.
+func FootprintPages(workloads []AssignedWorkload) int {
+	total := 0
+	for _, w := range workloads {
+		total += w.Spec.FootprintPages
+	}
+	return total
+}

@@ -61,6 +61,11 @@ type Counters struct {
 	// PrefetchUpdates counts translation entries rewritten in place by the
 	// hatric-pf prefetching extension instead of being invalidated.
 	PrefetchUpdates uint64
+	// CrossVMFiltered counts coherence relays for another VM's page-table
+	// lines that the VM-qualified (VPID-style) translation structures
+	// ignored. Nonzero values mean a relay crossed a VM boundary and was
+	// correctly filtered; VM A's remaps never cost VM B anything.
+	CrossVMFiltered uint64
 
 	// Virtualization events.
 	VMExits    uint64
@@ -122,6 +127,7 @@ func (c *Counters) Add(o *Counters) {
 	c.NTLBEntriesLost += o.NTLBEntriesLost
 	c.SelectiveInvalidations += o.SelectiveInvalidations
 	c.PrefetchUpdates += o.PrefetchUpdates
+	c.CrossVMFiltered += o.CrossVMFiltered
 	c.VMExits += o.VMExits
 	c.IPIs += o.IPIs
 	c.Interrupts += o.Interrupts

@@ -26,6 +26,15 @@ type Fault struct {
 // GuestPTResolver returns the guest page table of a process in the VM.
 type GuestPTResolver func(pid int) *pagetable.GuestPT
 
+// VMResolver returns the page tables of the VM a CPU currently runs: its
+// nested page table and its per-process guest page tables. The walker
+// re-resolves them on every translation, so the *walk* always descends
+// the current VM's tables. Note this alone does not make vCPU scheduling
+// across VMs safe: TLB/MMU-cache keys carry only (pid, gvp), so moving a
+// CPU between VMs additionally requires per-entry VM tags or a full
+// flush at the switch.
+type VMResolver func() (*pagetable.NestedPT, GuestPTResolver)
+
 // TLB values pack both the system physical page (so the access proceeds)
 // and the guest physical page (so the simulator can maintain nested
 // accessed bits precisely on every reference, matching the paper's
@@ -42,6 +51,10 @@ func unpackVal(v uint64) (arch.SPP, arch.GPP) {
 }
 
 // Walker is one CPU's MMU: translation structures plus the hardware walker.
+// Nested and Guest identify the page tables the walker descends; when VM is
+// set, they are re-resolved from it at the start of every translation (the
+// faulting CPU's *current* VM), which is how a multi-VM machine keeps each
+// CPU walking the nested page table of the VM it runs.
 type Walker struct {
 	CPU    int
 	Cost   arch.CostModel
@@ -50,6 +63,7 @@ type Walker struct {
 	Cnt    *stats.Counters
 	Nested *pagetable.NestedPT
 	Guest  GuestPTResolver
+	VM     VMResolver
 }
 
 // Translate resolves (pid, gvp) to a system physical page (plus the guest
@@ -57,6 +71,9 @@ type Walker struct {
 // latencies. On a nested fault it returns a non-nil fault and the cycles
 // burned discovering it.
 func (w *Walker) Translate(pid int, gvp arch.GVP, now arch.Cycles) (arch.SPP, arch.GPP, arch.Cycles, *Fault) {
+	if w.VM != nil {
+		w.Nested, w.Guest = w.VM()
+	}
 	key := tstruct.TLBKey(pid, gvp)
 	if v, ok := w.TS.L1TLB.Lookup(key); ok {
 		w.Cnt.L1TLBHits++
