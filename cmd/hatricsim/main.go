@@ -38,6 +38,12 @@ func main() {
 		seed     = flag.Uint64("seed", 1, "workload seed")
 		check    = flag.Bool("check", true, "audit stale translations")
 		xen      = flag.Bool("xen", false, "use the Xen cost profile")
+
+		migrateAt    = flag.Uint64("migrate", 0, "live-migrate a VM at this cycle (0 = off)")
+		migrateVM    = flag.Int("migrate-vm", 0, "VM to live-migrate")
+		migrateDest  = flag.String("migrate-dest", "dram", "migration destination: dram, hbm")
+		migrateBurst = flag.Int("migrate-burst", 0, "remaps per migration quantum (0 = default)")
+		migrateLink  = flag.Float64("migrate-link-bw", 0, "remote-host link bytes/cycle (0 = local tiers only)")
 	)
 	flag.Parse()
 
@@ -85,6 +91,26 @@ func main() {
 		Seed:       *seed,
 		CheckStale: *check,
 	}
+	if *migrateAt > 0 {
+		var dest arch.MemTier
+		switch *migrateDest {
+		case "dram":
+			dest = arch.TierDRAM
+		case "hbm":
+			dest = arch.TierHBM
+		default:
+			fatal(fmt.Errorf("unknown migration destination %q", *migrateDest))
+		}
+		opts.Migrations = []hv.MigrationSpec{{
+			VM: *migrateVM, At: arch.Cycles(*migrateAt), Dest: dest,
+			BurstPages: *migrateBurst, LinkBytesPerCycle: *migrateLink,
+		}}
+		if dest == arch.TierHBM {
+			// A promotion needs die-stacked room for the whole VM.
+			sim.SizeConfig(&cfg, spec.FootprintPages**vms, hv.ModeInfHBM)
+			opts.Config = cfg
+		}
+	}
 	// Each VM runs its own instance of the workload on its own slice of
 	// physical CPUs — the consolidation setup (one VM is the paper's).
 	for v := 0; v < *vms; v++ {
@@ -106,6 +132,29 @@ func main() {
 	printResult(spec, *protocol, res)
 	if *vms > 1 {
 		printPerVM(res)
+	}
+	printMigrations(res)
+}
+
+// printMigrations summarizes each live migration's convergence and cost.
+func printMigrations(res *sim.Result) {
+	for _, rep := range res.Migrations {
+		where := "local"
+		if rep.Remote {
+			where = "remote link"
+		}
+		fmt.Printf("\nmigration: VM %d -> %v (%s), cycles %d..%d, downtime %d cycles, %d pages copied (%d re-dirtied, %d in final freeze)\n",
+			rep.VM, rep.Dest, where, uint64(rep.Started), uint64(rep.Finished),
+			uint64(rep.Downtime), rep.PagesCopied, rep.Redirtied, rep.FinalDirty)
+		t := stats.NewTable("", "round", "pages", "redirtied", "cycles")
+		for i, rd := range rep.Rounds {
+			name := fmt.Sprintf("%d", i+1)
+			if rd.Final {
+				name = "stop-and-copy"
+			}
+			t.AddRow(name, rd.Pages, rd.Redirtied, uint64(rd.Cycles))
+		}
+		fmt.Print(t)
 	}
 }
 

@@ -6,7 +6,8 @@
 //	          [-mixes N] [-threads N] [-check]
 //
 // Beyond the paper's figures, -fig pf runs the Sec. 4.4 prefetching
-// ablation and -fig interference the multi-VM noisy-neighbor study.
+// ablation, -fig interference the multi-VM noisy-neighbor study, and
+// -fig migration the whole-VM live-migration storm study.
 //
 // Each figure prints the same series the paper plots, normalized the same
 // way. -quick shrinks reference counts for a fast pass.
@@ -139,6 +140,12 @@ func runFig(r *exp.Runner, f string) error {
 		fmt.Println(res.Table())
 	case "interference":
 		res, err := r.Interference()
+		if err != nil {
+			return err
+		}
+		fmt.Println(res.Table())
+	case "migration":
+		res, err := r.Migration()
 		if err != nil {
 			return err
 		}

@@ -8,6 +8,18 @@
 // co-tag piggybacking, an upgraded UNITD, and an ideal zero-overhead
 // bound.
 //
+// # Live migration
+//
+// Beyond the paper, the hypervisor can live-migrate a whole VM between
+// memory tiers (or over a bandwidth-limited remote link): the pre-copy
+// engine in internal/hv iterates the VM's nested page table and remaps
+// every resident page through the regular Protocol.OnRemap path in
+// configurable bursts, racing a write-tracked dirty set round by round
+// until a final stop-and-copy whose duration is the measured downtime —
+// the harshest translation-coherence storm the machine can produce. Drive
+// it with sim.Options.Migrations, `hatricsim -migrate`, the
+// examples/migration walkthrough, or `paperfigs -fig migration`.
+//
 // See README.md for a package tour and how to run the examples,
 // benchmarks, and figure regeneration. The benchmarks in bench_test.go
 // regenerate every figure of the paper's evaluation.

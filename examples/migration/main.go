@@ -1,0 +1,86 @@
+// Live migration: a VM with its whole footprint resident in die-stacked
+// DRAM is evacuated to off-chip DRAM mid-run — the harshest remap burst the
+// machine can produce, since every resident page becomes a remap and every
+// remap runs translation coherence. The engine pre-copies in rounds while
+// the guest keeps dirtying pages behind the copy loop, then freezes the VM
+// for a final stop-and-copy whose duration is the downtime.
+//
+// Under software coherence each remap is a full shootdown (IPIs, VM exits,
+// wholesale flushes), so the storm is ruinous; under HATRIC the same storm
+// is absorbed as precise co-tag invalidations riding ordinary cache
+// coherence.
+//
+//	go run ./examples/migration
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"hatric/internal/arch"
+	"hatric/internal/hv"
+	"hatric/internal/sim"
+	"hatric/internal/stats"
+	"hatric/internal/workload"
+)
+
+func main() {
+	spec, err := workload.ByName("data_caching")
+	if err != nil {
+		log.Fatal(err)
+	}
+	spec = spec.WithRefs(40_000)
+
+	table := stats.NewTable(
+		fmt.Sprintf("live migration of %s (%d pages) to off-chip DRAM at cycle 30000",
+			spec.Name, spec.FootprintPages),
+		"protocol", "downtime", "rounds", "copied", "redirtied", "slowdown",
+		"vm exits", "ipis", "tlb flushes", "cotag invs")
+	for _, protocol := range []string{"sw", "hatric", "ideal"} {
+		base := run(protocol, spec, false)
+		mig := run(protocol, spec, true)
+		rep := mig.Migrations[0]
+		table.AddRow(protocol, uint64(rep.Downtime), len(rep.Rounds), rep.PagesCopied,
+			rep.Redirtied, float64(mig.Runtime)/float64(base.Runtime),
+			mig.Agg.VMExits, mig.Agg.IPIs, mig.Agg.TLBFlushes, mig.Agg.CoTagInvalidations)
+	}
+	fmt.Print(table)
+	fmt.Println("\nsw eats the storm as IPIs, VM exits and full flushes on every remap of the")
+	fmt.Println("burst; hatric invalidates precisely through the cache-coherence relay, so the")
+	fmt.Println("same whole-VM move costs orders of magnitude less downtime and stall.")
+}
+
+func run(protocol string, spec workload.Spec, migrate bool) *sim.Result {
+	cfg := arch.DefaultConfig()
+	cfg.NumCPUs = 8
+	sim.SizeConfig(&cfg, spec.FootprintPages, hv.ModeInfHBM)
+	opts := sim.Options{
+		Config:     cfg,
+		Protocol:   protocol,
+		Paging:     hv.BestPolicy(),
+		Mode:       hv.ModeInfHBM,
+		Workloads:  sim.SingleWorkload(spec, cfg.NumCPUs),
+		Seed:       7,
+		CheckStale: true,
+	}
+	if migrate {
+		opts.Migrations = []hv.MigrationSpec{{
+			VM: 0, At: 30_000, Dest: arch.TierDRAM, BurstPages: 32,
+		}}
+	}
+	sys, err := sim.New(opts)
+	if err != nil {
+		log.Fatal(err)
+	}
+	res, err := sys.Run()
+	if err != nil {
+		log.Fatal(err)
+	}
+	if res.Agg.StaleTranslationUses != 0 {
+		log.Fatalf("%s: %d stale translation uses", protocol, res.Agg.StaleTranslationUses)
+	}
+	if migrate && (len(res.Migrations) != 1 || !res.Migrations[0].Completed) {
+		log.Fatalf("%s: migration did not complete", protocol)
+	}
+	return res
+}

@@ -2,9 +2,10 @@
 // of the paper's evaluation (Sec. 6), each regenerating the series the
 // paper plots — normalized runtimes per workload and configuration,
 // performance-energy points, and the ablation comparisons — plus studies
-// beyond the paper (the hatric-pf prefetching ablation and the multi-VM
-// noisy-neighbor interference scenario). See README.md for how the
-// harness is driven from cmd/paperfigs and bench_test.go.
+// beyond the paper (the hatric-pf prefetching ablation, the multi-VM
+// noisy-neighbor interference scenario, and the whole-VM live-migration
+// storm study). See README.md for how the harness is driven from
+// cmd/paperfigs and bench_test.go.
 package exp
 
 import (

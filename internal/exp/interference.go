@@ -25,6 +25,10 @@ type InterferenceRow struct {
 	// capacity evictions included), never from the neighbor's paging of
 	// its own pages.
 	VictimFlushes uint64
+	// VictimShootdownExits counts VM exits of the victim's CPUs beyond its
+	// own page faults — the shootdown interruptions the neighbor's
+	// pressure causes. Zero under the hardware protocols.
+	VictimShootdownExits uint64
 	// NoisyEvictions counts the machine-wide evictions in the
 	// consolidated run — the paging pressure the neighbor generates.
 	NoisyEvictions uint64
@@ -132,6 +136,7 @@ func (r *Runner) Interference() (*InterferenceResult, error) {
 			row.Slowdown = float64(b) / float64(a)
 		}
 		row.VictimFlushes = beside.PerVM[0].TLBFlushes
+		row.VictimShootdownExits = beside.PerVM[0].VMExits - beside.PerVM[0].PageFaults
 		row.NoisyEvictions = beside.Agg.PageEvictions
 		row.CrossVMFiltered = beside.Agg.CrossVMFiltered
 		out.Rows = append(out.Rows, row)
@@ -144,9 +149,10 @@ func (f *InterferenceResult) Table() *stats.Table {
 	t := stats.NewTable(
 		fmt.Sprintf("Inter-VM interference: %s (latency-sensitive) beside %s (noisy neighbor); victim slowdown vs running alone",
 			f.Victim, f.Noisy),
-		"protocol", "victim slowdown", "victim tlb flushes", "evictions", "cross-vm filtered")
+		"protocol", "victim slowdown", "victim tlb flushes", "victim shootdown exits", "evictions", "cross-vm filtered")
 	for _, row := range f.Rows {
-		t.AddRow(row.Protocol, row.Slowdown, row.VictimFlushes, row.NoisyEvictions, row.CrossVMFiltered)
+		t.AddRow(row.Protocol, row.Slowdown, row.VictimFlushes, row.VictimShootdownExits,
+			row.NoisyEvictions, row.CrossVMFiltered)
 	}
 	return t
 }

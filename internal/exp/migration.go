@@ -1,0 +1,141 @@
+package exp
+
+import (
+	"fmt"
+
+	"hatric/internal/arch"
+	"hatric/internal/hv"
+	"hatric/internal/stats"
+	"hatric/internal/workload"
+)
+
+// MigrationCell is one protocol's numbers for one (size, dirty-rate) point
+// of the live-migration study: the whole-VM remap burst a migration
+// unleashes, and what each coherence mechanism pays for it.
+type MigrationCell struct {
+	// Pages is the VM's resident set (every page migrates).
+	Pages int
+	// DirtyFrac is the workload's store fraction — the dirty rate the
+	// pre-copy loop races against.
+	DirtyFrac float64
+	Protocol  string
+	// Downtime is the stop-and-copy freeze in cycles.
+	Downtime uint64
+	// Rounds is the number of copy rounds (pre-copy + final).
+	Rounds int
+	// PagesCopied counts page transfers incl. re-copies; Redirtied counts
+	// pages dirtied behind the copy loop.
+	PagesCopied, Redirtied int
+	// Slowdown is runtime with the migration over runtime without it on
+	// the same protocol and seed (the total stall the storm causes,
+	// including post-migration slow-tier residency).
+	Slowdown float64
+	// StallCycles is the absolute runtime cost of the migration: runtime
+	// with the migration minus runtime without it — freeze, storm, and
+	// slow-tier residency together.
+	StallCycles uint64
+	// Storm profile: what the burst cost in coherence events.
+	VMExits, IPIs, TLBFlushes, CoTagInvalidations uint64
+}
+
+// MigrationResult is the live-migration study.
+type MigrationResult struct {
+	At    arch.Cycles
+	Cells []MigrationCell
+}
+
+// migrationSpec builds the migrating VM's workload: footprint = the
+// migration size, store fraction = the dirty rate, moderate locality so
+// the dirty set concentrates but does not vanish.
+func migrationSpec(pages int, writeFrac float64) workload.Spec {
+	return workload.Spec{
+		Name:           fmt.Sprintf("migrate_%dp", pages),
+		FootprintPages: pages, Refs: 200_000,
+		RegionPages: pages / 2, Theta: 0.55,
+		DriftEvery: 4000, DriftPages: 16,
+		StreamFrac: 0.1, WriteFrac: writeFrac, GapMean: 3, Threads: 8,
+	}
+}
+
+// Migration runs the live-migration study: a VM with its entire footprint
+// resident in die-stacked DRAM is evacuated to off-chip DRAM mid-run —
+// every resident page becomes a remap, in pre-copy rounds raced by the
+// guest's stores — under sw, HATRIC, and ideal coherence, over a sweep of
+// migration sizes and dirty rates. The placement is inf-hbm so the
+// baseline run has no other remap source: every coherence event in the
+// migration run belongs to the storm.
+func (r *Runner) Migration() (*MigrationResult, error) {
+	sizes := []int{1024, 4096}
+	dirty := []float64{0.05, 0.30}
+	protos := []string{"sw", "hatric", "ideal"}
+	const at = arch.Cycles(20_000)
+
+	var jobs []job
+	for _, size := range sizes {
+		for _, df := range dirty {
+			spec := r.spec(migrationSpec(size, df))
+			for _, p := range protos {
+				base := r.workloadOpts(spec, p, hv.BestPolicy(), hv.ModeInfHBM, r.threads(), nil)
+				mig := base
+				// Eager switchover: one pre-copy pass, then stop-and-copy.
+				// The final set is exactly the pages the guest dirtied
+				// behind the copy loop, so the measured downtime always
+				// reflects the dirty rate (multi-round convergence is
+				// exercised by the hv and sim test suites).
+				mig.Migrations = []hv.MigrationSpec{{VM: 0, At: at, Dest: arch.TierDRAM, MaxRounds: 1}}
+				key := fmt.Sprintf("%d/%.2f/%s", size, df, p)
+				jobs = append(jobs, job{key + "/base", base}, job{key + "/mig", mig})
+			}
+		}
+	}
+	res, err := r.runAll(jobs)
+	if err != nil {
+		return nil, err
+	}
+
+	out := &MigrationResult{At: at}
+	for _, size := range sizes {
+		for _, df := range dirty {
+			for _, p := range protos {
+				key := fmt.Sprintf("%d/%.2f/%s", size, df, p)
+				base, mig := res[key+"/base"], res[key+"/mig"]
+				if len(mig.Migrations) != 1 || !mig.Migrations[0].Completed {
+					return nil, fmt.Errorf("exp: migration %s did not complete", key)
+				}
+				rep := mig.Migrations[0]
+				var stall uint64
+				if mig.Runtime > base.Runtime {
+					stall = uint64(mig.Runtime - base.Runtime)
+				}
+				out.Cells = append(out.Cells, MigrationCell{
+					Pages: size, DirtyFrac: df, Protocol: p,
+					Downtime:           uint64(rep.Downtime),
+					Rounds:             len(rep.Rounds),
+					PagesCopied:        rep.PagesCopied,
+					Redirtied:          rep.Redirtied,
+					Slowdown:           norm(mig, base),
+					StallCycles:        stall,
+					VMExits:            mig.Agg.VMExits,
+					IPIs:               mig.Agg.IPIs,
+					TLBFlushes:         mig.Agg.TLBFlushes,
+					CoTagInvalidations: mig.Agg.CoTagInvalidations,
+				})
+			}
+		}
+	}
+	return out, nil
+}
+
+// Table renders the study.
+func (m *MigrationResult) Table() *stats.Table {
+	t := stats.NewTable(
+		fmt.Sprintf("Live migration: whole-VM evacuation triggered at cycle %d; downtime and storm cost per protocol", uint64(m.At)),
+		"pages", "dirty", "protocol", "downtime", "rounds", "copied", "redirtied",
+		"slowdown", "stall cycles", "vm exits", "ipis", "tlb flushes", "cotag invs")
+	for _, c := range m.Cells {
+		t.AddRow(c.Pages, c.DirtyFrac, c.Protocol, c.Downtime, c.Rounds, c.PagesCopied,
+			c.Redirtied, c.Slowdown, c.StallCycles, c.VMExits, c.IPIs, c.TLBFlushes,
+			c.CoTagInvalidations)
+	}
+	return t
+}

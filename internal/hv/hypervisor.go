@@ -61,6 +61,12 @@ type Hypervisor struct {
 	// hand is the round-robin eviction cursor over VMs.
 	hand int
 
+	// migrations holds every scheduled live migration (see migration.go);
+	// unfinishedMigrations counts those not yet completed, letting the
+	// simulator's hot path stop pumping the moment all are done.
+	migrations           []*Migration
+	unfinishedMigrations int
+
 	low, high int
 }
 
@@ -195,6 +201,15 @@ func (h *Hypervisor) migrateIn(cpu, vm int, gpp arch.GPP, now arch.Cycles, criti
 	c.PageMigrations++
 	wLat := h.cost.PTEWrite + h.hier.Write(cpu, pteSPA, cache.KindNestedPT, now)
 	h.policies[vm].NoteResident(gpp)
+	// A page faulted in during a live migration of this VM became resident
+	// after the pre-copy snapshot; enroll it so it still gets transferred.
+	// Faults land in the die-stacked tier, so a promotion to HBM needs no
+	// enrollment — the page is already at the destination.
+	for _, m := range h.migrations {
+		if m.spec.VM == vm && m.phase == migrationPreCopy && m.spec.Dest != arch.TierHBM {
+			m.addPage(gpp)
+		}
+	}
 	if !critical {
 		return 0, nil
 	}
@@ -202,8 +217,31 @@ func (h *Hypervisor) migrateIn(cpu, vm int, gpp arch.GPP, now arch.Cycles, criti
 }
 
 // nextVictimVM advances the round-robin hand to the next VM with resident
-// pages to evict.
+// pages to evict. VMs that are mid-migration are skipped — their resident
+// sets are frozen while the pre-copy loop iterates them — rather than
+// letting the hand spin on them.
 func (h *Hypervisor) nextVictimVM() (int, bool) {
+	for i := 0; i < len(h.vms); i++ {
+		idx := (h.hand + i) % len(h.vms)
+		if h.Migrating(idx) {
+			continue
+		}
+		if h.policies[idx].Resident() > 0 {
+			h.hand = (idx + 1) % len(h.vms)
+			return idx, true
+		}
+	}
+	return 0, false
+}
+
+// anyVictimVM is the last-resort fallback when every VM holding resident
+// pages is mid-migration (e.g. a single-VM machine evacuating under
+// capacity pressure): rather than failing the reclaim, evict from a frozen
+// VM. This is benign — eviction moves the page off-die and marks it
+// not-present, and the migration engine already treats queued pages that
+// disappeared as already handled (an evacuated page is where the migration
+// wanted it; a promoted page re-faults straight into the destination).
+func (h *Hypervisor) anyVictimVM() (int, bool) {
 	for i := 0; i < len(h.vms); i++ {
 		idx := (h.hand + i) % len(h.vms)
 		if h.policies[idx].Resident() > 0 {
@@ -224,6 +262,9 @@ func (h *Hypervisor) nextVictimVM() (int, bool) {
 // either way.
 func (h *Hypervisor) evictOne(cpu int, now arch.Cycles, critical bool) (arch.Cycles, error) {
 	vmIdx, ok := h.nextVictimVM()
+	if !ok {
+		vmIdx, ok = h.anyVictimVM()
+	}
 	if !ok {
 		return 0, fmt.Errorf("hv: nothing to evict")
 	}

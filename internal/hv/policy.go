@@ -19,6 +19,9 @@ type Policy interface {
 	NoteResident(gpp arch.GPP)
 	// PickVictim chooses and removes the next eviction candidate.
 	PickVictim() (arch.GPP, bool)
+	// Forget drops gpp from the tracked set without evicting it (the page
+	// left die-stacked DRAM by another path, e.g. a live migration).
+	Forget(gpp arch.GPP)
 	// Resident returns the number of tracked resident pages.
 	Resident() int
 	// ResidentPages lists tracked pages (defragmentation candidates).
@@ -47,6 +50,16 @@ func (p *FIFOPolicy) PickVictim() (arch.GPP, bool) {
 	v := p.queue[0]
 	p.queue = p.queue[1:]
 	return v, true
+}
+
+// Forget implements Policy.
+func (p *FIFOPolicy) Forget(gpp arch.GPP) {
+	for i, g := range p.queue {
+		if g == gpp {
+			p.queue = append(p.queue[:i], p.queue[i+1:]...)
+			return
+		}
+	}
 }
 
 // Resident implements Policy.
@@ -99,6 +112,19 @@ func (p *ClockPolicy) PickVictim() (arch.GPP, bool) {
 	g := p.ring[p.hand]
 	p.ring = append(p.ring[:p.hand], p.ring[p.hand+1:]...)
 	return g, true
+}
+
+// Forget implements Policy.
+func (p *ClockPolicy) Forget(gpp arch.GPP) {
+	for i, g := range p.ring {
+		if g == gpp {
+			p.ring = append(p.ring[:i], p.ring[i+1:]...)
+			if p.hand > i {
+				p.hand--
+			}
+			return
+		}
+	}
 }
 
 // Resident implements Policy.

@@ -1,9 +1,12 @@
 // Package hv implements the hypervisor of the simulated machine: virtual
 // machines with vCPUs, nested page-table management, demand paging between
 // die-stacked and off-chip DRAM (the paper's KVM modifications, Sec. 5.2),
-// paging policies (FIFO, LRU/CLOCK, migration daemon, prefetching), and the
+// paging policies (FIFO, LRU/CLOCK, migration daemon, prefetching), the
 // defragmentation remapper that keeps translation coherence relevant even
-// for workloads that fit in die-stacked DRAM (Sec. 6, Fig. 11).
+// for workloads that fit in die-stacked DRAM (Sec. 6, Fig. 11), and the
+// live-migration engine (migration.go) that turns a whole VM's resident
+// set into a pre-copy remap burst — the heaviest translation-coherence
+// storm the machine can produce.
 package hv
 
 import (

@@ -1,0 +1,220 @@
+package sim
+
+import (
+	"testing"
+
+	"hatric/internal/arch"
+	"hatric/internal/hv"
+	"hatric/internal/tstruct"
+	"hatric/internal/workload"
+)
+
+// migrationOpts consolidates two VMs with everything resident in
+// die-stacked DRAM (inf-hbm) and schedules a live migration of VM 0 to
+// off-chip DRAM: the whole resident set becomes a remap burst while both
+// VMs keep running.
+func migrationOpts(protocol string, specA, specB workload.Spec, ms hv.MigrationSpec) Options {
+	cfg := smokeConfig()
+	cfg.Mem.HBMFrames = specA.FootprintPages + specB.FootprintPages + 256
+	return Options{
+		Config:   cfg,
+		Protocol: protocol,
+		Paging:   hv.PagingConfig{Policy: "lru"},
+		Mode:     hv.ModeInfHBM,
+		VMs: []VMSpec{
+			{Workloads: []AssignedWorkload{{Spec: specA, CPUs: []int{0, 1}}}},
+			{Workloads: []AssignedWorkload{{Spec: specB, CPUs: []int{2, 3}}}},
+		},
+		Migrations: []hv.MigrationSpec{ms},
+		Seed:       23,
+		CheckStale: true,
+	}
+}
+
+// checkMigrationProperty asserts the burst-case isolation and completeness
+// properties on a finished two-VM run that migrated VM 0 to dest:
+//
+//  1. Every present nested-PT data mapping of VM 0 points at the
+//     destination tier.
+//  2. No CPU of VM 0 holds a stale translation: every valid TLB/nTLB entry
+//     matches the current nested page table.
+//  3. VM 1 observed zero invalidations, flushes, shootdown exits, and
+//     stall cycles from the storm.
+func checkMigrationProperty(t *testing.T, s *System, res *Result, dest arch.MemTier) {
+	t.Helper()
+	if len(res.Migrations) != 1 || !res.Migrations[0].Completed {
+		t.Fatalf("migration did not complete: %+v", res.Migrations)
+	}
+	if res.Agg.StaleTranslationUses != 0 {
+		t.Errorf("%d stale translation uses during the migration", res.Agg.StaleTranslationUses)
+	}
+
+	// (1) Completeness: iterate VM 0's nested PT via its guest mappings.
+	vm0 := s.vms[0]
+	spec := s.opts.VMs[0].Workloads[0].Spec
+	for gvp := arch.GVP(0); gvp < arch.GVP(spec.FootprintPages); gvp++ {
+		gpp, ok := vm0.Guests[0].Translate(gvp)
+		if !ok {
+			t.Fatalf("gvp %d unmapped in guest PT", gvp)
+		}
+		spp, present, ok := vm0.Nested.Translate(gpp)
+		if !ok || !present {
+			continue // paged out: no stale translation possible
+		}
+		if got := s.mem.Layout.TierOf(spp); got != dest {
+			t.Fatalf("gpp %#x still in %v after migration to %v", uint64(gpp), got, dest)
+		}
+	}
+
+	// (2) No stale translation entries on VM 0's CPUs.
+	for _, cpu := range vm0.CPUs {
+		ts := s.ts[cpu]
+		for _, st := range []*tstruct.Struct{ts.L1TLB, ts.L2TLB} {
+			st.ForEachValid(func(e tstruct.Entry) {
+				sppRaw, gppRaw := tstruct.UnpackTLBVal(e.Val)
+				want, present, ok := vm0.Nested.Translate(arch.GPP(gppRaw))
+				if !ok || !present || uint64(want) != sppRaw {
+					t.Errorf("CPU %d %s holds stale entry gpp=%#x spp=%#x (now %#x present=%v)",
+						cpu, st.Name(), gppRaw, sppRaw, uint64(want), present)
+				}
+			})
+		}
+		ts.NTLB.ForEachValid(func(e tstruct.Entry) {
+			want, present, ok := vm0.Nested.Translate(arch.GPP(e.Key))
+			if !ok || !present || uint64(want) != e.Val {
+				t.Errorf("CPU %d ntlb holds stale entry gpp=%#x spp=%#x (now %#x present=%v)",
+					cpu, e.Key, e.Val, uint64(want), present)
+			}
+		})
+	}
+
+	// (3) VM 1 never paid for VM 0's storm.
+	vm1 := &res.PerVM[1]
+	if vm1.TLBFlushes != 0 || vm1.MMUCacheFlushes != 0 || vm1.NTLBFlushes != 0 {
+		t.Errorf("VM 1 flushed during VM 0's migration: tlb=%d mmu=%d ntlb=%d",
+			vm1.TLBFlushes, vm1.MMUCacheFlushes, vm1.NTLBFlushes)
+	}
+	if vm1.CoTagInvalidations != 0 || vm1.CAMInvalidations != 0 {
+		t.Errorf("VM 1 lost entries to VM 0's migration: cotag=%d cam=%d",
+			vm1.CoTagInvalidations, vm1.CAMInvalidations)
+	}
+	if vm1.VMExits != vm1.PageFaults {
+		t.Errorf("VM 1 suffered %d shootdown VM exits", vm1.VMExits-vm1.PageFaults)
+	}
+	if vm1.IPIs != 0 {
+		t.Errorf("VM 1 saw %d IPIs", vm1.IPIs)
+	}
+	if vm1.MigrationDowntimeCycles != 0 {
+		t.Errorf("VM 1 charged %d downtime cycles for VM 0's migration", vm1.MigrationDowntimeCycles)
+	}
+}
+
+// TestMigrationPropertyAllProtocols is the burst-case extension of the VM
+// isolation property: after a whole-VM migration completes under any
+// protocol, the nested PT is fully at the destination, no stale entry
+// survives anywhere, and the other VM was untouched.
+func TestMigrationPropertyAllProtocols(t *testing.T) {
+	spec := smokeSpec()
+	spec.Threads = 2
+	spec.Refs = 12_000
+	ms := hv.MigrationSpec{VM: 0, At: 50_000, Dest: arch.TierDRAM, BurstPages: 16}
+	for _, proto := range []string{"sw", "hatric", "hatric-pf", "unitd", "ideal"} {
+		t.Run(proto, func(t *testing.T) {
+			sys, err := New(migrationOpts(proto, spec, spec, ms))
+			if err != nil {
+				t.Fatal(err)
+			}
+			res, err := sys.Run()
+			if err != nil {
+				t.Fatal(err)
+			}
+			checkMigrationProperty(t, sys, res, arch.TierDRAM)
+			rep := res.Migrations[0]
+			if rep.PagesCopied < spec.FootprintPages {
+				t.Errorf("only %d of %d pages copied", rep.PagesCopied, spec.FootprintPages)
+			}
+			if res.Agg.MigrationsCompleted != 1 {
+				t.Errorf("MigrationsCompleted = %d", res.Agg.MigrationsCompleted)
+			}
+		})
+	}
+}
+
+// TestMigrationRemote exercises the bandwidth-throttled remote-link path:
+// the same evacuation, but every page also crosses a slow inter-host link,
+// so the migration takes strictly longer on the driver.
+func TestMigrationRemote(t *testing.T) {
+	spec := smokeSpec()
+	spec.Threads = 2
+	spec.Refs = 12_000
+	run := func(linkBW float64) *Result {
+		ms := hv.MigrationSpec{VM: 0, At: 50_000, Dest: arch.TierDRAM,
+			BurstPages: 16, LinkBytesPerCycle: linkBW}
+		sys, err := New(migrationOpts("hatric", spec, spec, ms))
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := sys.Run()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !res.Migrations[0].Completed {
+			t.Fatal("migration incomplete")
+		}
+		return res
+	}
+	local := run(0)
+	remote := run(2) // 2 bytes/cycle: a page costs ~2048 cycles of link time
+	if !remote.Migrations[0].Remote || local.Migrations[0].Remote {
+		t.Errorf("remote flag wrong: %v %v", remote.Migrations[0].Remote, local.Migrations[0].Remote)
+	}
+	lSpan := local.Migrations[0].Finished - local.Migrations[0].Started
+	rSpan := remote.Migrations[0].Finished - remote.Migrations[0].Started
+	if rSpan <= lSpan {
+		t.Errorf("throttled remote migration (%d cycles) not slower than local (%d)", rSpan, lSpan)
+	}
+}
+
+// TestQuickCrossProtocolDeterminism guards the seed-stability promise: the
+// same seed and Options — including a live-migration trigger — produce
+// bit-identical Result counters across two fresh systems, for every
+// protocol. CI additionally repeats the test (-run TestQuick -count=2) so
+// run-to-run divergence inside one binary is caught too.
+func TestQuickCrossProtocolDeterminism(t *testing.T) {
+	spec := smokeSpec()
+	spec.Threads = 2
+	spec.Refs = 6_000
+	for _, proto := range []string{"sw", "hatric", "unitd", "ideal"} {
+		t.Run(proto, func(t *testing.T) {
+			ms := hv.MigrationSpec{VM: 0, At: 40_000, Dest: arch.TierDRAM, BurstPages: 8}
+			run := func() *Result {
+				sys, err := New(migrationOpts(proto, spec, spec, ms))
+				if err != nil {
+					t.Fatal(err)
+				}
+				res, err := sys.Run()
+				if err != nil {
+					t.Fatal(err)
+				}
+				return res
+			}
+			a, b := run(), run()
+			if a.Runtime != b.Runtime {
+				t.Errorf("runtime diverged: %d vs %d", a.Runtime, b.Runtime)
+			}
+			if a.Agg != b.Agg {
+				t.Errorf("aggregate counters diverged:\n%+v\n%+v", a.Agg, b.Agg)
+			}
+			for cpu := range a.PerCPU {
+				if a.PerCPU[cpu] != b.PerCPU[cpu] {
+					t.Errorf("CPU %d counters diverged", cpu)
+				}
+			}
+			ra, rb := a.Migrations[0], b.Migrations[0]
+			if ra.PagesCopied != rb.PagesCopied || ra.Redirtied != rb.Redirtied ||
+				ra.Downtime != rb.Downtime || len(ra.Rounds) != len(rb.Rounds) {
+				t.Errorf("migration reports diverged:\n%+v\n%+v", ra, rb)
+			}
+		})
+	}
+}

@@ -56,8 +56,13 @@ type Options struct {
 	Workloads []AssignedWorkload
 	// VMs lists the machine's virtual machines; element v becomes VM v.
 	// Leave empty to run the single VM described by Workloads.
-	VMs  []VMSpec
-	Seed uint64
+	VMs []VMSpec
+	// Migrations schedules live migrations (which VM, at what cycle, to
+	// which tier — see hv.MigrationSpec). Each turns the chosen VM's
+	// entire resident set into a remap burst driven from the VM's first
+	// CPU, interleaved with normal execution.
+	Migrations []hv.MigrationSpec
+	Seed       uint64
 	// CheckStale verifies every translation against the page tables and
 	// counts mismatches (must stay zero under a correct protocol).
 	CheckStale bool
@@ -103,6 +108,9 @@ type Result struct {
 	Energy energy.Breakdown
 	// Device byte totals (line fills plus page copies).
 	HBMBytes, DRAMBytes uint64
+	// Migrations reports each scheduled live migration's outcome (rounds,
+	// pages, re-dirties, downtime), in Options.Migrations order.
+	Migrations []hv.MigrationReport
 }
 
 // VMFinish returns the last completion cycle among VM vm's CPUs.
@@ -139,6 +147,10 @@ type System struct {
 	guestFn []walker.GuestPTResolver
 	active  int
 	done    []arch.Cycles
+
+	// migrating gates the live-migration hooks in the per-reference hot
+	// path; it is false for every run without Options.Migrations.
+	migrating bool
 }
 
 // New builds a system from the options.
@@ -261,6 +273,12 @@ func New(opts Options) (*System, error) {
 		return nil, err
 	}
 	s.hyp = hyp
+	for i, ms := range opts.Migrations {
+		if _, err := hyp.ScheduleMigration(ms); err != nil {
+			return nil, fmt.Errorf("sim: migration %d: %w", i, err)
+		}
+	}
+	s.migrating = hyp.HasMigrations()
 	return s, nil
 }
 
@@ -357,7 +375,38 @@ func (s *System) Run() (*Result, error) {
 			return nil, err
 		}
 	}
+	if err := s.drainMigrations(); err != nil {
+		return nil, err
+	}
 	return s.collect(), nil
+}
+
+// drainMigrations completes migrations still in flight after the last
+// stream finished (the workload ended mid-migration, or the trigger cycle
+// lies beyond the run): the driver vCPU keeps pumping on its own clock.
+func (s *System) drainMigrations() error {
+	if !s.migrating {
+		return nil
+	}
+	for _, m := range s.hyp.Migrations() {
+		cpu := m.DriverCPU()
+		for !m.Done() {
+			if !m.Started() && s.clock[cpu] < m.Spec().At {
+				s.clock[cpu] = m.Spec().At
+			}
+			lat := s.hyp.PumpMigrations(cpu, s.clock[cpu])
+			s.clock[cpu] += lat
+			if lat == 0 && !m.Done() {
+				err := fmt.Errorf("sim: migration of VM %d stalled (no progress at cycle %d)",
+					m.Spec().VM, uint64(s.clock[cpu]))
+				if last := m.LastError(); last != nil {
+					err = fmt.Errorf("%w: %w", err, last)
+				}
+				return err
+			}
+		}
+	}
+	return nil
 }
 
 // minClockCPU picks the unfinished CPU with the smallest local clock.
@@ -396,6 +445,17 @@ func (s *System) step(cpu int) error {
 		s.clock[cpu] += s.hyp.Defrag(cpu, vm, s.clock[cpu])
 	}
 
+	// Live migration: if this CPU drives a migration, perform the next
+	// remap burst — the coherence storm interleaves with guest execution
+	// at the BurstPages granularity. Once every migration has completed
+	// the flag drops and the hot path is exactly the no-migration one.
+	if s.migrating {
+		s.clock[cpu] += s.hyp.PumpMigrations(cpu, s.clock[cpu])
+		if s.hyp.UnfinishedMigrations() == 0 {
+			s.migrating = false
+		}
+	}
+
 	// Translate, servicing nested faults through the hypervisor.
 	gvp := acc.VA.Page()
 	var spp arch.SPP
@@ -423,6 +483,11 @@ func (s *System) step(cpu int) error {
 	// relying on walk-time-only updates would starve CLOCK of signal for
 	// exactly the protocols that avoid TLB flushes).
 	s.vms[vm].Nested.SetAccessed(gpp, true)
+
+	// Dirty-track guest writes for an in-flight migration of this VM.
+	if s.migrating && acc.Write {
+		s.hyp.NoteMigrationWrite(cpu, vm, gpp)
+	}
 
 	// Stale-translation audit: the paper's correctness property is that
 	// translation coherence never lets a CPU use a stale mapping.
@@ -481,6 +546,9 @@ func (s *System) collect() *Result {
 	}
 	r.HBMBytes = s.mem.HBM.Bytes
 	r.DRAMBytes = s.mem.DRAM.Bytes
+	if s.hyp.HasMigrations() {
+		r.Migrations = s.hyp.MigrationReports()
+	}
 	r.Energy = energy.Compute(energy.Input{
 		Cfg:        s.cfg,
 		Protocol:   s.opts.Protocol,

@@ -80,6 +80,14 @@ type Counters struct {
 	DefragRemaps   uint64
 	PTEWrites      uint64
 
+	// Live migration (whole-VM moves between tiers or hosts). All five
+	// land on the driver vCPU's counters except where noted.
+	MigrationRounds         uint64
+	MigrationPagesCopied    uint64
+	MigrationRedirtied      uint64 // charged to the writing vCPU
+	MigrationDowntimeCycles uint64
+	MigrationsCompleted     uint64
+
 	// StaleTranslationUses counts translations served from a TLB that no
 	// longer match the page table. Correct coherence keeps this at zero;
 	// the integration tests assert it.
@@ -137,6 +145,11 @@ func (c *Counters) Add(o *Counters) {
 	c.PagePrefetches += o.PagePrefetches
 	c.DefragRemaps += o.DefragRemaps
 	c.PTEWrites += o.PTEWrites
+	c.MigrationRounds += o.MigrationRounds
+	c.MigrationPagesCopied += o.MigrationPagesCopied
+	c.MigrationRedirtied += o.MigrationRedirtied
+	c.MigrationDowntimeCycles += o.MigrationDowntimeCycles
+	c.MigrationsCompleted += o.MigrationsCompleted
 	c.StaleTranslationUses += o.StaleTranslationUses
 }
 
