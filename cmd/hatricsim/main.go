@@ -8,6 +8,12 @@
 //
 // With -vms N the machine runs N consolidated VMs, each executing the
 // workload on its own -threads CPUs, and reports a per-VM breakdown.
+//
+// With -vcpus K > 1 the machine is overcommitted: the -vms x -threads
+// vCPUs time-share threads*vms/K physical CPUs under a round-robin
+// scheduler with a -quantum cycle time slice. VPID-tagged translation
+// structures keep the VMs' entries apart across world switches;
+// -flush-on-switch restores the no-VPID flush baseline.
 package main
 
 import (
@@ -38,6 +44,10 @@ func main() {
 		seed     = flag.Uint64("seed", 1, "workload seed")
 		check    = flag.Bool("check", true, "audit stale translations")
 		xen      = flag.Bool("xen", false, "use the Xen cost profile")
+
+		vcpus   = flag.Int("vcpus", 1, "vCPUs per physical CPU (overcommit ratio; >1 time-slices)")
+		quantum = flag.Uint64("quantum", 0, "scheduler time slice in cycles (0 = default)")
+		flushsw = flag.Bool("flush-on-switch", false, "flush translation structures at cross-VM switches (no-VPID baseline)")
 
 		migrateAt    = flag.Uint64("migrate", 0, "live-migrate a VM at this cycle (0 = off)")
 		migrateVM    = flag.Int("migrate-vm", 0, "VM to live-migrate")
@@ -70,8 +80,14 @@ func main() {
 	if *vms < 1 {
 		fatal(fmt.Errorf("need at least one VM, got %d", *vms))
 	}
+	if *vcpus < 1 {
+		fatal(fmt.Errorf("need at least one vCPU per CPU, got %d", *vcpus))
+	}
+	if (*threads**vms)%*vcpus != 0 {
+		fatal(fmt.Errorf("total vCPUs (%d) must divide by -vcpus %d", *threads**vms, *vcpus))
+	}
 	cfg := arch.DefaultConfig()
-	cfg.NumCPUs = *threads * *vms
+	cfg.NumCPUs = *threads * *vms / *vcpus
 	cfg.TLB.CoTagBytes = *cotag
 	if *xen {
 		cfg.Cost = arch.XenCostModel()
@@ -87,9 +103,12 @@ func main() {
 			Prefetch:    *prefetch,
 			DefragEvery: *defrag,
 		},
-		Mode:       mode,
-		Seed:       *seed,
-		CheckStale: *check,
+		Mode:            mode,
+		Seed:            *seed,
+		CheckStale:      *check,
+		VCPUsPerCPU:     *vcpus,
+		SchedQuantum:    arch.Cycles(*quantum),
+		FlushOnVMSwitch: *flushsw,
 	}
 	if *migrateAt > 0 {
 		var dest arch.MemTier
@@ -130,6 +149,9 @@ func main() {
 		fatal(err)
 	}
 	printResult(spec, *protocol, res)
+	if *vcpus > 1 {
+		printScheduler(res)
+	}
 	if *vms > 1 {
 		printPerVM(res)
 	}
@@ -156,6 +178,19 @@ func printMigrations(res *sim.Result) {
 		}
 		fmt.Print(t)
 	}
+}
+
+// printScheduler summarizes the overcommit scheduler's activity and what
+// descheduled targets cost software shootdowns.
+func printScheduler(res *sim.Result) {
+	a := &res.Agg
+	t := stats.NewTable("scheduler", "event", "count")
+	t.AddRow("vcpu switches", a.VCPUSwitches)
+	t.AddRow("switch flushes", a.SwitchFlushes)
+	t.AddRow("remaps initiated", a.RemapsInitiated)
+	t.AddRow("shootdown cycles", a.ShootdownCycles)
+	t.AddRow("desched stall cycles", a.DescheduledStallCycles)
+	fmt.Print(t)
 }
 
 // printPerVM summarizes each VM's runtime and coherence bill.

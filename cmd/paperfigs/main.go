@@ -6,8 +6,10 @@
 //	          [-mixes N] [-threads N] [-check]
 //
 // Beyond the paper's figures, -fig pf runs the Sec. 4.4 prefetching
-// ablation, -fig interference the multi-VM noisy-neighbor study, and
-// -fig migration the whole-VM live-migration storm study.
+// ablation, -fig interference the multi-VM noisy-neighbor study, -fig
+// migration the whole-VM live-migration storm study, and -fig overcommit
+// the vCPU-overcommit study (descheduled-target shootdown stalls across
+// consolidation ratios).
 //
 // Each figure prints the same series the paper plots, normalized the same
 // way. -quick shrinks reference counts for a fast pass.
@@ -146,6 +148,12 @@ func runFig(r *exp.Runner, f string) error {
 		fmt.Println(res.Table())
 	case "migration":
 		res, err := r.Migration()
+		if err != nil {
+			return err
+		}
+		fmt.Println(res.Table())
+	case "overcommit":
+		res, err := r.Overcommit()
 		if err != nil {
 			return err
 		}

@@ -20,6 +20,21 @@
 // it with sim.Options.Migrations, `hatricsim -migrate`, the
 // examples/migration walkthrough, or `paperfigs -fig migration`.
 //
+// # vCPU overcommit
+//
+// The machine can run more vCPUs than physical CPUs: a round-robin
+// quantum scheduler (sim.Options.VCPUsPerCPU, SchedQuantum) time-slices
+// vCPU slots onto physical CPUs, made safe by VPID tags on every
+// translation-structure entry — lookups, fills, invalidations, and
+// flushes are VM-qualified, so VMs sharing a CPU never see each other's
+// translations and a world switch needs no flush (Options.FlushOnVMSwitch
+// restores the VPID-less flush baseline). Software shootdowns then pay
+// the paper's headline consolidation cost: an IPI to a descheduled vCPU
+// stalls the initiator until that vCPU's next quantum
+// (DescheduledStallCycles), while HATRIC's invalidations need no vCPU to
+// execute. Drive it with `hatricsim -vcpus -quantum`, the
+// examples/overcommit walkthrough, or `paperfigs -fig overcommit`.
+//
 // See README.md for a package tour and how to run the examples,
 // benchmarks, and figure regeneration. The benchmarks in bench_test.go
 // regenerate every figure of the paper's evaluation.

@@ -11,15 +11,18 @@ import (
 
 // fakeMachine implements Machine over in-memory translation structures.
 // By default every CPU belongs to one VM (id 0) that owns every PT line;
-// tests for VM isolation repartition cpuVM and install an ownerOf func.
+// tests for VM isolation repartition cpuVM and install an ownerOf func,
+// and scheduler tests install deschedOf / mayCacheOf hooks.
 type fakeMachine struct {
-	ts      []*tstruct.CPUSet
-	cnt     []*stats.Counters
-	charged []arch.Cycles
-	cost    arch.CostModel
-	cpuVM   []int
-	numVMs  int
-	ownerOf func(arch.SPA) int
+	ts         []*tstruct.CPUSet
+	cnt        []*stats.Counters
+	charged    []arch.Cycles
+	cost       arch.CostModel
+	cpuVM      []int
+	numVMs     int
+	ownerOf    func(arch.SPA) int
+	deschedOf  func(cpu, vm int) arch.Cycles
+	mayCacheOf func(cpu, vm int) bool
 }
 
 func newFakeMachine(cpus int) *fakeMachine {
@@ -45,6 +48,18 @@ func (m *fakeMachine) VMCPUs(vm int) []int {
 	return out
 }
 func (m *fakeMachine) VMOf(cpu int) int { return m.cpuVM[cpu] }
+func (m *fakeMachine) VMMayCache(cpu, vm int) bool {
+	if m.mayCacheOf != nil {
+		return m.mayCacheOf(cpu, vm)
+	}
+	return vm == m.cpuVM[cpu]
+}
+func (m *fakeMachine) DeschedWait(cpu, vm int) arch.Cycles {
+	if m.deschedOf != nil {
+		return m.deschedOf(cpu, vm)
+	}
+	return 0
+}
 func (m *fakeMachine) OwnerVM(spa arch.SPA) int {
 	if m.ownerOf != nil {
 		return m.ownerOf(spa)
@@ -69,11 +84,14 @@ func (m *fakeMachine) ReadPTE(spa arch.SPA) (uint64, bool) {
 	return v.frame, v.present
 }
 
+// fillAll fills every structure of cpu with entries tagged with the CPU's
+// own VM (what its hardware walker would leave behind).
 func fillAll(m *fakeMachine, cpu int, src uint64) {
-	m.ts[cpu].L1TLB.Fill(1, 1, src, uint8(cache.KindNestedPT))
-	m.ts[cpu].L2TLB.Fill(1, 1, src, uint8(cache.KindNestedPT))
-	m.ts[cpu].NTLB.Fill(2, 2, src, uint8(cache.KindNestedPT))
-	m.ts[cpu].MMU.Fill(3, 3, src, uint8(cache.KindNestedPT))
+	vm := m.cpuVM[cpu]
+	m.ts[cpu].L1TLB.Fill(vm, 1, 1, src, uint8(cache.KindNestedPT))
+	m.ts[cpu].L2TLB.Fill(vm, 1, 1, src, uint8(cache.KindNestedPT))
+	m.ts[cpu].NTLB.Fill(vm, 2, 2, src, uint8(cache.KindNestedPT))
+	m.ts[cpu].MMU.Fill(vm, 3, 3, src, uint8(cache.KindNestedPT))
 }
 
 func TestNewByName(t *testing.T) {
@@ -148,12 +166,64 @@ func TestSoftwareIPICostScalesWithTargets(t *testing.T) {
 	}
 }
 
+// TestSoftwareDeschedStall: when a target vCPU is not scheduled, the
+// initiator's shootdown pays the wait until its next quantum — the
+// slowest (most-descheduled) target bounds the acknowledgment wait — and
+// the wait is surfaced in DescheduledStallCycles. Hardware protocols pay
+// nothing for the same machine state.
+func TestSoftwareDeschedStall(t *testing.T) {
+	wait := map[int]arch.Cycles{1: 5_000, 2: 20_000, 3: 0}
+	newM := func() *fakeMachine {
+		m := newFakeMachine(4)
+		m.deschedOf = func(cpu, vm int) arch.Cycles { return wait[cpu] }
+		return m
+	}
+	m := newM()
+	base := NewSoftware(newFakeMachine(4)).OnRemap(0, 0, 0x800, 0)
+	init := NewSoftware(m).OnRemap(0, 0, 0x800, 0)
+	if got := init - base; got != 20_000 {
+		t.Errorf("initiator stall = %d, want the slowest target's 20000", got)
+	}
+	if m.cnt[0].DescheduledStallCycles != 20_000 {
+		t.Errorf("DescheduledStallCycles = %d", m.cnt[0].DescheduledStallCycles)
+	}
+	// HATRIC and ideal charge the initiator nothing regardless of waits.
+	for _, p := range []Protocol{NewHATRIC(newM(), 2), NewIdeal(newM())} {
+		if c := p.OnRemap(0, 0, 0x800, 0); c != 0 {
+			t.Errorf("%s pays %d for descheduled targets; needs no vCPU at all", p.Name(), c)
+		}
+	}
+	// UNITD's broadcast cost is wait-independent too.
+	if a, b := NewUNITDPP(newM()).OnRemap(0, 0, 0x800, 0), NewUNITDPP(newFakeMachine(4)).OnRemap(0, 0, 0x800, 0); a != b {
+		t.Errorf("unitd broadcast cost depends on scheduling: %d vs %d", a, b)
+	}
+}
+
+// TestSoftwareFlushIsVPIDScoped: on a CPU time-sharing two VMs, a
+// shootdown of one VM flushes only that VM's entries.
+func TestSoftwareFlushIsVPIDScoped(t *testing.T) {
+	m := newFakeMachine(2)
+	m.numVMs = 2
+	// CPU 1 currently runs VM 0 but also holds VM 1's entries (its vCPUs
+	// time-share the CPU).
+	m.ts[1].L1TLB.Fill(1, 77, 77, 0x700, 0)
+	fillAll(m, 0, 0x100)
+	fillAll(m, 1, 0x100)
+	NewSoftware(m).OnRemap(0, 0, 0x800, 0)
+	if m.ts[1].L1TLB.ValidCount() != 1 {
+		t.Errorf("VM 1's entry did not survive VM 0's shootdown")
+	}
+	if _, ok := m.ts[1].L1TLB.Lookup(1, 77); !ok {
+		t.Errorf("surviving entry is not VM 1's")
+	}
+}
+
 func TestHATRICInvalidatesPrecisely(t *testing.T) {
 	m := newFakeMachine(2)
 	h := NewHATRIC(m, 2)
 	pte := arch.SPA(0x1000) // line 0x40
 	fillAll(m, 1, uint64(pte)>>3)
-	m.ts[1].L1TLB.Fill(9, 9, uint64(arch.SPA(0x8000))>>3, uint8(cache.KindNestedPT))
+	m.ts[1].L1TLB.Fill(0, 9, 9, uint64(arch.SPA(0x8000))>>3, uint8(cache.KindNestedPT))
 	dropped, remains := h.OnPTInvalidation(1, pte, cache.KindNestedPT)
 	if dropped != 4 {
 		t.Errorf("dropped %d, want the 4 matching entries", dropped)
@@ -161,7 +231,7 @@ func TestHATRICInvalidatesPrecisely(t *testing.T) {
 	if remains {
 		t.Errorf("co-tags cover whole lines; nothing from the line remains")
 	}
-	if _, ok := m.ts[1].L1TLB.Lookup(9); !ok {
+	if _, ok := m.ts[1].L1TLB.Lookup(0, 9); !ok {
 		t.Errorf("unrelated entry dropped")
 	}
 	if m.cnt[1].CoTagInvalidations != 4 {
@@ -172,8 +242,8 @@ func TestHATRICInvalidatesPrecisely(t *testing.T) {
 func TestHATRICAliasingWithNarrowCoTags(t *testing.T) {
 	m := newFakeMachine(1)
 	h1 := NewHATRIC(m, 1) // 8 bits of line index: lines 2 and 258 alias
-	m.ts[0].L1TLB.Fill(1, 1, 2*8, uint8(cache.KindNestedPT))
-	m.ts[0].L1TLB.Fill(2, 2, 258*8, uint8(cache.KindNestedPT))
+	m.ts[0].L1TLB.Fill(0, 1, 1, 2*8, uint8(cache.KindNestedPT))
+	m.ts[0].L1TLB.Fill(0, 2, 2, 258*8, uint8(cache.KindNestedPT))
 	dropped, _ := h1.OnPTInvalidation(0, arch.SPA(2*64), cache.KindNestedPT)
 	if dropped != 2 {
 		t.Errorf("1-byte co-tags should alias: dropped %d, want 2", dropped)
@@ -181,8 +251,8 @@ func TestHATRICAliasingWithNarrowCoTags(t *testing.T) {
 	// 2-byte co-tags keep them apart.
 	m2 := newFakeMachine(1)
 	h2 := NewHATRIC(m2, 2)
-	m2.ts[0].L1TLB.Fill(1, 1, 2*8, uint8(cache.KindNestedPT))
-	m2.ts[0].L1TLB.Fill(2, 2, 258*8, uint8(cache.KindNestedPT))
+	m2.ts[0].L1TLB.Fill(0, 1, 1, 2*8, uint8(cache.KindNestedPT))
+	m2.ts[0].L1TLB.Fill(0, 2, 2, 258*8, uint8(cache.KindNestedPT))
 	dropped, _ = h2.OnPTInvalidation(0, arch.SPA(2*64), cache.KindNestedPT)
 	if dropped != 1 {
 		t.Errorf("2-byte co-tags should not alias at distance 256: dropped %d", dropped)
@@ -249,8 +319,8 @@ func TestIdealExactInvalidation(t *testing.T) {
 	m := newFakeMachine(1)
 	i := NewIdeal(m)
 	// Two TLB entries from sibling PTEs in the same line.
-	m.ts[0].L1TLB.Fill(1, 1, 0x200, uint8(cache.KindNestedPT))
-	m.ts[0].L1TLB.Fill(2, 2, 0x201, uint8(cache.KindNestedPT))
+	m.ts[0].L1TLB.Fill(0, 1, 1, 0x200, uint8(cache.KindNestedPT))
+	m.ts[0].L1TLB.Fill(0, 2, 2, 0x201, uint8(cache.KindNestedPT))
 	dropped, remains := i.OnPTInvalidation(0, arch.SPA(0x200<<3), cache.KindNestedPT)
 	if dropped != 1 {
 		t.Errorf("ideal dropped %d, want exactly 1", dropped)
@@ -266,7 +336,7 @@ func TestIdealExactInvalidation(t *testing.T) {
 func TestCachesPTLine(t *testing.T) {
 	m := newFakeMachine(1)
 	h := NewHATRIC(m, 2)
-	m.ts[0].NTLB.Fill(7, 7, 0x300, uint8(cache.KindNestedPT))
+	m.ts[0].NTLB.Fill(0, 7, 7, 0x300, uint8(cache.KindNestedPT))
 	if !h.CachesPTLine(0, arch.SPA(0x300<<3), cache.KindNestedPT) {
 		t.Errorf("CachesPTLine missed")
 	}

@@ -53,17 +53,20 @@ func (h *HATRIC) OnRemap(initiator, vm int, pteSPA arch.SPA, now arch.Cycles) ar
 // OnPTInvalidation implements coherence.TranslationHook: the co-tag
 // compare-and-invalidate at one target CPU. Shift 3 converts PTE word
 // indices to line indices (coherence is line-granular). Because a co-tag
-// is a pure function of the source line, every entry from the written line
-// matches — nothing from the line ever survives, so remains is false.
-// Co-tags are VM-qualified: a relay for a PTE owned by a different VM than
-// the one this CPU runs compares nothing and drops nothing, so co-tag
-// aliasing can never leak invalidations across VM boundaries.
+// is a pure function of the source line, every entry of the owning VM
+// from the written line matches — nothing of its from the line ever
+// survives, so remains is false. Co-tags are VM-qualified (the VPID is
+// part of the compare): a relay for a PTE owned by a VM none of whose
+// vCPUs runs here is filtered outright, and at a CPU time-sharing several
+// VMs the per-entry VM tags confine the drop to the owner's entries, so
+// co-tag aliasing can never leak invalidations across VM boundaries.
 func (h *HATRIC) OnPTInvalidation(cpu int, spa arch.SPA, kind cache.IsPTKind) (int, bool) {
-	if crossVM(h.m, cpu, spa) {
+	owner := h.m.OwnerVM(spa)
+	if relayFiltered(h.m, cpu, owner) {
 		return 0, false
 	}
 	ts := h.m.TS(cpu)
-	n := ts.InvalidateMaskedAll(uint64(spa)>>3, 3, h.mask)
+	n := ts.InvalidateMaskedAll(ownerTag(owner), uint64(spa)>>3, 3, h.mask)
 	c := h.m.Counters(cpu)
 	c.CoTagInvalidations += uint64(n)
 	return n, false
@@ -78,8 +81,9 @@ func (h *HATRIC) OnPTBackInvalidation(cpu int, spa arch.SPA, kind cache.IsPTKind
 
 // CachesPTLine implements coherence.TranslationHook.
 func (h *HATRIC) CachesPTLine(cpu int, spa arch.SPA, kind cache.IsPTKind) bool {
-	if isCrossVM(h.m, cpu, spa) {
+	owner := h.m.OwnerVM(spa)
+	if queryFiltered(h.m, cpu, owner) {
 		return false
 	}
-	return h.m.TS(cpu).CachesMaskedAny(uint64(spa)>>3, 3, h.mask)
+	return h.m.TS(cpu).CachesMaskedAny(ownerTag(owner), uint64(spa)>>3, 3, h.mask)
 }

@@ -42,9 +42,11 @@ func (h *HATRICPF) Hook() (coherence.TranslationHook, bool) { return h, true }
 // matches in place, invalidate the rest of the co-tag match set. As in
 // baseline HATRIC, the compare is VM-qualified.
 func (h *HATRICPF) OnPTInvalidation(cpu int, spa arch.SPA, kind cache.IsPTKind) (int, bool) {
-	if crossVM(h.m, cpu, spa) {
+	owner := h.m.OwnerVM(spa)
+	if relayFiltered(h.m, cpu, owner) {
 		return 0, false
 	}
+	tag := ownerTag(owner)
 	frame, present := h.m.ReadPTE(spa)
 	ts := h.m.TS(cpu)
 	c := h.m.Counters(cpu)
@@ -57,10 +59,10 @@ func (h *HATRICPF) OnPTInvalidation(cpu int, spa arch.SPA, kind cache.IsPTKind) 
 			_, gpp := tstruct.UnpackTLBVal(e.Val)
 			return tstruct.PackTLBVal(frame, gpp), true
 		}
-		updated += ts.L1TLB.UpdateMatching(exact, upd)
-		updated += ts.L2TLB.UpdateMatching(exact, upd)
+		updated += ts.L1TLB.UpdateMatching(tag, exact, upd)
+		updated += ts.L2TLB.UpdateMatching(tag, exact, upd)
 		// nTLB entries hold the bare frame.
-		updated += ts.NTLB.UpdateMatching(exact, func(tstruct.Entry) (uint64, bool) {
+		updated += ts.NTLB.UpdateMatching(tag, exact, func(tstruct.Entry) (uint64, bool) {
 			return frame, true
 		})
 		c.PrefetchUpdates += uint64(updated)
@@ -74,12 +76,12 @@ func (h *HATRICPF) OnPTInvalidation(cpu int, spa arch.SPA, kind cache.IsPTKind) 
 	dropped := 0
 	for _, s := range []*tstruct.Struct{ts.L1TLB, ts.L2TLB, ts.NTLB} {
 		if present {
-			dropped += s.InvalidateMaskedExcept(uint64(spa)>>3, 3, h.mask, exact)
+			dropped += s.InvalidateMaskedExcept(tag, uint64(spa)>>3, 3, h.mask, exact)
 		} else {
-			dropped += s.InvalidateMasked(uint64(spa)>>3, 3, h.mask)
+			dropped += s.InvalidateMasked(tag, uint64(spa)>>3, 3, h.mask)
 		}
 	}
-	dropped += ts.MMU.InvalidateMasked(uint64(spa)>>3, 3, h.mask)
+	dropped += ts.MMU.InvalidateMasked(tag, uint64(spa)>>3, 3, h.mask)
 	c.CoTagInvalidations += uint64(dropped)
 	return updated + dropped, updated > 0
 }

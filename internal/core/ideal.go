@@ -38,12 +38,14 @@ func (i *Ideal) OnRemap(initiator, vm int, pteSPA arch.SPA, now arch.Cycles) arc
 // Entries from sibling PTEs in the same line survive, so the CPU stays on
 // the sharer list whenever any remain.
 func (i *Ideal) OnPTInvalidation(cpu int, spa arch.SPA, kind cache.IsPTKind) (int, bool) {
-	if crossVM(i.m, cpu, spa) {
+	owner := i.m.OwnerVM(spa)
+	if relayFiltered(i.m, cpu, owner) {
 		return 0, false
 	}
+	tag := ownerTag(owner)
 	ts := i.m.TS(cpu)
-	n := ts.InvalidateMaskedAll(uint64(spa)>>3, 0, ^uint64(0))
-	remains := ts.CachesMaskedAny(uint64(spa)>>3, 3, ^uint64(0))
+	n := ts.InvalidateMaskedAll(tag, uint64(spa)>>3, 0, ^uint64(0))
+	remains := ts.CachesMaskedAny(tag, uint64(spa)>>3, 3, ^uint64(0))
 	return n, remains
 }
 
@@ -51,17 +53,19 @@ func (i *Ideal) OnPTInvalidation(cpu int, spa arch.SPA, kind cache.IsPTKind) (in
 // loses its directory entry, everything derived from it must go — even the
 // ideal protocol cannot keep exact tracking without a directory entry.
 func (i *Ideal) OnPTBackInvalidation(cpu int, spa arch.SPA, kind cache.IsPTKind) int {
-	if crossVM(i.m, cpu, spa) {
+	owner := i.m.OwnerVM(spa)
+	if relayFiltered(i.m, cpu, owner) {
 		return 0
 	}
-	return i.m.TS(cpu).InvalidateMaskedAll(uint64(spa)>>3, 3, ^uint64(0))
+	return i.m.TS(cpu).InvalidateMaskedAll(ownerTag(owner), uint64(spa)>>3, 3, ^uint64(0))
 }
 
 // CachesPTLine implements coherence.TranslationHook (line-granular: does
 // anything sourced from this line remain?).
 func (i *Ideal) CachesPTLine(cpu int, spa arch.SPA, kind cache.IsPTKind) bool {
-	if isCrossVM(i.m, cpu, spa) {
+	owner := i.m.OwnerVM(spa)
+	if queryFiltered(i.m, cpu, owner) {
 		return false
 	}
-	return i.m.TS(cpu).CachesMaskedAny(uint64(spa)>>3, 3, ^uint64(0))
+	return i.m.TS(cpu).CachesMaskedAny(ownerTag(owner), uint64(spa)>>3, 3, ^uint64(0))
 }

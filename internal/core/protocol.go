@@ -34,15 +34,37 @@ type Machine interface {
 	NumCPUs() int
 	// NumVMs returns the number of virtual machines sharing the machine.
 	NumVMs() int
-	// VMCPUs returns the physical CPUs that have run any vCPU of VM vm.
+	// VMCPUs returns the physical CPUs that run any vCPU of VM vm.
 	// Software coherence targets all of them on a remap of that VM's
-	// pages (imprecise target identification, Sec. 3.2) — but never the
-	// CPUs of any other VM.
+	// pages (imprecise target identification, Sec. 3.2). On a pinned
+	// machine different VMs' CPU sets are disjoint; on a time-sliced
+	// machine they overlap (several VMs' vCPUs share a physical CPU), so
+	// target-side actions must qualify by VM — the per-entry VM tags and
+	// VPID-scoped flushes, not CPU-set disjointness, are what keep a
+	// remap from touching another VM's translations.
 	VMCPUs(vm int) []int
 	// VMOf returns the VM whose vCPU cpu currently runs, or -1 when the
-	// CPU is idle. Translation structures are VM-qualified (VPID/ASID
-	// style): a CPU's entries all belong to its current VM.
+	// CPU is idle. On a pinned machine this is static; on a time-sliced
+	// machine it changes with every cross-VM context switch. Translation
+	// structures are VM-qualified (VPID/ASID style): each entry carries
+	// the tag of the VM it belongs to, which need not be the current one
+	// when vCPUs of several VMs time-share the CPU.
 	VMOf(cpu int) int
+	// VMMayCache reports whether cpu's translation structures may hold
+	// entries of VM vm — i.e. whether any of vm's vCPUs runs on cpu. A
+	// pinned machine answers vm == VMOf(cpu); a time-sliced machine
+	// answers from its vCPU assignment. Hardware protocols use it to
+	// filter relays before any compare; software coherence implicitly
+	// encodes it in VMCPUs.
+	VMMayCache(cpu, vm int) bool
+	// DeschedWait returns how long a software-shootdown initiator must
+	// wait for cpu to next run a vCPU of vm and acknowledge the IPI: zero
+	// when one runs now (or the machine is pinned), otherwise the cycles
+	// until the scheduler's round-robin next gives vm a quantum on cpu.
+	// Hardware translation coherence has no equivalent — its
+	// invalidations need no vCPU to execute (the paper's headline
+	// consolidation argument).
+	DeschedWait(cpu, vm int) arch.Cycles
 	// OwnerVM returns the VM whose page tables (nested or guest) contain
 	// the page-table page at spa, or -1 when no VM owns it. Hardware
 	// protocols use it to VM-qualify co-tag and CAM compares.
@@ -78,21 +100,34 @@ type Protocol interface {
 	OnRemap(initiator, vm int, pteSPA arch.SPA, now arch.Cycles) arch.Cycles
 }
 
-// isCrossVM reports whether the page-table line at spa belongs to a VM
-// other than the one cpu currently runs — the VPID check every
-// VM-qualified relay and sharer query performs before comparing co-tags or
-// CAM entries.
-func isCrossVM(m Machine, cpu int, spa arch.SPA) bool {
-	owner := m.OwnerVM(spa)
-	return owner >= 0 && owner != m.VMOf(cpu)
+// ownerTag converts an OwnerVM result into the VM tag the structures
+// qualify compares on: a line no VM owns (-1) matches every entry
+// (tstruct.AnyVM), preserving the pre-VM-tag behavior for unowned lines.
+func ownerTag(owner int) int {
+	if owner < 0 {
+		return tstruct.AnyVM
+	}
+	return owner
 }
 
-// crossVM is the counting variant used on invalidation relays (not on
-// sharer-status queries such as CachesPTLine): filtered relays advance the
-// CrossVMFiltered diagnostic so cross-VM isolation stays observable
+// queryFiltered reports whether a relay or sharer query for a page-table
+// line owned by VM owner is dropped at cpu before any compare: the CPU
+// cannot hold any of owner's entries because none of owner's vCPUs runs
+// there. On a pinned machine this is the classic VPID check (owner !=
+// VMOf(cpu)); on a time-sliced machine a CPU legitimately caches entries
+// of every VM scheduled onto it, so the filter consults the vCPU
+// assignment instead — and the per-entry VM tags do the precise
+// qualification inside the structures.
+func queryFiltered(m Machine, cpu, owner int) bool {
+	return owner >= 0 && !m.VMMayCache(cpu, owner)
+}
+
+// relayFiltered is the counting variant used on invalidation relays (not
+// on sharer-status queries such as CachesPTLine): filtered relays advance
+// the CrossVMFiltered diagnostic so cross-VM isolation stays observable
 // without eviction-time queries inflating it.
-func crossVM(m Machine, cpu int, spa arch.SPA) bool {
-	if !isCrossVM(m, cpu, spa) {
+func relayFiltered(m Machine, cpu, owner int) bool {
+	if !queryFiltered(m, cpu, owner) {
 		return false
 	}
 	m.Counters(cpu).CrossVMFiltered++

@@ -36,18 +36,21 @@ func (s *Software) Name() string { return "sw" }
 func (s *Software) Hook() (coherence.TranslationHook, bool) { return nil, false }
 
 // OnRemap implements Protocol: the IPI broadcast and flush sequence,
-// scoped to the owning VM's CPUs.
+// scoped to the owning VM's CPUs. The flush is VPID-scoped (FlushVMAll):
+// on a pinned machine the targets hold nothing but the VM's entries, so
+// this is the classic wholesale flush; on a time-sliced machine other
+// VMs' resident entries survive, as invept single-context leaves them.
 func (s *Software) OnRemap(initiator, vm int, pteSPA arch.SPA, now arch.Cycles) arch.Cycles {
 	cost := s.m.Cost()
 	ic := s.m.Counters(initiator)
-	var init arch.Cycles
+	var init, maxWait arch.Cycles
 
 	targets := s.m.VMCPUs(vm)
 	first := true
 	ipis := 0
 	for _, t := range targets {
 		tc := s.m.Counters(t)
-		tlb, mmu, ntlb := s.m.TS(t).FlushAll()
+		tlb, mmu, ntlb := s.m.TS(t).FlushVMAll(vm)
 		tc.TLBFlushes++
 		tc.MMUCacheFlushes++
 		tc.NTLBFlushes++
@@ -70,16 +73,28 @@ func (s *Software) OnRemap(initiator, vm int, pteSPA arch.SPA, now arch.Cycles) 
 		} else {
 			init += cost.IPISendPerTarget
 		}
+		// A target whose vCPU is not scheduled cannot take the VM exit
+		// until the hypervisor runs it again (Sec. 3.2: "the initiating
+		// vCPU waits for all other vCPUs to acknowledge"); on an
+		// overcommitted host this wait is quanta, not microseconds.
+		if w := s.m.DeschedWait(t, vm); w > maxWait {
+			maxWait = w
+		}
 		tc.VMExits++
 		s.m.Charge(t, cost.IPIDeliver+cost.VMExit+cost.FlushOp+cost.VMEntry)
 	}
 	// The initiator pauses until every target acknowledges; the critical
-	// path is one delivery plus the slowest target's exit-and-flush. (The
-	// initiator may belong to a different VM than the remapped page — a
-	// fault in one VM evicting another VM's frame — in which case every
-	// target needs an IPI.)
+	// path is one delivery plus the slowest target's exit-and-flush — plus,
+	// under vCPU overcommit, the wait for the most-descheduled target to be
+	// scheduled at all. (The initiator may belong to a different VM than
+	// the remapped page — a fault in one VM evicting another VM's frame —
+	// in which case every target needs an IPI.)
 	if ipis > 0 {
 		init += cost.IPIDeliver + cost.VMExit + cost.FlushOp
+	}
+	if maxWait > 0 {
+		init += maxWait
+		ic.DescheduledStallCycles += uint64(maxWait)
 	}
 	return init
 }

@@ -35,13 +35,16 @@ func (u *UNITDPP) Hook() (coherence.TranslationHook, bool) { return u, true }
 
 // OnRemap implements Protocol: the hardware broadcast flush of the
 // uncovered structures (MMU caches and nTLBs). The broadcast carries the
-// owning VM's tag, so only that VM's CPUs flush.
+// owning VM's tag, so only that VM's CPUs flush — and on a CPU
+// time-sharing several VMs, only that VM's entries (the flush is
+// VPID-scoped). Being a hardware broadcast it needs no vCPU to execute:
+// descheduled vCPUs cost it nothing.
 func (u *UNITDPP) OnRemap(initiator, vm int, pteSPA arch.SPA, now arch.Cycles) arch.Cycles {
 	cost := u.m.Cost()
 	for _, t := range u.m.VMCPUs(vm) {
 		tc := u.m.Counters(t)
-		mmu := u.m.TS(t).MMU.Flush()
-		ntlb := u.m.TS(t).NTLB.Flush()
+		mmu := u.m.TS(t).MMU.FlushVM(vm)
+		ntlb := u.m.TS(t).NTLB.FlushVM(vm)
 		tc.MMUCacheFlushes++
 		tc.NTLBFlushes++
 		tc.MMUEntriesLost += uint64(mmu)
@@ -60,18 +63,20 @@ func (u *UNITDPP) OnRemap(initiator, vm int, pteSPA arch.SPA, now arch.Cycles) a
 // not covered and survive, so the CPU must stay on the sharer list. The
 // CAM is VM-qualified: relays for another VM's page tables are ignored.
 func (u *UNITDPP) OnPTInvalidation(cpu int, spa arch.SPA, kind cache.IsPTKind) (int, bool) {
-	if crossVM(u.m, cpu, spa) {
+	owner := u.m.OwnerVM(spa)
+	if relayFiltered(u.m, cpu, owner) {
 		return 0, false
 	}
+	tag := ownerTag(owner)
 	ts := u.m.TS(cpu)
 	src := uint64(spa) >> 3
-	n := ts.L1TLB.InvalidateMasked(src, 3, ^uint64(0))
-	n += ts.L2TLB.InvalidateMasked(src, 3, ^uint64(0))
+	n := ts.L1TLB.InvalidateMasked(tag, src, 3, ^uint64(0))
+	n += ts.L2TLB.InvalidateMasked(tag, src, 3, ^uint64(0))
 	c := u.m.Counters(cpu)
 	// The CAM compares every entry at full width.
 	c.CAMCompares += uint64(ts.L1TLB.Capacity() + ts.L2TLB.Capacity())
 	c.CAMInvalidations += uint64(n)
-	remains := ts.MMU.CachesMasked(src, 3, ^uint64(0)) || ts.NTLB.CachesMasked(src, 3, ^uint64(0))
+	remains := ts.MMU.CachesMasked(tag, src, 3, ^uint64(0)) || ts.NTLB.CachesMasked(tag, src, 3, ^uint64(0))
 	return n, remains
 }
 
@@ -86,12 +91,14 @@ func (u *UNITDPP) OnPTBackInvalidation(cpu int, spa arch.SPA, kind cache.IsPTKin
 
 // CachesPTLine implements coherence.TranslationHook.
 func (u *UNITDPP) CachesPTLine(cpu int, spa arch.SPA, kind cache.IsPTKind) bool {
-	if isCrossVM(u.m, cpu, spa) {
+	owner := u.m.OwnerVM(spa)
+	if queryFiltered(u.m, cpu, owner) {
 		return false
 	}
+	tag := ownerTag(owner)
 	ts := u.m.TS(cpu)
 	src := uint64(spa) >> 3
 	c := u.m.Counters(cpu)
 	c.CAMCompares += uint64(ts.L1TLB.Capacity() + ts.L2TLB.Capacity())
-	return ts.L1TLB.CachesMasked(src, 3, ^uint64(0)) || ts.L2TLB.CachesMasked(src, 3, ^uint64(0))
+	return ts.L1TLB.CachesMasked(tag, src, 3, ^uint64(0)) || ts.L2TLB.CachesMasked(tag, src, 3, ^uint64(0))
 }

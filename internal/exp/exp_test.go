@@ -314,6 +314,73 @@ func TestInterferenceCrossVMRegression(t *testing.T) {
 	}
 }
 
+// TestOvercommitShape is the acceptance property of the vCPU-overcommit
+// study: software coherence's per-shootdown cost grows monotonically with
+// the overcommit ratio (descheduled targets stall the initiator for whole
+// scheduling quanta), while HATRIC and ideal stay within a few percent of
+// their 1x per-shootdown cost — they charge the initiator nothing at any
+// ratio, because their invalidations need no vCPU to execute.
+func TestOvercommitShape(t *testing.T) {
+	res, err := tiny().Overcommit()
+	if err != nil {
+		t.Fatal(err)
+	}
+	ratios := overcommitRatios()
+	if want := 3 * len(ratios); len(res.Rows) != want {
+		t.Fatalf("rows = %d, want %d", len(res.Rows), want)
+	}
+	perShootdown := map[string][]float64{}
+	stalls := map[string][]uint64{}
+	for _, ratio := range ratios {
+		for _, row := range res.Rows {
+			if row.Ratio != ratio {
+				continue
+			}
+			if row.Remaps == 0 {
+				t.Errorf("%dx/%s: no remaps; the study measured nothing", row.Ratio, row.Protocol)
+			}
+			perShootdown[row.Protocol] = append(perShootdown[row.Protocol], row.PerShootdown)
+			stalls[row.Protocol] = append(stalls[row.Protocol], row.DeschedStallCycles)
+		}
+	}
+	// sw: strictly increasing per-shootdown cost across ratios, with
+	// descheduled-target stalls appearing as soon as the host overcommits.
+	sw := perShootdown["sw"]
+	for i := 1; i < len(sw); i++ {
+		if sw[i] <= sw[i-1] {
+			t.Errorf("sw per-shootdown cost not monotone: %.0f at %dx vs %.0f at %dx",
+				sw[i], ratios[i], sw[i-1], ratios[i-1])
+		}
+	}
+	if stalls["sw"][0] != 0 {
+		t.Errorf("sw at 1x charged %d desched-stall cycles on a pinned machine", stalls["sw"][0])
+	}
+	for i := 1; i < len(ratios); i++ {
+		if stalls["sw"][i] == 0 {
+			t.Errorf("sw at %dx saw no descheduled-target stalls", ratios[i])
+		}
+	}
+	// hatric/ideal: flat — within a few percent of their 1x value (which
+	// is zero: the initiator is never charged).
+	for _, p := range []string{"hatric", "ideal"} {
+		base := perShootdown[p][0]
+		for i, v := range perShootdown[p] {
+			if v > base*1.05+0.5 {
+				t.Errorf("%s per-shootdown cost moved with overcommit: %.2f at %dx vs %.2f at 1x",
+					p, v, ratios[i], base)
+			}
+		}
+		for i, s := range stalls[p] {
+			if s != 0 {
+				t.Errorf("%s charged %d desched-stall cycles at %dx", p, s, ratios[i])
+			}
+		}
+	}
+	if res.Table().NumRows() != len(res.Rows) {
+		t.Errorf("table rows wrong")
+	}
+}
+
 func TestMicroCosts(t *testing.T) {
 	res, err := tiny().MicroCosts()
 	if err != nil {

@@ -1,0 +1,145 @@
+package exp
+
+import (
+	"fmt"
+
+	"hatric/internal/arch"
+	"hatric/internal/hv"
+	"hatric/internal/sim"
+	"hatric/internal/stats"
+	"hatric/internal/workload"
+)
+
+// overcommitQuantum is the scheduler time slice the study uses: small
+// enough that the simulated runs stay short, large enough that waiting a
+// quantum dwarfs the IPI path itself — the regime the paper describes,
+// where a descheduled target turns a microsecond shootdown into a
+// scheduling-latency stall.
+const overcommitQuantum = arch.Cycles(20_000)
+
+// OvercommitRow is one (ratio, protocol) point of the vCPU-overcommit
+// study: what one translation-coherence initiation costs its initiator as
+// the host packs more vCPUs per physical CPU.
+type OvercommitRow struct {
+	// Ratio is the overcommit ratio (vCPUs per physical CPU); at ratio r
+	// the machine time-slices r VMs, each with one vCPU per physical CPU.
+	Ratio    int
+	Protocol string
+	// Remaps counts translation-coherence initiations (evictions and
+	// defrag moves of possibly-cached translations).
+	Remaps uint64
+	// PerShootdown is the initiator-side cost of one initiation in cycles
+	// (IPI loops, acknowledgment waits, descheduled-target stalls). The
+	// hardware protocols charge the initiator nothing at any ratio.
+	PerShootdown float64
+	// DeschedStallCycles is the portion spent waiting for descheduled
+	// target vCPUs — the overcommit-specific cost.
+	DeschedStallCycles uint64
+	// VCPUSwitches counts scheduler context switches (machine-wide).
+	VCPUSwitches uint64
+	// VMExits and IPIs profile the shootdown storm.
+	VMExits, IPIs uint64
+	// Runtime is the machine-wide finish cycle (total work grows with the
+	// ratio — r VMs run r times the references — so compare per-shootdown
+	// cost, not runtime, across ratios).
+	Runtime uint64
+}
+
+// OvercommitResult is the vCPU-overcommit study.
+type OvercommitResult struct {
+	PCPUs   int
+	Quantum uint64
+	Rows    []OvercommitRow
+}
+
+// overcommitRatios returns the sweep: 1x (pinned) through 4x.
+func overcommitRatios() []int { return []int{1, 2, 3, 4} }
+
+// Overcommit runs the consolidation stress the paper's motivation leads
+// with (Sec. 3.2): software shootdown IPIs target vCPUs that may not even
+// be scheduled, so the initiator stalls until the hypervisor runs them
+// again — a cost that grows with the overcommit ratio, while HATRIC's
+// invalidations ride cache coherence and need no vCPU to execute. The
+// study packs r identical VMs onto the same physical CPUs (each VM one
+// vCPU per physical CPU, slots striped so every physical CPU round-robins
+// all r VMs) and measures the initiator-side cost per remap under sw,
+// HATRIC, and ideal coherence for r = 1..4.
+func (r *Runner) Overcommit() (*OvercommitResult, error) {
+	pcpus := r.threads() / 2
+	if pcpus < 2 {
+		pcpus = 2
+	}
+	spec, err := workload.ByName("data_caching")
+	if err != nil {
+		return nil, err
+	}
+	spec = r.spec(spec)
+	spec.Threads = pcpus
+	protos := []string{"sw", "hatric", "ideal"}
+
+	var jobs []job
+	for _, ratio := range overcommitRatios() {
+		cfg := r.baseConfig(ratio*spec.FootprintPages, hv.ModePaged)
+		cfg.NumCPUs = pcpus
+		// Hold per-VM paging pressure constant across ratios by scaling
+		// the die-stacked tier with the VM count: the study isolates what
+		// *scheduling* does to a shootdown, not what capacity thrashing
+		// does to the paging rate (the interference studies cover that).
+		cfg.Mem.HBMFrames *= ratio
+		for _, p := range protos {
+			opts := sim.Options{
+				Config:   cfg,
+				Protocol: p,
+				// Defrag remaps give every VM a steady, ratio-independent
+				// stream of coherence initiations on top of paging churn.
+				Paging:       hv.PagingConfig{Policy: "lru", Daemon: true, Prefetch: 4, DefragEvery: 4_000},
+				Mode:         hv.ModePaged,
+				VCPUsPerCPU:  ratio,
+				SchedQuantum: overcommitQuantum,
+				Seed:         r.seed(),
+				CheckStale:   r.CheckStale,
+			}
+			opts.VMs = sim.StripedVMs(spec, pcpus, ratio)
+			jobs = append(jobs, job{fmt.Sprintf("%d/%s", ratio, p), opts})
+		}
+	}
+	res, err := r.runAll(jobs)
+	if err != nil {
+		return nil, err
+	}
+
+	out := &OvercommitResult{PCPUs: pcpus, Quantum: uint64(overcommitQuantum)}
+	for _, ratio := range overcommitRatios() {
+		for _, p := range protos {
+			rr := res[fmt.Sprintf("%d/%s", ratio, p)]
+			row := OvercommitRow{
+				Ratio: ratio, Protocol: p,
+				Remaps:             rr.Agg.RemapsInitiated,
+				DeschedStallCycles: rr.Agg.DescheduledStallCycles,
+				VCPUSwitches:       rr.Agg.VCPUSwitches,
+				VMExits:            rr.Agg.VMExits,
+				IPIs:               rr.Agg.IPIs,
+				Runtime:            uint64(rr.Runtime),
+			}
+			if row.Remaps > 0 {
+				row.PerShootdown = float64(rr.Agg.ShootdownCycles) / float64(row.Remaps)
+			}
+			out.Rows = append(out.Rows, row)
+		}
+	}
+	return out, nil
+}
+
+// Table renders the study.
+func (o *OvercommitResult) Table() *stats.Table {
+	t := stats.NewTable(
+		fmt.Sprintf("vCPU overcommit: r VMs time-sliced on %d pCPUs (quantum %d cycles); initiator cycles per remap",
+			o.PCPUs, o.Quantum),
+		"ratio", "protocol", "remaps", "cycles/shootdown", "desched stall", "vcpu switches",
+		"vm exits", "ipis", "runtime")
+	for _, row := range o.Rows {
+		t.AddRow(fmt.Sprintf("%dx", row.Ratio), row.Protocol, row.Remaps, row.PerShootdown,
+			row.DeschedStallCycles, row.VCPUSwitches, row.VMExits, row.IPIs, row.Runtime)
+	}
+	return t
+}

@@ -32,16 +32,18 @@ func newMachineStub(cpus int) *machineStub {
 	return m
 }
 
-func (m *machineStub) NumCPUs() int                     { return len(m.ts) }
-func (m *machineStub) NumVMs() int                      { return 1 }
-func (m *machineStub) VMCPUs(vm int) []int              { return m.cpus }
-func (m *machineStub) VMOf(cpu int) int                 { return 0 }
-func (m *machineStub) OwnerVM(arch.SPA) int             { return 0 }
-func (m *machineStub) TS(cpu int) *tstruct.CPUSet       { return m.ts[cpu] }
-func (m *machineStub) Charge(cpu int, c arch.Cycles)    { m.charged[cpu] += c }
-func (m *machineStub) Counters(cpu int) *stats.Counters { return m.cnt[cpu] }
-func (m *machineStub) Cost() arch.CostModel             { return m.cost }
-func (m *machineStub) ReadPTE(arch.SPA) (uint64, bool)  { return 0, false }
+func (m *machineStub) NumCPUs() int                        { return len(m.ts) }
+func (m *machineStub) NumVMs() int                         { return 1 }
+func (m *machineStub) VMCPUs(vm int) []int                 { return m.cpus }
+func (m *machineStub) VMOf(cpu int) int                    { return 0 }
+func (m *machineStub) VMMayCache(cpu, vm int) bool         { return vm == m.VMOf(cpu) }
+func (m *machineStub) DeschedWait(cpu, vm int) arch.Cycles { return 0 }
+func (m *machineStub) OwnerVM(arch.SPA) int                { return 0 }
+func (m *machineStub) TS(cpu int) *tstruct.CPUSet          { return m.ts[cpu] }
+func (m *machineStub) Charge(cpu int, c arch.Cycles)       { m.charged[cpu] += c }
+func (m *machineStub) Counters(cpu int) *stats.Counters    { return m.cnt[cpu] }
+func (m *machineStub) Cost() arch.CostModel                { return m.cost }
+func (m *machineStub) ReadPTE(arch.SPA) (uint64, bool)     { return 0, false }
 
 type hvRig struct {
 	mem     *memdev.Memory

@@ -292,6 +292,8 @@ func (h *Hypervisor) evictOne(cpu int, now arch.Cycles, critical bool) (arch.Cyc
 	c.PageEvictions++
 	wLat := h.cost.PTEWrite + h.hier.Write(cpu, pteSPA, cache.KindNestedPT, now)
 	tcLat := h.protocol.OnRemap(cpu, vm.ID, pteSPA, now)
+	c.RemapsInitiated++
+	c.ShootdownCycles += uint64(tcLat)
 	if !critical {
 		return 0, nil
 	}
@@ -331,6 +333,8 @@ func (h *Hypervisor) Defrag(cpu, vm int, now arch.Cycles) arch.Cycles {
 	c.DefragRemaps++
 	wLat := h.cost.PTEWrite + h.hier.Write(cpu, pteSPA, cache.KindNestedPT, now)
 	tcLat := h.protocol.OnRemap(cpu, h.vms[vm].ID, pteSPA, now)
+	c.RemapsInitiated++
+	c.ShootdownCycles += uint64(tcLat)
 	return copyLat + wLat + tcLat
 }
 

@@ -36,6 +36,12 @@ type MigrationSpec struct {
 	// with normal guest execution instead of landing all at once.
 	// Zero defaults to 32.
 	BurstPages int
+	// ScanPages bounds how many queue entries one pump quantum may
+	// examine, moved or not. Without it, a quantum whose queue is full of
+	// already-handled pages (evicted behind the snapshot, or already at
+	// the destination) would scan the entire queue in one pump, defeating
+	// the BurstPages interleaving. Zero defaults to 8x the burst.
+	ScanPages int
 	// MaxRounds bounds the pre-copy rounds before the engine forces the
 	// stop-and-copy. Zero defaults to 8.
 	MaxRounds int
@@ -49,6 +55,13 @@ func (s *MigrationSpec) burst() int {
 		return s.BurstPages
 	}
 	return 32
+}
+
+func (s *MigrationSpec) scanBudget() int {
+	if s.ScanPages > 0 {
+		return s.ScanPages
+	}
+	return 8 * s.burst()
 }
 
 func (s *MigrationSpec) maxRounds() int {
@@ -141,6 +154,12 @@ type Migration struct {
 	link   *memdev.Device
 	report MigrationReport
 
+	// progress advances whenever the engine makes forward progress a
+	// latency charge would not reveal (queue position, round, or phase
+	// changes); the simulator's drain loop uses it to tell a
+	// scan-limited-but-advancing pump from a genuine stall.
+	progress uint64
+
 	// lastErr remembers the most recent pump failure (destination
 	// capacity exhaustion) for diagnosis when the migration cannot make
 	// progress at all.
@@ -161,6 +180,11 @@ func (m *Migration) Started() bool { return m.phase != migrationPending }
 
 // Report returns the migration's outcome so far.
 func (m *Migration) Report() MigrationReport { return m.report }
+
+// Progress returns a counter that advances with every unit of forward
+// progress (pages examined, rounds closed, phase transitions), including
+// progress that consumes no driver cycles.
+func (m *Migration) Progress() uint64 { return m.progress }
 
 // LastError returns the most recent pump failure, if any (nil once the
 // migration progresses again).
@@ -330,11 +354,15 @@ func (h *Hypervisor) startMigration(m *Migration, now arch.Cycles) {
 	}
 	m.qpos = 0
 	m.round = 1
+	m.progress++
 	m.report.Rounds = append(m.report.Rounds, RoundStats{})
 }
 
 // pumpOne performs one burst quantum of migration m and returns the driver
-// cycles consumed. Round cycle attribution is kept exact across round
+// cycles consumed. A quantum ends when BurstPages pages have moved — or
+// when ScanPages queue entries have been examined, whichever comes first,
+// so a stretch of already-handled pages cannot turn one quantum into a
+// whole-queue sweep. Round cycle attribution is kept exact across round
 // boundaries inside a quantum: each round receives only the latency
 // accrued while it was current.
 func (h *Hypervisor) pumpOne(m *Migration, now arch.Cycles) (arch.Cycles, error) {
@@ -344,7 +372,8 @@ func (h *Hypervisor) pumpOne(m *Migration, now arch.Cycles) (arch.Cycles, error)
 		attributed = lat
 	}
 	budget := m.spec.burst()
-	for budget > 0 {
+	scan := m.spec.scanBudget()
+	for budget > 0 && scan > 0 {
 		if m.qpos >= len(m.queue) {
 			flush()
 			fin, err := h.finishRound(m, now+lat, &lat)
@@ -364,8 +393,10 @@ func (h *Hypervisor) pumpOne(m *Migration, now arch.Cycles) (arch.Cycles, error)
 			return lat, err
 		}
 		m.qpos++
+		m.progress++
 		delete(m.pending, gpp)
 		lat += l
+		scan--
 		if moved {
 			m.copied[gpp] = true
 			m.report.PagesCopied++
@@ -393,6 +424,7 @@ func (h *Hypervisor) finishRound(m *Migration, now arch.Cycles, lat *arch.Cycles
 		m.dirtyList = m.dirtyList[:0]
 		m.dirty = make(map[arch.GPP]bool)
 		m.round++
+		m.progress++
 		c.MigrationRounds++
 		m.report.Rounds = append(m.report.Rounds, RoundStats{})
 		return false, nil
@@ -410,11 +442,13 @@ func (h *Hypervisor) finishRound(m *Migration, now arch.Cycles, lat *arch.Cycles
 		if err != nil {
 			// Capacity ran dry mid-freeze: charge the partial freeze to
 			// the driver, requeue the rest, and retry on a later pump.
+			// The requeue goes through enqueueDirty — the one dirty-set
+			// bookkeeping path — so report.Redirtied and the per-round
+			// Redirtied stats count these re-entries like any other.
 			*lat += down + l
 			for _, g := range final[i:] {
 				if !m.dirty[g] {
-					m.dirty[g] = true
-					m.dirtyList = append(m.dirtyList, g)
+					m.enqueueDirty(g)
 				}
 			}
 			return true, err
@@ -431,6 +465,7 @@ func (h *Hypervisor) finishRound(m *Migration, now arch.Cycles, lat *arch.Cycles
 	m.report.Finished = now + down
 	m.report.Completed = true
 	m.phase = migrationDone
+	m.progress++
 	h.unfinishedMigrations--
 	*lat += down
 	c.MigrationRounds++ // the final round counts too
@@ -495,7 +530,10 @@ func (h *Hypervisor) migratePage(m *Migration, gpp arch.GPP, now arch.Cycles, fo
 	// The remap of a present page: stale translations may be cached
 	// anywhere on the chip, so translation coherence runs — the storm the
 	// experiment measures.
-	lat += h.protocol.OnRemap(m.driver, vm.ID, pteSPA, now+lat)
+	tcLat := h.protocol.OnRemap(m.driver, vm.ID, pteSPA, now+lat)
+	c.RemapsInitiated++
+	c.ShootdownCycles += uint64(tcLat)
+	lat += tcLat
 	// Policy bookkeeping follows the tier transition (a forced re-copy
 	// within the destination tier changes nothing).
 	if m.spec.Dest == arch.TierHBM && fromTier != arch.TierHBM {

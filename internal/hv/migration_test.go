@@ -23,9 +23,10 @@ type multiVMStub struct {
 	vms   []*VM
 }
 
-func (m *multiVMStub) NumVMs() int         { return len(m.vms) }
-func (m *multiVMStub) VMCPUs(vm int) []int { return m.vms[vm].CPUs }
-func (m *multiVMStub) VMOf(cpu int) int    { return m.cpuVM[cpu] }
+func (m *multiVMStub) NumVMs() int                 { return len(m.vms) }
+func (m *multiVMStub) VMCPUs(vm int) []int         { return m.vms[vm].CPUs }
+func (m *multiVMStub) VMOf(cpu int) int            { return m.cpuVM[cpu] }
+func (m *multiVMStub) VMMayCache(cpu, vm int) bool { return vm == m.cpuVM[cpu] }
 func (m *multiVMStub) OwnerVM(spa arch.SPA) int {
 	spp := spa.Page()
 	for _, vm := range m.vms {
@@ -110,7 +111,7 @@ func (r *migRig) cacheTranslations(t *testing.T, vm, pages int) {
 		for _, cpu := range r.vms[vm].CPUs {
 			r.hier.Read(cpu, leaf, cache.KindNestedPT, 0)
 			r.hier.NoteTranslationFill(cpu, leaf, cache.KindNestedPT)
-			r.machine.ts[cpu].NTLB.Fill(tstruct.NTLBKey(gpp), uint64(spp), uint64(leaf)>>3, uint8(cache.KindNestedPT))
+			r.machine.ts[cpu].NTLB.Fill(vm, tstruct.NTLBKey(gpp), uint64(spp), uint64(leaf)>>3, uint8(cache.KindNestedPT))
 		}
 	}
 }
@@ -329,6 +330,142 @@ func TestNextVictimVMSkipsMigrating(t *testing.T) {
 	r.hyp.Policy(0).NoteResident(arch.GPP(999))
 	if vm, ok := r.hyp.nextVictimVM(); !ok || vm != 0 {
 		t.Errorf("hand skips VM 0 after its migration finished (vm=%d ok=%v)", vm, ok)
+	}
+}
+
+// TestPumpScanBudget is the burst-pacing regression: a pump quantum whose
+// queue is full of already-handled pages (here: every queued page moved to
+// the destination tier out-of-band) must stop after the scan budget
+// instead of sweeping the entire queue — the bug was that the burst
+// budget only decremented on actual moves, so skip-heavy queues defeated
+// the BurstPages interleaving knob entirely.
+func TestPumpScanBudget(t *testing.T) {
+	const pages = 100
+	r := newMigRig(t, "hatric", pages, 4, ModeInfHBM, ModeInfHBM)
+	m, err := r.hyp.ScheduleMigration(MigrationSpec{VM: 0, At: 0, Dest: arch.TierDRAM, BurstPages: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r.hyp.startMigration(m, 0)
+	if len(m.queue) != pages {
+		t.Fatalf("snapshot has %d pages, want %d", len(m.queue), pages)
+	}
+	// Move every queued page to the destination behind the engine's back:
+	// every queue entry becomes a skip.
+	for _, gpp := range m.queue {
+		old, _, ok := r.vms[0].Nested.Translate(gpp)
+		if !ok {
+			t.Fatalf("queued gpp %#x unmapped", uint64(gpp))
+		}
+		frame, got := r.mem.AllocFrame(arch.TierDRAM)
+		if !got {
+			t.Fatal("out of DRAM frames")
+		}
+		if _, err := r.vms[0].Nested.Remap(gpp, frame, true); err != nil {
+			t.Fatal(err)
+		}
+		r.mem.FreeFrame(old)
+	}
+	before := m.Progress()
+	if _, err := r.hyp.pumpOne(m, 0); err != nil {
+		t.Fatal(err)
+	}
+	if want := m.spec.scanBudget(); m.qpos != want {
+		t.Errorf("one pump examined %d queue entries, want the scan budget %d (queue %d)",
+			m.qpos, want, pages)
+	}
+	if m.Progress() == before {
+		t.Errorf("progress counter did not advance on a scan-only quantum")
+	}
+	// The engine still terminates: subsequent pumps walk the rest of the
+	// queue and converge on an empty stop-and-copy.
+	runMigration(t, r, m, nil)
+	rep := m.Report()
+	if !rep.Completed {
+		t.Fatalf("migration did not complete")
+	}
+	if rep.PagesCopied != 0 {
+		t.Errorf("pages copied = %d, want 0 (everything was already at the destination)", rep.PagesCopied)
+	}
+	// An explicit ScanPages knob overrides the default bound.
+	if (&MigrationSpec{BurstPages: 4, ScanPages: 7}).scanBudget() != 7 {
+		t.Errorf("ScanPages knob ignored")
+	}
+	if (&MigrationSpec{BurstPages: 4}).scanBudget() != 32 {
+		t.Errorf("default scan budget should be 8x the burst")
+	}
+}
+
+// TestStopAndCopyRequeueCountsRedirtied pins the dirty-set bookkeeping of
+// the capacity-error requeue: when the stop-and-copy runs out of
+// destination frames mid-freeze, the remaining pages must re-enter the
+// dirty set through enqueueDirty, so report.Redirtied and the per-round
+// Redirtied stats count them (the bug was a direct re-add that silently
+// undercounted both).
+func TestStopAndCopyRequeueCountsRedirtied(t *testing.T) {
+	r := newMigRig(t, "hatric", 8, 2, ModeNoHBM, ModeInfHBM)
+	m, err := r.hyp.ScheduleMigration(MigrationSpec{VM: 0, At: 0, Dest: arch.TierHBM, BurstPages: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r.hyp.startMigration(m, 0)
+	// Seed a 3-page dirty set (under the stop threshold, so finishRound
+	// freezes) without going through enqueueDirty — the baseline Redirtied
+	// count stays zero.
+	dirty := append([]arch.GPP(nil), m.queue[:3]...)
+	m.queue = m.queue[:0]
+	m.qpos = 0
+	for _, g := range dirty {
+		m.dirty[g] = true
+		m.dirtyList = append(m.dirtyList, g)
+	}
+	// Exhaust the destination tier: no free frames, nothing evictable
+	// (no policy tracks resident pages), so the first freeze transfer
+	// fails on capacity.
+	var hoarded []arch.SPP
+	for {
+		frame, got := r.mem.AllocFrame(arch.TierHBM)
+		if !got {
+			break
+		}
+		hoarded = append(hoarded, frame)
+	}
+	var lat arch.Cycles
+	fin, err := r.hyp.finishRound(m, 0, &lat)
+	if !fin || err == nil {
+		t.Fatalf("freeze should have failed on capacity (fin=%v err=%v)", fin, err)
+	}
+	rep := m.Report()
+	if rep.Completed {
+		t.Fatalf("migration completed despite capacity failure")
+	}
+	if rep.Redirtied != len(dirty) {
+		t.Errorf("report.Redirtied = %d, want %d requeued pages counted", rep.Redirtied, len(dirty))
+	}
+	if got := rep.Rounds[len(rep.Rounds)-1].Redirtied; got != len(dirty) {
+		t.Errorf("round Redirtied = %d, want %d", got, len(dirty))
+	}
+	if len(m.dirtyList) != len(dirty) {
+		t.Fatalf("dirty list has %d pages after requeue, want %d", len(m.dirtyList), len(dirty))
+	}
+	// Free the hoarded frames; the retry completes and the requeue does
+	// not double-count.
+	for _, f := range hoarded {
+		r.mem.FreeFrame(f)
+	}
+	fin, err = r.hyp.finishRound(m, 0, &lat)
+	if !fin || err != nil {
+		t.Fatalf("retry failed: fin=%v err=%v", fin, err)
+	}
+	rep = m.Report()
+	if !rep.Completed {
+		t.Fatalf("migration did not complete after frames were freed")
+	}
+	if rep.Redirtied != len(dirty) {
+		t.Errorf("Redirtied moved on the successful retry: %d, want %d", rep.Redirtied, len(dirty))
+	}
+	if rep.FinalDirty != len(dirty) {
+		t.Errorf("FinalDirty = %d, want %d", rep.FinalDirty, len(dirty))
 	}
 }
 

@@ -24,7 +24,9 @@ type Policy interface {
 	Forget(gpp arch.GPP)
 	// Resident returns the number of tracked resident pages.
 	Resident() int
-	// ResidentPages lists tracked pages (defragmentation candidates).
+	// ResidentPages lists tracked pages (defragmentation candidates). The
+	// returned slice is the caller's to keep or mutate: implementations
+	// return a copy, never their live backing store.
 	ResidentPages() []arch.GPP
 }
 
@@ -65,8 +67,12 @@ func (p *FIFOPolicy) Forget(gpp arch.GPP) {
 // Resident implements Policy.
 func (p *FIFOPolicy) Resident() int { return len(p.queue) }
 
-// ResidentPages implements Policy.
-func (p *FIFOPolicy) ResidentPages() []arch.GPP { return p.queue }
+// ResidentPages implements Policy. It returns a copy: handing out the live
+// queue would let a caller that mutates or holds the slice (defrag
+// candidate lists) corrupt the eviction order behind the policy's back.
+func (p *FIFOPolicy) ResidentPages() []arch.GPP {
+	return append([]arch.GPP(nil), p.queue...)
+}
 
 // ClockPolicy approximates LRU with the classic CLOCK algorithm over the
 // nested page table's accessed bits: the hand skips (and clears) recently
@@ -130,5 +136,8 @@ func (p *ClockPolicy) Forget(gpp arch.GPP) {
 // Resident implements Policy.
 func (p *ClockPolicy) Resident() int { return len(p.ring) }
 
-// ResidentPages implements Policy.
-func (p *ClockPolicy) ResidentPages() []arch.GPP { return p.ring }
+// ResidentPages implements Policy. It returns a copy: the live ring is
+// CLOCK's hand-ordered state, and external mutation would break the sweep.
+func (p *ClockPolicy) ResidentPages() []arch.GPP {
+	return append([]arch.GPP(nil), p.ring...)
+}

@@ -1,0 +1,184 @@
+package hv
+
+import (
+	"testing"
+
+	"hatric/internal/arch"
+	"hatric/internal/xrand"
+)
+
+// TestResidentPagesIsACopy: the returned slice must be the caller's to
+// mutate — a caller that scribbles over it (or appends through it) must
+// not corrupt the policy's eviction state.
+func TestResidentPagesIsACopy(t *testing.T) {
+	f := NewFIFO()
+	f.NoteResident(1)
+	f.NoteResident(2)
+	f.NoteResident(3)
+	got := f.ResidentPages()
+	got[0] = 99
+	got = append(got[:1], got[2:]...)
+	_ = got
+	if v, _ := f.PickVictim(); v != 1 {
+		t.Errorf("FIFO order corrupted through ResidentPages: first victim %d, want 1", v)
+	}
+	if v, _ := f.PickVictim(); v != 2 {
+		t.Errorf("FIFO order corrupted through ResidentPages: second victim %d, want 2", v)
+	}
+
+	bits := fakeBits{}
+	c := NewClock(bits)
+	c.NoteResident(10)
+	c.NoteResident(20)
+	pages := c.ResidentPages()
+	pages[0] = 77
+	pages[1] = 88
+	again := c.ResidentPages()
+	if again[0] != 10 || again[1] != 20 {
+		t.Errorf("CLOCK ring corrupted through ResidentPages: %v", again)
+	}
+	if c.Resident() != 2 {
+		t.Errorf("resident = %d", c.Resident())
+	}
+}
+
+// TestClockForgetUnderHand: forgetting the page the hand points at must
+// keep the hand in range and CLOCK order intact.
+func TestClockForgetUnderHand(t *testing.T) {
+	bits := fakeBits{}
+	p := NewClock(bits)
+	for g := arch.GPP(1); g <= 3; g++ {
+		p.NoteResident(g)
+	}
+	bits[1] = true
+	// Sweep skips 1 (clearing it) and evicts 2; the hand now points at 3.
+	if v, _ := p.PickVictim(); v != 2 {
+		t.Fatalf("victim %d, want 2", v)
+	}
+	if p.hand != 1 {
+		t.Fatalf("hand = %d, want 1 (pointing at page 3)", p.hand)
+	}
+	// Forget the page under the hand — the last ring element.
+	p.Forget(3)
+	if p.hand < 0 || p.hand > len(p.ring) {
+		t.Fatalf("hand %d out of range after Forget (ring len %d)", p.hand, len(p.ring))
+	}
+	if v, ok := p.PickVictim(); !ok || v != 1 {
+		t.Errorf("victim after Forget = %d (%v), want 1", v, ok)
+	}
+	if _, ok := p.PickVictim(); ok {
+		t.Errorf("empty ring produced a victim")
+	}
+}
+
+// TestClockForgetLastWithHandPast: forgetting the last ring element while
+// the hand points one past it (a legal post-eviction state) must not
+// leave the hand indexing out of range.
+func TestClockForgetLastWithHandPast(t *testing.T) {
+	bits := fakeBits{}
+	p := NewClock(bits)
+	p.NoteResident(1)
+	p.NoteResident(2)
+	bits[1] = true
+	// Skips 1, evicts 2 at index 1: ring [1], hand 1 (past the end).
+	if v, _ := p.PickVictim(); v != 2 {
+		t.Fatalf("victim %d, want 2", v)
+	}
+	if p.hand != 1 || len(p.ring) != 1 {
+		t.Fatalf("state: hand %d ring %v", p.hand, p.ring)
+	}
+	p.Forget(1)
+	if len(p.ring) != 0 {
+		t.Fatalf("ring not empty after Forget")
+	}
+	if p.hand < 0 || p.hand > len(p.ring) {
+		t.Fatalf("hand %d out of range on empty ring", p.hand)
+	}
+	p.NoteResident(3)
+	if v, ok := p.PickVictim(); !ok || v != 3 {
+		t.Errorf("refilled ring victim = %d (%v), want 3", v, ok)
+	}
+}
+
+// TestClockFullHotSweep: when every page is accessed, the first sweep
+// clears bits and the second must still evict — without the hand ever
+// leaving range — and the cleared bits stay cleared.
+func TestClockFullHotSweep(t *testing.T) {
+	bits := fakeBits{}
+	p := NewClock(bits)
+	for g := arch.GPP(1); g <= 4; g++ {
+		p.NoteResident(g)
+		bits[g] = true
+	}
+	v, ok := p.PickVictim()
+	if !ok {
+		t.Fatal("hot ring produced no victim")
+	}
+	if p.hand < 0 || p.hand > len(p.ring) {
+		t.Fatalf("hand %d out of range after hot sweep (ring len %d)", p.hand, len(p.ring))
+	}
+	for g := arch.GPP(1); g <= 4; g++ {
+		if g != v && bits[g] {
+			t.Errorf("page %d still marked accessed after the clearing sweep", g)
+		}
+	}
+	// CLOCK order after the sweep: victims come in ring order.
+	seen := map[arch.GPP]bool{v: true}
+	for i := 0; i < 3; i++ {
+		w, ok := p.PickVictim()
+		if !ok {
+			t.Fatalf("ring ran dry at %d", i)
+		}
+		if seen[w] {
+			t.Fatalf("page %d evicted twice", w)
+		}
+		seen[w] = true
+	}
+}
+
+// TestClockHandInvariantProperty drives a randomized interleaving of
+// NoteResident / Forget / PickVictim (with randomized accessed bits) and
+// asserts the structural invariants after every operation: the hand never
+// indexes out of [0, len(ring)], no page is evicted twice, and every
+// eviction was resident.
+func TestClockHandInvariantProperty(t *testing.T) {
+	rng := xrand.New(42)
+	bits := fakeBits{}
+	p := NewClock(bits)
+	resident := map[arch.GPP]bool{}
+	next := arch.GPP(1)
+	for step := 0; step < 5_000; step++ {
+		switch rng.Intn(4) {
+		case 0: // admit a page, sometimes hot
+			p.NoteResident(next)
+			resident[next] = true
+			if rng.Intn(2) == 0 {
+				bits[next] = true
+			}
+			next++
+		case 1: // forget a (maybe-absent) page
+			g := arch.GPP(rng.Intn(int(next)) + 1)
+			p.Forget(g)
+			delete(resident, g)
+		case 2: // heat a random page
+			bits[arch.GPP(rng.Intn(int(next))+1)] = true
+		case 3:
+			v, ok := p.PickVictim()
+			if ok != (len(resident) > 0) && ok {
+				t.Fatalf("step %d: victim from empty set", step)
+			}
+			if ok {
+				if !resident[v] {
+					t.Fatalf("step %d: evicted non-resident page %d", step, v)
+				}
+				delete(resident, v)
+			}
+		}
+		if p.hand < 0 || p.hand > len(p.ring) {
+			t.Fatalf("step %d: hand %d out of range (ring len %d)", step, p.hand, len(p.ring))
+		}
+		if p.Resident() != len(resident) {
+			t.Fatalf("step %d: policy tracks %d pages, expected %d", step, p.Resident(), len(resident))
+		}
+	}
+}

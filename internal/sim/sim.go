@@ -6,6 +6,16 @@
 // min-clock-first scheduling (per-CPU cycle counters stay within one
 // reference of each other) and reports runtime, event counts, and energy
 // — per CPU, per VM, and machine-wide.
+//
+// The machine can run more vCPUs than physical CPUs: Options.VCPUsPerCPU
+// enables a round-robin quantum scheduler that time-slices vCPU slots onto
+// physical CPUs, striping consecutive per-VM slot blocks across the
+// machine so every physical CPU interleaves vCPUs of different VMs. The
+// VPID-tagged translation structures keep the VMs' entries apart without
+// flushing at world switches (Options.FlushOnVMSwitch restores the
+// no-VPID flush baseline for comparison), and software shootdowns charge
+// the initiator for descheduled target vCPUs — the consolidation cost the
+// paper's hardware coherence never pays.
 package sim
 
 import (
@@ -25,15 +35,20 @@ import (
 	"hatric/internal/workload"
 )
 
-// AssignedWorkload pins one process's threads to physical CPUs.
+// DefaultSchedQuantum is the scheduler's time slice when
+// Options.SchedQuantum is zero.
+const DefaultSchedQuantum = arch.Cycles(50_000)
+
+// AssignedWorkload pins one process's threads to physical CPUs (or, under
+// vCPU overcommit, to vCPU slots — see Options.VCPUsPerCPU).
 type AssignedWorkload struct {
 	Spec workload.Spec
 	CPUs []int
 }
 
 // VMSpec describes one virtual machine of the consolidated server: its
-// processes and the physical CPUs they are pinned to. CPU sets of
-// different VMs must be disjoint.
+// processes and the physical CPUs (or vCPU slots) they are pinned to. CPU
+// sets of different VMs must be disjoint.
 type VMSpec struct {
 	// Workloads lists the VM's processes; element i is process i.
 	Workloads []AssignedWorkload
@@ -42,6 +57,25 @@ type VMSpec struct {
 // OneVM wraps a process list into a single-VM machine description.
 func OneVM(workloads []AssignedWorkload) []VMSpec {
 	return []VMSpec{{Workloads: workloads}}
+}
+
+// StripedVMs builds the canonical overcommit machine description: ratio
+// identical VMs each running spec as one process with one vCPU per
+// physical CPU, VM v occupying the consecutive slot block
+// [v*pcpus, (v+1)*pcpus). Combined with the slot%NumCPUs placement rule,
+// every physical CPU round-robins one vCPU of every VM. Used by the
+// overcommit experiment, example, and tests so the striping stays in one
+// place.
+func StripedVMs(spec workload.Spec, pcpus, ratio int) []VMSpec {
+	vms := make([]VMSpec, 0, ratio)
+	for v := 0; v < ratio; v++ {
+		slots := make([]int, pcpus)
+		for i := range slots {
+			slots[i] = v*pcpus + i
+		}
+		vms = append(vms, VMSpec{Workloads: []AssignedWorkload{{Spec: spec, CPUs: slots}}})
+	}
+	return vms
 }
 
 // Options configures one simulation run.
@@ -66,6 +100,23 @@ type Options struct {
 	// CheckStale verifies every translation against the page tables and
 	// counts mismatches (must stay zero under a correct protocol).
 	CheckStale bool
+
+	// VCPUsPerCPU is the overcommit ratio: it time-slices this many vCPUs
+	// onto every physical CPU. 0 or 1 pins vCPUs 1:1 onto physical CPUs —
+	// the default, bit-identical to the pre-scheduler machine. When >1,
+	// the CPU lists of VMSpec/Workloads name vCPU slots in
+	// [0, NumCPUs*VCPUsPerCPU); slot v runs on physical CPU v%NumCPUs, so
+	// a VM's consecutive slot block stripes across the machine and every
+	// physical CPU round-robins between vCPUs of different VMs.
+	VCPUsPerCPU int
+	// SchedQuantum is the scheduler's round-robin time slice in cycles
+	// (default DefaultSchedQuantum). Ignored without VCPUsPerCPU > 1.
+	SchedQuantum arch.Cycles
+	// FlushOnVMSwitch flushes a physical CPU's translation structures
+	// wholesale at every cross-VM context switch — the software baseline
+	// for hardware without VPID-tagged structures. Off, the VM tags keep
+	// every VM's entries resident (and correct) across switches.
+	FlushOnVMSwitch bool
 }
 
 // SingleWorkload assigns one multithreaded process across the first
@@ -93,16 +144,25 @@ type Result struct {
 	Protocol string
 	// Runtime is the cycle the last CPU finished at.
 	Runtime arch.Cycles
-	// Completion holds each CPU's finish cycle (multiprogrammed fairness).
+	// Completion holds each physical CPU's finish cycle (multiprogrammed
+	// fairness; under overcommit, the cycle its last vCPU finished).
 	Completion []arch.Cycles
+	// VMCompletion holds each VM's finish cycle (the last completion among
+	// its vCPUs).
+	VMCompletion []arch.Cycles
 	// Agg is the system-wide event aggregate.
 	Agg stats.Counters
 	// PerCPU are the per-CPU counters.
 	PerCPU []stats.Counters
-	// PerVM aggregates the counters of each VM's CPUs (element v is VM v),
-	// making per-VM translation-coherence target sets observable.
+	// PerVM aggregates per-VM counters (element v is VM v). Pinned, each
+	// physical CPU's counters belong wholly to its VM; under the
+	// time-sliced scheduler the attribution is per quantum — whatever a
+	// physical CPU counts during a vCPU's slice is attributed to that
+	// vCPU's VM, so target-side events another VM inflicts mid-slice land
+	// on the VM occupying the CPU.
 	PerVM []stats.Counters
-	// VMOf maps each CPU to its VM, or -1 for idle CPUs.
+	// VMOf maps each CPU to its VM, or -1 for idle CPUs. Under the
+	// scheduler it is the VM each physical CPU was last running.
 	VMOf []int
 	// Energy is the modeled energy.
 	Energy energy.Breakdown
@@ -113,15 +173,23 @@ type Result struct {
 	Migrations []hv.MigrationReport
 }
 
-// VMFinish returns the last completion cycle among VM vm's CPUs.
+// VMFinish returns the last completion cycle among VM vm's vCPUs.
 func (r *Result) VMFinish(vm int) arch.Cycles {
-	var last arch.Cycles
-	for cpu, v := range r.VMOf {
-		if v == vm && r.Completion[cpu] > last {
-			last = r.Completion[cpu]
-		}
+	if vm >= 0 && vm < len(r.VMCompletion) {
+		return r.VMCompletion[vm]
 	}
-	return last
+	return 0
+}
+
+// vcpuState is one virtual CPU: the VM and process it belongs to, its
+// reference stream, and its completion cycle. Pinned machines have one per
+// physical CPU (slot == CPU); overcommitted machines have
+// NumCPUs*VCPUsPerCPU slots.
+type vcpuState struct {
+	vm, pid  int
+	stream   *workload.Stream
+	done     arch.Cycles
+	finished bool
 }
 
 // System is a fully wired simulated machine.
@@ -141,12 +209,27 @@ type System struct {
 	cnt   []*stats.Counters
 	clock []arch.Cycles
 
-	streams []*workload.Stream
+	vcpus []vcpuState
+	// running is the vCPU slot each physical CPU currently executes (-1
+	// idle); pid and vmOf mirror the running vCPU for the hot path and the
+	// core.Machine views.
+	running []int
 	pid     []int
 	vmOf    []int
 	guestFn []walker.GuestPTResolver
 	active  int
 	done    []arch.Cycles
+
+	// Scheduler state (sched is false for pinned machines, whose hot path
+	// is exactly the pre-scheduler one).
+	sched   bool
+	quantum arch.Cycles
+	runq    [][]int       // per physical CPU: its vCPU slots, round-robin order
+	rrpos   []int         // per physical CPU: index of running in runq
+	qstart  []arch.Cycles // per physical CPU: clock at last switch-in
+	vmsOn   [][]bool      // per physical CPU: which VMs have vCPUs here
+	perVM   []stats.Counters
+	snap    []stats.Counters // per physical CPU: counters at last attribution
 
 	// migrating gates the live-migration hooks in the per-reference hot
 	// path; it is false for every run without Options.Migrations.
@@ -158,6 +241,13 @@ func New(opts Options) (*System, error) {
 	cfg := opts.Config
 	if err := cfg.Validate(); err != nil {
 		return nil, err
+	}
+	ratio := opts.VCPUsPerCPU
+	if ratio < 0 {
+		return nil, fmt.Errorf("sim: VCPUsPerCPU must be >= 0")
+	}
+	if ratio == 0 {
+		ratio = 1
 	}
 	vmSpecs := opts.VMs
 	switch {
@@ -174,7 +264,7 @@ func New(opts Options) (*System, error) {
 		}
 	}
 
-	s := &System{opts: opts, cfg: cfg}
+	s := &System{opts: opts, cfg: cfg, sched: ratio > 1}
 	s.mem = memdev.New(cfg.Mem)
 	s.store = pagetable.NewStore(cfg.Mem.PTFrames)
 
@@ -185,16 +275,22 @@ func New(opts Options) (*System, error) {
 	s.hier = coherence.NewHierarchy(&cfg, s.mem, s.cnt)
 
 	// Translation structures and per-CPU state.
+	numSlots := cfg.NumCPUs * ratio
 	s.ts = make([]*tstruct.CPUSet, cfg.NumCPUs)
 	s.clock = make([]arch.Cycles, cfg.NumCPUs)
 	s.done = make([]arch.Cycles, cfg.NumCPUs)
-	s.streams = make([]*workload.Stream, cfg.NumCPUs)
+	s.running = make([]int, cfg.NumCPUs)
 	s.pid = make([]int, cfg.NumCPUs)
 	s.vmOf = make([]int, cfg.NumCPUs)
 	for i := 0; i < cfg.NumCPUs; i++ {
 		s.ts[i] = tstruct.NewCPUSet(cfg.TLB)
+		s.running[i] = -1
 		s.pid[i] = -1
 		s.vmOf[i] = -1
+	}
+	s.vcpus = make([]vcpuState, numSlots)
+	for i := range s.vcpus {
+		s.vcpus[i] = vcpuState{vm: -1, pid: -1}
 	}
 
 	// Protocol, then its relay hook into the hierarchy.
@@ -202,10 +298,11 @@ func New(opts Options) (*System, error) {
 	hook, relay := s.proto.Hook()
 	s.hier.SetTranslationHook(hook, relay)
 
-	// The VMs and their processes. CPU pinnings must be disjoint across
-	// the whole machine. Stream seeds advance with a machine-wide process
-	// index so no two processes anywhere share a reference stream.
-	cpuSet := map[int]bool{}
+	// The VMs and their processes. Slot pinnings must be disjoint across
+	// the whole machine (pinned, a slot is a physical CPU). Stream seeds
+	// advance with a machine-wide process index so no two processes
+	// anywhere share a reference stream.
+	slotSet := map[int]bool{}
 	globalPID := 0
 	for v, spec := range vmSpecs {
 		vmCPUSet := map[int]bool{}
@@ -214,14 +311,14 @@ func New(opts Options) (*System, error) {
 				return nil, fmt.Errorf("sim: process %s of VM %d has no CPUs", w.Spec.Name, v)
 			}
 			for _, c := range w.CPUs {
-				if c < 0 || c >= cfg.NumCPUs {
+				if c < 0 || c >= numSlots {
 					return nil, fmt.Errorf("sim: CPU %d out of range", c)
 				}
-				if cpuSet[c] {
+				if slotSet[c] {
 					return nil, fmt.Errorf("sim: CPU %d assigned twice", c)
 				}
-				cpuSet[c] = true
-				vmCPUSet[c] = true
+				slotSet[c] = true
+				vmCPUSet[c%cfg.NumCPUs] = true
 			}
 		}
 		vmCPUs := make([]int, 0, len(vmCPUSet))
@@ -240,13 +337,64 @@ func New(opts Options) (*System, error) {
 				return nil, fmt.Errorf("sim: mapping %s (VM %d): %w", w.Spec.Name, v, err)
 			}
 			threadSpec := w.Spec.PerThread(len(w.CPUs))
-			for ti, cpu := range w.CPUs {
-				s.pid[cpu] = pidx
-				s.vmOf[cpu] = v
-				s.streams[cpu] = workload.NewStream(threadSpec, opts.Seed+uint64(globalPID)*101, ti)
+			for ti, slot := range w.CPUs {
+				s.vcpus[slot] = vcpuState{
+					vm: v, pid: pidx,
+					stream: workload.NewStream(threadSpec, opts.Seed+uint64(globalPID)*101, ti),
+				}
 				s.active++
 			}
 			globalPID++
+		}
+	}
+
+	// Schedulable state: pinned machines run slot i on CPU i; overcommitted
+	// machines round-robin each CPU's slot list (ascending slot order, so a
+	// CPU's queue interleaves the VMs' striped blocks).
+	if s.sched {
+		s.quantum = opts.SchedQuantum
+		if s.quantum <= 0 {
+			s.quantum = DefaultSchedQuantum
+		}
+		s.runq = make([][]int, cfg.NumCPUs)
+		s.rrpos = make([]int, cfg.NumCPUs)
+		s.qstart = make([]arch.Cycles, cfg.NumCPUs)
+		s.vmsOn = make([][]bool, cfg.NumCPUs)
+		s.perVM = make([]stats.Counters, len(s.vms))
+		s.snap = make([]stats.Counters, cfg.NumCPUs)
+		for slot := range s.vcpus {
+			if s.vcpus[slot].stream == nil {
+				continue
+			}
+			p := slot % cfg.NumCPUs
+			s.runq[p] = append(s.runq[p], slot)
+		}
+		for p := range s.runq {
+			s.vmsOn[p] = make([]bool, len(s.vms))
+			for _, slot := range s.runq[p] {
+				s.vmsOn[p][s.vcpus[slot].vm] = true
+			}
+			if len(s.runq[p]) > 0 {
+				// Stagger each CPU's starting rotation. Hypervisor
+				// runqueues are per-CPU and independent; starting every
+				// queue at slot 0 would gang-schedule the VMs in lockstep
+				// and hide exactly the descheduled-target stalls
+				// consolidation causes.
+				s.rrpos[p] = p % len(s.runq[p])
+				s.running[p] = s.runq[p][s.rrpos[p]]
+			}
+		}
+	} else {
+		for p := 0; p < cfg.NumCPUs; p++ {
+			if s.vcpus[p].stream != nil {
+				s.running[p] = p
+			}
+		}
+	}
+	for p, r := range s.running {
+		if r >= 0 {
+			s.pid[p] = s.vcpus[r].pid
+			s.vmOf[p] = s.vcpus[r].vm
 		}
 	}
 
@@ -282,15 +430,16 @@ func New(opts Options) (*System, error) {
 	return s, nil
 }
 
-// vmResolver returns the walker hook resolving cpu's current VM's page
-// tables. Idle CPUs (no stream) borrow VM 0's tables; they never walk.
+// vmResolver returns the walker hook resolving cpu's current VM — its ID
+// (the VPID fills are tagged with) and page tables. Idle CPUs (no stream)
+// borrow VM 0's tables; they never walk.
 func (s *System) vmResolver(cpu int) walker.VMResolver {
-	return func() (*pagetable.NestedPT, walker.GuestPTResolver) {
+	return func() (int, *pagetable.NestedPT, walker.GuestPTResolver) {
 		v := s.vmOf[cpu]
 		if v < 0 {
 			v = 0
 		}
-		return s.vms[v].Nested, s.guestFn[v]
+		return v, s.vms[v].Nested, s.guestFn[v]
 	}
 }
 
@@ -303,12 +452,61 @@ func (s *System) NumCPUs() int { return s.cfg.NumCPUs }
 func (s *System) NumVMs() int { return len(s.vms) }
 
 // VMCPUs implements core.Machine: every physical CPU that runs any of VM
-// vm's vCPUs (software coherence's imprecise target set — imprecise within
-// the VM, but never crossing into another VM's CPUs).
+// vm's vCPUs (software coherence's imprecise target set). Pinned, the
+// sets of different VMs are disjoint; under the time-sliced scheduler
+// they overlap, and isolation comes from the VM-qualified structures, not
+// from the target sets.
 func (s *System) VMCPUs(vm int) []int { return s.vms[vm].CPUs }
 
-// VMOf implements core.Machine.
+// VMOf implements core.Machine. Under the time-sliced scheduler this is
+// the VM of the vCPU currently occupying the physical CPU, so it varies
+// over the run.
 func (s *System) VMOf(cpu int) int { return s.vmOf[cpu] }
+
+// VMMayCache implements core.Machine: pinned, a CPU holds only its own
+// VM's entries; time-sliced, it may hold entries of every VM with a vCPU
+// slot assigned to it.
+func (s *System) VMMayCache(cpu, vm int) bool {
+	if !s.sched {
+		return vm == s.vmOf[cpu]
+	}
+	return vm >= 0 && vm < len(s.vmsOn[cpu]) && s.vmsOn[cpu][vm]
+}
+
+// DeschedWait implements core.Machine: the cycles until a vCPU of vm next
+// occupies cpu — zero when one runs now (or the machine is pinned),
+// otherwise the current quantum's remainder plus a full quantum per live
+// vCPU ahead of vm's next one in the round-robin. A VM whose vCPUs on this
+// CPU have all finished waits for nothing (its halted vCPUs have no state
+// to flush and nothing to acknowledge).
+func (s *System) DeschedWait(cpu, vm int) arch.Cycles {
+	if !s.sched || s.vmOf[cpu] == vm {
+		return 0
+	}
+	q := s.runq[cpu]
+	if len(q) == 0 {
+		return 0
+	}
+	// Remaining quantum of the vCPU occupying the target now. Charges from
+	// other CPUs (earlier shootdown targets) may already have pushed the
+	// target's clock past its quantum end; Cycles is unsigned, so compare
+	// before subtracting.
+	var wait arch.Cycles
+	if end := s.qstart[cpu] + s.quantum; end > s.clock[cpu] {
+		wait = end - s.clock[cpu]
+	}
+	for i := 1; i <= len(q); i++ {
+		v := q[(s.rrpos[cpu]+i)%len(q)]
+		if s.vcpus[v].finished {
+			continue
+		}
+		if s.vcpus[v].vm == vm {
+			return wait
+		}
+		wait += s.quantum
+	}
+	return 0
+}
 
 // OwnerVM implements core.Machine: the VM whose page tables contain the
 // page-table page at spa.
@@ -384,6 +582,9 @@ func (s *System) Run() (*Result, error) {
 // drainMigrations completes migrations still in flight after the last
 // stream finished (the workload ended mid-migration, or the trigger cycle
 // lies beyond the run): the driver vCPU keeps pumping on its own clock.
+// Progress is judged by the migration's own progress counter, not by
+// latency alone — a pump quantum that only skips already-handled pages
+// consumes none of the driver's cycles yet advances the queue.
 func (s *System) drainMigrations() error {
 	if !s.migrating {
 		return nil
@@ -394,9 +595,10 @@ func (s *System) drainMigrations() error {
 			if !m.Started() && s.clock[cpu] < m.Spec().At {
 				s.clock[cpu] = m.Spec().At
 			}
+			before := m.Progress()
 			lat := s.hyp.PumpMigrations(cpu, s.clock[cpu])
 			s.clock[cpu] += lat
-			if lat == 0 && !m.Done() {
+			if lat == 0 && m.Progress() == before && !m.Done() {
 				err := fmt.Errorf("sim: migration of VM %d stalled (no progress at cycle %d)",
 					m.Spec().VM, uint64(s.clock[cpu]))
 				if last := m.LastError(); last != nil {
@@ -413,7 +615,7 @@ func (s *System) drainMigrations() error {
 func (s *System) minClockCPU() int {
 	best := -1
 	for i := 0; i < s.cfg.NumCPUs; i++ {
-		if s.streams[i] == nil || s.streams[i].Done() {
+		if !s.cpuRunnable(i) {
 			continue
 		}
 		if best < 0 || s.clock[i] < s.clock[best] {
@@ -423,16 +625,118 @@ func (s *System) minClockCPU() int {
 	return best
 }
 
+// cpuRunnable reports whether any vCPU assigned to cpu still has work.
+func (s *System) cpuRunnable(cpu int) bool {
+	if !s.sched {
+		r := s.running[cpu]
+		return r >= 0 && !s.vcpus[r].finished
+	}
+	for _, v := range s.runq[cpu] {
+		if !s.vcpus[v].finished {
+			return true
+		}
+	}
+	return false
+}
+
+// schedule runs cpu's round-robin: when the running vCPU's quantum has
+// expired (or it finished), switch to the next unfinished vCPU in the
+// queue, charging the world switch (a timer exit plus the next vCPU's
+// entry) and — under the flush-on-switch baseline — the full
+// translation-structure flush a VPID-less machine performs at every
+// cross-VM switch.
+func (s *System) schedule(cpu int) {
+	r := s.running[cpu]
+	if r >= 0 && !s.vcpus[r].finished && s.clock[cpu]-s.qstart[cpu] < s.quantum {
+		return
+	}
+	q := s.runq[cpu]
+	next, nextPos := -1, 0
+	for i := 1; i <= len(q); i++ {
+		pos := (s.rrpos[cpu] + i) % len(q)
+		if v := q[pos]; !s.vcpus[v].finished {
+			next, nextPos = v, pos
+			break
+		}
+	}
+	if next < 0 {
+		return // caller guarded: never stepped without a runnable vCPU
+	}
+	if next == r {
+		// Lone runnable vCPU: a fresh slice, no switch, no cost.
+		s.qstart[cpu] = s.clock[cpu]
+		return
+	}
+	c := s.cnt[cpu]
+	c.VCPUSwitches++
+	s.clock[cpu] += s.cfg.Cost.VMExit + s.cfg.Cost.VMEntry
+	prevVM := -1
+	if r >= 0 {
+		prevVM = s.vcpus[r].vm
+	}
+	newVM := s.vcpus[next].vm
+	if prevVM != newVM {
+		s.attribute(cpu, prevVM)
+		if s.opts.FlushOnVMSwitch {
+			tlb, mmu, ntlb := s.ts[cpu].FlushAll()
+			c.SwitchFlushes++
+			c.TLBFlushes++
+			c.MMUCacheFlushes++
+			c.NTLBFlushes++
+			c.TLBEntriesLost += uint64(tlb)
+			c.MMUEntriesLost += uint64(mmu)
+			c.NTLBEntriesLost += uint64(ntlb)
+			s.clock[cpu] += s.cfg.Cost.FlushOp
+		}
+	}
+	s.running[cpu] = next
+	s.rrpos[cpu] = nextPos
+	s.pid[cpu] = s.vcpus[next].pid
+	s.vmOf[cpu] = newVM
+	s.qstart[cpu] = s.clock[cpu]
+}
+
+// attribute adds cpu's counter delta since the last attribution to vm's
+// per-VM aggregate (quantum-granular attribution; see Result.PerVM). The
+// structure-local compare counters are folded in first, so compare energy
+// is credited to the quantum that ran it rather than dumped on whichever
+// VM happens to run last.
+func (s *System) attribute(cpu, vm int) {
+	c := s.cnt[cpu]
+	for _, t := range s.ts[cpu].All() {
+		c.CoTagCompares += t.CoTagCompares
+		t.CoTagCompares = 0
+	}
+	if vm < 0 {
+		return
+	}
+	d := *c
+	d.Sub(&s.snap[cpu])
+	s.perVM[vm].Add(&d)
+	s.snap[cpu] = *c
+}
+
 // step executes one memory reference on cpu.
 func (s *System) step(cpu int) error {
-	st := s.streams[cpu]
+	if s.sched {
+		s.schedule(cpu)
+	}
+	vc := &s.vcpus[s.running[cpu]]
+	st := vc.stream
 	acc, ok := st.Next()
 	if !ok {
+		// A stream exhausted before yielding anything (zero-reference
+		// specs): retire the vCPU here, or the run loop would spin on a
+		// CPU whose clock never advances.
+		vc.finished = true
+		vc.done = s.clock[cpu]
+		s.done[cpu] = s.clock[cpu]
+		s.active--
 		return nil
 	}
 	c := s.cnt[cpu]
-	pid := s.pid[cpu]
-	vm := s.vmOf[cpu]
+	pid := vc.pid
+	vm := vc.vm
 
 	// Non-memory instructions.
 	c.Instructions += uint64(acc.Gap) + 1
@@ -510,6 +814,8 @@ func (s *System) step(cpu int) error {
 	}
 
 	if st.Done() {
+		vc.finished = true
+		vc.done = s.clock[cpu]
 		s.done[cpu] = s.clock[cpu]
 		s.active--
 	}
@@ -526,22 +832,43 @@ func (s *System) collect() *Result {
 	}
 	r.PerCPU = make([]stats.Counters, s.cfg.NumCPUs)
 	r.PerVM = make([]stats.Counters, len(s.vms))
+	// Merge structure-level counters the hot paths keep locally, then (for
+	// scheduled machines) flush the final per-VM attribution deltas.
 	for i, c := range s.cnt {
-		// Merge structure-level counters the hot paths keep locally.
 		for _, t := range s.ts[i].All() {
 			c.CoTagCompares += t.CoTagCompares
 			t.CoTagCompares = 0
 		}
+	}
+	if s.sched {
+		for cpu := range s.cnt {
+			s.attribute(cpu, s.vmOf[cpu])
+		}
+		copy(r.PerVM, s.perVM)
+	}
+	for i, c := range s.cnt {
 		r.PerCPU[i] = *c
 		r.Agg.Add(c)
-		if v := s.vmOf[i]; v >= 0 {
-			r.PerVM[v].Add(c)
+		if !s.sched {
+			if v := s.vmOf[i]; v >= 0 {
+				r.PerVM[v].Add(c)
+			}
 		}
 		if s.done[i] > r.Runtime {
 			r.Runtime = s.done[i]
 		}
 		if s.clock[i] > r.Runtime {
 			r.Runtime = s.clock[i]
+		}
+	}
+	r.VMCompletion = make([]arch.Cycles, len(s.vms))
+	for i := range s.vcpus {
+		vc := &s.vcpus[i]
+		if vc.stream == nil {
+			continue
+		}
+		if vc.done > r.VMCompletion[vc.vm] {
+			r.VMCompletion[vc.vm] = vc.done
 		}
 	}
 	r.HBMBytes = s.mem.HBM.Bytes

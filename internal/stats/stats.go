@@ -3,6 +3,8 @@
 // hot-path increments stay allocation-free.
 package stats
 
+import "reflect"
+
 // Counters aggregates every event class the simulator and the energy model
 // care about. One Counters value exists per CPU plus one system-wide
 // aggregate obtained with Add.
@@ -72,6 +74,29 @@ type Counters struct {
 	IPIs       uint64
 	Interrupts uint64
 
+	// vCPU scheduling (time-sliced machines with more vCPUs than physical
+	// CPUs; all zero under 1:1 pinning).
+	//
+	// VCPUSwitches counts context switches between vCPUs on a physical
+	// CPU. SwitchFlushes counts the full translation-structure flushes the
+	// flush-on-switch baseline performs at cross-VM switches (zero with
+	// VPID-tagged structures). DescheduledStallCycles accumulates the
+	// cycles shootdown initiators spend waiting for descheduled target
+	// vCPUs to be scheduled again and acknowledge — the overcommit cost
+	// software translation coherence pays and hardware coherence never
+	// does (its invalidations need no vCPU to execute).
+	VCPUSwitches           uint64
+	SwitchFlushes          uint64
+	DescheduledStallCycles uint64
+
+	// Translation-coherence initiation. RemapsInitiated counts remaps of
+	// possibly-cached translations (evictions, defrag moves, migration
+	// copies); ShootdownCycles accumulates the initiator-side cycles the
+	// protocol charged for them (IPI loops, acknowledgment waits,
+	// descheduled-target stalls — zero under HATRIC and ideal).
+	RemapsInitiated uint64
+	ShootdownCycles uint64
+
 	// Hypervisor paging.
 	PageFaults     uint64
 	PageMigrations uint64
@@ -139,6 +164,11 @@ func (c *Counters) Add(o *Counters) {
 	c.VMExits += o.VMExits
 	c.IPIs += o.IPIs
 	c.Interrupts += o.Interrupts
+	c.VCPUSwitches += o.VCPUSwitches
+	c.SwitchFlushes += o.SwitchFlushes
+	c.DescheduledStallCycles += o.DescheduledStallCycles
+	c.RemapsInitiated += o.RemapsInitiated
+	c.ShootdownCycles += o.ShootdownCycles
 	c.PageFaults += o.PageFaults
 	c.PageMigrations += o.PageMigrations
 	c.PageEvictions += o.PageEvictions
@@ -151,6 +181,21 @@ func (c *Counters) Add(o *Counters) {
 	c.MigrationDowntimeCycles += o.MigrationDowntimeCycles
 	c.MigrationsCompleted += o.MigrationsCompleted
 	c.StaleTranslationUses += o.StaleTranslationUses
+}
+
+// Sub subtracts o from c field by field. The time-sliced scheduler uses it
+// to attribute a quantum's counter delta to the VM that ran: snapshot at
+// switch-in, subtract at switch-out. Implemented by reflection over the
+// uint64 fields so it can never drift from the struct definition (Add is
+// kept hand-written for the hot aggregation path; the stats tests assert
+// the two agree on every field).
+func (c *Counters) Sub(o *Counters) {
+	cv := reflect.ValueOf(c).Elem()
+	ov := reflect.ValueOf(o).Elem()
+	for i := 0; i < cv.NumField(); i++ {
+		f := cv.Field(i)
+		f.SetUint(f.Uint() - ov.Field(i).Uint())
+	}
 }
 
 // Reset zeroes every counter.

@@ -45,6 +45,26 @@ func TestAddCommutative(t *testing.T) {
 	}
 }
 
+func TestSubInvertsAdd(t *testing.T) {
+	var a, b Counters
+	av := reflect.ValueOf(&a).Elem()
+	bv := reflect.ValueOf(&b).Elem()
+	for i := 0; i < av.NumField(); i++ {
+		av.Field(i).SetUint(uint64(100 * (i + 1)))
+		bv.Field(i).SetUint(uint64(i + 1))
+	}
+	sum := a
+	sum.Add(&b)
+	sum.Sub(&b)
+	if sum != a {
+		t.Errorf("Sub did not invert Add:\n%+v\nvs\n%+v", sum, a)
+	}
+	sum.Sub(&a)
+	if sum != (Counters{}) {
+		t.Errorf("Sub from self left state: %+v", sum)
+	}
+}
+
 func TestReset(t *testing.T) {
 	c := Counters{MemRefs: 5, IPIs: 9}
 	c.Reset()

@@ -9,11 +9,11 @@ import (
 func BenchmarkTLBLookupHit(b *testing.B) {
 	s := New("l2tlb", 512, 8)
 	for i := uint64(0); i < 512; i++ {
-		s.Fill(i, i, i*8, 0)
+		s.Fill(0, i, i, i*8, 0)
 	}
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		s.Lookup(uint64(i) & 511)
+		s.Lookup(0, uint64(i)&511)
 	}
 }
 
@@ -21,7 +21,7 @@ func BenchmarkTLBLookupMiss(b *testing.B) {
 	s := New("l2tlb", 512, 8)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		s.Lookup(uint64(i))
+		s.Lookup(0, uint64(i))
 	}
 }
 
@@ -29,7 +29,7 @@ func BenchmarkTLBFill(b *testing.B) {
 	s := New("l2tlb", 512, 8)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		s.Fill(uint64(i), uint64(i), uint64(i), 0)
+		s.Fill(0, uint64(i), uint64(i), uint64(i), 0)
 	}
 }
 
@@ -39,12 +39,12 @@ func BenchmarkTLBFill(b *testing.B) {
 func BenchmarkCoTagInvalidation(b *testing.B) {
 	cs := NewCPUSet(arch.DefaultTLBConfig())
 	for i := uint64(0); i < 512; i++ {
-		cs.L2TLB.Fill(i, i, i*8, 0)
+		cs.L2TLB.Fill(0, i, i, i*8, 0)
 	}
 	mask := CoTagMask(2)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		cs.InvalidateMaskedAll(uint64(i)*8, 3, mask)
+		cs.InvalidateMaskedAll(0, uint64(i)*8, 3, mask)
 	}
 }
 
@@ -53,7 +53,7 @@ func BenchmarkFlushAll(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		for j := uint64(0); j < 64; j++ {
-			cs.L2TLB.Fill(j, j, j, 0)
+			cs.L2TLB.Fill(0, j, j, j, 0)
 		}
 		cs.FlushAll()
 	}

@@ -4,9 +4,13 @@ import (
 	"hatric/internal/arch"
 )
 
-// Keys: translation structures are tagged with an address-space identifier
+// Keys: translation structures are keyed by an address-space identifier
 // (the process within the VM) so multiprogrammed guests keep their
-// translations apart, like PCIDs/ASIDs on real hardware.
+// translations apart, like PCIDs on real hardware. The VM dimension is not
+// part of the key: every entry additionally carries a VM tag (Entry.VM,
+// the VPID/ASID of real hardware) that lookups, fills, and invalidations
+// qualify on, so two VMs' identical (pid, gvp) pairs never collide even
+// when their vCPUs time-share one physical CPU.
 
 // TLBKey builds the L1/L2 TLB key from a process id and guest virtual page.
 func TLBKey(pid int, gvp arch.GVP) uint64 {
@@ -65,7 +69,9 @@ func (c *CPUSet) All() []*Struct {
 	return []*Struct{c.L1TLB, c.L2TLB, c.NTLB, c.MMU}
 }
 
-// FlushAll flushes every structure and returns entries lost per class.
+// FlushAll flushes every structure wholesale (all VMs' entries) and
+// returns entries lost per class. This is the no-VPID world switch and the
+// flush-on-switch scheduling baseline.
 func (c *CPUSet) FlushAll() (tlb, mmu, ntlb int) {
 	tlb = c.L1TLB.Flush() + c.L2TLB.Flush()
 	mmu = c.MMU.Flush()
@@ -73,22 +79,36 @@ func (c *CPUSet) FlushAll() (tlb, mmu, ntlb int) {
 	return tlb, mmu, ntlb
 }
 
-// InvalidateMaskedAll performs the co-tag compare-and-invalidate across
-// all structures (HATRIC's relay target) and returns entries dropped.
-func (c *CPUSet) InvalidateMaskedAll(src uint64, shift uint, mask uint64) int {
-	n := c.L1TLB.InvalidateMasked(src, shift, mask)
-	n += c.L2TLB.InvalidateMasked(src, shift, mask)
-	n += c.NTLB.InvalidateMasked(src, shift, mask)
-	n += c.MMU.InvalidateMasked(src, shift, mask)
+// FlushVMAll flushes only vm's entries from every structure (the
+// VPID-scoped flush a software shootdown of one VM performs) and returns
+// entries lost per class. Other VMs' entries survive the flush.
+func (c *CPUSet) FlushVMAll(vm int) (tlb, mmu, ntlb int) {
+	tlb = c.L1TLB.FlushVM(vm) + c.L2TLB.FlushVM(vm)
+	mmu = c.MMU.FlushVM(vm)
+	ntlb = c.NTLB.FlushVM(vm)
+	return tlb, mmu, ntlb
+}
+
+// InvalidateMaskedAll performs the VM-qualified co-tag
+// compare-and-invalidate across all structures (HATRIC's relay target) and
+// returns entries dropped. vm is the VM owning the written page-table
+// line; entries of other VMs are compared (the CAM touches every entry)
+// but never dropped.
+func (c *CPUSet) InvalidateMaskedAll(vm int, src uint64, shift uint, mask uint64) int {
+	n := c.L1TLB.InvalidateMasked(vm, src, shift, mask)
+	n += c.L2TLB.InvalidateMasked(vm, src, shift, mask)
+	n += c.NTLB.InvalidateMasked(vm, src, shift, mask)
+	n += c.MMU.InvalidateMasked(vm, src, shift, mask)
 	return n
 }
 
-// CachesMaskedAny reports whether any structure holds a matching entry.
-func (c *CPUSet) CachesMaskedAny(src uint64, shift uint, mask uint64) bool {
-	return c.L1TLB.CachesMasked(src, shift, mask) ||
-		c.L2TLB.CachesMasked(src, shift, mask) ||
-		c.NTLB.CachesMasked(src, shift, mask) ||
-		c.MMU.CachesMasked(src, shift, mask)
+// CachesMaskedAny reports whether any structure holds a matching entry of
+// vm.
+func (c *CPUSet) CachesMaskedAny(vm int, src uint64, shift uint, mask uint64) bool {
+	return c.L1TLB.CachesMasked(vm, src, shift, mask) ||
+		c.L2TLB.CachesMasked(vm, src, shift, mask) ||
+		c.NTLB.CachesMasked(vm, src, shift, mask) ||
+		c.MMU.CachesMasked(vm, src, shift, mask)
 }
 
 // CoTagMask converts a co-tag width in bytes into the line-index mask the

@@ -9,7 +9,19 @@
 // co-tag mask at invalidation time, which models co-tag aliasing exactly:
 // an invalidation for line L drops every entry whose masked line index
 // equals L's, including unlucky entries from other lines.
+//
+// Every entry also carries a VM tag (the VPID/ASID of real hardware —
+// Intel's VPID, AMD's ASID, Power's LPID). The tag is part of the entry's
+// identity, not its set index: lookups and fills match (VM, key) pairs, so
+// vCPUs of different VMs can time-share one physical CPU without flushing
+// its translation structures at every world switch, and a relay or flush
+// scoped to one VM never touches another VM's entries.
 package tstruct
+
+// AnyVM matches every VM tag in VM-qualified operations. Invalidations use
+// it when the source PTE identifies a unique owner anyway (exact-source
+// updates) or when no VM owns the line.
+const AnyVM = -1
 
 // Entry is one translation-structure entry. Valid corresponds to the
 // Shared coherence state of Sec. 4.2; invalid to Invalid.
@@ -19,13 +31,21 @@ package tstruct
 // simulator keeps the full source and applies each protocol's granularity
 // (shift) and width (mask) at compare time, which models both the
 // 8-PTEs-per-line false sharing and co-tag aliasing exactly.
+//
+// VM is the VPID tag: the VM whose page tables the entry derives from.
 type Entry struct {
 	Key   uint64
 	Val   uint64
 	Src   uint64 // source PTE word index (SPA >> 3)
+	VM    int32  // VPID tag (the owning VM's dense ID)
 	Kind  uint8  // which page table the entry derives from (cache.IsPTKind)
 	lru   uint64
 	Valid bool
+}
+
+// matches reports whether the entry belongs to vm (AnyVM matches all).
+func (e *Entry) matches(vm int) bool {
+	return vm == AnyVM || int(e.VM) == vm
 }
 
 // Struct is one set-associative translation structure.
@@ -79,6 +99,9 @@ func (s *Struct) set(key uint64) []Entry {
 }
 
 // mix spreads structured keys (page numbers, prefix keys) across sets.
+// The VM tag deliberately does not participate: like the VPID on real
+// hardware, it extends the tag compare, not the index, so a VM's entries
+// land in the same sets regardless of how many VMs share the structure.
 func mix(x uint64) uint64 {
 	x ^= x >> 33
 	x *= 0xff51afd7ed558ccd
@@ -86,11 +109,13 @@ func mix(x uint64) uint64 {
 	return x
 }
 
-// Lookup probes for key; a hit refreshes LRU state.
-func (s *Struct) Lookup(key uint64) (uint64, bool) {
+// Lookup probes for (vm, key); a hit refreshes LRU state. Entries of other
+// VMs never hit, however equal their keys — the VPID-qualification that
+// makes time-slicing vCPUs of different VMs onto one CPU safe.
+func (s *Struct) Lookup(vm int, key uint64) (uint64, bool) {
 	set := s.set(key)
 	for i := range set {
-		if set[i].Valid && set[i].Key == key {
+		if set[i].Valid && set[i].Key == key && set[i].matches(vm) {
 			s.tick++
 			set[i].lru = s.tick
 			s.Hits++
@@ -101,13 +126,13 @@ func (s *Struct) Lookup(key uint64) (uint64, bool) {
 	return 0, false
 }
 
-// LookupEntry probes for key and returns the whole entry on a hit,
+// LookupEntry probes for (vm, key) and returns the whole entry on a hit,
 // refreshing LRU state. Callers that need the co-tag (L2 to L1 refills)
 // use this instead of Lookup.
-func (s *Struct) LookupEntry(key uint64) (Entry, bool) {
+func (s *Struct) LookupEntry(vm int, key uint64) (Entry, bool) {
 	set := s.set(key)
 	for i := range set {
-		if set[i].Valid && set[i].Key == key {
+		if set[i].Valid && set[i].Key == key && set[i].matches(vm) {
 			s.tick++
 			set[i].lru = s.tick
 			s.Hits++
@@ -119,24 +144,26 @@ func (s *Struct) LookupEntry(key uint64) (Entry, bool) {
 }
 
 // Peek probes without touching LRU or stats.
-func (s *Struct) Peek(key uint64) (uint64, bool) {
+func (s *Struct) Peek(vm int, key uint64) (uint64, bool) {
 	set := s.set(key)
 	for i := range set {
-		if set[i].Valid && set[i].Key == key {
+		if set[i].Valid && set[i].Key == key && set[i].matches(vm) {
 			return set[i].Val, true
 		}
 	}
 	return 0, false
 }
 
-// Fill inserts a translation. If a valid victim had to be displaced, it is
-// returned so the caller can lazily (or eagerly) update the directory.
-func (s *Struct) Fill(key, val, src uint64, kind uint8) (victim Entry, evicted bool) {
+// Fill inserts a translation tagged with vm. If a valid victim had to be
+// displaced, it is returned so the caller can lazily (or eagerly) update
+// the directory. Entries of different VMs with equal keys coexist: the
+// in-place update applies only to the same VM's entry.
+func (s *Struct) Fill(vm int, key, val, src uint64, kind uint8) (victim Entry, evicted bool) {
 	set := s.set(key)
 	s.tick++
 	s.Fills++
 	for i := range set {
-		if set[i].Valid && set[i].Key == key {
+		if set[i].Valid && set[i].Key == key && set[i].matches(vm) {
 			set[i].Val = val
 			set[i].Src = src
 			set[i].Kind = kind
@@ -146,7 +173,7 @@ func (s *Struct) Fill(key, val, src uint64, kind uint8) (victim Entry, evicted b
 	}
 	for i := range set {
 		if !set[i].Valid {
-			set[i] = Entry{Key: key, Val: val, Src: src, Kind: kind, lru: s.tick, Valid: true}
+			set[i] = Entry{Key: key, Val: val, Src: src, VM: int32(vm), Kind: kind, lru: s.tick, Valid: true}
 			return Entry{}, false
 		}
 	}
@@ -157,17 +184,17 @@ func (s *Struct) Fill(key, val, src uint64, kind uint8) (victim Entry, evicted b
 		}
 	}
 	victim = set[v]
-	set[v] = Entry{Key: key, Val: val, Src: src, Kind: kind, lru: s.tick, Valid: true}
+	set[v] = Entry{Key: key, Val: val, Src: src, VM: int32(vm), Kind: kind, lru: s.tick, Valid: true}
 	s.Evictions++
 	return victim, true
 }
 
-// InvalidateKey drops the entry for key (selective invalidation with a
+// InvalidateKey drops vm's entry for key (selective invalidation with a
 // known key, e.g. invlpg with a known guest virtual page).
-func (s *Struct) InvalidateKey(key uint64) bool {
+func (s *Struct) InvalidateKey(vm int, key uint64) bool {
 	set := s.set(key)
 	for i := range set {
-		if set[i].Valid && set[i].Key == key {
+		if set[i].Valid && set[i].Key == key && set[i].matches(vm) {
 			set[i].Valid = false
 			return true
 		}
@@ -175,13 +202,15 @@ func (s *Struct) InvalidateKey(key uint64) bool {
 	return false
 }
 
-// InvalidateMasked drops every valid entry matching the co-tag compare
-// ((Src >> shift) & mask == (src >> shift) & mask). Shift 3 compares at
-// cache-line granularity (HATRIC, UNITD); shift 0 at exact-PTE granularity
-// (the ideal protocol). All entries are compared (a CAM-style parallel
-// compare), which the energy model charges. It returns the number of
+// InvalidateMasked drops every valid entry of vm matching the co-tag
+// compare ((Src >> shift) & mask == (src >> shift) & mask). Shift 3
+// compares at cache-line granularity (HATRIC, UNITD); shift 0 at exact-PTE
+// granularity (the ideal protocol). All entries are compared (a CAM-style
+// parallel compare over (VPID, co-tag) pairs) — the energy model charges
+// every compare — but entries of other VMs never match, so co-tag aliasing
+// cannot leak invalidations across VM boundaries. It returns the number of
 // entries invalidated.
-func (s *Struct) InvalidateMasked(src uint64, shift uint, mask uint64) int {
+func (s *Struct) InvalidateMasked(vm int, src uint64, shift uint, mask uint64) int {
 	n := 0
 	target := (src >> shift) & mask
 	for i := range s.entries {
@@ -189,6 +218,9 @@ func (s *Struct) InvalidateMasked(src uint64, shift uint, mask uint64) int {
 			continue
 		}
 		s.CoTagCompares++
+		if !s.entries[i].matches(vm) {
+			continue
+		}
 		if (s.entries[i].Src>>shift)&mask == target {
 			s.entries[i].Valid = false
 			n++
@@ -201,7 +233,7 @@ func (s *Struct) InvalidateMasked(src uint64, shift uint, mask uint64) int {
 // InvalidateMaskedExcept behaves like InvalidateMasked but spares entries
 // whose exact source word is exceptSrc (they were just updated in place by
 // the prefetch extension rather than made stale).
-func (s *Struct) InvalidateMaskedExcept(src uint64, shift uint, mask, exceptSrc uint64) int {
+func (s *Struct) InvalidateMaskedExcept(vm int, src uint64, shift uint, mask, exceptSrc uint64) int {
 	n := 0
 	target := (src >> shift) & mask
 	for i := range s.entries {
@@ -209,6 +241,9 @@ func (s *Struct) InvalidateMaskedExcept(src uint64, shift uint, mask, exceptSrc 
 			continue
 		}
 		s.CoTagCompares++
+		if !s.entries[i].matches(vm) {
+			continue
+		}
 		if s.entries[i].Src == exceptSrc {
 			continue
 		}
@@ -221,15 +256,19 @@ func (s *Struct) InvalidateMaskedExcept(src uint64, shift uint, mask, exceptSrc 
 	return n
 }
 
-// CachesMasked reports whether any valid entry matches the masked compare
-// (used by the eager directory-update ablation; counts compare energy).
-func (s *Struct) CachesMasked(src uint64, shift uint, mask uint64) bool {
+// CachesMasked reports whether any valid entry of vm matches the masked
+// compare (used by the eager directory-update ablation; counts compare
+// energy).
+func (s *Struct) CachesMasked(vm int, src uint64, shift uint, mask uint64) bool {
 	target := (src >> shift) & mask
 	for i := range s.entries {
 		if !s.entries[i].Valid {
 			continue
 		}
 		s.CoTagCompares++
+		if !s.entries[i].matches(vm) {
+			continue
+		}
 		if (s.entries[i].Src>>shift)&mask == target {
 			return true
 		}
@@ -237,16 +276,16 @@ func (s *Struct) CachesMasked(src uint64, shift uint, mask uint64) bool {
 	return false
 }
 
-// UpdateMatching visits every valid entry whose exact source word matches
-// src and replaces its value with upd's result (or invalidates it when upd
-// reports keep == false). It returns how many entries were touched. This
-// is the mechanism behind the paper's Sec. 4.4 prefetching extension:
-// instead of dropping a translation made stale by a remap, hardware can
-// install the new mapping directly.
-func (s *Struct) UpdateMatching(src uint64, upd func(Entry) (uint64, bool)) int {
+// UpdateMatching visits every valid entry of vm whose exact source word
+// matches src and replaces its value with upd's result (or invalidates it
+// when upd reports keep == false). It returns how many entries were
+// touched. This is the mechanism behind the paper's Sec. 4.4 prefetching
+// extension: instead of dropping a translation made stale by a remap,
+// hardware can install the new mapping directly.
+func (s *Struct) UpdateMatching(vm int, src uint64, upd func(Entry) (uint64, bool)) int {
 	n := 0
 	for i := range s.entries {
-		if !s.entries[i].Valid || s.entries[i].Src != src {
+		if !s.entries[i].Valid || s.entries[i].Src != src || !s.entries[i].matches(vm) {
 			continue
 		}
 		newVal, keep := upd(s.entries[i])
@@ -265,6 +304,23 @@ func (s *Struct) Flush() int {
 	n := 0
 	for i := range s.entries {
 		if s.entries[i].Valid {
+			s.entries[i].Valid = false
+			n++
+		}
+	}
+	s.Flushes++
+	s.FlushedEntries += uint64(n)
+	return n
+}
+
+// FlushVM invalidates only vm's entries (invept single-context / a
+// VPID-scoped flush) and returns how many were lost. Other VMs' entries —
+// resident because their vCPUs time-share this CPU — survive. AnyVM
+// degenerates to a full flush.
+func (s *Struct) FlushVM(vm int) int {
+	n := 0
+	for i := range s.entries {
+		if s.entries[i].Valid && s.entries[i].matches(vm) {
 			s.entries[i].Valid = false
 			n++
 		}

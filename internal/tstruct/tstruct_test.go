@@ -9,15 +9,15 @@ import (
 
 func TestFillLookup(t *testing.T) {
 	s := New("tlb", 8, 2)
-	if _, ok := s.Lookup(1); ok {
+	if _, ok := s.Lookup(0, 1); ok {
 		t.Fatal("empty hit")
 	}
-	s.Fill(1, 100, 0x40, 0)
-	v, ok := s.Lookup(1)
+	s.Fill(0, 1, 100, 0x40, 0)
+	v, ok := s.Lookup(0, 1)
 	if !ok || v != 100 {
 		t.Fatalf("lookup: %d %v", v, ok)
 	}
-	e, ok := s.LookupEntry(1)
+	e, ok := s.LookupEntry(0, 1)
 	if !ok || e.Src != 0x40 {
 		t.Fatalf("LookupEntry: %+v %v", e, ok)
 	}
@@ -25,11 +25,11 @@ func TestFillLookup(t *testing.T) {
 
 func TestFillUpdatesInPlace(t *testing.T) {
 	s := New("tlb", 8, 2)
-	s.Fill(1, 100, 11, 0)
-	if _, ev := s.Fill(1, 200, 22, 1); ev {
+	s.Fill(0, 1, 100, 11, 0)
+	if _, ev := s.Fill(0, 1, 200, 22, 1); ev {
 		t.Fatal("update evicted")
 	}
-	e, _ := s.LookupEntry(1)
+	e, _ := s.LookupEntry(0, 1)
 	if e.Val != 200 || e.Src != 22 || e.Kind != 1 {
 		t.Errorf("update lost: %+v", e)
 	}
@@ -37,10 +37,10 @@ func TestFillUpdatesInPlace(t *testing.T) {
 
 func TestLRUVictim(t *testing.T) {
 	s := New("tlb", 2, 2) // one set, two ways
-	s.Fill(1, 10, 0, 0)
-	s.Fill(2, 20, 0, 0)
-	s.Lookup(1)
-	v, ev := s.Fill(3, 30, 0, 0)
+	s.Fill(0, 1, 10, 0, 0)
+	s.Fill(0, 2, 20, 0, 0)
+	s.Lookup(0, 1)
+	v, ev := s.Fill(0, 3, 30, 0, 0)
 	if !ev || v.Key != 2 {
 		t.Fatalf("victim %+v (evicted=%v), want key 2", v, ev)
 	}
@@ -48,14 +48,14 @@ func TestLRUVictim(t *testing.T) {
 
 func TestInvalidateKey(t *testing.T) {
 	s := New("tlb", 8, 2)
-	s.Fill(5, 50, 0, 0)
-	if !s.InvalidateKey(5) {
+	s.Fill(0, 5, 50, 0, 0)
+	if !s.InvalidateKey(0, 5) {
 		t.Fatal("InvalidateKey missed")
 	}
-	if _, ok := s.Lookup(5); ok {
+	if _, ok := s.Lookup(0, 5); ok {
 		t.Errorf("entry survived")
 	}
-	if s.InvalidateKey(5) {
+	if s.InvalidateKey(0, 5) {
 		t.Errorf("double invalidation succeeded")
 	}
 }
@@ -64,27 +64,27 @@ func TestInvalidateMaskedLineGranularity(t *testing.T) {
 	s := New("tlb", 16, 4)
 	// Three entries: two sourced from PTEs in the same cache line (word
 	// indices 8..15 share line 1), one from another line.
-	s.Fill(1, 10, 8, 0)                       // line 1
-	s.Fill(2, 20, 15, 0)                      // line 1
-	s.Fill(3, 30, 16, 0)                      // line 2
-	n := s.InvalidateMasked(9, 3, ^uint64(0)) // any word in line 1
+	s.Fill(0, 1, 10, 8, 0)                       // line 1
+	s.Fill(0, 2, 20, 15, 0)                      // line 1
+	s.Fill(0, 3, 30, 16, 0)                      // line 2
+	n := s.InvalidateMasked(0, 9, 3, ^uint64(0)) // any word in line 1
 	if n != 2 {
 		t.Fatalf("line-granular invalidation dropped %d, want 2", n)
 	}
-	if _, ok := s.Lookup(3); !ok {
+	if _, ok := s.Lookup(0, 3); !ok {
 		t.Errorf("unrelated line collateral-damaged")
 	}
 }
 
 func TestInvalidateMaskedExact(t *testing.T) {
 	s := New("tlb", 16, 4)
-	s.Fill(1, 10, 8, 0)
-	s.Fill(2, 20, 9, 0) // same line, different PTE
-	n := s.InvalidateMasked(8, 0, ^uint64(0))
+	s.Fill(0, 1, 10, 8, 0)
+	s.Fill(0, 2, 20, 9, 0) // same line, different PTE
+	n := s.InvalidateMasked(0, 8, 0, ^uint64(0))
 	if n != 1 {
 		t.Fatalf("exact invalidation dropped %d, want 1", n)
 	}
-	if _, ok := s.Lookup(2); !ok {
+	if _, ok := s.Lookup(0, 2); !ok {
 		t.Errorf("sibling PTE entry dropped under exact matching")
 	}
 }
@@ -92,33 +92,33 @@ func TestInvalidateMaskedExact(t *testing.T) {
 func TestInvalidateMaskedAliasing(t *testing.T) {
 	s := New("tlb", 16, 4)
 	// With a 1-byte co-tag (8 line bits), lines 1 and 257 alias.
-	s.Fill(1, 10, 1*8, 0)
-	s.Fill(2, 20, 257*8, 0)
-	s.Fill(3, 30, 2*8, 0)
-	n := s.InvalidateMasked(1*8, 3, CoTagMask(1))
+	s.Fill(0, 1, 10, 1*8, 0)
+	s.Fill(0, 2, 20, 257*8, 0)
+	s.Fill(0, 3, 30, 2*8, 0)
+	n := s.InvalidateMasked(0, 1*8, 3, CoTagMask(1))
 	if n != 2 {
 		t.Fatalf("aliased invalidation dropped %d, want 2 (the alias must go too)", n)
 	}
-	if _, ok := s.Lookup(3); !ok {
+	if _, ok := s.Lookup(0, 3); !ok {
 		t.Errorf("non-aliasing line dropped")
 	}
 }
 
 func TestCachesMasked(t *testing.T) {
 	s := New("tlb", 8, 2)
-	s.Fill(1, 10, 40, 0)
-	if !s.CachesMasked(41, 3, ^uint64(0)) {
+	s.Fill(0, 1, 10, 40, 0)
+	if !s.CachesMasked(0, 41, 3, ^uint64(0)) {
 		t.Errorf("CachesMasked missed same-line entry")
 	}
-	if s.CachesMasked(48, 3, ^uint64(0)) {
+	if s.CachesMasked(0, 48, 3, ^uint64(0)) {
 		t.Errorf("CachesMasked false positive")
 	}
 }
 
 func TestFlushCounts(t *testing.T) {
 	s := New("tlb", 8, 2)
-	s.Fill(1, 1, 0, 0)
-	s.Fill(2, 2, 0, 0)
+	s.Fill(0, 1, 1, 0, 0)
+	s.Fill(0, 2, 2, 0, 0)
 	if n := s.Flush(); n != 2 {
 		t.Errorf("flush lost %d", n)
 	}
@@ -132,10 +132,10 @@ func TestFlushCounts(t *testing.T) {
 
 func TestCompareEnergyCounting(t *testing.T) {
 	s := New("tlb", 8, 2)
-	s.Fill(1, 1, 8, 0)
-	s.Fill(2, 2, 16, 0)
+	s.Fill(0, 1, 1, 8, 0)
+	s.Fill(0, 2, 2, 16, 0)
 	before := s.CoTagCompares
-	s.InvalidateMasked(8, 3, ^uint64(0))
+	s.InvalidateMasked(0, 8, 3, ^uint64(0))
 	if s.CoTagCompares != before+2 {
 		t.Errorf("every valid entry must be compared: %d", s.CoTagCompares-before)
 	}
@@ -168,7 +168,7 @@ func TestInvalidateMaskedProperty(t *testing.T) {
 			if i >= 30 {
 				break
 			}
-			s.Fill(uint64(i), uint64(i), uint64(src), 0)
+			s.Fill(0, uint64(i), uint64(i), uint64(src), 0)
 		}
 		s.ForEachValid(func(e Entry) {
 			if (e.Src>>3)&mask == (uint64(target)>>3)&mask {
@@ -177,13 +177,13 @@ func TestInvalidateMaskedProperty(t *testing.T) {
 				kept[e.Key] = true
 			}
 		})
-		got := s.InvalidateMasked(uint64(target), 3, mask)
+		got := s.InvalidateMasked(0, uint64(target), 3, mask)
 		if got != want {
 			return false
 		}
 		ok := true
 		for key := range kept {
-			if _, hit := s.Peek(key); !hit {
+			if _, hit := s.Peek(0, key); !hit {
 				ok = false
 			}
 		}
@@ -196,10 +196,10 @@ func TestInvalidateMaskedProperty(t *testing.T) {
 
 func TestCPUSetFlushAll(t *testing.T) {
 	cs := NewCPUSet(arch.DefaultTLBConfig())
-	cs.L1TLB.Fill(1, 1, 0, 0)
-	cs.L2TLB.Fill(2, 2, 0, 0)
-	cs.NTLB.Fill(3, 3, 0, 0)
-	cs.MMU.Fill(4, 4, 0, 0)
+	cs.L1TLB.Fill(0, 1, 1, 0, 0)
+	cs.L2TLB.Fill(0, 2, 2, 0, 0)
+	cs.NTLB.Fill(0, 3, 3, 0, 0)
+	cs.MMU.Fill(0, 4, 4, 0, 0)
 	tlb, mmu, ntlb := cs.FlushAll()
 	if tlb != 2 || mmu != 1 || ntlb != 1 {
 		t.Errorf("FlushAll: %d %d %d", tlb, mmu, ntlb)
@@ -229,16 +229,110 @@ func TestCPUSetSizes(t *testing.T) {
 
 func TestCPUSetInvalidateAll(t *testing.T) {
 	cs := NewCPUSet(arch.DefaultTLBConfig())
-	cs.L1TLB.Fill(1, 1, 8, 0)
-	cs.L2TLB.Fill(1, 1, 8, 0)
-	cs.NTLB.Fill(2, 2, 9, 0)
-	cs.MMU.Fill(3, 3, 64, 0)
-	n := cs.InvalidateMaskedAll(8, 3, ^uint64(0))
+	cs.L1TLB.Fill(0, 1, 1, 8, 0)
+	cs.L2TLB.Fill(0, 1, 1, 8, 0)
+	cs.NTLB.Fill(0, 2, 2, 9, 0)
+	cs.MMU.Fill(0, 3, 3, 64, 0)
+	n := cs.InvalidateMaskedAll(0, 8, 3, ^uint64(0))
 	if n != 3 {
 		t.Errorf("dropped %d, want 3 (MMU entry from another line survives)", n)
 	}
-	if !cs.CachesMaskedAny(64, 3, ^uint64(0)) {
+	if !cs.CachesMaskedAny(0, 64, 3, ^uint64(0)) {
 		t.Errorf("MMU entry should remain")
+	}
+}
+
+// TestVMTagQualifiesLookups is the VPID-isolation property at the
+// structure level: a lookup with one VM's tag never returns another VM's
+// translation, even for bit-identical keys, and entries of different VMs
+// with equal keys coexist.
+func TestVMTagQualifiesLookups(t *testing.T) {
+	s := New("tlb", 8, 2)
+	s.Fill(0, 1, 100, 0x40, 0)
+	if _, ok := s.Lookup(1, 1); ok {
+		t.Fatal("VM 1 lookup hit VM 0's entry")
+	}
+	if v, ok := s.Lookup(0, 1); !ok || v != 100 {
+		t.Fatalf("VM 0 lookup: %d %v", v, ok)
+	}
+	// Same key, different VM: both entries live side by side.
+	s.Fill(1, 1, 200, 0x80, 0)
+	if v, ok := s.Lookup(0, 1); !ok || v != 100 {
+		t.Errorf("VM 0 entry clobbered by VM 1 fill: %d %v", v, ok)
+	}
+	if v, ok := s.Lookup(1, 1); !ok || v != 200 {
+		t.Errorf("VM 1 entry wrong: %d %v", v, ok)
+	}
+	if s.ValidCount() != 2 {
+		t.Errorf("valid = %d, want both VMs' entries", s.ValidCount())
+	}
+	// In-place update stays within the VM.
+	s.Fill(1, 1, 300, 0x80, 0)
+	if v, _ := s.Lookup(0, 1); v != 100 {
+		t.Errorf("VM 1 update touched VM 0's entry: %d", v)
+	}
+	// AnyVM matches whatever is there.
+	if _, ok := s.Peek(AnyVM, 1); !ok {
+		t.Errorf("AnyVM peek missed")
+	}
+}
+
+// TestVMTagQualifiesInvalidations: masked invalidation and key
+// invalidation scoped to one VM leave the other VM's entries alone even
+// when their co-tags match the written line exactly.
+func TestVMTagQualifiesInvalidations(t *testing.T) {
+	s := New("tlb", 16, 4)
+	s.Fill(0, 1, 10, 8, 0) // line 1, VM 0
+	s.Fill(1, 2, 20, 9, 0) // line 1, VM 1
+	if n := s.InvalidateMasked(0, 8, 3, ^uint64(0)); n != 1 {
+		t.Fatalf("VM 0 invalidation dropped %d, want 1", n)
+	}
+	if _, ok := s.Lookup(1, 2); !ok {
+		t.Errorf("VM 1 entry lost to VM 0's invalidation")
+	}
+	if s.CachesMasked(0, 8, 3, ^uint64(0)) {
+		t.Errorf("VM 0 still claims the line")
+	}
+	if !s.CachesMasked(1, 8, 3, ^uint64(0)) {
+		t.Errorf("VM 1's matching entry not reported")
+	}
+	s.Fill(0, 5, 50, 16, 0)
+	if s.InvalidateKey(1, 5) {
+		t.Errorf("VM 1 key invalidation hit VM 0's entry")
+	}
+	if !s.InvalidateKey(0, 5) {
+		t.Errorf("VM 0 key invalidation missed its own entry")
+	}
+}
+
+// TestFlushVM: the VPID-scoped flush (invept single-context) drops one
+// VM's entries wholesale and spares every other VM's.
+func TestFlushVM(t *testing.T) {
+	s := New("tlb", 8, 2)
+	s.Fill(0, 1, 1, 0, 0)
+	s.Fill(0, 2, 2, 0, 0)
+	s.Fill(1, 3, 3, 0, 0)
+	if n := s.FlushVM(0); n != 2 {
+		t.Fatalf("FlushVM(0) lost %d, want 2", n)
+	}
+	if _, ok := s.Lookup(1, 3); !ok {
+		t.Errorf("VM 1 entry lost to VM 0's flush")
+	}
+	if s.Flushes != 1 || s.FlushedEntries != 2 {
+		t.Errorf("flush stats: %d %d", s.Flushes, s.FlushedEntries)
+	}
+	// The CPUSet variant covers all four structures.
+	cs := NewCPUSet(arch.DefaultTLBConfig())
+	cs.L1TLB.Fill(0, 1, 1, 0, 0)
+	cs.L2TLB.Fill(0, 1, 1, 0, 0)
+	cs.NTLB.Fill(1, 2, 2, 0, 0)
+	cs.MMU.Fill(0, 3, 3, 0, 0)
+	tlb, mmu, ntlb := cs.FlushVMAll(0)
+	if tlb != 2 || mmu != 1 || ntlb != 0 {
+		t.Errorf("FlushVMAll: %d %d %d", tlb, mmu, ntlb)
+	}
+	if cs.ValidTotal() != 1 {
+		t.Errorf("VM 1's nTLB entry should survive, valid = %d", cs.ValidTotal())
 	}
 }
 

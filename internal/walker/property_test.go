@@ -38,7 +38,7 @@ func TestWalkerMatchesFunctionalTranslation(t *testing.T) {
 				if err != nil {
 					return false
 				}
-				r.w.TS.InvalidateMaskedAll(uint64(spa)>>3, 3, ^uint64(0))
+				r.w.TS.InvalidateMaskedAll(0, uint64(spa)>>3, 3, ^uint64(0))
 			}
 			spp, gpp, _, fault := r.w.Translate(0, gvp, arch.Cycles(step))
 			if fault != nil {

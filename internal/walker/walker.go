@@ -26,14 +26,14 @@ type Fault struct {
 // GuestPTResolver returns the guest page table of a process in the VM.
 type GuestPTResolver func(pid int) *pagetable.GuestPT
 
-// VMResolver returns the page tables of the VM a CPU currently runs: its
-// nested page table and its per-process guest page tables. The walker
-// re-resolves them on every translation, so the *walk* always descends
-// the current VM's tables. Note this alone does not make vCPU scheduling
-// across VMs safe: TLB/MMU-cache keys carry only (pid, gvp), so moving a
-// CPU between VMs additionally requires per-entry VM tags or a full
-// flush at the switch.
-type VMResolver func() (*pagetable.NestedPT, GuestPTResolver)
+// VMResolver returns the VM a CPU currently runs — its dense ID (the VPID
+// every fill is tagged with and every lookup qualified by), its nested
+// page table, and its per-process guest page tables. The walker
+// re-resolves them on every translation, so the walk always descends the
+// current VM's tables and the translation structures always tag and match
+// the current VM: under a time-sliced scheduler this is what keeps two
+// VMs' identical (pid, gvp) pairs apart in a shared TLB.
+type VMResolver func() (int, *pagetable.NestedPT, GuestPTResolver)
 
 // TLB values pack both the system physical page (so the access proceeds)
 // and the guest physical page (so the simulator can maintain nested
@@ -64,6 +64,10 @@ type Walker struct {
 	Nested *pagetable.NestedPT
 	Guest  GuestPTResolver
 	VM     VMResolver
+
+	// vm is the current VM's ID (VPID), refreshed from VM at the start of
+	// every translation; 0 when no resolver is installed (single-VM rigs).
+	vm int
 }
 
 // Translate resolves (pid, gvp) to a system physical page (plus the guest
@@ -72,17 +76,17 @@ type Walker struct {
 // burned discovering it.
 func (w *Walker) Translate(pid int, gvp arch.GVP, now arch.Cycles) (arch.SPP, arch.GPP, arch.Cycles, *Fault) {
 	if w.VM != nil {
-		w.Nested, w.Guest = w.VM()
+		w.vm, w.Nested, w.Guest = w.VM()
 	}
 	key := tstruct.TLBKey(pid, gvp)
-	if v, ok := w.TS.L1TLB.Lookup(key); ok {
+	if v, ok := w.TS.L1TLB.Lookup(w.vm, key); ok {
 		w.Cnt.L1TLBHits++
 		spp, gpp := unpackVal(v)
 		return spp, gpp, 0, nil
 	}
 	w.Cnt.L1TLBMisses++
 	lat := w.Cost.L2TLBHit
-	if e, ok := w.TS.L2TLB.LookupEntry(key); ok {
+	if e, ok := w.TS.L2TLB.LookupEntry(w.vm, key); ok {
 		w.Cnt.L2TLBHits++
 		// The L2 to L1 refill carries the original co-tag along.
 		w.fill(w.TS.L1TLB, key, e.Val, e.Src, cache.IsPTKind(e.Kind), true)
@@ -108,7 +112,7 @@ func (w *Walker) walk(pid int, gvp arch.GVP, now arch.Cycles) (arch.SPP, arch.GP
 	table := gpt.Root()
 	for level := 1; level <= arch.PTLevels-1; level++ {
 		lat++ // one probe per level; small SRAM
-		if v, ok := w.TS.MMU.Lookup(tstruct.MMUKey(pid, gvp.PrefixKey(level))); ok {
+		if v, ok := w.TS.MMU.Lookup(w.vm, tstruct.MMUKey(pid, gvp.PrefixKey(level))); ok {
 			w.Cnt.MMUCacheHits++
 			startLevel = level
 			table = arch.GPP(v)
@@ -172,7 +176,7 @@ func (w *Walker) walk(pid int, gvp arch.GVP, now arch.Cycles) (arch.SPP, arch.GP
 // the nested TLB or a 4-reference nested walk.
 func (w *Walker) translateGPP(gpp arch.GPP, now arch.Cycles) (arch.SPP, bool, arch.Cycles) {
 	var lat arch.Cycles = 1 // nTLB probe
-	if v, ok := w.TS.NTLB.Lookup(tstruct.NTLBKey(gpp)); ok {
+	if v, ok := w.TS.NTLB.Lookup(w.vm, tstruct.NTLBKey(gpp)); ok {
 		w.Cnt.NTLBHits++
 		return arch.SPP(v), true, lat
 	}
@@ -205,10 +209,11 @@ func (w *Walker) srcOfNestedLeaf(gpp arch.GPP) uint64 {
 	return uint64(spa) >> 3
 }
 
-// fill inserts into a translation structure and lazily notifies the
-// directory about the displaced victim (eager mode demotes immediately).
+// fill inserts into a translation structure, tagged with the current VM,
+// and lazily notifies the directory about the displaced victim (eager mode
+// demotes immediately).
 func (w *Walker) fill(s *tstruct.Struct, key, val, src uint64, kind cache.IsPTKind, notify bool) {
-	victim, evicted := s.Fill(key, val, src, uint8(kind))
+	victim, evicted := s.Fill(w.vm, key, val, src, uint8(kind))
 	if evicted && notify {
 		w.Hier.NoteTranslationEviction(w.CPU, arch.SPA(victim.Src<<3), cache.IsPTKind(victim.Kind))
 	}

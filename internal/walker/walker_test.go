@@ -170,7 +170,7 @@ func TestWalkSetsCoTags(t *testing.T) {
 	if !ok {
 		t.Fatal("no leaf")
 	}
-	e, ok := r.w.TS.L2TLB.LookupEntry(tstruct.TLBKey(0, 0x3000))
+	e, ok := r.w.TS.L2TLB.LookupEntry(0, tstruct.TLBKey(0, 0x3000))
 	if !ok {
 		t.Fatal("no L2 TLB entry")
 	}
@@ -204,7 +204,7 @@ func TestFaultOnNotPresent(t *testing.T) {
 		t.Errorf("fault fields: %+v", fault)
 	}
 	// No TLB entry may be installed for a faulting translation.
-	if _, ok := r.w.TS.L2TLB.Lookup(tstruct.TLBKey(0, 0x5000)); ok {
+	if _, ok := r.w.TS.L2TLB.Lookup(0, tstruct.TLBKey(0, 0x5000)); ok {
 		t.Errorf("TLB filled despite fault")
 	}
 	// After the page becomes present, the retry succeeds.
@@ -224,10 +224,10 @@ func TestL2ToL1RefillKeepsCoTag(t *testing.T) {
 	r.mapPage(t, 0x6000, gpp, true)
 	r.w.Translate(0, 0x6000, 0)
 	// Drop only the L1 TLB entry; the L2 refill must preserve Src.
-	r.w.TS.L1TLB.InvalidateKey(tstruct.TLBKey(0, 0x6000))
+	r.w.TS.L1TLB.InvalidateKey(0, tstruct.TLBKey(0, 0x6000))
 	r.w.Translate(0, 0x6000, 0)
 	leaf, _ := r.nested.LeafSPA(gpp)
-	e, ok := r.w.TS.L1TLB.LookupEntry(tstruct.TLBKey(0, 0x6000))
+	e, ok := r.w.TS.L1TLB.LookupEntry(0, tstruct.TLBKey(0, 0x6000))
 	if !ok || e.Src != uint64(leaf)>>3 {
 		t.Errorf("refill lost co-tag: %+v", e)
 	}
@@ -242,7 +242,7 @@ func TestProcessesAreIsolated(t *testing.T) {
 	r.w.Translate(0, 0x8000, 0)
 	// A different process (pid 1) with the same GVP must not hit pid 0's
 	// TLB entry.
-	if _, ok := r.w.TS.L1TLB.Lookup(tstruct.TLBKey(1, 0x8000)); ok {
+	if _, ok := r.w.TS.L1TLB.Lookup(0, tstruct.TLBKey(1, 0x8000)); ok {
 		t.Errorf("TLB leaked translations across processes")
 	}
 }
