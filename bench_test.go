@@ -240,6 +240,33 @@ func BenchmarkPrefetchExtension(b *testing.B) {
 	}
 }
 
+// BenchmarkQoS regenerates the per-VM QoS study: the protected VM's
+// coherence bill with and without a die-stacked reservation, beside a
+// noisy neighbor.
+func BenchmarkQoS(b *testing.B) {
+	r := quickRunner(b)
+	r.Threads = 8
+	for i := 0; i < b.N; i++ {
+		res, err := r.QoS()
+		if err != nil {
+			b.Fatal(err)
+		}
+		var openStolen, guardedStolen float64
+		for _, row := range res.Rows {
+			if row.Protocol != "sw" {
+				continue
+			}
+			if row.Quota == "none" {
+				openStolen = float64(row.VictimStolenFrames)
+			} else if row.Quota == "half" {
+				guardedStolen = float64(row.VictimStolenFrames)
+			}
+		}
+		b.ReportMetric(openStolen, "stolen-none")
+		b.ReportMetric(guardedStolen, "stolen-half")
+	}
+}
+
 // BenchmarkSimulatorThroughput measures raw simulation speed (references
 // simulated per second) — the cost of the infrastructure itself rather
 // than a paper figure.

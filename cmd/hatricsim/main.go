@@ -14,12 +14,25 @@
 // scheduler with a -quantum cycle time slice. VPID-tagged translation
 // structures keep the VMs' entries apart across world switches;
 // -flush-on-switch restores the no-VPID flush baseline.
+//
+// Per-VM QoS tiers: -vm-mode, -vm-quota, and -vm-weight override the
+// machine-wide placement, reserve die-stacked frames (absolute, or a
+// share like 25%), and weight scheduler quanta per VM — comma-separated,
+// entry i configuring VM i, empty entries inheriting the machine-wide
+// flags. A per-VM QoS table reports each VM's reservation, fair share,
+// residency, and the frames other VMs' pressure stole from it.
+//
+// Example (a protected VM beside a paging neighbor):
+//
+//	hatricsim -vms 2 -threads 4 -protocol sw -vm-quota 50%,0
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"strconv"
+	"strings"
 
 	"hatric/internal/arch"
 	"hatric/internal/hv"
@@ -49,6 +62,10 @@ func main() {
 		quantum = flag.Uint64("quantum", 0, "scheduler time slice in cycles (0 = default)")
 		flushsw = flag.Bool("flush-on-switch", false, "flush translation structures at cross-VM switches (no-VPID baseline)")
 
+		vmModes  = flag.String("vm-mode", "", "per-VM placement overrides, comma-separated (paged|no-hbm|inf-hbm; empty entry keeps -mode)")
+		vmQuotas = flag.String("vm-quota", "", "per-VM die-stacked reservations, comma-separated (frames, or a share like 25%)")
+		vmWeight = flag.String("vm-weight", "", "per-VM scheduler quantum weights, comma-separated (empty entry = 1)")
+
 		migrateAt    = flag.Uint64("migrate", 0, "live-migrate a VM at this cycle (0 = off)")
 		migrateVM    = flag.Int("migrate-vm", 0, "VM to live-migrate")
 		migrateDest  = flag.String("migrate-dest", "dram", "migration destination: dram, hbm")
@@ -65,16 +82,9 @@ func main() {
 		spec = spec.WithRefs(*refs)
 	}
 
-	var mode hv.PlacementMode
-	switch *modeStr {
-	case "paged":
-		mode = hv.ModePaged
-	case "no-hbm":
-		mode = hv.ModeNoHBM
-	case "inf-hbm":
-		mode = hv.ModeInfHBM
-	default:
-		fatal(fmt.Errorf("unknown mode %q", *modeStr))
+	mode, err := parseMode(*modeStr)
+	if err != nil {
+		fatal(err)
 	}
 
 	if *vms < 1 {
@@ -140,6 +150,19 @@ func main() {
 		opts.VMs = append(opts.VMs, sim.VMSpec{
 			Workloads: []sim.AssignedWorkload{{Spec: spec, CPUs: cpus}}})
 	}
+	if *vmWeight != "" && *vcpus <= 1 {
+		fatal(fmt.Errorf("-vm-weight needs the time-sliced scheduler; pass -vcpus > 1"))
+	}
+	qosFlags := *vmModes != "" || *vmQuotas != "" || *vmWeight != ""
+	if qosFlags {
+		if err := applyVMFlags(opts.VMs, *vmModes, *vmQuotas, *vmWeight); err != nil {
+			fatal(err)
+		}
+		// Per-VM pinned (inf-hbm) footprints and absolute reservations
+		// change what the die-stacked tier must hold; re-size for them.
+		sim.SizeConfigVMs(&cfg, opts.VMs, mode)
+		opts.Config = cfg
+	}
 	sys, err := sim.New(opts)
 	if err != nil {
 		fatal(err)
@@ -155,7 +178,101 @@ func main() {
 	if *vms > 1 {
 		printPerVM(res)
 	}
+	if qosFlags {
+		printQoS(res)
+	}
 	printMigrations(res)
+}
+
+// parseMode maps a placement-mode name to the hv constant.
+func parseMode(name string) (hv.PlacementMode, error) {
+	switch name {
+	case "paged":
+		return hv.ModePaged, nil
+	case "no-hbm":
+		return hv.ModeNoHBM, nil
+	case "inf-hbm":
+		return hv.ModeInfHBM, nil
+	}
+	return 0, fmt.Errorf("unknown mode %q", name)
+}
+
+// splitPerVM splits a comma-separated per-VM flag value, padding missing
+// trailing entries with "" (inherit).
+func splitPerVM(s, flagName string, n int) ([]string, error) {
+	out := make([]string, n)
+	if s == "" {
+		return out, nil
+	}
+	parts := strings.Split(s, ",")
+	if len(parts) > n {
+		return nil, fmt.Errorf("%s lists %d entries for %d VMs", flagName, len(parts), n)
+	}
+	for i, p := range parts {
+		out[i] = strings.TrimSpace(p)
+	}
+	return out, nil
+}
+
+// applyVMFlags folds the per-VM QoS flags into the machine description:
+// entry i configures VM i, empty entries inherit the machine-wide flags.
+func applyVMFlags(vms []sim.VMSpec, modes, quotas, weights string) error {
+	ms, err := splitPerVM(modes, "-vm-mode", len(vms))
+	if err != nil {
+		return err
+	}
+	qs, err := splitPerVM(quotas, "-vm-quota", len(vms))
+	if err != nil {
+		return err
+	}
+	ws, err := splitPerVM(weights, "-vm-weight", len(vms))
+	if err != nil {
+		return err
+	}
+	for v := range vms {
+		if ms[v] != "" {
+			m, err := parseMode(ms[v])
+			if err != nil {
+				return fmt.Errorf("-vm-mode entry %d: %w", v, err)
+			}
+			vms[v].Mode = &m
+		}
+		if qs[v] != "" {
+			if pct, ok := strings.CutSuffix(qs[v], "%"); ok {
+				f, err := strconv.ParseFloat(pct, 64)
+				if err != nil {
+					return fmt.Errorf("-vm-quota entry %d: bad share %q", v, qs[v])
+				}
+				vms[v].QuotaShare = f / 100
+			} else {
+				frames, err := strconv.Atoi(qs[v])
+				if err != nil {
+					return fmt.Errorf("-vm-quota entry %d: bad frame count %q", v, qs[v])
+				}
+				vms[v].QuotaFrames = frames
+			}
+		}
+		if ws[v] != "" {
+			w, err := strconv.Atoi(ws[v])
+			if err != nil {
+				return fmt.Errorf("-vm-weight entry %d: bad weight %q", v, ws[v])
+			}
+			vms[v].Weight = w
+		}
+	}
+	return nil
+}
+
+// printQoS summarizes each VM's die-stacked share accounting.
+func printQoS(res *sim.Result) {
+	t := stats.NewTable("per-VM QoS", "vm", "reserved", "fair share", "resident",
+		"evictions", "stolen by others", "frozen steals")
+	for v := range res.QoS {
+		q := &res.QoS[v]
+		t.AddRow(v, q.ReservedFrames, q.ShareFrames, q.ResidentFrames,
+			q.Evictions, q.StolenFrames, q.FrozenSteals)
+	}
+	fmt.Print(t)
 }
 
 // printMigrations summarizes each live migration's convergence and cost.

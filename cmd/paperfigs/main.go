@@ -7,9 +7,10 @@
 //
 // Beyond the paper's figures, -fig pf runs the Sec. 4.4 prefetching
 // ablation, -fig interference the multi-VM noisy-neighbor study, -fig
-// migration the whole-VM live-migration storm study, and -fig overcommit
+// migration the whole-VM live-migration storm study, -fig overcommit
 // the vCPU-overcommit study (descheduled-target shootdown stalls across
-// consolidation ratios).
+// consolidation ratios), and -fig qos the per-VM QoS study (a protected
+// VM's die-stacked reservation swept against a noisy neighbor's churn).
 //
 // Each figure prints the same series the paper plots, normalized the same
 // way. -quick shrinks reference counts for a fast pass.
@@ -154,6 +155,12 @@ func runFig(r *exp.Runner, f string) error {
 		fmt.Println(res.Table())
 	case "overcommit":
 		res, err := r.Overcommit()
+		if err != nil {
+			return err
+		}
+		fmt.Println(res.Table())
+	case "qos":
+		res, err := r.QoS()
 		if err != nil {
 			return err
 		}

@@ -35,6 +35,22 @@
 // execute. Drive it with `hatricsim -vcpus -quantum`, the
 // examples/overcommit walkthrough, or `paperfigs -fig overcommit`.
 //
+// # Per-VM QoS tiers
+//
+// Every QoS knob lives per VM on sim.VMSpec, with the machine-wide
+// Options values as the inherited defaults: placement mode (one VM can
+// be pinned fully die-stacked while neighbors page), paging
+// configuration (policy, daemon, prefetch, defrag), a die-stacked quota
+// (absolute frames, a capacity share, or a proportional weight), and a
+// scheduler quantum weight. Capacity pressure flows through a
+// quota-aware victim selector: a VM over its fair share is the
+// preferred eviction victim and a VM at-or-under its reserved share is
+// never stolen from, so a noisy neighbor's paging can no longer force
+// shootdowns onto a protected, latency-sensitive VM. Result.QoS reports
+// each VM's reservation, residency, and stolen frames. Drive it with
+// the VMSpec fields, `hatricsim -vm-quota/-vm-mode/-vm-weight`, the
+// examples/qos walkthrough, or `paperfigs -fig qos`.
+//
 // See README.md for a package tour and how to run the examples,
 // benchmarks, and figure regeneration. The benchmarks in bench_test.go
 // regenerate every figure of the paper's evaluation.

@@ -381,6 +381,67 @@ func TestOvercommitShape(t *testing.T) {
 	}
 }
 
+// TestQoSShape is the acceptance property of the per-VM QoS study: with
+// no reservation the victim's shootdown/stall counters degrade under the
+// neighbor's pressure; once a quota is reserved they go flat (zero frames
+// stolen, zero shootdown exits) while the neighbor keeps churning.
+func TestQoSShape(t *testing.T) {
+	r := tiny()
+	r.CheckStale = true
+	res, err := r.QoS()
+	if err != nil {
+		t.Fatal(err)
+	}
+	quotas := qosQuotas()
+	if want := 3 * len(quotas); len(res.Rows) != want {
+		t.Fatalf("rows = %d, want %d", len(res.Rows), want)
+	}
+	byKey := map[string]QoSRow{}
+	for _, row := range res.Rows {
+		byKey[row.Quota+"/"+row.Protocol] = row
+		if row.Evictions == 0 {
+			t.Errorf("%s/%s: no paging pressure; the scenario is broken", row.Quota, row.Protocol)
+		}
+		if row.Quota == "none" {
+			if row.ReservedFrames != 0 {
+				t.Errorf("none/%s: reserved %d frames", row.Protocol, row.ReservedFrames)
+			}
+			if row.VictimStolenFrames == 0 {
+				t.Errorf("none/%s: neighbor stole nothing; no degradation to protect against", row.Protocol)
+			}
+		} else {
+			if row.ReservedFrames == 0 {
+				t.Errorf("%s/%s: quota did not resolve to frames", row.Quota, row.Protocol)
+			}
+			if row.VictimStolenFrames != 0 {
+				t.Errorf("%s/%s: %d victim frames stolen despite the reservation",
+					row.Quota, row.Protocol, row.VictimStolenFrames)
+			}
+			if row.VictimShootdownExits != 0 {
+				t.Errorf("%s/%s: %d shootdown exits despite the reservation",
+					row.Quota, row.Protocol, row.VictimShootdownExits)
+			}
+		}
+	}
+	// Unprotected software coherence pays shootdowns on the victim for
+	// the neighbor-driven evictions; the hardware protocols never do.
+	if byKey["none/sw"].VictimShootdownExits == 0 {
+		t.Errorf("none/sw: victim suffered no shootdown exits despite stolen frames")
+	}
+	if byKey["none/hatric"].VictimShootdownExits != 0 {
+		t.Errorf("none/hatric: victim suffered %d shootdown exits",
+			byKey["none/hatric"].VictimShootdownExits)
+	}
+	// Protection flattens sw's victim-side bill.
+	if f, n := byKey["half/sw"], byKey["none/sw"]; f.VictimFlushes >= n.VictimFlushes {
+		t.Errorf("half/sw victim flushes (%d) not below none/sw (%d)",
+			f.VictimFlushes, n.VictimFlushes)
+	}
+	if res.Table().NumRows() != len(res.Rows) {
+		t.Errorf("table rows wrong")
+	}
+}
+
 func TestMicroCosts(t *testing.T) {
 	res, err := tiny().MicroCosts()
 	if err != nil {

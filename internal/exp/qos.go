@@ -1,0 +1,184 @@
+package exp
+
+import (
+	"fmt"
+
+	"hatric/internal/hv"
+	"hatric/internal/sim"
+	"hatric/internal/stats"
+	"hatric/internal/workload"
+)
+
+// qosQuotas returns the sweep of die-stacked reservations granted to the
+// latency-sensitive VM, as fractions of die-stacked capacity. "none" is
+// the unprotected machine (the legacy round-robin pressure); the largest
+// setting exceeds the victim's resident demand, so its pages become
+// untouchable by the neighbor's pressure.
+func qosQuotas() []struct {
+	Name  string
+	Share float64
+} {
+	return []struct {
+		Name  string
+		Share float64
+	}{
+		{"none", 0},
+		{"quarter", 0.25},
+		{"half", 0.50},
+	}
+}
+
+// QoSRow is one (quota, protocol) cell of the per-VM QoS study: what a
+// die-stacked reservation buys the latency-sensitive VM as its noisy
+// neighbor churns the shared tier.
+type QoSRow struct {
+	// Quota names the victim VM's reservation setting; ReservedFrames is
+	// the resolved frame count.
+	Quota          string
+	ReservedFrames int
+	Protocol       string
+	// Slowdown is victim-beside-neighbor runtime over victim-alone
+	// runtime on identical hardware (1.0 = perfect isolation).
+	Slowdown float64
+	// VictimShootdownExits counts the victim's VM exits beyond its own
+	// page faults — the shootdown interruptions neighbor-driven evictions
+	// of victim pages cause under software coherence.
+	VictimShootdownExits uint64
+	// VictimFlushes counts TLB flushes on the victim's CPUs.
+	VictimFlushes uint64
+	// VictimStolenFrames counts victim frames evicted on behalf of the
+	// neighbor — zero once the reservation covers the victim's residency.
+	VictimStolenFrames uint64
+	// VictimResidentFrames is the victim's die-stacked residency at the
+	// end of the run.
+	VictimResidentFrames int
+	// Evictions is the machine-wide eviction count (the neighbor's churn
+	// persists regardless of the quota; the quota only redirects it).
+	Evictions uint64
+}
+
+// QoSResult is the per-VM QoS (noisy neighbor vs. protected VM) study.
+type QoSResult struct {
+	Victim, Noisy string
+	HBMFrames     int
+	Rows          []QoSRow
+}
+
+// qosVictim returns the latency-sensitive VM's workload: canneal scaled
+// down so that its resident demand fits inside a reservable slice of the
+// die-stacked tier while the neighbor keeps the tier under pressure.
+func qosVictim() (workload.Spec, error) {
+	victim, err := workload.ByName("canneal")
+	if err != nil {
+		return workload.Spec{}, err
+	}
+	victim.FootprintPages = 640
+	victim.RegionPages = 288
+	return victim, nil
+}
+
+// QoS runs the SLA-tiering study the per-VM quota machinery exists for: a
+// latency-sensitive VM beside a paging-heavy noisy neighbor, sweeping the
+// victim's die-stacked reservation from nothing to more than its resident
+// demand, under software, HATRIC, and ideal translation coherence. With
+// no reservation the neighbor's churn evicts victim pages and every such
+// eviction runs translation coherence against the victim (a full
+// shootdown under sw); once the reservation covers the victim's
+// residency, the victim-side counters go flat — the neighbor still
+// thrashes, but only against its own share of the tier.
+func (r *Runner) QoS() (*QoSResult, error) {
+	threads := r.threads()
+	if threads < 3 {
+		return nil, fmt.Errorf("exp: qos needs at least 3 vCPUs (victim + neighbor), got %d", threads)
+	}
+	victimCPUs, noisyCPUs := interferenceVMs(threads)
+
+	victim, err := qosVictim()
+	if err != nil {
+		return nil, err
+	}
+	noisy, err := workload.ByName("data_caching")
+	if err != nil {
+		return nil, err
+	}
+	victim = r.spec(victim)
+	noisy = r.spec(noisy)
+
+	total := victim.FootprintPages + noisy.FootprintPages
+	protos := []string{"sw", "hatric", "ideal"}
+	var jobs []job
+	var hbmFrames int
+	for _, p := range protos {
+		cfg := r.baseConfig(total, hv.ModePaged)
+		cfg.NumCPUs = threads
+		hbmFrames = cfg.Mem.HBMFrames
+		victimVM := sim.VMSpec{Workloads: []sim.AssignedWorkload{
+			{Spec: victim, CPUs: victimCPUs}}}
+		noisyVM := sim.VMSpec{Workloads: []sim.AssignedWorkload{
+			{Spec: noisy, CPUs: noisyCPUs}}}
+		jobs = append(jobs, job{p + "/alone", sim.Options{
+			Config:     cfg,
+			Protocol:   p,
+			Paging:     hv.BestPolicy(),
+			Mode:       hv.ModePaged,
+			VMs:        []sim.VMSpec{victimVM},
+			Seed:       r.seed(),
+			CheckStale: r.CheckStale,
+		}})
+		for _, q := range qosQuotas() {
+			qv := victimVM
+			qv.QuotaShare = q.Share
+			jobs = append(jobs, job{p + "/" + q.Name, sim.Options{
+				Config:     cfg,
+				Protocol:   p,
+				Paging:     hv.BestPolicy(),
+				Mode:       hv.ModePaged,
+				VMs:        []sim.VMSpec{qv, noisyVM},
+				Seed:       r.seed(),
+				CheckStale: r.CheckStale,
+			}})
+		}
+	}
+	res, err := r.runAll(jobs)
+	if err != nil {
+		return nil, err
+	}
+
+	out := &QoSResult{Victim: victim.Name, Noisy: noisy.Name, HBMFrames: hbmFrames}
+	for _, q := range qosQuotas() {
+		for _, p := range protos {
+			alone := res[p+"/alone"]
+			beside := res[p+"/"+q.Name]
+			row := QoSRow{
+				Quota:                q.Name,
+				ReservedFrames:       beside.QoS[0].ReservedFrames,
+				Protocol:             p,
+				VictimShootdownExits: beside.PerVM[0].VMExits - beside.PerVM[0].PageFaults,
+				VictimFlushes:        beside.PerVM[0].TLBFlushes,
+				VictimStolenFrames:   beside.QoS[0].StolenFrames,
+				VictimResidentFrames: beside.QoS[0].ResidentFrames,
+				Evictions:            beside.Agg.PageEvictions,
+			}
+			if a := alone.VMFinish(0); a > 0 {
+				row.Slowdown = float64(beside.VMFinish(0)) / float64(a)
+			}
+			out.Rows = append(out.Rows, row)
+		}
+	}
+	return out, nil
+}
+
+// Table renders the study.
+func (f *QoSResult) Table() *stats.Table {
+	t := stats.NewTable(
+		fmt.Sprintf("Per-VM QoS: %s (protected) beside %s (noisy neighbor), %d die-stacked frames; victim reservation sweep",
+			f.Victim, f.Noisy, f.HBMFrames),
+		"quota", "protocol", "reserved", "victim slowdown", "victim shootdown exits",
+		"victim tlb flushes", "victim frames stolen", "victim resident", "evictions")
+	for _, row := range f.Rows {
+		t.AddRow(row.Quota, row.Protocol, row.ReservedFrames, row.Slowdown,
+			row.VictimShootdownExits, row.VictimFlushes, row.VictimStolenFrames,
+			row.VictimResidentFrames, row.Evictions)
+	}
+	return t
+}

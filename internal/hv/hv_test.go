@@ -82,7 +82,7 @@ func newHVRig(t *testing.T, pcfg PagingConfig, pages int, mode PlacementMode) *h
 		t.Fatal(err)
 	}
 	proto := core.NewSoftware(machine)
-	hyp, err := New(pcfg, cfg.Cost, mem, hier, machine, proto, []*VM{vm}, 1)
+	hyp, err := New(pcfg, nil, cfg.Cost, mem, hier, machine, proto, []*VM{vm}, 1)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -330,7 +330,7 @@ func TestUnknownPolicyRejected(t *testing.T) {
 	machine := newMachineStub(1)
 	hier := coherence.NewHierarchy(&cfg, mem, []*stats.Counters{machine.cnt[0]})
 	vm, _ := NewVM(0, store, mem, 1, []int{0})
-	if _, err := New(PagingConfig{Policy: "mru"}, cfg.Cost, mem, hier, machine, core.NewSoftware(machine), []*VM{vm}, 1); err == nil {
+	if _, err := New(PagingConfig{Policy: "mru"}, nil, cfg.Cost, mem, hier, machine, core.NewSoftware(machine), []*VM{vm}, 1); err == nil {
 		t.Errorf("bogus policy accepted")
 	}
 }

@@ -43,12 +43,14 @@ func BestPolicy() PagingConfig {
 // initiates translation coherence through the configured protocol. All VMs
 // compete for the same pool of die-stacked frames; each VM has its own
 // eviction policy instance (its victim candidates are per-VM guest
-// physical pages), and capacity pressure is spread across VMs by a
-// round-robin eviction hand — so a paging-heavy VM steals frames from its
-// neighbors, but the translation coherence each eviction triggers is
-// always scoped to the VM owning the evicted page.
+// physical pages) and its own effective paging configuration, and
+// capacity pressure is spread across VMs by the quota-aware victim
+// selector in qos.go: VMs over their fair share are preferred victims,
+// VMs at-or-under their reserved share are never stolen from, and with no
+// quotas configured the selector degenerates to the legacy round-robin
+// hand. The translation coherence each eviction triggers is always scoped
+// to the VM owning the evicted page.
 type Hypervisor struct {
-	cfg      PagingConfig
 	cost     arch.CostModel
 	mem      *memdev.Memory
 	hier     *coherence.Hierarchy
@@ -58,7 +60,11 @@ type Hypervisor struct {
 	policies []Policy
 	rng      *xrand.RNG
 
-	// hand is the round-robin eviction cursor over VMs.
+	// qos is the per-VM paging configuration and die-stacked share
+	// accounting (see qos.go).
+	qos qosState
+
+	// hand is the eviction cursor the victim scans rotate over VMs.
 	hand int
 
 	// migrations holds every scheduled live migration (see migration.go);
@@ -66,44 +72,36 @@ type Hypervisor struct {
 	// simulator's hot path stop pumping the moment all are done.
 	migrations           []*Migration
 	unfinishedMigrations int
-
-	low, high int
 }
 
-// New builds the hypervisor for the given VMs.
-func New(cfg PagingConfig, cost arch.CostModel, mem *memdev.Memory, hier *coherence.Hierarchy,
-	machine core.Machine, protocol core.Protocol, vms []*VM, seed uint64) (*Hypervisor, error) {
+// New builds the hypervisor for the given VMs. cfg is the machine-wide
+// paging configuration; vmcfgs optionally overrides it per VM and adds
+// die-stacked reservations and share weights (nil, or all zero values,
+// reproduces the pre-QoS machine exactly).
+func New(cfg PagingConfig, vmcfgs []VMConfig, cost arch.CostModel, mem *memdev.Memory,
+	hier *coherence.Hierarchy, machine core.Machine, protocol core.Protocol,
+	vms []*VM, seed uint64) (*Hypervisor, error) {
 	if len(vms) == 0 {
 		return nil, fmt.Errorf("hv: no VMs")
 	}
 	h := &Hypervisor{
-		cfg: cfg, cost: cost, mem: mem, hier: hier,
+		cost: cost, mem: mem, hier: hier,
 		machine: machine, protocol: protocol,
 		vms: append([]*VM(nil), vms...),
 		rng: xrand.New(seed ^ 0x9a7c15),
 	}
-	for _, vm := range h.vms {
-		switch cfg.Policy {
+	if err := h.initQoS(cfg, vmcfgs); err != nil {
+		return nil, err
+	}
+	for v, vm := range h.vms {
+		switch h.qos.pcfgs[v].Policy {
 		case "", "lru":
 			h.policies = append(h.policies, NewClock(vm.Nested))
 		case "fifo":
 			h.policies = append(h.policies, NewFIFO())
 		default:
-			return nil, fmt.Errorf("hv: unknown paging policy %q", cfg.Policy)
+			return nil, fmt.Errorf("hv: unknown paging policy %q (VM %d)", h.qos.pcfgs[v].Policy, v)
 		}
-	}
-	total := mem.Layout.HBMFrames
-	lowF, highF := cfg.DaemonLow, cfg.DaemonHigh
-	if lowF <= 0 {
-		lowF = 0.02
-	}
-	if highF <= 0 {
-		highF = 0.06
-	}
-	h.low = int(float64(total) * lowF)
-	h.high = int(float64(total) * highF)
-	if h.high <= h.low {
-		h.high = h.low + 1
 	}
 	return h, nil
 }
@@ -129,11 +127,13 @@ func (h *Hypervisor) HandleFault(cpu, vm int, gpp arch.GPP, now arch.Cycles) (ar
 	c.PageFaults++
 	c.VMExits++
 	lat := h.cost.VMExit + h.cost.HypervisorFault
+	pc := h.pcfg(vm)
 
 	// Reclaim frames on the critical path only when the pool is dry. The
-	// victim may belong to any VM (shared frame pool).
+	// victim may belong to any VM (shared frame pool), subject to the
+	// quota-aware selection of qos.go.
 	for h.mem.FreeFrames(arch.TierHBM) == 0 {
-		evLat, err := h.evictOne(cpu, now+lat, true)
+		evLat, err := h.evictOne(cpu, vm, now+lat, true)
 		if err != nil {
 			return lat, err
 		}
@@ -147,8 +147,8 @@ func (h *Hypervisor) HandleFault(cpu, vm int, gpp arch.GPP, now arch.Cycles) (ar
 	lat += mLat
 
 	// Prefetch adjacent pages (charged to the devices, not the vCPU).
-	for i := 1; i <= h.cfg.Prefetch; i++ {
-		if h.mem.FreeFrames(arch.TierHBM) <= h.low {
+	for i := 1; i <= pc.Prefetch; i++ {
+		if h.mem.FreeFrames(arch.TierHBM) <= h.qos.lowOf[vm] {
 			break
 		}
 		next := gpp + arch.GPP(i)
@@ -162,9 +162,9 @@ func (h *Hypervisor) HandleFault(cpu, vm int, gpp arch.GPP, now arch.Cycles) (ar
 	}
 
 	// Migration daemon: refill the free pool in the background.
-	if h.cfg.Daemon && h.mem.FreeFrames(arch.TierHBM) < h.low {
-		for h.mem.FreeFrames(arch.TierHBM) < h.high {
-			if _, err := h.evictOne(cpu, now+lat, false); err != nil {
+	if pc.Daemon && h.mem.FreeFrames(arch.TierHBM) < h.qos.lowOf[vm] {
+		for h.mem.FreeFrames(arch.TierHBM) < h.qos.highOf[vm] {
+			if _, err := h.evictOne(cpu, vm, now+lat, false); err != nil {
 				break
 			}
 		}
@@ -201,6 +201,7 @@ func (h *Hypervisor) migrateIn(cpu, vm int, gpp arch.GPP, now arch.Cycles, criti
 	c.PageMigrations++
 	wLat := h.cost.PTEWrite + h.hier.Write(cpu, pteSPA, cache.KindNestedPT, now)
 	h.policies[vm].NoteResident(gpp)
+	h.qos.resident[vm]++
 	// A page faulted in during a live migration of this VM became resident
 	// after the pre-copy snapshot; enroll it so it still gets transferred.
 	// Faults land in the die-stacked tier, so a promotion to HBM needs no
@@ -216,55 +217,22 @@ func (h *Hypervisor) migrateIn(cpu, vm int, gpp arch.GPP, now arch.Cycles, criti
 	return copyLat + wLat, nil
 }
 
-// nextVictimVM advances the round-robin hand to the next VM with resident
-// pages to evict. VMs that are mid-migration are skipped — their resident
-// sets are frozen while the pre-copy loop iterates them — rather than
-// letting the hand spin on them.
-func (h *Hypervisor) nextVictimVM() (int, bool) {
-	for i := 0; i < len(h.vms); i++ {
-		idx := (h.hand + i) % len(h.vms)
-		if h.Migrating(idx) {
-			continue
-		}
-		if h.policies[idx].Resident() > 0 {
-			h.hand = (idx + 1) % len(h.vms)
-			return idx, true
-		}
-	}
-	return 0, false
-}
-
-// anyVictimVM is the last-resort fallback when every VM holding resident
-// pages is mid-migration (e.g. a single-VM machine evacuating under
-// capacity pressure): rather than failing the reclaim, evict from a frozen
-// VM. This is benign — eviction moves the page off-die and marks it
-// not-present, and the migration engine already treats queued pages that
-// disappeared as already handled (an evacuated page is where the migration
-// wanted it; a promoted page re-faults straight into the destination).
-func (h *Hypervisor) anyVictimVM() (int, bool) {
-	for i := 0; i < len(h.vms); i++ {
-		idx := (h.hand + i) % len(h.vms)
-		if h.policies[idx].Resident() > 0 {
-			h.hand = (idx + 1) % len(h.vms)
-			return idx, true
-		}
-	}
-	return 0, false
-}
-
 // evictOne unmaps one die-stacked-resident page and migrates it back to
 // off-chip DRAM. This is the present-to-not-present transition of Fig. 3:
 // stale translations may be cached anywhere, so translation coherence runs
 // — against the CPUs of the VM owning the victim page, which need not be
-// the faulting CPU's VM (inter-VM capacity pressure). When critical is
-// false (migration daemon), the initiator-side costs stay off the faulting
+// the faulting CPU's VM (inter-VM capacity pressure). reqVM is the VM the
+// frame is reclaimed for; the quota-aware selector (qos.go) spares VMs
+// at-or-under their reserved share and prefers VMs over their fair share.
+// Falling back to a frozen (mid-migration) VM is benign — eviction moves
+// the page off-die and marks it not-present, and the migration engine
+// treats queued pages that disappeared as already handled — but it is
+// counted (FrozenVMSteals) rather than silent. When critical is false
+// (migration daemon), the initiator-side costs stay off the faulting
 // vCPU; target-side costs (VM exits, flushes) are charged to the targets
 // either way.
-func (h *Hypervisor) evictOne(cpu int, now arch.Cycles, critical bool) (arch.Cycles, error) {
-	vmIdx, ok := h.nextVictimVM()
-	if !ok {
-		vmIdx, ok = h.anyVictimVM()
-	}
+func (h *Hypervisor) evictOne(cpu, reqVM int, now arch.Cycles, critical bool) (arch.Cycles, error) {
+	vmIdx, ok := h.pickVictimVM(reqVM)
 	if !ok {
 		return 0, fmt.Errorf("hv: nothing to evict")
 	}
@@ -290,6 +258,14 @@ func (h *Hypervisor) evictOne(cpu int, now arch.Cycles, critical bool) (arch.Cyc
 	c := h.machine.Counters(cpu)
 	c.PTEWrites++
 	c.PageEvictions++
+	var charge evictCharge
+	h.noteEvicted(vmIdx, reqVM, &charge)
+	if charge.crossVM {
+		c.CrossVMEvictions++
+	}
+	if charge.frozen {
+		c.FrozenVMSteals++
+	}
 	wLat := h.cost.PTEWrite + h.hier.Write(cpu, pteSPA, cache.KindNestedPT, now)
 	tcLat := h.protocol.OnRemap(cpu, vm.ID, pteSPA, now)
 	c.RemapsInitiated++
@@ -338,5 +314,10 @@ func (h *Hypervisor) Defrag(cpu, vm int, now arch.Cycles) arch.Cycles {
 	return copyLat + wLat + tcLat
 }
 
-// DefragEvery exposes the configured defragmentation period.
-func (h *Hypervisor) DefragEvery() uint64 { return h.cfg.DefragEvery }
+// DefragEvery exposes VM vm's configured defragmentation period.
+func (h *Hypervisor) DefragEvery(vm int) uint64 {
+	if vm < 0 || vm >= len(h.vms) {
+		return 0
+	}
+	return h.qos.pcfgs[vm].DefragEvery
+}

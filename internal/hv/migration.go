@@ -503,7 +503,7 @@ func (h *Hypervisor) migratePage(m *Migration, gpp arch.GPP, now arch.Cycles, fo
 	// evictions, which the hand takes from the *other* VMs (the migrating
 	// VM's resident set is frozen).
 	for m.spec.Dest == arch.TierHBM && h.mem.FreeFrames(arch.TierHBM) == 0 {
-		evLat, err := h.evictOne(m.driver, now+lat, true)
+		evLat, err := h.evictOne(m.driver, m.spec.VM, now+lat, true)
 		if err != nil {
 			return lat, false, err
 		}
@@ -534,12 +534,14 @@ func (h *Hypervisor) migratePage(m *Migration, gpp arch.GPP, now arch.Cycles, fo
 	c.RemapsInitiated++
 	c.ShootdownCycles += uint64(tcLat)
 	lat += tcLat
-	// Policy bookkeeping follows the tier transition (a forced re-copy
-	// within the destination tier changes nothing).
+	// Policy bookkeeping and share accounting follow the tier transition
+	// (a forced re-copy within the destination tier changes nothing).
 	if m.spec.Dest == arch.TierHBM && fromTier != arch.TierHBM {
 		h.policies[m.spec.VM].NoteResident(gpp)
+		h.qos.resident[m.spec.VM]++
 	} else if m.spec.Dest == arch.TierDRAM && fromTier == arch.TierHBM {
 		h.policies[m.spec.VM].Forget(gpp)
+		h.qos.resident[m.spec.VM]--
 	}
 	return lat, true, nil
 }

@@ -82,7 +82,7 @@ func newMigRig(t *testing.T, protocol string, pagesA, pagesB int, modeA, modeB P
 	proto := core.New(protocol, machine, 2)
 	hook, relay := proto.Hook()
 	hier.SetTranslationHook(hook, relay)
-	hyp, err := New(PagingConfig{Policy: "fifo"}, cfg.Cost, mem, hier, machine, proto, machine.vms, 1)
+	hyp, err := New(PagingConfig{Policy: "fifo"}, nil, cfg.Cost, mem, hier, machine, proto, machine.vms, 1)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -298,38 +298,47 @@ func TestNextVictimVMSkipsMigrating(t *testing.T) {
 	// Every eviction while VM 0 is frozen must come from VM 1.
 	a0 := r.hyp.Policy(0).Resident()
 	for i := 0; i < pagesB; i++ {
-		vm, ok := r.hyp.nextVictimVM()
+		vm, ok := r.hyp.pickVictimVM(1)
 		if !ok {
-			t.Fatalf("eviction %d: hand found nothing despite VM 1 pages", i)
+			t.Fatalf("eviction %d: selector found nothing despite VM 1 pages", i)
 		}
 		if vm != 1 {
-			t.Fatalf("eviction %d: hand picked frozen VM %d", i, vm)
+			t.Fatalf("eviction %d: selector picked frozen VM %d", i, vm)
 		}
 		r.hyp.Policy(1).PickVictim()
-	}
-	// VM 1 drained; the hand must report nothing rather than spin on VM 0.
-	if vm, ok := r.hyp.nextVictimVM(); ok {
-		t.Fatalf("hand picked VM %d while the only candidate VM is frozen", vm)
 	}
 	if got := r.hyp.Policy(0).Resident(); got != a0 {
 		t.Errorf("frozen VM 0 lost pages: %d -> %d", a0, got)
 	}
-	// The reclaim path itself must not fail outright when only a frozen VM
-	// holds pages: it falls back to evicting from it (benign for an
-	// evacuation — the page lands off-die, where the migration wants it).
-	if _, err := r.hyp.evictOne(0, 0, true); err != nil {
+	// The reclaim path must not fail outright when only a frozen VM holds
+	// pages: it falls back to evicting from it (benign for an evacuation —
+	// the page lands off-die, where the migration wants it), and the steal
+	// is counted rather than silent.
+	if got := r.machine.cnt[0].FrozenVMSteals; got != 0 {
+		t.Fatalf("FrozenVMSteals = %d before any frozen steal", got)
+	}
+	if _, err := r.hyp.evictOne(0, 0, 0, true); err != nil {
 		t.Fatalf("reclaim failed with only a frozen VM to take from: %v", err)
 	}
 	if got := r.hyp.Policy(0).Resident(); got != a0-1 {
 		t.Errorf("fallback eviction did not come from the frozen VM: %d -> %d", a0, got)
 	}
-	// After the migration completes the hand may consider VM 0 again (its
-	// pages moved to DRAM so the tracked set is empty, but a fresh page
-	// makes it eligible).
+	if got := r.machine.cnt[0].FrozenVMSteals; got != 1 {
+		t.Errorf("FrozenVMSteals = %d after a frozen steal, want 1", got)
+	}
+	if got := r.machine.cnt[0].CrossVMEvictions; got != 0 {
+		t.Errorf("CrossVMEvictions = %d for a self-steal (VM 0 reclaiming from itself)", got)
+	}
+	if got := r.hyp.QoSReport()[0].FrozenSteals; got != 1 {
+		t.Errorf("QoSReport FrozenSteals = %d for the frozen victim VM, want 1", got)
+	}
+	// After the migration completes the selector may consider VM 0 again
+	// (its pages moved to DRAM so the tracked set is empty, but a fresh
+	// page makes it eligible).
 	runMigration(t, r, m, nil)
 	r.hyp.Policy(0).NoteResident(arch.GPP(999))
-	if vm, ok := r.hyp.nextVictimVM(); !ok || vm != 0 {
-		t.Errorf("hand skips VM 0 after its migration finished (vm=%d ok=%v)", vm, ok)
+	if vm, ok := r.hyp.pickVictimVM(-1); !ok || vm != 0 {
+		t.Errorf("selector skips VM 0 after its migration finished (vm=%d ok=%v)", vm, ok)
 	}
 }
 

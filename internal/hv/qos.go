@@ -1,0 +1,334 @@
+package hv
+
+import (
+	"fmt"
+
+	"hatric/internal/arch"
+)
+
+// VMConfig carries one VM's quality-of-service knobs: its own paging
+// behavior and its slice of the shared die-stacked tier. The zero value is
+// a VM with no overrides — machine-wide paging, no reservation, weight 1 —
+// and a machine whose VMs all use zero values behaves bit-identically to
+// the pre-QoS hypervisor (round-robin eviction pressure).
+type VMConfig struct {
+	// Paging overrides the machine-wide PagingConfig for this VM: its
+	// eviction policy, migration daemon, prefetch depth, and
+	// defragmentation period. Nil keeps the machine-wide default.
+	Paging *PagingConfig
+	// ReservedFrames is the VM's guaranteed die-stacked allocation: while
+	// the VM holds at most this many die-stacked data frames, the victim
+	// selector never takes a frame from it on behalf of another VM. The
+	// sum of reservations must not exceed die-stacked capacity.
+	ReservedFrames int
+	// ShareWeight is the VM's proportional weight over the unreserved
+	// remainder of the die-stacked tier (0 means 1). Under capacity
+	// pressure the selector prefers victims holding more than
+	// ReservedFrames + weight-share of the spare frames. Weights matter
+	// only when some VM sets a reservation or the weights differ; equal
+	// weights with no reservations keep the legacy round-robin pressure.
+	ShareWeight int
+}
+
+// VMQoSReport is one VM's die-stacked QoS accounting: its configured
+// slice, its current residency, and the eviction pressure it absorbed.
+type VMQoSReport struct {
+	// ReservedFrames and ShareWeight echo the configuration.
+	ReservedFrames int
+	ShareWeight    int
+	// ShareFrames is the VM's fair share of the die-stacked tier: its
+	// reservation plus its weighted slice of the contendable remainder
+	// (capacity minus reservations and pinned frames).
+	ShareFrames float64
+	// ResidentFrames is the VM's die-stacked data-frame count now.
+	ResidentFrames int
+	// Evictions counts frames the VM lost to evictions, whoever asked.
+	Evictions uint64
+	// StolenFrames counts evictions initiated on behalf of another VM —
+	// the inter-VM capacity pressure the quota machinery bounds.
+	StolenFrames uint64
+	// FrozenSteals counts frames taken while the VM was frozen
+	// mid-migration (the critical-path fallback when nothing else is
+	// evictable).
+	FrozenSteals uint64
+}
+
+// qosState is the hypervisor's per-VM share accounting.
+type qosState struct {
+	pcfgs       []PagingConfig // effective per-VM paging configuration
+	lowOf       []int          // per-VM daemon low watermark (frames)
+	highOf      []int          // per-VM daemon high watermark (frames)
+	reserved    []int          // guaranteed die-stacked frames per VM
+	weight      []int          // proportional-share weight per VM (>= 1)
+	resident    []int          // die-stacked data frames held per VM
+	evictions   []uint64       // frames lost to evictions per VM
+	stolen      []uint64       // ... on behalf of another VM
+	frozenSteal []uint64       // ... while frozen mid-migration
+	sumReserved int
+	sumWeight   int
+	totalHBM    int
+	// sharesOn enables the fair-share victim pass. It is false when no VM
+	// reserves frames and all weights are equal — the configuration-free
+	// machine — which keeps victim selection bit-identical to the legacy
+	// round-robin hand.
+	sharesOn bool
+}
+
+// initQoS resolves the per-VM configurations and builds the share
+// accounting. vmcfgs may be nil (no overrides anywhere).
+func (h *Hypervisor) initQoS(cfg PagingConfig, vmcfgs []VMConfig) error {
+	n := len(h.vms)
+	if vmcfgs != nil && len(vmcfgs) != n {
+		return fmt.Errorf("hv: %d VM configs for %d VMs", len(vmcfgs), n)
+	}
+	h.qos = qosState{
+		pcfgs:       make([]PagingConfig, n),
+		lowOf:       make([]int, n),
+		highOf:      make([]int, n),
+		reserved:    make([]int, n),
+		weight:      make([]int, n),
+		resident:    make([]int, n),
+		evictions:   make([]uint64, n),
+		stolen:      make([]uint64, n),
+		frozenSteal: make([]uint64, n),
+		totalHBM:    h.mem.Layout.HBMFrames,
+	}
+	q := &h.qos
+	for v := range h.vms {
+		q.pcfgs[v] = cfg
+		q.weight[v] = 1
+		if vmcfgs == nil {
+			continue
+		}
+		vc := vmcfgs[v]
+		if vc.Paging != nil {
+			q.pcfgs[v] = *vc.Paging
+		}
+		if vc.ReservedFrames < 0 {
+			return fmt.Errorf("hv: VM %d reserves %d frames; reservations must be >= 0", v, vc.ReservedFrames)
+		}
+		if vc.ShareWeight < 0 {
+			return fmt.Errorf("hv: VM %d has share weight %d; weights must be >= 0", v, vc.ShareWeight)
+		}
+		q.reserved[v] = vc.ReservedFrames
+		if vc.ShareWeight > 0 {
+			q.weight[v] = vc.ShareWeight
+		}
+	}
+	for v := range h.vms {
+		q.lowOf[v], q.highOf[v] = watermarks(q.pcfgs[v], q.totalHBM)
+		q.sumReserved += q.reserved[v]
+		q.sumWeight += q.weight[v]
+	}
+	if q.sumReserved > q.totalHBM {
+		return fmt.Errorf("hv: reserved die-stacked frames (%d) exceed capacity (%d)",
+			q.sumReserved, q.totalHBM)
+	}
+	for v := range h.vms {
+		if q.weight[v] != q.weight[0] {
+			q.sharesOn = true
+		}
+	}
+	if q.sumReserved > 0 {
+		q.sharesOn = true
+	}
+	// Initial residency: data pages placed die-stacked at construction
+	// (per-VM inf-hbm placement). They occupy pool capacity and count
+	// against the VM's share even though no policy tracks them (they are
+	// pinned until the VM itself pages or migrates them out) — so
+	// reservations must fit beside them, or the quota guarantee could
+	// not be honored once the pinned frames exhaust the pool. A pinned
+	// VM's own frames satisfy its reservation (max, not sum).
+	claims := 0
+	for v, vm := range h.vms {
+		q.resident[v] = vm.hbmDataFrames()
+		claims += max(q.reserved[v], q.resident[v])
+	}
+	if claims > q.totalHBM {
+		return fmt.Errorf("hv: reservations plus pinned die-stacked residency claim %d frames but capacity is %d",
+			claims, q.totalHBM)
+	}
+	return nil
+}
+
+// watermarks computes a paging configuration's migration-daemon free-frame
+// watermarks against the die-stacked capacity.
+func watermarks(cfg PagingConfig, totalHBM int) (low, high int) {
+	lowF, highF := cfg.DaemonLow, cfg.DaemonHigh
+	if lowF <= 0 {
+		lowF = 0.02
+	}
+	if highF <= 0 {
+		highF = 0.06
+	}
+	low = int(float64(totalHBM) * lowF)
+	high = int(float64(totalHBM) * highF)
+	if high <= low {
+		high = low + 1
+	}
+	return low, high
+}
+
+// pcfg returns VM vm's effective paging configuration.
+func (h *Hypervisor) pcfg(vm int) *PagingConfig { return &h.qos.pcfgs[vm] }
+
+// uncontendableFrames counts the die-stacked frames promised away or
+// pinned: per VM, the larger of its reservation and its policy-unmanaged
+// residency (frames no eviction policy can reclaim — pinned per-VM
+// inf-hbm placements). Taking the max rather than the sum keeps a pinned
+// VM's frames from double-counting against a reservation they already
+// satisfy. The fair shares are computed over the remainder.
+func (h *Hypervisor) uncontendableFrames() int {
+	total := 0
+	for v := range h.vms {
+		claim := h.qos.reserved[v]
+		if d := h.qos.resident[v] - h.policies[v].Resident(); d > claim {
+			claim = d
+		}
+		total += claim
+	}
+	return total
+}
+
+// spareFrames is the contendable remainder of the die-stacked tier:
+// capacity minus reserved and pinned, policy-unmanaged frames.
+func (h *Hypervisor) spareFrames() int {
+	spare := h.qos.totalHBM - h.uncontendableFrames()
+	if spare < 0 {
+		spare = 0
+	}
+	return spare
+}
+
+// shareGiven is VM v's fair share for a precomputed contendable spare:
+// its reservation plus its weighted slice. The victim scan computes the
+// spare once per pick (nothing it reads changes between candidates).
+func (h *Hypervisor) shareGiven(v, spare int) float64 {
+	q := &h.qos
+	return float64(q.reserved[v]) + float64(spare)*float64(q.weight[v])/float64(q.sumWeight)
+}
+
+// shareFrames is VM v's fair share of the die-stacked tier.
+func (h *Hypervisor) shareFrames(v int) float64 {
+	return h.shareGiven(v, h.spareFrames())
+}
+
+// ResidentFrames returns the die-stacked data frames VM v holds now.
+func (h *Hypervisor) ResidentFrames(v int) int { return h.qos.resident[v] }
+
+// QoSReport snapshots every VM's share accounting.
+func (h *Hypervisor) QoSReport() []VMQoSReport {
+	q := &h.qos
+	out := make([]VMQoSReport, len(h.vms))
+	for v := range h.vms {
+		out[v] = VMQoSReport{
+			ReservedFrames: q.reserved[v],
+			ShareWeight:    q.weight[v],
+			ShareFrames:    h.shareFrames(v),
+			ResidentFrames: q.resident[v],
+			Evictions:      q.evictions[v],
+			StolenFrames:   q.stolen[v],
+			FrozenSteals:   q.frozenSteal[v],
+		}
+	}
+	return out
+}
+
+// scanVictims rotates the eviction hand over the VMs and returns the first
+// one holding evictable pages that the eligibility predicate accepts,
+// advancing the hand past it. A failed scan leaves the hand untouched.
+func (h *Hypervisor) scanVictims(eligible func(v int) bool) (int, bool) {
+	for i := 0; i < len(h.vms); i++ {
+		idx := (h.hand + i) % len(h.vms)
+		if h.policies[idx].Resident() == 0 || !eligible(idx) {
+			continue
+		}
+		h.hand = (idx + 1) % len(h.vms)
+		return idx, true
+	}
+	return 0, false
+}
+
+// pickVictimVM selects the VM a frame is reclaimed from on behalf of
+// reqVM (the faulting or migrating VM; -1 when nobody in particular).
+// Preference order:
+//
+//  1. a VM over its fair share (reservation + weighted spare slice) —
+//     only when shares are configured;
+//  2. any VM over its reservation — with no quotas configured this is
+//     exactly the legacy round-robin hand;
+//  3. the requester itself, even below its reservation (a VM may always
+//     page against its own quota);
+//  4. a frozen (mid-migration) VM over its reservation — benign for an
+//     evacuation, and counted as a FrozenVMSteal by evictOne;
+//  5. anyone holding evictable pages, as the last resort before failing
+//     the reclaim outright.
+//
+// Passes 1-3 never take from a VM at-or-under its reservation, which is
+// the quota guarantee; passes 4-5 are reachable only when every
+// unfrozen VM is at its reservation, which validated configurations
+// (reservations summing below capacity) avoid.
+func (h *Hypervisor) pickVictimVM(reqVM int) (int, bool) {
+	if h.qos.sharesOn {
+		spare := h.spareFrames()
+		if v, ok := h.scanVictims(func(v int) bool {
+			return !h.Migrating(v) && float64(h.qos.resident[v]) > h.shareGiven(v, spare)
+		}); ok {
+			return v, true
+		}
+	}
+	if v, ok := h.scanVictims(func(v int) bool {
+		return !h.Migrating(v) && h.qos.resident[v] > h.qos.reserved[v]
+	}); ok {
+		return v, true
+	}
+	if reqVM >= 0 && reqVM < len(h.vms) && !h.Migrating(reqVM) &&
+		h.policies[reqVM].Resident() > 0 {
+		return reqVM, true
+	}
+	if v, ok := h.scanVictims(func(v int) bool {
+		return h.Migrating(v) && h.qos.resident[v] > h.qos.reserved[v]
+	}); ok {
+		return v, true
+	}
+	return h.scanVictims(func(int) bool { return true })
+}
+
+// noteEvicted records one frame leaving VM vmIdx's die-stacked residency
+// through an eviction requested on behalf of reqVM.
+func (h *Hypervisor) noteEvicted(vmIdx, reqVM int, cnt *evictCharge) {
+	q := &h.qos
+	q.resident[vmIdx]--
+	q.evictions[vmIdx]++
+	if vmIdx != reqVM {
+		q.stolen[vmIdx]++
+		cnt.crossVM = true
+	}
+	if h.Migrating(vmIdx) {
+		q.frozenSteal[vmIdx]++
+		cnt.frozen = true
+	}
+}
+
+// evictCharge reports which per-CPU counters one eviction must bump.
+type evictCharge struct {
+	crossVM bool
+	frozen  bool
+}
+
+// hbmDataFrames counts the VM's present data pages resident in the
+// die-stacked tier (page-table heap pages are pinned and excluded) — the
+// initial residency of per-VM inf-hbm placement.
+func (vm *VM) hbmDataFrames() int {
+	n := 0
+	for g := uint64(1); g < vm.gppNext; g++ {
+		spp, present, ok := vm.Nested.Translate(arch.GPP(g))
+		if !ok || !present || vm.OwnsPTPage(spp) {
+			continue
+		}
+		if vm.mem.Layout.TierOf(spp) == arch.TierHBM {
+			n++
+		}
+	}
+	return n
+}

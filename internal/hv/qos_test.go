@@ -1,0 +1,331 @@
+package hv
+
+import (
+	"testing"
+
+	"hatric/internal/arch"
+	"hatric/internal/coherence"
+	"hatric/internal/core"
+	"hatric/internal/memdev"
+	"hatric/internal/pagetable"
+	"hatric/internal/stats"
+	"hatric/internal/xrand"
+)
+
+// qosRig is an N-VM hypervisor with per-VM QoS configs under direct
+// (simulator-free) drive, each VM one process on two CPUs.
+type qosRig struct {
+	mem     *memdev.Memory
+	machine *multiVMStub
+	hyp     *Hypervisor
+	vms     []*VM
+	gpps    [][]arch.GPP // per VM: its data pages, in GVP order
+}
+
+func newQoSRig(t *testing.T, protocol string, cfgs []VMConfig, pages []int, modes []PlacementMode, hbmFrames int) *qosRig {
+	t.Helper()
+	n := len(pages)
+	cfg := arch.DefaultConfig()
+	cfg.NumCPUs = 2 * n
+	cfg.Mem = smallMem()
+	cfg.Mem.HBMFrames = hbmFrames
+	cfg.Mem.DRAMFrames = 4 * (sum(pages) + 64)
+	mem := memdev.New(cfg.Mem)
+	store := pagetable.NewStore(cfg.Mem.PTFrames)
+	base := newMachineStub(cfg.NumCPUs)
+	machine := &multiVMStub{machineStub: base}
+	cnts := make([]*stats.Counters, cfg.NumCPUs)
+	for i := range cnts {
+		cnts[i] = base.cnt[i]
+		machine.cpuVM = append(machine.cpuVM, i/2)
+	}
+	hier := coherence.NewHierarchy(&cfg, mem, cnts)
+
+	r := &qosRig{mem: mem, machine: machine}
+	for v := 0; v < n; v++ {
+		vm, err := NewVM(v, store, mem, 1, []int{2 * v, 2*v + 1})
+		if err != nil {
+			t.Fatal(err)
+		}
+		gpps, err := vm.MapProcess(0, 0, pages[v], modes[v])
+		if err != nil {
+			t.Fatal(err)
+		}
+		machine.vms = append(machine.vms, vm)
+		r.vms = append(r.vms, vm)
+		r.gpps = append(r.gpps, gpps)
+	}
+	proto := core.New(protocol, machine, 2)
+	hook, relay := proto.Hook()
+	hier.SetTranslationHook(hook, relay)
+	hyp, err := New(PagingConfig{Policy: "fifo"}, cfgs, cfg.Cost, mem, hier, machine, proto, machine.vms, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r.hyp = hyp
+	return r
+}
+
+func sum(xs []int) int {
+	t := 0
+	for _, x := range xs {
+		t += x
+	}
+	return t
+}
+
+// fault demand-faults one page of a VM through the hypervisor.
+func (r *qosRig) fault(t *testing.T, vm, page int) {
+	t.Helper()
+	if _, err := r.hyp.HandleFault(2*vm, vm, r.gpps[vm][page], 0); err != nil {
+		t.Fatalf("VM %d fault on page %d: %v", vm, page, err)
+	}
+}
+
+// residentSum checks the pool identity: per-VM resident frames must sum
+// to exactly the die-stacked frames in use, and never exceed capacity.
+func (r *qosRig) residentSum(t *testing.T) int {
+	t.Helper()
+	total := 0
+	for v := range r.vms {
+		total += r.hyp.ResidentFrames(v)
+	}
+	cap := r.mem.Layout.HBMFrames
+	used := cap - r.mem.FreeFrames(arch.TierHBM)
+	if total != used {
+		t.Fatalf("resident accounting drifted: per-VM sum %d, pool in use %d", total, used)
+	}
+	if total > cap {
+		t.Fatalf("resident frames %d exceed pool capacity %d", total, cap)
+	}
+	return total
+}
+
+// TestVictimSelectorSharePreference: with quotas configured, the selector
+// takes from the VM over its fair share, never from a VM at-or-under its
+// reservation — and only as a last resort from a protected VM when
+// nothing else holds pages.
+func TestVictimSelectorSharePreference(t *testing.T) {
+	// 32 HBM frames; VM 0 reserves 8 (fair share 8+12), VM 1 unreserved
+	// (fair share 12).
+	r := newQoSRig(t, "hatric",
+		[]VMConfig{{ReservedFrames: 8}, {}},
+		[]int{16, 24}, []PlacementMode{ModePaged, ModePaged}, 32)
+	for p := 0; p < 4; p++ {
+		r.fault(t, 0, p)
+	}
+	for p := 0; p < 20; p++ {
+		r.fault(t, 1, p)
+	}
+	if got := r.hyp.ResidentFrames(0); got != 4 {
+		t.Fatalf("VM 0 resident = %d, want 4", got)
+	}
+	if got := r.hyp.ResidentFrames(1); got != 20 {
+		t.Fatalf("VM 1 resident = %d, want 20", got)
+	}
+	// VM 1 is over its 12-frame share; every pick must name it, whoever
+	// asks, until it drains to nothing (VM 0 stays under its reservation
+	// and is skipped even once VM 1 is below its share).
+	for i := 0; i < 20; i++ {
+		for _, req := range []int{0, 1} {
+			v, ok := r.hyp.pickVictimVM(req)
+			if !ok || v != 1 {
+				t.Fatalf("pick %d for requester %d: got (%d, %v), want VM 1", i, req, v, ok)
+			}
+		}
+		if _, err := r.hyp.evictOne(2, 1, 0, true); err != nil {
+			t.Fatalf("evict %d: %v", i, err)
+		}
+	}
+	if got := r.hyp.ResidentFrames(1); got != 0 {
+		t.Fatalf("VM 1 resident = %d after draining, want 0", got)
+	}
+	// Only the protected VM holds pages now: the last-resort pass may
+	// take from it (and counts the steal as cross-VM).
+	v, ok := r.hyp.pickVictimVM(1)
+	if !ok || v != 0 {
+		t.Fatalf("last resort pick = (%d, %v), want protected VM 0", v, ok)
+	}
+	if _, err := r.hyp.evictOne(2, 1, 0, true); err != nil {
+		t.Fatal(err)
+	}
+	c := r.machine.cnt[2]
+	if c.CrossVMEvictions == 0 {
+		t.Errorf("cross-VM eviction of the protected VM not counted")
+	}
+	rep := r.hyp.QoSReport()
+	if rep[0].StolenFrames != 1 {
+		t.Errorf("VM 0 StolenFrames = %d, want 1", rep[0].StolenFrames)
+	}
+	if rep[1].Evictions != 20 || rep[1].StolenFrames != 0 {
+		t.Errorf("VM 1 report wrong: %+v (want 20 self evictions, 0 stolen)", rep[1])
+	}
+}
+
+// TestQuotaInvariantProperty is the randomized quota guarantee: across
+// interleaved demand faults of three VMs, a live migration, and the
+// evictions they force, (1) a VM at-or-under its reserved share never
+// loses a die-stacked frame to another VM — its faulted-in pages stay
+// present — and (2) per-VM resident frames always sum to the pool's used
+// frames and never exceed capacity.
+func TestQuotaInvariantProperty(t *testing.T) {
+	for _, seed := range []uint64{3, 17, 99} {
+		const reserved0 = 12
+		r := newQoSRig(t, "hatric",
+			[]VMConfig{{ReservedFrames: reserved0}, {}, {ShareWeight: 2}},
+			[]int{16, 40, 40},
+			[]PlacementMode{ModePaged, ModePaged, ModePaged}, 32)
+		rng := xrand.New(seed)
+
+		// The protected VM faults in 10 pages — under its reservation —
+		// and must keep every one of them resident for the whole run.
+		protected := make([]arch.GPP, 10)
+		for p := 0; p < 10; p++ {
+			r.fault(t, 0, p)
+			protected[p] = r.gpps[0][p]
+		}
+		checkProtected := func(op string) {
+			t.Helper()
+			for _, gpp := range protected {
+				spp, present, ok := r.vms[0].Nested.Translate(gpp)
+				if !ok || !present || r.mem.Layout.TierOf(spp) != arch.TierHBM {
+					t.Fatalf("seed %d, after %s: protected VM 0 lost page %#x (present=%v)",
+						seed, op, uint64(gpp), present)
+				}
+			}
+			if got := r.hyp.ResidentFrames(0); got != len(protected) {
+				t.Fatalf("seed %d, after %s: VM 0 resident = %d, want %d",
+					seed, op, got, len(protected))
+			}
+			r.residentSum(t)
+		}
+		checkProtected("setup")
+
+		// Evacuate VM 2 mid-run so frozen-VM bookkeeping is in the mix.
+		m, err := r.hyp.ScheduleMigration(MigrationSpec{VM: 2, At: 0, Dest: arch.TierDRAM, BurstPages: 4})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := 0; i < 600; i++ {
+			vm := 1 + int(rng.Intn(2))
+			page := int(rng.Intn(len(r.gpps[vm])))
+			gpp := r.gpps[vm][page]
+			if _, present, _ := r.vms[vm].Nested.Translate(gpp); present {
+				continue
+			}
+			r.fault(t, vm, page)
+			checkProtected("fault")
+			if i%20 == 0 && !m.Done() {
+				r.hyp.PumpMigrations(m.DriverCPU(), arch.Cycles(i))
+				checkProtected("migration pump")
+			}
+		}
+		for !m.Done() {
+			r.hyp.PumpMigrations(m.DriverCPU(), 0)
+		}
+		checkProtected("migration drain")
+		if !m.Report().Completed {
+			t.Fatalf("seed %d: migration did not complete", seed)
+		}
+		rep := r.hyp.QoSReport()
+		if rep[0].StolenFrames != 0 || rep[0].Evictions != 0 {
+			t.Errorf("seed %d: protected VM lost frames: %+v", seed, rep[0])
+		}
+		if rep[1].Evictions == 0 {
+			t.Errorf("seed %d: no eviction pressure on the unreserved VM; the property was not exercised", seed)
+		}
+	}
+}
+
+// TestShareAccountsForPinnedFrames: a pinned (per-VM inf-hbm) VM's
+// frames are not contendable, so the fair shares of the paged VMs are
+// computed over the remainder — without this, weighted shares on a
+// machine with a pinned VM could exceed the reclaimable pool and the
+// over-share victim preference would never fire.
+func TestShareAccountsForPinnedFrames(t *testing.T) {
+	// 32 HBM frames, 20 pinned by VM 0; the contendable remainder is 12,
+	// split by weight 1:1:3 (the pinned VM keeps its default weight — it
+	// may become a paged VM later, e.g. after an evacuation).
+	r := newQoSRig(t, "hatric",
+		[]VMConfig{{}, {ShareWeight: 1}, {ShareWeight: 3}},
+		[]int{20, 16, 16},
+		[]PlacementMode{ModeInfHBM, ModePaged, ModePaged}, 32)
+	rep := r.hyp.QoSReport()
+	if rep[0].ResidentFrames != 20 {
+		t.Fatalf("pinned VM resident = %d, want 20", rep[0].ResidentFrames)
+	}
+	if got := rep[1].ShareFrames; got != 2.4 {
+		t.Errorf("VM 1 share = %.1f, want 2.4 (12 contendable x 1/5)", got)
+	}
+	if got := rep[2].ShareFrames; got != 7.2 {
+		t.Errorf("VM 2 share = %.1f, want 7.2 (12 contendable x 3/5)", got)
+	}
+	// With VM 2 over its share of the real remainder, pass 1 prefers it.
+	for p := 0; p < 2; p++ {
+		r.fault(t, 1, p)
+	}
+	for p := 0; p < 10; p++ {
+		r.fault(t, 2, p)
+	}
+	if v, ok := r.hyp.pickVictimVM(1); !ok || v != 2 {
+		t.Errorf("pick = (%d, %v), want the over-share VM 2", v, ok)
+	}
+}
+
+// TestPerVMPagingConfig: each VM runs its own eviction policy, prefetch
+// depth, and defrag period when overridden.
+func TestPerVMPagingConfig(t *testing.T) {
+	lru := PagingConfig{Policy: "lru", DefragEvery: 500}
+	r := newQoSRig(t, "hatric",
+		[]VMConfig{{Paging: &lru}, {}},
+		[]int{8, 8}, []PlacementMode{ModePaged, ModePaged}, 32)
+	if got := r.hyp.Policy(0).Name(); got != "lru" {
+		t.Errorf("VM 0 policy = %s, want lru override", got)
+	}
+	if got := r.hyp.Policy(1).Name(); got != "fifo" {
+		t.Errorf("VM 1 policy = %s, want the machine-wide fifo", got)
+	}
+	if got := r.hyp.DefragEvery(0); got != 500 {
+		t.Errorf("VM 0 defrag period = %d, want 500", got)
+	}
+	if got := r.hyp.DefragEvery(1); got != 0 {
+		t.Errorf("VM 1 defrag period = %d, want 0 (machine-wide)", got)
+	}
+	if got := r.hyp.DefragEvery(-1); got != 0 {
+		t.Errorf("out-of-range VM defrag period = %d", got)
+	}
+}
+
+// TestQoSConfigRejected: malformed per-VM configurations fail fast with
+// descriptive errors.
+func TestQoSConfigRejected(t *testing.T) {
+	build := func(cfgs []VMConfig) error {
+		cfg := arch.DefaultConfig()
+		cfg.NumCPUs = 2
+		cfg.Mem = smallMem()
+		mem := memdev.New(cfg.Mem)
+		store := pagetable.NewStore(cfg.Mem.PTFrames)
+		machine := newMachineStub(2)
+		hier := coherence.NewHierarchy(&cfg, mem, []*stats.Counters{machine.cnt[0], machine.cnt[1]})
+		vm, err := NewVM(0, store, mem, 1, []int{0, 1})
+		if err != nil {
+			t.Fatal(err)
+		}
+		_, err = New(PagingConfig{Policy: "fifo"}, cfgs, cfg.Cost, mem, hier, machine,
+			core.NewSoftware(machine), []*VM{vm}, 1)
+		return err
+	}
+	bad := PagingConfig{Policy: "mru"}
+	cases := map[string][]VMConfig{
+		"negative reservation":      {{ReservedFrames: -1}},
+		"negative weight":           {{ShareWeight: -2}},
+		"reservation over capacity": {{ReservedFrames: 33}}, // smallMem has 32 HBM frames
+		"config count mismatch":     {{}, {}},
+		"unknown per-VM policy":     {{Paging: &bad}},
+	}
+	for name, cfgs := range cases {
+		if err := build(cfgs); err == nil {
+			t.Errorf("%s: accepted", name)
+		}
+	}
+}

@@ -1,0 +1,248 @@
+package sim
+
+import (
+	"testing"
+
+	"hatric/internal/hv"
+)
+
+// TestQoSDefaultsBitIdentical: VMSpecs that spell out the default QoS
+// explicitly (weight 1, no reservation, no overrides) must produce the
+// exact same machine as VMSpecs that say nothing — the refactor's
+// backward-compatibility contract.
+func TestQoSDefaultsBitIdentical(t *testing.T) {
+	spec := smokeSpec()
+	spec.Threads = 2
+	spec.Refs = 8_000
+	run := func(explicit bool) *Result {
+		cfg := smokeConfig()
+		cfg.Mem.HBMFrames = 448
+		opts := twoVMOpts("hatric", cfg, spec, spec)
+		if explicit {
+			for v := range opts.VMs {
+				opts.VMs[v].Weight = 1
+				opts.VMs[v].QuotaWeight = 1
+			}
+		}
+		sys, err := New(opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := sys.Run()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	a, b := run(false), run(true)
+	if a.Runtime != b.Runtime {
+		t.Errorf("explicit default QoS changed the runtime: %d vs %d", a.Runtime, b.Runtime)
+	}
+	if a.Agg != b.Agg {
+		t.Errorf("explicit default QoS changed the counters")
+	}
+}
+
+// TestPerVMPlacementModes: one VM pinned fully die-stacked (inf-hbm)
+// while its neighbor pages. The pinned VM never faults, keeps its whole
+// footprint resident, and loses nothing to the neighbor's pressure.
+func TestPerVMPlacementModes(t *testing.T) {
+	spec := smokeSpec()
+	spec.Threads = 2
+	spec.Refs = 8_000
+	cfg := smokeConfig()
+	// Room for the pinned VM's whole footprint plus a contended remainder
+	// for the paged neighbor.
+	cfg.Mem.HBMFrames = spec.FootprintPages + 448
+	inf := hv.ModeInfHBM
+	opts := twoVMOpts("hatric", cfg, spec, spec)
+	opts.VMs[0].Mode = &inf
+
+	sys, err := New(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := sys.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Agg.StaleTranslationUses != 0 {
+		t.Errorf("%d stale uses", res.Agg.StaleTranslationUses)
+	}
+	if res.PerVM[0].PageFaults != 0 {
+		t.Errorf("pinned VM faulted %d times", res.PerVM[0].PageFaults)
+	}
+	if res.PerVM[1].PageFaults == 0 {
+		t.Errorf("paged VM never faulted; the mix proves nothing")
+	}
+	if got := res.QoS[0].ResidentFrames; got != spec.FootprintPages {
+		t.Errorf("pinned VM resident = %d, want its full footprint %d", got, spec.FootprintPages)
+	}
+	if res.QoS[0].Evictions != 0 || res.QoS[0].StolenFrames != 0 {
+		t.Errorf("pinned VM lost frames: %+v", res.QoS[0])
+	}
+}
+
+// TestQuotaProtectsVictim: end-to-end through the simulator, a
+// die-stacked reservation covering the victim's demand stops the noisy
+// neighbor's pressure from evicting victim pages — and without it the
+// same machine steals plenty.
+func TestQuotaProtectsVictim(t *testing.T) {
+	victim := smokeSpec()
+	victim.Threads = 2
+	victim.Refs = 6_000
+	victim.FootprintPages = 300
+	victim.RegionPages = 150
+	noisy := smokeSpec()
+	noisy.Threads = 2
+	noisy.Refs = 12_000
+
+	run := func(quota int) *Result {
+		cfg := smokeConfig()
+		cfg.Mem.HBMFrames = 448
+		opts := twoVMOpts("sw", cfg, victim, noisy)
+		opts.VMs[0].QuotaFrames = quota
+		sys, err := New(opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := sys.Run()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Agg.StaleTranslationUses != 0 {
+			t.Fatalf("%d stale uses", res.Agg.StaleTranslationUses)
+		}
+		return res
+	}
+	open := run(0)
+	if open.QoS[0].StolenFrames == 0 {
+		t.Fatalf("unprotected victim lost nothing; the scenario exerted no pressure")
+	}
+	guarded := run(victim.FootprintPages)
+	if got := guarded.QoS[0].StolenFrames; got != 0 {
+		t.Errorf("victim lost %d frames despite a footprint-sized reservation", got)
+	}
+	if got := guarded.QoS[0].ReservedFrames; got != victim.FootprintPages {
+		t.Errorf("reservation = %d, want %d", got, victim.FootprintPages)
+	}
+	// The neighbor still pages — the quota redirects pressure, it does
+	// not silence it.
+	if guarded.Agg.PageEvictions == 0 {
+		t.Errorf("no evictions at all under the quota")
+	}
+}
+
+// TestWeightedQuanta: under vCPU overcommit, a VM with scheduler weight w
+// runs w base quanta per slice, so the weighted VM finishes earlier than
+// it does in the equal-weight machine (same seeds, same work).
+func TestWeightedQuanta(t *testing.T) {
+	spec := smokeSpec()
+	spec.Threads = 2
+	spec.Refs = 6_000
+	run := func(weight int) *Result {
+		cfg := smokeConfig()
+		cfg.NumCPUs = 2
+		opts := Options{
+			Config:       cfg,
+			Protocol:     "hatric",
+			Paging:       hv.PagingConfig{Policy: "lru", Daemon: true, Prefetch: 2},
+			Mode:         hv.ModePaged,
+			VCPUsPerCPU:  2,
+			SchedQuantum: 5_000,
+			VMs: []VMSpec{
+				{Workloads: []AssignedWorkload{{Spec: spec, CPUs: []int{0, 1}}}, Weight: weight},
+				{Workloads: []AssignedWorkload{{Spec: spec, CPUs: []int{2, 3}}}},
+			},
+			Seed:       11,
+			CheckStale: true,
+		}
+		sys, err := New(opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := sys.Run()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Agg.StaleTranslationUses != 0 {
+			t.Fatalf("%d stale uses", res.Agg.StaleTranslationUses)
+		}
+		return res
+	}
+	equal := run(0)
+	weighted := run(4)
+	if weighted.VMFinish(0) >= equal.VMFinish(0) {
+		t.Errorf("weight-4 VM finished at %d, not earlier than the equal-weight %d",
+			weighted.VMFinish(0), equal.VMFinish(0))
+	}
+	// Longer slices mean fewer world switches for the same work.
+	if weighted.Agg.VCPUSwitches >= equal.Agg.VCPUSwitches {
+		t.Errorf("weighted machine switched %d times, equal-weight %d; weights should lengthen slices",
+			weighted.Agg.VCPUSwitches, equal.Agg.VCPUSwitches)
+	}
+}
+
+// TestQoSOptionsRejected: malformed QoS settings fail fast, up front,
+// with descriptive errors.
+func TestQoSOptionsRejected(t *testing.T) {
+	cfg := smokeConfig()
+	spec := smokeSpec()
+	vm := func(mut func(*VMSpec)) Options {
+		opts := Options{Config: cfg, Protocol: "hatric", VMs: []VMSpec{
+			{Workloads: []AssignedWorkload{{Spec: spec, CPUs: []int{0}}}},
+			{Workloads: []AssignedWorkload{{Spec: spec, CPUs: []int{1}}}},
+		}}
+		mut(&opts.VMs[0])
+		return opts
+	}
+	cases := map[string]Options{
+		"negative quota frames": vm(func(v *VMSpec) { v.QuotaFrames = -5 }),
+		"share above one":       vm(func(v *VMSpec) { v.QuotaShare = 1.5 }),
+		"negative share":        vm(func(v *VMSpec) { v.QuotaShare = -0.1 }),
+		"frames and share both": vm(func(v *VMSpec) { v.QuotaFrames = 10; v.QuotaShare = 0.5 }),
+		"negative quota weight": vm(func(v *VMSpec) { v.QuotaWeight = -1 }),
+		"negative sched weight": vm(func(v *VMSpec) { v.Weight = -1 }),
+		"quota sum over capacity": func() Options {
+			opts := vm(func(v *VMSpec) { v.QuotaFrames = cfg.Mem.HBMFrames })
+			opts.VMs[1].QuotaFrames = 1
+			return opts
+		}(),
+		"slot out of range": vm(func(v *VMSpec) { v.Workloads[0].CPUs = []int{cfg.NumCPUs} }),
+		// A pinned (inf-hbm) footprint is unreclaimable: reservations
+		// must fit beside it, or the quota guarantee could not hold.
+		"quota does not fit beside pinned footprint": func() Options {
+			inf := hv.ModeInfHBM
+			opts := vm(func(v *VMSpec) {
+				v.Mode = &inf
+				v.Workloads[0].Spec.FootprintPages = 300 // pinned, of 448 HBM frames
+			})
+			opts.VMs[1].QuotaFrames = 200 // 300 + 200 > 448
+			return opts
+		}(),
+	}
+	for name, opts := range cases {
+		if _, err := New(opts); err == nil {
+			t.Errorf("%s: accepted", name)
+		} else {
+			t.Logf("%s: %v", name, err)
+		}
+	}
+	// Shares are resolved against capacity: the full tier is reservable,
+	// one frame more is not.
+	ok := vm(func(v *VMSpec) { v.QuotaFrames = cfg.Mem.HBMFrames })
+	if _, err := New(ok); err != nil {
+		t.Errorf("capacity-sized quota rejected: %v", err)
+	}
+	// A pinned VM's frames satisfy its own reservation: footprint-sized
+	// quota on an inf-hbm VM is not double-counted against capacity.
+	inf := hv.ModeInfHBM
+	overlap := vm(func(v *VMSpec) {
+		v.Mode = &inf
+		v.Workloads[0].Spec.FootprintPages = 300
+		v.QuotaFrames = 300 // of 448 HBM frames: 300+300 would not fit, max(300,300) does
+	})
+	if _, err := New(overlap); err != nil {
+		t.Errorf("reservation overlapping a pinned footprint rejected: %v", err)
+	}
+}

@@ -47,11 +47,50 @@ type AssignedWorkload struct {
 }
 
 // VMSpec describes one virtual machine of the consolidated server: its
-// processes and the physical CPUs (or vCPU slots) they are pinned to. CPU
-// sets of different VMs must be disjoint.
+// processes, the physical CPUs (or vCPU slots) they are pinned to, and
+// the VM's QoS tier. CPU sets of different VMs must be disjoint.
+//
+// The QoS fields all default to "inherit the machine-wide Options value":
+// a VMSpec with only Workloads set behaves exactly as before the per-VM
+// tiers existed, and a machine whose VMs set no overrides is bit-identical
+// to the pre-QoS simulator at the same seeds.
 type VMSpec struct {
 	// Workloads lists the VM's processes; element i is process i.
 	Workloads []AssignedWorkload
+
+	// Mode overrides the machine-wide Options.Mode placement for this VM
+	// (nil inherits). One VM can run inf-hbm (fully die-stacked, pinned)
+	// while its neighbors page — the SLA-tiering setup.
+	Mode *hv.PlacementMode
+	// Paging overrides the machine-wide Options.Paging for this VM's
+	// faults: eviction policy, migration daemon, prefetch depth, and
+	// defragmentation period (nil inherits).
+	Paging *hv.PagingConfig
+	// QuotaFrames reserves this many die-stacked frames for the VM: while
+	// it holds at most that many, no other VM's pressure can evict its
+	// pages. Mutually exclusive with QuotaShare; reservations across VMs
+	// must fit in die-stacked capacity.
+	QuotaFrames int
+	// QuotaShare reserves this fraction (0..1] of die-stacked capacity
+	// instead of an absolute frame count.
+	QuotaShare float64
+	// QuotaWeight is the VM's proportional weight over the unreserved
+	// remainder of the die-stacked tier (0 means 1): under pressure the
+	// eviction selector prefers VMs over their weighted share.
+	QuotaWeight int
+	// Weight is the VM's scheduler quantum weight (0 means 1): under vCPU
+	// overcommit (Options.VCPUsPerCPU > 1) each of the VM's vCPUs runs
+	// Weight x SchedQuantum cycles per slice. Ignored on pinned machines.
+	Weight int
+}
+
+// reservedFrames resolves the VM's die-stacked reservation against the
+// configured capacity (validation has rejected conflicting settings).
+func (v *VMSpec) reservedFrames(hbmFrames int) int {
+	if v.QuotaFrames > 0 {
+		return v.QuotaFrames
+	}
+	return int(v.QuotaShare * float64(hbmFrames))
 }
 
 // OneVM wraps a process list into a single-VM machine description.
@@ -82,8 +121,12 @@ func StripedVMs(spec workload.Spec, pcpus, ratio int) []VMSpec {
 type Options struct {
 	Config   arch.Config
 	Protocol string // "sw", "hatric", "unitd", "ideal"
-	Paging   hv.PagingConfig
-	Mode     hv.PlacementMode
+	// Paging and Mode are the machine-wide paging configuration and data
+	// placement. They are the defaults every VM inherits; individual VMs
+	// override them (and add die-stacked quotas and scheduler weights)
+	// through the VMSpec QoS fields.
+	Paging hv.PagingConfig
+	Mode   hv.PlacementMode
 	// Workloads lists a single VM's processes; element i is process i.
 	// It is the one-VM convenience form of VMs — exactly one of the two
 	// may be set.
@@ -139,6 +182,72 @@ func Multiprogrammed(specs []workload.Spec) []AssignedWorkload {
 	return out
 }
 
+// validateVMSpecs checks the machine description up front, before any
+// state is built: every process pinned to in-range, non-overlapping vCPU
+// slots, and QoS settings that are self-consistent and fit the configured
+// die-stacked capacity — counting pinned (inf-hbm) footprints against it,
+// since those frames are permanently unreclaimable and a reservation that
+// only fits without them could not be honored.
+func validateVMSpecs(vmSpecs []VMSpec, cfg *arch.Config, ratio int, defaultMode hv.PlacementMode) error {
+	numSlots := cfg.NumCPUs * ratio
+	owner := make(map[int]string) // slot -> who pinned it
+	reservedTotal, pinnedTotal, claimTotal := 0, 0, 0
+	for v := range vmSpecs {
+		spec := &vmSpecs[v]
+		if len(spec.Workloads) == 0 {
+			return fmt.Errorf("sim: VM %d has no workloads", v)
+		}
+		for _, w := range spec.Workloads {
+			if len(w.CPUs) == 0 {
+				return fmt.Errorf("sim: process %s of VM %d has no CPUs", w.Spec.Name, v)
+			}
+			who := fmt.Sprintf("process %q of VM %d", w.Spec.Name, v)
+			for _, c := range w.CPUs {
+				if c < 0 || c >= numSlots {
+					return fmt.Errorf("sim: %s pins slot %d outside [0, %d) (%d CPUs x %d vCPUs/CPU)",
+						who, c, numSlots, cfg.NumCPUs, ratio)
+				}
+				if prev, taken := owner[c]; taken {
+					return fmt.Errorf("sim: slot %d pinned by both %s and %s", c, prev, who)
+				}
+				owner[c] = who
+			}
+		}
+		switch {
+		case spec.QuotaFrames < 0:
+			return fmt.Errorf("sim: VM %d has negative QuotaFrames %d", v, spec.QuotaFrames)
+		case spec.QuotaShare < 0 || spec.QuotaShare > 1:
+			return fmt.Errorf("sim: VM %d has QuotaShare %.3f outside [0, 1]", v, spec.QuotaShare)
+		case spec.QuotaFrames > 0 && spec.QuotaShare > 0:
+			return fmt.Errorf("sim: VM %d sets both QuotaFrames (%d) and QuotaShare (%.3f); choose one",
+				v, spec.QuotaFrames, spec.QuotaShare)
+		case spec.QuotaWeight < 0:
+			return fmt.Errorf("sim: VM %d has negative QuotaWeight %d", v, spec.QuotaWeight)
+		case spec.Weight < 0:
+			return fmt.Errorf("sim: VM %d has negative scheduler Weight %d", v, spec.Weight)
+		}
+		// A VM's die-stacked claim is the larger of its reservation and
+		// its pinned (inf-hbm) footprint — pinned frames satisfy the
+		// VM's own reservation rather than double-counting.
+		claim := spec.reservedFrames(cfg.Mem.HBMFrames)
+		reservedTotal += claim
+		mode := defaultMode
+		if spec.Mode != nil {
+			mode = *spec.Mode
+		}
+		if mode == hv.ModeInfHBM {
+			pinnedTotal += FootprintPages(spec.Workloads)
+			claim = max(claim, FootprintPages(spec.Workloads))
+		}
+		claimTotal += claim
+	}
+	if claimTotal > cfg.Mem.HBMFrames {
+		return fmt.Errorf("sim: die-stacked quotas reserve %d frames and inf-hbm VMs pin %d, claiming %d of the tier's %d; shrink the quotas or grow Config.Mem.HBMFrames (see SizeConfigVMs)",
+			reservedTotal, pinnedTotal, claimTotal, cfg.Mem.HBMFrames)
+	}
+	return nil
+}
+
 // Result is the outcome of one run.
 type Result struct {
 	Protocol string
@@ -171,6 +280,11 @@ type Result struct {
 	// Migrations reports each scheduled live migration's outcome (rounds,
 	// pages, re-dirties, downtime), in Options.Migrations order.
 	Migrations []hv.MigrationReport
+	// QoS is each VM's die-stacked share accounting at the end of the
+	// run: configured reservation and weight, final residency, and the
+	// eviction pressure it absorbed (including frames stolen by other
+	// VMs and steals from it while frozen mid-migration).
+	QoS []hv.VMQoSReport
 }
 
 // VMFinish returns the last completion cycle among VM vm's vCPUs.
@@ -224,12 +338,14 @@ type System struct {
 	// is exactly the pre-scheduler one).
 	sched   bool
 	quantum arch.Cycles
-	runq    [][]int       // per physical CPU: its vCPU slots, round-robin order
-	rrpos   []int         // per physical CPU: index of running in runq
-	qstart  []arch.Cycles // per physical CPU: clock at last switch-in
-	vmsOn   [][]bool      // per physical CPU: which VMs have vCPUs here
-	perVM   []stats.Counters
-	snap    []stats.Counters // per physical CPU: counters at last attribution
+	// vmQuantum is each VM's weighted time slice (quantum x VMSpec.Weight).
+	vmQuantum []arch.Cycles
+	runq      [][]int       // per physical CPU: its vCPU slots, round-robin order
+	rrpos     []int         // per physical CPU: index of running in runq
+	qstart    []arch.Cycles // per physical CPU: clock at last switch-in
+	vmsOn     [][]bool      // per physical CPU: which VMs have vCPUs here
+	perVM     []stats.Counters
+	snap      []stats.Counters // per physical CPU: counters at last attribution
 
 	// migrating gates the live-migration hooks in the per-reference hot
 	// path; it is false for every run without Options.Migrations.
@@ -258,10 +374,8 @@ func New(opts Options) (*System, error) {
 	case len(vmSpecs) == 0:
 		vmSpecs = OneVM(opts.Workloads)
 	}
-	for v, spec := range vmSpecs {
-		if len(spec.Workloads) == 0 {
-			return nil, fmt.Errorf("sim: VM %d has no workloads", v)
-		}
+	if err := validateVMSpecs(vmSpecs, &cfg, ratio, opts.Mode); err != nil {
+		return nil, err
 	}
 
 	s := &System{opts: opts, cfg: cfg, sched: ratio > 1}
@@ -298,26 +412,15 @@ func New(opts Options) (*System, error) {
 	hook, relay := s.proto.Hook()
 	s.hier.SetTranslationHook(hook, relay)
 
-	// The VMs and their processes. Slot pinnings must be disjoint across
-	// the whole machine (pinned, a slot is a physical CPU). Stream seeds
-	// advance with a machine-wide process index so no two processes
+	// The VMs and their processes (slot pinnings were validated disjoint
+	// and in-range up front; pinned, a slot is a physical CPU). Stream
+	// seeds advance with a machine-wide process index so no two processes
 	// anywhere share a reference stream.
-	slotSet := map[int]bool{}
 	globalPID := 0
 	for v, spec := range vmSpecs {
 		vmCPUSet := map[int]bool{}
 		for _, w := range spec.Workloads {
-			if len(w.CPUs) == 0 {
-				return nil, fmt.Errorf("sim: process %s of VM %d has no CPUs", w.Spec.Name, v)
-			}
 			for _, c := range w.CPUs {
-				if c < 0 || c >= numSlots {
-					return nil, fmt.Errorf("sim: CPU %d out of range", c)
-				}
-				if slotSet[c] {
-					return nil, fmt.Errorf("sim: CPU %d assigned twice", c)
-				}
-				slotSet[c] = true
 				vmCPUSet[c%cfg.NumCPUs] = true
 			}
 		}
@@ -332,8 +435,12 @@ func New(opts Options) (*System, error) {
 			return nil, fmt.Errorf("sim: building VM %d: %w", v, err)
 		}
 		s.vms = append(s.vms, vm)
+		mode := opts.Mode
+		if spec.Mode != nil {
+			mode = *spec.Mode
+		}
 		for pidx, w := range spec.Workloads {
-			if _, err := vm.MapProcess(pidx, 0, w.Spec.FootprintPages, opts.Mode); err != nil {
+			if _, err := vm.MapProcess(pidx, 0, w.Spec.FootprintPages, mode); err != nil {
 				return nil, fmt.Errorf("sim: mapping %s (VM %d): %w", w.Spec.Name, v, err)
 			}
 			threadSpec := w.Spec.PerThread(len(w.CPUs))
@@ -355,6 +462,17 @@ func New(opts Options) (*System, error) {
 		s.quantum = opts.SchedQuantum
 		if s.quantum <= 0 {
 			s.quantum = DefaultSchedQuantum
+		}
+		// Proportional-share slices: a VM with Weight w runs w base quanta
+		// per turn. Weight 1 (the default) everywhere reproduces the
+		// unweighted round-robin exactly.
+		s.vmQuantum = make([]arch.Cycles, len(s.vms))
+		for v := range s.vmQuantum {
+			w := arch.Cycles(1)
+			if vmSpecs[v].Weight > 0 {
+				w = arch.Cycles(vmSpecs[v].Weight)
+			}
+			s.vmQuantum[v] = s.quantum * w
 		}
 		s.runq = make([][]int, cfg.NumCPUs)
 		s.rrpos = make([]int, cfg.NumCPUs)
@@ -416,7 +534,17 @@ func New(opts Options) (*System, error) {
 		}
 	}
 
-	hyp, err := hv.New(opts.Paging, cfg.Cost, s.mem, s.hier, s, s.proto, s.vms, opts.Seed)
+	// Per-VM paging and die-stacked shares for the hypervisor (zero
+	// values everywhere inherit the machine-wide configuration).
+	vmcfgs := make([]hv.VMConfig, len(vmSpecs))
+	for v := range vmSpecs {
+		vmcfgs[v] = hv.VMConfig{
+			Paging:         vmSpecs[v].Paging,
+			ReservedFrames: vmSpecs[v].reservedFrames(cfg.Mem.HBMFrames),
+			ShareWeight:    vmSpecs[v].QuotaWeight,
+		}
+	}
+	hyp, err := hv.New(opts.Paging, vmcfgs, cfg.Cost, s.mem, s.hier, s, s.proto, s.vms, opts.Seed)
 	if err != nil {
 		return nil, err
 	}
@@ -487,12 +615,16 @@ func (s *System) DeschedWait(cpu, vm int) arch.Cycles {
 	if len(q) == 0 {
 		return 0
 	}
-	// Remaining quantum of the vCPU occupying the target now. Charges from
-	// other CPUs (earlier shootdown targets) may already have pushed the
-	// target's clock past its quantum end; Cycles is unsigned, so compare
-	// before subtracting.
+	// Remaining (weighted) quantum of the vCPU occupying the target now.
+	// Charges from other CPUs (earlier shootdown targets) may already have
+	// pushed the target's clock past its quantum end; Cycles is unsigned,
+	// so compare before subtracting.
+	cur := s.quantum
+	if v := s.vmOf[cpu]; v >= 0 {
+		cur = s.vmQuantum[v]
+	}
 	var wait arch.Cycles
-	if end := s.qstart[cpu] + s.quantum; end > s.clock[cpu] {
+	if end := s.qstart[cpu] + cur; end > s.clock[cpu] {
 		wait = end - s.clock[cpu]
 	}
 	for i := 1; i <= len(q); i++ {
@@ -503,7 +635,7 @@ func (s *System) DeschedWait(cpu, vm int) arch.Cycles {
 		if s.vcpus[v].vm == vm {
 			return wait
 		}
-		wait += s.quantum
+		wait += s.vmQuantum[s.vcpus[v].vm]
 	}
 	return 0
 }
@@ -647,7 +779,7 @@ func (s *System) cpuRunnable(cpu int) bool {
 // cross-VM switch.
 func (s *System) schedule(cpu int) {
 	r := s.running[cpu]
-	if r >= 0 && !s.vcpus[r].finished && s.clock[cpu]-s.qstart[cpu] < s.quantum {
+	if r >= 0 && !s.vcpus[r].finished && s.clock[cpu]-s.qstart[cpu] < s.vmQuantum[s.vcpus[r].vm] {
 		return
 	}
 	q := s.runq[cpu]
@@ -745,7 +877,7 @@ func (s *System) step(cpu int) error {
 
 	// Periodic defragmentation remaps (superpage compaction) in the
 	// CPU's own VM.
-	if de := s.hyp.DefragEvery(); de > 0 && c.MemRefs%de == 0 {
+	if de := s.hyp.DefragEvery(vm); de > 0 && c.MemRefs%de == 0 {
 		s.clock[cpu] += s.hyp.Defrag(cpu, vm, s.clock[cpu])
 	}
 
@@ -873,6 +1005,7 @@ func (s *System) collect() *Result {
 	}
 	r.HBMBytes = s.mem.HBM.Bytes
 	r.DRAMBytes = s.mem.DRAM.Bytes
+	r.QoS = s.hyp.QoSReport()
 	if s.hyp.HasMigrations() {
 		r.Migrations = s.hyp.MigrationReports()
 	}

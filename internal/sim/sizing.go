@@ -32,3 +32,46 @@ func FootprintPages(workloads []AssignedWorkload) int {
 	}
 	return total
 }
+
+// SizeConfigVMs grows cfg's memory system for a machine with per-VM QoS
+// tiers: the die-stacked tier must additionally hold every VM's claim —
+// the larger of its pinned (inf-hbm) footprint and its absolute frame
+// reservation, since pinned frames satisfy the VM's own reservation — on
+// top of whatever pool the paged VMs contend for. Share-based quotas
+// (VMSpec.QuotaShare) resolve against the *final* capacity, so the tier
+// grows until the shares too fit on top of the pool and the fixed
+// claims: capacity >= (pool + fixed claims) / (1 - share sum). Machines
+// without per-VM overrides should keep using SizeConfig, which this
+// helper extends.
+func SizeConfigVMs(cfg *arch.Config, vms []VMSpec, defaultMode hv.PlacementMode) {
+	total, extra := 0, 0
+	shareSum := 0.0
+	for i := range vms {
+		f := FootprintPages(vms[i].Workloads)
+		total += f
+		shareSum += vms[i].QuotaShare
+		mode := defaultMode
+		if vms[i].Mode != nil {
+			mode = *vms[i].Mode
+		}
+		claim := vms[i].QuotaFrames
+		if mode == hv.ModeInfHBM {
+			claim = max(claim, f)
+		}
+		if defaultMode == hv.ModeInfHBM {
+			// A machine-wide inf-hbm default already sizes the tier for
+			// every footprint; only headroom beyond it is extra.
+			claim -= f
+		}
+		if claim > 0 {
+			extra += claim
+		}
+	}
+	SizeConfig(cfg, total, defaultMode)
+	cfg.Mem.HBMFrames += extra
+	if shareSum > 0 && shareSum < 1 {
+		if need := int(float64(cfg.Mem.HBMFrames)/(1-shareSum)) + 1; cfg.Mem.HBMFrames < need {
+			cfg.Mem.HBMFrames = need
+		}
+	}
+}

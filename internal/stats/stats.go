@@ -105,6 +105,16 @@ type Counters struct {
 	DefragRemaps   uint64
 	PTEWrites      uint64
 
+	// Per-VM QoS eviction pressure. CrossVMEvictions counts evictions
+	// whose victim frame belonged to a VM other than the one the reclaim
+	// served (inter-VM capacity stealing; the quota machinery bounds it).
+	// FrozenVMSteals counts the critical-path fallback that takes a frame
+	// from a VM frozen mid-migration — benign for an evacuation, but
+	// never silent. Both land on the initiating CPU's counters; the
+	// per-victim-VM view is sim.Result.QoS / hv.VMQoSReport.
+	CrossVMEvictions uint64
+	FrozenVMSteals   uint64
+
 	// Live migration (whole-VM moves between tiers or hosts). All five
 	// land on the driver vCPU's counters except where noted.
 	MigrationRounds         uint64
@@ -175,6 +185,8 @@ func (c *Counters) Add(o *Counters) {
 	c.PagePrefetches += o.PagePrefetches
 	c.DefragRemaps += o.DefragRemaps
 	c.PTEWrites += o.PTEWrites
+	c.CrossVMEvictions += o.CrossVMEvictions
+	c.FrozenVMSteals += o.FrozenVMSteals
 	c.MigrationRounds += o.MigrationRounds
 	c.MigrationPagesCopied += o.MigrationPagesCopied
 	c.MigrationRedirtied += o.MigrationRedirtied
