@@ -1,0 +1,124 @@
+// Command benchgate runs BenchmarkSimulatorThroughput and gates CI on it:
+// it executes the benchmark several times, converts each run to simulated
+// references per second, writes the trajectory (plus the median and the
+// comparison against the committed baseline) to a JSON artifact, and exits
+// nonzero when the median regresses more than the allowed fraction below
+// the baseline.
+//
+// The committed baseline (bench/baseline_throughput.json) records the
+// median refs/sec on the machine that set it, so the gate is meaningful on
+// comparable runners and the artifact keeps the refs/sec trajectory
+// observable over time either way.
+//
+// Usage (CI):
+//
+//	go run ./cmd/benchgate -count 5 -benchtime 3x \
+//	    -baseline bench/baseline_throughput.json -out BENCH_throughput.json
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"os/exec"
+	"regexp"
+	"sort"
+	"strconv"
+)
+
+// Report is the JSON artifact the gate writes.
+type Report struct {
+	Benchmark      string    `json:"benchmark"`
+	RefsPerSec     []float64 `json:"refs_per_sec"`
+	MedianRefsSec  float64   `json:"median_refs_per_sec"`
+	Baseline       float64   `json:"baseline_refs_per_sec,omitempty"`
+	Ratio          float64   `json:"ratio_vs_baseline,omitempty"`
+	MaxRegression  float64   `json:"max_regression"`
+	Pass           bool      `json:"pass"`
+	BaselineSource string    `json:"baseline_source,omitempty"`
+}
+
+// Baseline is the committed reference point.
+type Baseline struct {
+	MedianRefsSec float64 `json:"median_refs_per_sec"`
+	Machine       string  `json:"machine,omitempty"`
+	Note          string  `json:"note,omitempty"`
+}
+
+var benchLine = regexp.MustCompile(`BenchmarkSimulatorThroughput\S*\s+\d+\s+(\S+) ns/op\s+(\S+) refs/op`)
+
+func main() {
+	count := flag.Int("count", 5, "benchmark repetitions")
+	benchtime := flag.String("benchtime", "3x", "go test -benchtime value")
+	baselinePath := flag.String("baseline", "bench/baseline_throughput.json", "committed baseline JSON")
+	outPath := flag.String("out", "BENCH_throughput.json", "artifact output path")
+	maxReg := flag.Float64("max-regression", 0.15, "fail when median falls more than this fraction below baseline")
+	flag.Parse()
+
+	cmd := exec.Command("go", "test", "-run", "^$",
+		"-bench", "BenchmarkSimulatorThroughput",
+		"-benchtime", *benchtime, "-count", strconv.Itoa(*count), ".")
+	out, err := cmd.CombinedOutput()
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchgate: benchmark failed: %v\n%s", err, out)
+		os.Exit(1)
+	}
+
+	var refsSec []float64
+	for _, m := range benchLine.FindAllStringSubmatch(string(out), -1) {
+		nsOp, err1 := strconv.ParseFloat(m[1], 64)
+		refsOp, err2 := strconv.ParseFloat(m[2], 64)
+		if err1 != nil || err2 != nil || nsOp <= 0 {
+			continue
+		}
+		refsSec = append(refsSec, refsOp/(nsOp/1e9))
+	}
+	if len(refsSec) == 0 {
+		fmt.Fprintf(os.Stderr, "benchgate: no benchmark lines parsed from:\n%s", out)
+		os.Exit(1)
+	}
+
+	sorted := append([]float64(nil), refsSec...)
+	sort.Float64s(sorted)
+	median := sorted[len(sorted)/2]
+	if len(sorted)%2 == 0 {
+		median = (sorted[len(sorted)/2-1] + sorted[len(sorted)/2]) / 2
+	}
+
+	rep := Report{
+		Benchmark:     "BenchmarkSimulatorThroughput",
+		RefsPerSec:    refsSec,
+		MedianRefsSec: median,
+		MaxRegression: *maxReg,
+		Pass:          true,
+	}
+	if data, err := os.ReadFile(*baselinePath); err == nil {
+		var base Baseline
+		if err := json.Unmarshal(data, &base); err == nil && base.MedianRefsSec > 0 {
+			rep.Baseline = base.MedianRefsSec
+			rep.Ratio = median / base.MedianRefsSec
+			rep.BaselineSource = *baselinePath
+			rep.Pass = rep.Ratio >= 1-*maxReg
+		}
+	} else {
+		fmt.Fprintf(os.Stderr, "benchgate: no baseline at %s; recording trajectory only\n", *baselinePath)
+	}
+
+	data, _ := json.MarshalIndent(rep, "", "  ")
+	data = append(data, '\n')
+	if err := os.WriteFile(*outPath, data, 0o644); err != nil {
+		fmt.Fprintf(os.Stderr, "benchgate: writing %s: %v\n", *outPath, err)
+		os.Exit(1)
+	}
+	fmt.Printf("benchgate: median %.0f refs/sec over %d runs", median, len(refsSec))
+	if rep.Baseline > 0 {
+		fmt.Printf(" (%.2fx of baseline %.0f)", rep.Ratio, rep.Baseline)
+	}
+	fmt.Println()
+	if !rep.Pass {
+		fmt.Fprintf(os.Stderr, "benchgate: FAIL: median %.0f refs/sec is below %.0f%% of baseline %.0f\n",
+			median, (1-*maxReg)*100, rep.Baseline)
+		os.Exit(1)
+	}
+}

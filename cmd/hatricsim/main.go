@@ -31,6 +31,8 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"strconv"
 	"strings"
 
@@ -71,6 +73,9 @@ func main() {
 		migrateDest  = flag.String("migrate-dest", "dram", "migration destination: dram, hbm")
 		migrateBurst = flag.Int("migrate-burst", 0, "remaps per migration quantum (0 = default)")
 		migrateLink  = flag.Float64("migrate-link-bw", 0, "remote-host link bytes/cycle (0 = local tiers only)")
+
+		cpuprofile = flag.String("cpuprofile", "", "write a CPU profile of the simulation to this file")
+		memprofile = flag.String("memprofile", "", "write an allocation profile to this file at exit")
 	)
 	flag.Parse()
 
@@ -167,9 +172,33 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
+	// Profile only the simulation itself, not flag parsing and setup, so
+	// perf work on the hot path needs no bench-harness detour.
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fatal(err)
+		}
+		defer pprof.StopCPUProfile()
+	}
 	res, err := sys.Run()
 	if err != nil {
 		fatal(err)
+	}
+	if *memprofile != "" {
+		f, err := os.Create(*memprofile)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		runtime.GC() // flush accurate allocation stats
+		if err := pprof.WriteHeapProfile(f); err != nil {
+			fatal(err)
+		}
 	}
 	printResult(spec, *protocol, res)
 	if *vcpus > 1 {

@@ -51,6 +51,20 @@
 // the VMSpec fields, `hatricsim -vm-quota/-vm-mode/-vm-weight`, the
 // examples/qos walkthrough, or `paperfigs -fig qos`.
 //
+// # Performance and determinism
+//
+// The per-reference hot path is allocation-free in steady state: the
+// coherence directory is an open-addressed table of inline entries with
+// an intrusive FIFO eviction ring, cache and translation-structure
+// metadata are flat packed arrays with exact rank-based LRU, the run
+// loop's min-clock scheduling uses an indexed heap, and the page-table
+// leaf caches are dense paged slices. These flattened structures are
+// guaranteed to be bit-identical in behavior to the map-and-scan
+// implementations they replaced — eviction order, LRU victims, and
+// tie-breaks included — so identical seeds keep producing identical
+// Result counters; internal/sim's golden-counter fingerprints and
+// steady-state zero-allocation test enforce both properties in CI.
+//
 // See README.md for a package tour and how to run the examples,
 // benchmarks, and figure regeneration. The benchmarks in bench_test.go
 // regenerate every figure of the paper's evaluation.

@@ -6,6 +6,7 @@ package cache
 
 import (
 	"hatric/internal/arch"
+	"hatric/internal/lrurank"
 )
 
 // State is a MESI cache-line state.
@@ -46,20 +47,49 @@ const (
 	KindNestedPT
 )
 
-type line struct {
-	tag   uint64 // line index (SPA >> LineShift); valid iff state != Invalid
-	state State
-	kind  IsPTKind
-	lru   uint64
+// Line metadata is packed into one word per line: tag<<4 | kind<<2 | state.
+// A whole 8-way set's metadata is 64 bytes — one host cache line — so the
+// way scans of Lookup/Insert/SetState cost a single line fill instead of
+// striding over per-field arrays. State Invalid is 0, so a zero word is an
+// empty way. Tags are line indices (SPA >> 6) and fit 60 bits with room to
+// spare.
+const (
+	metaStateMask = 0x3
+	metaKindShift = 2
+	metaKindMask  = 0x3
+	metaTagShift  = 4
+)
+
+func packMeta(tag uint64, st State, kind IsPTKind) uint64 {
+	return tag<<metaTagShift | uint64(kind)<<metaKindShift | uint64(st)
 }
 
 // Cache is one set-associative cache. It stores only metadata (tags and
 // states); simulated data contents live in the page-table model.
+//
+// A per-set valid-entry count lets probes of empty sets miss in O(1) and
+// lets whole-cache sweeps skip empty sets.
+//
+// Recency is exact rank-based LRU (see internal/lrurank): identical
+// victims to a per-touch-timestamp scheme at a fraction of the footprint.
 type Cache struct {
-	sets  int
-	ways  int
-	lines []line
-	tick  uint64
+	sets int
+	ways int
+	// rankStride is ways rounded up to a multiple of 8: rank rows are
+	// word-aligned so touch can update a whole row with SWAR word ops.
+	rankStride int
+	// metaStride/rankRowStride are the element distances between
+	// consecutive sets in meta/rank. Standalone caches are dense
+	// (metaStride == ways); caches built by NewBank share slabs with the
+	// sibling caches of the other CPUs, interleaved set-by-set, so when
+	// the simulated CPUs probe the same hot set the rows land next to
+	// each other in host memory instead of megabytes apart.
+	metaStride    int
+	rankRowStride int
+
+	meta []uint64
+	rank []uint8
+	vcnt []int16 // valid lines per set
 
 	// Stats
 	Hits      uint64
@@ -71,6 +101,16 @@ type Cache struct {
 // associativity; the set count is rounded down to a power of two to keep
 // indexing a mask operation.
 func New(cfg arch.CacheConfig) *Cache {
+	return NewBank(1, cfg)[0]
+}
+
+// NewBank builds n identical caches (one per CPU) whose metadata slabs are
+// interleaved set-by-set: set s of CPU k sits at row n*s+k. Simulated CPUs
+// executing the same workload probe the same set indices, so the bank
+// layout turns n scattered probes into n adjacent rows — host-cache
+// locality the per-CPU allocation cannot offer. Each cache still behaves
+// exactly like a standalone one.
+func NewBank(n int, cfg arch.CacheConfig) []*Cache {
 	sets := cfg.Sets()
 	// Round down to a power of two.
 	p := 1
@@ -82,11 +122,32 @@ func New(cfg arch.CacheConfig) *Cache {
 	if ways <= 0 {
 		ways = 1
 	}
-	return &Cache{
-		sets:  sets,
-		ways:  ways,
-		lines: make([]line, sets*ways),
+	stride := lrurank.Stride(ways)
+	metaSlab := make([]uint64, n*sets*ways)
+	rankSlab := make([]uint8, n*sets*stride)
+	out := make([]*Cache, n)
+	for k := 0; k < n; k++ {
+		c := &Cache{
+			sets:          sets,
+			ways:          ways,
+			rankStride:    stride,
+			metaStride:    n * ways,
+			rankRowStride: n * stride,
+			meta:          metaSlab[k*ways:],
+			rank:          rankSlab[k*stride:],
+			vcnt:          make([]int16, sets),
+		}
+		for set := 0; set < sets; set++ {
+			lrurank.Init(c.rank[set*c.rankRowStride:set*c.rankRowStride+stride], ways)
+		}
+		out[k] = c
 	}
+	return out
+}
+
+// touch marks way i of the set with rank row rbase as most recently used.
+func (c *Cache) touch(rbase, i int) {
+	lrurank.Touch(c.rank[rbase:rbase+c.rankStride], i)
 }
 
 // Sets returns the number of sets.
@@ -98,25 +159,35 @@ func (c *Cache) Ways() int { return c.ways }
 // Lines returns the total line capacity.
 func (c *Cache) Lines() int { return c.sets * c.ways }
 
-func (c *Cache) set(tag uint64) []line {
-	idx := int(tag) & (c.sets - 1)
-	return c.lines[idx*c.ways : (idx+1)*c.ways]
-}
+// setOf returns the set index of tag.
+func (c *Cache) setOf(tag uint64) int { return int(tag) & (c.sets - 1) }
 
 // Tag converts an address to this cache's tag (the global line index).
 func Tag(spa arch.SPA) uint64 { return uint64(spa) >> arch.LineShift }
 
+// findLine returns the line index of a valid resident tag, or -1. Steady
+// state sets are full, so the probe goes straight at the meta row (the
+// per-set occupancy count serves the whole-cache sweeps, not the probes).
+func (c *Cache) findLine(tag uint64) int {
+	base := c.setOf(tag) * c.metaStride
+	meta := c.meta[base : base+c.ways]
+	for i := range meta {
+		m := meta[i]
+		if m>>metaTagShift == tag && m&metaStateMask != 0 {
+			return base + i
+		}
+	}
+	return -1
+}
+
 // Lookup probes the cache. On a hit it refreshes LRU state and returns the
 // line's state; on a miss it returns Invalid, false.
 func (c *Cache) Lookup(tag uint64) (State, bool) {
-	set := c.set(tag)
-	for i := range set {
-		if set[i].state != Invalid && set[i].tag == tag {
-			c.tick++
-			set[i].lru = c.tick
-			c.Hits++
-			return set[i].state, true
-		}
+	if i := c.findLine(tag); i >= 0 {
+		set := c.setOf(tag)
+		c.touch(set*c.rankRowStride, i-set*c.metaStride)
+		c.Hits++
+		return State(c.meta[i] & metaStateMask), true
 	}
 	c.Misses++
 	return Invalid, false
@@ -124,22 +195,16 @@ func (c *Cache) Lookup(tag uint64) (State, bool) {
 
 // Peek returns the state without touching LRU or stats.
 func (c *Cache) Peek(tag uint64) (State, bool) {
-	set := c.set(tag)
-	for i := range set {
-		if set[i].state != Invalid && set[i].tag == tag {
-			return set[i].state, true
-		}
+	if i := c.findLine(tag); i >= 0 {
+		return State(c.meta[i] & metaStateMask), true
 	}
 	return Invalid, false
 }
 
 // Kind returns the PT-kind of a resident line (KindData if absent).
 func (c *Cache) Kind(tag uint64) IsPTKind {
-	set := c.set(tag)
-	for i := range set {
-		if set[i].state != Invalid && set[i].tag == tag {
-			return set[i].kind
-		}
+	if i := c.findLine(tag); i >= 0 {
+		return IsPTKind(c.meta[i] >> metaKindShift & metaKindMask)
 	}
 	return KindData
 }
@@ -155,55 +220,94 @@ type Victim struct {
 // is displaced and returned so the caller can write it back and/or notify
 // the directory.
 func (c *Cache) Insert(tag uint64, st State, kind IsPTKind) (Victim, bool) {
+	_, _, victim, evicted := c.probeInsert(tag, st, kind, true, false)
+	return victim, evicted
+}
+
+// LookupOrInsert probes for tag and, on a miss, installs it with the given
+// state in the same set scan — the shared-LLC pattern where a miss is
+// always followed by a fill. On a hit the resident state is returned and
+// left unchanged (matching Lookup); on a miss the line is inserted and the
+// displaced victim, if any, returned. Stats match a Lookup followed by an
+// Insert exactly.
+func (c *Cache) LookupOrInsert(tag uint64, st State, kind IsPTKind) (resident State, hit bool, victim Victim, evicted bool) {
+	return c.probeInsert(tag, st, kind, false, true)
+}
+
+// probeInsert is the shared probe-and-fill core of Insert and
+// LookupOrInsert. One scan finds the hit and the first free way; the
+// victim, needed only on a full-set miss, is the way holding the highest
+// rank. updateOnHit selects Insert's in-place overwrite versus
+// LookupOrInsert's read-only hit; countStats adds Lookup's Hits/Misses
+// accounting.
+func (c *Cache) probeInsert(tag uint64, st State, kind IsPTKind, updateOnHit, countStats bool) (resident State, hit bool, victim Victim, evicted bool) {
 	if st == Invalid {
 		panic("cache: Insert with Invalid state")
 	}
-	set := c.set(tag)
-	c.tick++
-	// Hit: update in place.
-	for i := range set {
-		if set[i].state != Invalid && set[i].tag == tag {
-			set[i].state = st
-			set[i].kind = kind
-			set[i].lru = c.tick
-			return Victim{}, false
+	if tag >= 1<<(64-metaTagShift) {
+		panic("cache: tag exceeds 60 bits")
+	}
+	set := c.setOf(tag)
+	base := set * c.metaStride
+	rbase := set * c.rankRowStride
+	meta := c.meta[base : base+c.ways]
+	free := -1
+	for i := range meta {
+		m := meta[i]
+		if m&metaStateMask == 0 {
+			if free < 0 {
+				free = base + i
+			}
+			continue
+		}
+		if m>>metaTagShift == tag {
+			if updateOnHit {
+				meta[i] = packMeta(tag, st, kind)
+			}
+			c.touch(rbase, i)
+			if countStats {
+				c.Hits++
+			}
+			return State(meta[i] & metaStateMask), true, Victim{}, false
 		}
 	}
-	// Free way.
-	for i := range set {
-		if set[i].state == Invalid {
-			set[i] = line{tag: tag, state: st, kind: kind, lru: c.tick}
-			return Victim{}, false
-		}
+	if countStats {
+		c.Misses++
 	}
-	// Evict LRU.
-	v := 0
-	for i := 1; i < len(set); i++ {
-		if set[i].lru < set[v].lru {
-			v = i
-		}
+	if free >= 0 {
+		c.meta[free] = packMeta(tag, st, kind)
+		c.touch(rbase, free-base)
+		c.vcnt[set]++
+		return Invalid, false, Victim{}, false
 	}
-	victim := Victim{Tag: set[v].tag, State: set[v].state, Kind: set[v].kind}
-	set[v] = line{tag: tag, state: st, kind: kind, lru: c.tick}
+	lruWay := lrurank.Oldest(c.rank[rbase:rbase+c.rankStride], c.ways)
+	lruIdx := base + lruWay
+	m := c.meta[lruIdx]
+	victim = Victim{
+		Tag:   m >> metaTagShift,
+		State: State(m & metaStateMask),
+		Kind:  IsPTKind(m >> metaKindShift & metaKindMask),
+	}
+	c.meta[lruIdx] = packMeta(tag, st, kind)
+	c.touch(rbase, lruWay)
 	c.Evictions++
-	return victim, true
+	return Invalid, false, victim, true
 }
 
 // SetState changes a resident line's state; it reports whether the line was
 // present.
 func (c *Cache) SetState(tag uint64, st State) bool {
-	set := c.set(tag)
-	for i := range set {
-		if set[i].state != Invalid && set[i].tag == tag {
-			if st == Invalid {
-				set[i].state = Invalid
-			} else {
-				set[i].state = st
-			}
-			return true
-		}
+	i := c.findLine(tag)
+	if i < 0 {
+		return false
 	}
-	return false
+	if st == Invalid {
+		c.meta[i] = 0
+		c.vcnt[c.setOf(tag)]--
+	} else {
+		c.meta[i] = c.meta[i]&^uint64(metaStateMask) | uint64(st)
+	}
+	return true
 }
 
 // Invalidate removes the line; it reports whether it was present.
@@ -214,20 +318,33 @@ func (c *Cache) Invalidate(tag uint64) bool {
 // Flush invalidates every line and returns how many were valid.
 func (c *Cache) Flush() int {
 	n := 0
-	for i := range c.lines {
-		if c.lines[i].state != Invalid {
-			c.lines[i].state = Invalid
-			n++
+	for set := 0; set < c.sets; set++ {
+		if c.vcnt[set] == 0 {
+			continue
 		}
+		base := set * c.metaStride
+		for i := base; i < base+c.ways; i++ {
+			if c.meta[i]&metaStateMask != 0 {
+				c.meta[i] = 0
+				n++
+			}
+		}
+		c.vcnt[set] = 0
 	}
 	return n
 }
 
 // ForEachValid calls fn for each valid line.
 func (c *Cache) ForEachValid(fn func(tag uint64, st State, kind IsPTKind)) {
-	for i := range c.lines {
-		if c.lines[i].state != Invalid {
-			fn(c.lines[i].tag, c.lines[i].state, c.lines[i].kind)
+	for set := 0; set < c.sets; set++ {
+		if c.vcnt[set] == 0 {
+			continue
+		}
+		base := set * c.metaStride
+		for i := base; i < base+c.ways; i++ {
+			if m := c.meta[i]; m&metaStateMask != 0 {
+				fn(m>>metaTagShift, State(m&metaStateMask), IsPTKind(m>>metaKindShift&metaKindMask))
+			}
 		}
 	}
 }

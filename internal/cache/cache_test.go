@@ -149,6 +149,9 @@ func TestInsertVictimProperty(t *testing.T) {
 func TestResidencyProperty(t *testing.T) {
 	f := func(tag uint64, st uint8) bool {
 		c := small()
+		// Tags are line indices (SPA >> 6); the packed metadata holds 60
+		// bits of tag, far beyond any simulated physical address space.
+		tag &= 1<<60 - 1
 		state := State(st%3) + Shared
 		c.Insert(tag, state, KindData)
 		got, ok := c.Peek(tag)

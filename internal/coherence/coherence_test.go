@@ -315,11 +315,11 @@ func TestEagerEvictionDemotion(t *testing.T) {
 
 func TestDirectoryEnsureVictimNotSelf(t *testing.T) {
 	d := NewDirectory(arch.DirectoryConfig{Entries: 1})
-	e1, _, _ := d.Ensure(1)
+	e1, _, _, _ := d.Ensure(1)
 	e1.AddSharer(0, cache.KindData)
-	_, vTag, vEntry := d.Ensure(2)
-	if vEntry == nil || vTag != 1 {
-		t.Errorf("expected eviction of tag 1, got %d %v", vTag, vEntry)
+	_, vTag, vEntry, evicted := d.Ensure(2)
+	if !evicted || vTag != 1 || vEntry.Sharers() == 0 {
+		t.Errorf("expected eviction of tag 1, got %d %v (evicted=%v)", vTag, vEntry, evicted)
 	}
 	if d.Peek(2) == nil {
 		t.Errorf("new entry evicted instead of old")

@@ -41,14 +41,39 @@ func (e *Entry) Kind() cache.IsPTKind {
 	return cache.KindData
 }
 
+// emptyTag marks a free table slot. Tags are line indices (SPA >> 6), so
+// the all-ones value can never collide with a real tag.
+const emptyTag = ^uint64(0)
+
 // Directory is the dual-grain-inspired coherence directory. It tracks every
 // line resident in any private cache (and, for page-table lines, lines whose
 // translations may live in translation structures). A finite capacity
 // forces back-invalidations, as in multi-grain directories (Zebchuk et al.).
+//
+// Entries live inline in an open-addressed table (linear probing, backshift
+// deletion), so the steady state allocates nothing: no per-insert boxing,
+// and — capacity-bounded — no rehashing, since the table is sized for the
+// configured entry count up front. Insertion order for capacity eviction is
+// an intrusive FIFO ring of tags rather than an ever-advancing slice, which
+// also fixes the old fifo = fifo[1:] backing-array leak.
 type Directory struct {
-	cfg     arch.DirectoryConfig
-	entries map[uint64]*Entry
-	fifo    []uint64 // insertion order, for deterministic capacity eviction
+	cfg arch.DirectoryConfig
+	// tags is the probe array (emptyTag = free); entries holds the
+	// payloads slot-parallel to it. Splitting them keeps the linear-probe
+	// loop inside a dense 8-byte-per-slot array — one host cache line per
+	// eight slots — and touches the 24-byte entry only on a match.
+	tags    []uint64
+	entries []Entry
+	mask    uint64
+	live    int
+
+	// fifo is a circular buffer of insertion-order tags (power-of-two
+	// length). Tags of removed entries go stale in place and are skipped
+	// at pop time, exactly like the stale queue entries of the slice-based
+	// implementation.
+	fifo     []uint64
+	fifoHead int
+	fifoLen  int
 
 	// Stats
 	Lookups        uint64
@@ -56,62 +81,190 @@ type Directory struct {
 	CapacityEvicts uint64
 }
 
-// NewDirectory builds a directory with the given configuration.
+// NewDirectory builds a directory with the given configuration. The table
+// starts small and doubles at half load: directories are configured for
+// worst-case capacity (2^18 entries by default) but live entry counts track
+// cache residency, so demand sizing keeps the probe working set — the
+// hottest random-access footprint in the simulator — small and
+// cache-resident. A bounded directory stops growing at its configured
+// capacity; growth allocations stop once the run's high-water mark is hit.
 func NewDirectory(cfg arch.DirectoryConfig) *Directory {
-	return &Directory{
-		cfg:     cfg,
-		entries: make(map[uint64]*Entry),
+	d := &Directory{cfg: cfg}
+	d.tags = newTags(1024)
+	d.entries = make([]Entry, 1024)
+	d.mask = uint64(1024 - 1)
+	d.fifo = make([]uint64, 16)
+	return d
+}
+
+// newTags allocates a probe array with every slot free.
+func newTags(n int) []uint64 {
+	t := make([]uint64, n)
+	for i := range t {
+		t[i] = emptyTag
+	}
+	return t
+}
+
+// hashTag spreads line indices across slots (splitmix64 finalizer).
+func hashTag(x uint64) uint64 {
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}
+
+// find returns the slot index of tag, or the first empty slot on its probe
+// path (found == false).
+func (d *Directory) find(tag uint64) (int, bool) {
+	i := hashTag(tag) & d.mask
+	for {
+		t := d.tags[i]
+		if t == tag {
+			return int(i), true
+		}
+		if t == emptyTag {
+			return int(i), false
+		}
+		i = (i + 1) & d.mask
 	}
 }
 
-// Lookup returns the entry for the line tag, or nil.
+// grow rehashes into a table twice the size (unbounded directories only;
+// bounded tables are pre-sized and never rehash).
+func (d *Directory) grow() {
+	oldTags, oldEntries := d.tags, d.entries
+	size := len(oldTags) * 2
+	d.tags = newTags(size)
+	d.entries = make([]Entry, size)
+	d.mask = uint64(size - 1)
+	for i := range oldTags {
+		if oldTags[i] == emptyTag {
+			continue
+		}
+		j, _ := d.find(oldTags[i])
+		d.tags[j] = oldTags[i]
+		d.entries[j] = oldEntries[i]
+	}
+}
+
+// deleteSlot removes slot i with linear-probing backshift deletion: the
+// cluster after i is compacted so probe paths stay unbroken. Entry pointers
+// obtained before a delete may dangle; callers re-locate after mutating.
+func (d *Directory) deleteSlot(i int) {
+	d.live--
+	j := uint64(i)
+	for {
+		d.tags[j] = emptyTag
+		k := j
+		for {
+			k = (k + 1) & d.mask
+			if d.tags[k] == emptyTag {
+				return
+			}
+			home := hashTag(d.tags[k]) & d.mask
+			// Move k back into the hole at j only if k's probe path
+			// passes through j (circular-distance test).
+			if (k-home)&d.mask >= (k-j)&d.mask {
+				d.tags[j] = d.tags[k]
+				d.entries[j] = d.entries[k]
+				j = k
+				break
+			}
+		}
+	}
+}
+
+// fifoPush appends tag to the insertion-order ring, doubling it if full.
+func (d *Directory) fifoPush(tag uint64) {
+	if d.fifoLen == len(d.fifo) {
+		bigger := make([]uint64, len(d.fifo)*2)
+		n := copy(bigger, d.fifo[d.fifoHead:])
+		copy(bigger[n:], d.fifo[:d.fifoHead])
+		d.fifo = bigger
+		d.fifoHead = 0
+	}
+	d.fifo[(d.fifoHead+d.fifoLen)&(len(d.fifo)-1)] = tag
+	d.fifoLen++
+}
+
+// fifoPop removes and returns the oldest tag.
+func (d *Directory) fifoPop() uint64 {
+	t := d.fifo[d.fifoHead]
+	d.fifoHead = (d.fifoHead + 1) & (len(d.fifo) - 1)
+	d.fifoLen--
+	return t
+}
+
+// Lookup returns the entry for the line tag, or nil. The pointer is valid
+// until the next Ensure or Remove.
 func (d *Directory) Lookup(tag uint64) *Entry {
 	d.Lookups++
-	return d.entries[tag]
+	return d.Peek(tag)
 }
 
 // Peek returns the entry without counting a lookup.
-func (d *Directory) Peek(tag uint64) *Entry { return d.entries[tag] }
+func (d *Directory) Peek(tag uint64) *Entry {
+	if i, ok := d.find(tag); ok {
+		return &d.entries[i]
+	}
+	return nil
+}
 
 // Len returns the number of live entries.
-func (d *Directory) Len() int { return len(d.entries) }
+func (d *Directory) Len() int { return d.live }
 
 // Ensure returns the entry for tag, allocating one if needed. If capacity
-// is exceeded, a victim entry is chosen (FIFO order) and returned so the
-// caller can back-invalidate its sharers. A nil victimEntry means no
-// back-invalidation is required.
-func (d *Directory) Ensure(tag uint64) (e *Entry, victimTag uint64, victimEntry *Entry) {
-	if e = d.entries[tag]; e != nil {
-		return e, 0, nil
+// is exceeded, a victim entry is chosen (FIFO order) and returned by value
+// so the caller can back-invalidate its sharers. The returned pointer is
+// valid until the next Ensure or Remove.
+func (d *Directory) Ensure(tag uint64) (e *Entry, victimTag uint64, victimEntry Entry, evicted bool) {
+	i, ok := d.find(tag)
+	if ok {
+		return &d.entries[i], 0, Entry{}, false
 	}
-	e = &Entry{owner: -1}
-	d.entries[tag] = e
-	d.fifo = append(d.fifo, tag)
+	// Grow at half load so probes stay short (bounded directories stop
+	// growing on their own: live never exceeds cfg.Entries).
+	if 2*(d.live+1) > len(d.tags) {
+		d.grow()
+		i, _ = d.find(tag)
+	}
+	d.tags[i] = tag
+	d.entries[i] = Entry{owner: -1}
+	d.live++
+	d.fifoPush(tag)
 	d.Inserts++
 	if d.cfg.NoBackInvalidation || d.cfg.Entries <= 0 {
-		return e, 0, nil
+		return &d.entries[i], 0, Entry{}, false
 	}
-	for len(d.entries) > d.cfg.Entries && len(d.fifo) > 0 {
-		vt := d.fifo[0]
-		d.fifo = d.fifo[1:]
+	for d.live > d.cfg.Entries && d.fifoLen > 0 {
+		vt := d.fifoPop()
 		if vt == tag {
 			// Never evict the entry just allocated; re-queue it.
-			d.fifo = append(d.fifo, vt)
+			d.fifoPush(vt)
 			continue
 		}
-		ve := d.entries[vt]
-		if ve == nil {
+		vi, ok := d.find(vt)
+		if !ok {
 			continue // stale queue entry; already removed
 		}
-		delete(d.entries, vt)
+		victim := d.entries[vi]
+		d.deleteSlot(vi)
 		d.CapacityEvicts++
-		return e, vt, ve
+		// The backshift may have moved the new entry; re-locate it.
+		i, _ = d.find(tag)
+		return &d.entries[i], vt, victim, true
 	}
-	return e, 0, nil
+	return &d.entries[i], 0, Entry{}, false
 }
 
 // Remove deletes the entry for tag (used when its last sharer leaves).
-func (d *Directory) Remove(tag uint64) { delete(d.entries, tag) }
+func (d *Directory) Remove(tag uint64) {
+	if i, ok := d.find(tag); ok {
+		d.deleteSlot(i)
+	}
+}
 
 // AddSharer records cpu as a private-cache sharer and merges the PT kind.
 func (e *Entry) AddSharer(cpu int, kind cache.IsPTKind) {

@@ -62,12 +62,11 @@ func NewHierarchy(cfg *arch.Config, mem *memdev.Memory, counters []*stats.Counte
 		dir:  NewDirectory(cfg.Dir),
 		cnt:  counters,
 	}
-	h.l1 = make([]*cache.Cache, cfg.NumCPUs)
-	h.l2 = make([]*cache.Cache, cfg.NumCPUs)
-	for i := 0; i < cfg.NumCPUs; i++ {
-		h.l1[i] = cache.New(cfg.L1)
-		h.l2[i] = cache.New(cfg.L2)
-	}
+	// Banked allocation: the CPUs' private caches share set-interleaved
+	// slabs, so same-set probes from different CPUs — the common case when
+	// threads share a footprint — stay adjacent in host memory.
+	h.l1 = cache.NewBank(cfg.NumCPUs, cfg.L1)
+	h.l2 = cache.NewBank(cfg.NumCPUs, cfg.L2)
 	return h
 }
 
@@ -114,9 +113,9 @@ func (h *Hierarchy) Read(cpu int, spa arch.SPA, kind cache.IsPTKind, now arch.Cy
 	// Miss in the private hierarchy: consult the LLC bank's directory.
 	lat += h.cost.LLCHit + 2*h.cost.DirHop
 	c.DirLookups++
-	e, vTag, vEntry := h.dir.Ensure(tag)
-	if vEntry != nil {
-		h.backInvalidate(vTag, vEntry)
+	e, vTag, vEntry, evicted := h.dir.Ensure(tag)
+	if evicted {
+		h.backInvalidate(vTag, &vEntry)
 		c.DirBackInvalidations++
 	}
 
@@ -135,12 +134,11 @@ func (h *Hierarchy) Read(cpu int, spa arch.SPA, kind cache.IsPTKind, now arch.Cy
 		e.owner = -1
 	}
 
-	if _, ok := h.llc.Lookup(tag); ok {
+	if _, hit, _, _ := h.llc.LookupOrInsert(tag, cache.Shared, kind); hit {
 		c.LLCHits++
 	} else {
 		c.LLCMisses++
 		lat += h.memAccess(cpu, spa, now+lat)
-		h.llc.Insert(tag, cache.Shared, kind)
 	}
 
 	st := cache.Shared
@@ -196,9 +194,9 @@ func (h *Hierarchy) Write(cpu int, spa arch.SPA, kind cache.IsPTKind, now arch.C
 
 	lat += h.cost.LLCHit + 2*h.cost.DirHop
 	c.DirLookups++
-	e, vTag, vEntry := h.dir.Ensure(tag)
-	if vEntry != nil {
-		h.backInvalidate(vTag, vEntry)
+	e, vTag, vEntry, evicted := h.dir.Ensure(tag)
+	if evicted {
+		h.backInvalidate(vTag, &vEntry)
 		c.DirBackInvalidations++
 	}
 
@@ -258,12 +256,11 @@ func (h *Hierarchy) Write(cpu int, spa arch.SPA, kind cache.IsPTKind, now arch.C
 	e.cacheSharers = 0
 	e.tsSharers = survivors
 
-	if _, ok := h.llc.Lookup(tag); ok {
+	if _, hit, _, _ := h.llc.LookupOrInsert(tag, cache.Modified, kind); hit {
 		c.LLCHits++
 	} else {
 		c.LLCMisses++
 		lat += h.memAccess(cpu, spa, now+lat)
-		h.llc.Insert(tag, cache.Modified, kind)
 	}
 
 	e.cacheSharers |= 1 << uint(cpu)
@@ -284,9 +281,9 @@ func (h *Hierarchy) NoteTranslationFill(cpu int, spa arch.SPA, kind cache.IsPTKi
 		return
 	}
 	tag := cache.Tag(spa)
-	e, vTag, vEntry := h.dir.Ensure(tag)
-	if vEntry != nil {
-		h.backInvalidate(vTag, vEntry)
+	e, vTag, vEntry, evicted := h.dir.Ensure(tag)
+	if evicted {
+		h.backInvalidate(vTag, &vEntry)
 		h.cnt[cpu].DirBackInvalidations++
 	}
 	e.mergeKind(kind)
@@ -307,8 +304,8 @@ func (h *Hierarchy) NoteTranslationEviction(cpu int, spa arch.SPA, kind cache.Is
 		return
 	}
 	tag := cache.Tag(spa)
-	e := h.dir.Peek(tag)
-	if e == nil {
+	idx, ok := h.dir.find(tag)
+	if !ok {
 		return
 	}
 	if _, ok := h.l1[cpu].Peek(tag); ok {
@@ -320,8 +317,8 @@ func (h *Hierarchy) NoteTranslationEviction(cpu int, spa arch.SPA, kind cache.Is
 	if h.hook != nil && h.hook.CachesPTLine(cpu, spa.Line(), kind) {
 		return
 	}
-	if e.RemoveSharer(cpu) {
-		h.dir.Remove(tag)
+	if h.dir.entries[idx].RemoveSharer(cpu) {
+		h.dir.deleteSlot(idx)
 	}
 	h.cnt[cpu].DirDemotions++
 }
@@ -362,10 +359,12 @@ func (h *Hierarchy) insertPrivateL1(cpu int, tag uint64, st cache.State, kind ca
 // private hierarchy. Non-PT lines update the sharer list immediately; PT
 // lines follow the lazy policy unless EagerUpdate is on (Fig. 6, Fig. 12).
 func (h *Hierarchy) notePrivateEviction(cpu int, v cache.Victim) {
-	e := h.dir.Peek(v.Tag)
-	if e == nil {
+	// One probe serves both the entry access and the possible removal.
+	idx, ok := h.dir.find(v.Tag)
+	if !ok {
 		return
 	}
+	e := &h.dir.entries[idx]
 	if v.State == cache.Modified {
 		// Write back to the LLC (latency absorbed in the background).
 		h.llc.Insert(v.Tag, cache.Modified, v.Kind)
@@ -391,7 +390,7 @@ func (h *Hierarchy) notePrivateEviction(cpu int, v cache.Victim) {
 		return
 	}
 	if e.RemoveSharer(cpu) {
-		h.dir.Remove(v.Tag)
+		h.dir.deleteSlot(idx)
 	}
 	h.cnt[cpu].DirDemotions++
 }

@@ -1,0 +1,49 @@
+package hv
+
+import "hatric/internal/arch"
+
+// gppSet is a growable page bitmap over a VM's guest-physical page space.
+// Migration dirty/pending/copied tracking previously used map[arch.GPP]bool
+// sets; the GPP space is dense per VM (frames are handed out sequentially),
+// so a bitmap is smaller (one bit per page), faster (no hashing), and —
+// once grown to the VM's footprint — allocation-free across pre-copy
+// rounds: clear() re-zeroes words in place instead of reallocating a map.
+type gppSet struct {
+	bits []uint64
+}
+
+// has reports whether gpp is in the set.
+func (s *gppSet) has(gpp arch.GPP) bool {
+	w := uint64(gpp) >> 6
+	return w < uint64(len(s.bits)) && s.bits[w]&(1<<(uint64(gpp)&63)) != 0
+}
+
+// add inserts gpp, growing the bitmap as needed.
+func (s *gppSet) add(gpp arch.GPP) {
+	w := uint64(gpp) >> 6
+	if w >= uint64(len(s.bits)) {
+		n := len(s.bits)*2 + 8
+		for uint64(n) <= w {
+			n *= 2
+		}
+		bigger := make([]uint64, n)
+		copy(bigger, s.bits)
+		s.bits = bigger
+	}
+	s.bits[w] |= 1 << (uint64(gpp) & 63)
+}
+
+// remove deletes gpp (no-op if absent).
+func (s *gppSet) remove(gpp arch.GPP) {
+	w := uint64(gpp) >> 6
+	if w < uint64(len(s.bits)) {
+		s.bits[w] &^= 1 << (uint64(gpp) & 63)
+	}
+}
+
+// clear empties the set, keeping its capacity.
+func (s *gppSet) clear() {
+	for i := range s.bits {
+		s.bits[i] = 0
+	}
+}

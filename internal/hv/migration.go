@@ -141,13 +141,16 @@ type Migration struct {
 	qpos  int
 	// pending marks pages queued but not yet moved this round: writes to
 	// them need no retransfer (the upcoming copy picks the new bytes up).
-	pending map[arch.GPP]bool
+	// The GPP space is dense per VM, so page bitmaps replace the old
+	// map-based sets: smaller, hash-free, and allocation-free across
+	// rounds once grown to the VM's footprint.
+	pending gppSet
 	// copied marks pages transferred at least once; only writes to these
 	// re-dirty.
-	copied map[arch.GPP]bool
+	copied gppSet
 	// dirty/dirtyList collect the next round's work in deterministic
 	// (insertion) order.
-	dirty     map[arch.GPP]bool
+	dirty     gppSet
 	dirtyList []arch.GPP
 
 	round  int
@@ -195,10 +198,10 @@ func (m *Migration) LastError() error { return m.lastErr }
 // ahead in the current round need nothing (the copy picks the write up);
 // pages already transferred must go again next round.
 func (m *Migration) noteWrite(gpp arch.GPP) bool {
-	if m.phase != migrationPreCopy || m.pending[gpp] || m.dirty[gpp] {
+	if m.phase != migrationPreCopy || m.pending.has(gpp) || m.dirty.has(gpp) {
 		return false
 	}
-	if !m.copied[gpp] {
+	if !m.copied.has(gpp) {
 		return false
 	}
 	m.enqueueDirty(gpp)
@@ -208,14 +211,14 @@ func (m *Migration) noteWrite(gpp arch.GPP) bool {
 // addPage enrolls a page that became resident after the snapshot (a demand
 // fault during the migration): it must still be transferred.
 func (m *Migration) addPage(gpp arch.GPP) {
-	if m.phase != migrationPreCopy || m.pending[gpp] || m.dirty[gpp] {
+	if m.phase != migrationPreCopy || m.pending.has(gpp) || m.dirty.has(gpp) {
 		return
 	}
 	m.enqueueDirty(gpp)
 }
 
 func (m *Migration) enqueueDirty(gpp arch.GPP) {
-	m.dirty[gpp] = true
+	m.dirty.add(gpp)
 	m.dirtyList = append(m.dirtyList, gpp)
 	m.report.Redirtied++
 	if n := len(m.report.Rounds); n > 0 {
@@ -236,11 +239,8 @@ func (h *Hypervisor) ScheduleMigration(spec MigrationSpec) (*Migration, error) {
 		return nil, fmt.Errorf("hv: VM %d has no CPUs to drive a migration", spec.VM)
 	}
 	m := &Migration{
-		spec:    spec,
-		driver:  h.vms[spec.VM].CPUs[0],
-		pending: make(map[arch.GPP]bool),
-		copied:  make(map[arch.GPP]bool),
-		dirty:   make(map[arch.GPP]bool),
+		spec:   spec,
+		driver: h.vms[spec.VM].CPUs[0],
 		report: MigrationReport{
 			VM: spec.VM, Dest: spec.Dest, Remote: spec.LinkBytesPerCycle > 0,
 		},
@@ -350,7 +350,7 @@ func (h *Hypervisor) startMigration(m *Migration, now arch.Cycles) {
 			continue
 		}
 		m.queue = append(m.queue, gpp)
-		m.pending[gpp] = true
+		m.pending.add(gpp)
 	}
 	m.qpos = 0
 	m.round = 1
@@ -394,11 +394,11 @@ func (h *Hypervisor) pumpOne(m *Migration, now arch.Cycles) (arch.Cycles, error)
 		}
 		m.qpos++
 		m.progress++
-		delete(m.pending, gpp)
+		m.pending.remove(gpp)
 		lat += l
 		scan--
 		if moved {
-			m.copied[gpp] = true
+			m.copied.add(gpp)
 			m.report.PagesCopied++
 			m.report.Rounds[len(m.report.Rounds)-1].Pages++
 			budget--
@@ -419,10 +419,10 @@ func (h *Hypervisor) finishRound(m *Migration, now arch.Cycles, lat *arch.Cycles
 		m.queue = append(m.queue[:0], m.dirtyList...)
 		m.qpos = 0
 		for _, g := range m.queue {
-			m.pending[g] = true
+			m.pending.add(g)
 		}
 		m.dirtyList = m.dirtyList[:0]
-		m.dirty = make(map[arch.GPP]bool)
+		m.dirty.clear()
 		m.round++
 		m.progress++
 		c.MigrationRounds++
@@ -436,7 +436,7 @@ func (h *Hypervisor) finishRound(m *Migration, now arch.Cycles, lat *arch.Cycles
 	var down arch.Cycles
 	final := append([]arch.GPP(nil), m.dirtyList...)
 	m.dirtyList = m.dirtyList[:0]
-	m.dirty = make(map[arch.GPP]bool)
+	m.dirty.clear()
 	for i, gpp := range final {
 		l, moved, err := h.migratePage(m, gpp, now+down, true)
 		if err != nil {
@@ -447,7 +447,7 @@ func (h *Hypervisor) finishRound(m *Migration, now arch.Cycles, lat *arch.Cycles
 			// Redirtied stats count these re-entries like any other.
 			*lat += down + l
 			for _, g := range final[i:] {
-				if !m.dirty[g] {
+				if !m.dirty.has(g) {
 					m.enqueueDirty(g)
 				}
 			}

@@ -425,7 +425,7 @@ func TestStopAndCopyRequeueCountsRedirtied(t *testing.T) {
 	m.queue = m.queue[:0]
 	m.qpos = 0
 	for _, g := range dirty {
-		m.dirty[g] = true
+		m.dirty.add(g)
 		m.dirtyList = append(m.dirtyList, g)
 	}
 	// Exhaust the destination tier: no free frames, nothing evictable

@@ -1,0 +1,69 @@
+// Package lrurank implements exact LRU as per-way rank bytes: rank 0 is
+// the most-recently-used way and ways-1 the eviction victim. A set's ranks
+// are kept a permutation of 0..ways-1 — touching a way zeroes its rank and
+// shifts every younger way up by one — which selects the identical victim
+// a per-touch-timestamp scheme would (timestamps are unique, and rank
+// order is recency order) while costing a byte-row update instead of a
+// timestamp array.
+//
+// Rank rows are padded to a multiple of 8 bytes (see Stride) so Touch can
+// update a whole row with branchless SWAR word operations. Padding bytes
+// hold 0xFF: never younger than any real rank, never a victim. The
+// per-byte borrow trick in bumpYounger is exact because every real rank
+// and compare operand stays below 128 (associativities are far under 64).
+package lrurank
+
+import "encoding/binary"
+
+// SWAR constants: per-byte low-ones and high-bits masks.
+const (
+	swarLo = 0x0101010101010101
+	swarHi = 0x8080808080808080
+)
+
+// Stride returns the padded row length for the given associativity.
+func Stride(ways int) int { return (ways + 7) &^ 7 }
+
+// Init fills one rank row: way w starts at rank w, padding at 0xFF.
+func Init(row []uint8, ways int) {
+	for w := range row {
+		if w < ways {
+			row[w] = uint8(w)
+		} else {
+			row[w] = 0xFF
+		}
+	}
+}
+
+// bumpYounger adds one to every byte of w that is less than r.
+func bumpYounger(w uint64, r uint8) uint64 {
+	// Per byte: (x | 0x80) - r keeps the high bit set iff x >= r.
+	younger := ^((w | swarHi) - uint64(r)*swarLo) & swarHi
+	return w + younger>>7
+}
+
+// Touch marks way w of the row as most recently used: its rank drops to 0
+// and every way that was more recent shifts up one.
+func Touch(row []uint8, w int) {
+	r := row[w]
+	if r == 0 {
+		return
+	}
+	for k := 0; k+8 <= len(row); k += 8 {
+		binary.LittleEndian.PutUint64(row[k:],
+			bumpYounger(binary.LittleEndian.Uint64(row[k:]), r))
+	}
+	row[w] = 0
+}
+
+// Oldest returns the way holding rank ways-1 — the LRU victim of a full
+// set, whose ranks are a permutation of 0..ways-1.
+func Oldest(row []uint8, ways int) int {
+	oldest := uint8(ways - 1)
+	for w := 0; w < ways; w++ {
+		if row[w] == oldest {
+			return w
+		}
+	}
+	return 0
+}

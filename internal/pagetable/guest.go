@@ -17,15 +17,21 @@ type PTPageAlloc func() (arch.GPP, arch.SPP, error)
 // guest virtual pages to guest physical pages. Its table pages are guest
 // pages; their pinned system-physical backing lets the simulator compute
 // the SPA of every guest page-table entry.
+//
+// The per-page memoization (pinned backing frames, resolved leaf mappings)
+// lives in dense paged slices rather than maps: guest page numbers are
+// handed out densely, and the backing lookup sits on every step of every
+// hot 2-D walk.
 type GuestPT struct {
 	store   *Store
 	alloc   PTPageAlloc
 	rootGPP arch.GPP
-	backing map[arch.GPP]arch.SPP // guest PT page -> pinned frame
+	backing pagedU64 // guest PT page -> pinned frame
+	ptPages int
 
 	// leafCache memoizes gvp -> gpp: guest mappings are established at
 	// process setup and never change in this model.
-	leafCache map[arch.GVP]arch.GPP
+	leafCache pagedU64
 
 	// Leaves tracks installed leaf mappings.
 	Leaves int
@@ -34,17 +40,16 @@ type GuestPT struct {
 // NewGuestPT allocates the root table page.
 func NewGuestPT(store *Store, alloc PTPageAlloc) (*GuestPT, error) {
 	g := &GuestPT{
-		store:     store,
-		alloc:     alloc,
-		backing:   make(map[arch.GPP]arch.SPP),
-		leafCache: make(map[arch.GVP]arch.GPP),
+		store: store,
+		alloc: alloc,
 	}
 	gpp, spp, err := alloc()
 	if err != nil {
 		return nil, fmt.Errorf("pagetable: allocating guest root: %w", err)
 	}
 	g.rootGPP = gpp
-	g.backing[gpp] = spp
+	g.backing.set(uint64(gpp), uint64(spp))
+	g.ptPages++
 	return g, nil
 }
 
@@ -53,8 +58,8 @@ func (g *GuestPT) Root() arch.GPP { return g.rootGPP }
 
 // BackingSPP returns the pinned frame of a guest page-table page.
 func (g *GuestPT) BackingSPP(ptPage arch.GPP) (arch.SPP, bool) {
-	spp, ok := g.backing[ptPage]
-	return spp, ok
+	spp, ok := g.backing.get(uint64(ptPage))
+	return arch.SPP(spp), ok
 }
 
 // entryAddr returns the GPA and SPA of the entry indexing gvp at the given
@@ -62,7 +67,8 @@ func (g *GuestPT) BackingSPP(ptPage arch.GPP) (arch.SPP, bool) {
 func (g *GuestPT) entryAddr(ptPage arch.GPP, gvp arch.GVP, level int) (arch.GPA, arch.SPA) {
 	off := gvp.Index(level) * arch.PTESize
 	gpa := ptPage.Addr() + arch.GPA(off)
-	spa := g.backing[ptPage].Addr() + arch.SPA(off)
+	spp, _ := g.backing.get(uint64(ptPage))
+	spa := arch.SPP(spp).Addr() + arch.SPA(off)
 	return gpa, spa
 }
 
@@ -78,7 +84,8 @@ func (g *GuestPT) Map(gvp arch.GVP, gpp arch.GPP) error {
 			if err != nil {
 				return fmt.Errorf("pagetable: allocating guest level-%d table: %w", level-1, err)
 			}
-			g.backing[newGPP] = newSPP
+			g.backing.set(uint64(newGPP), uint64(newSPP))
+			g.ptPages++
 			e = MakePTE(uint64(newGPP), true)
 			g.store.WritePTE(spa, e)
 		}
@@ -94,8 +101,8 @@ func (g *GuestPT) Map(gvp arch.GVP, gpp arch.GPP) error {
 
 // Translate functionally resolves gvp to a guest physical page.
 func (g *GuestPT) Translate(gvp arch.GVP) (arch.GPP, bool) {
-	if gpp, ok := g.leafCache[gvp]; ok {
-		return gpp, true
+	if gpp, ok := g.leafCache.get(uint64(gvp)); ok {
+		return arch.GPP(gpp), true
 	}
 	table := g.rootGPP
 	for level := arch.PTLevels; level >= 1; level-- {
@@ -106,7 +113,7 @@ func (g *GuestPT) Translate(gvp arch.GVP) (arch.GPP, bool) {
 		}
 		if level == 1 {
 			gpp := arch.GPP(e.Frame())
-			g.leafCache[gvp] = gpp
+			g.leafCache.set(uint64(gvp), uint64(gpp))
 			return gpp, true
 		}
 		table = arch.GPP(e.Frame())
@@ -123,10 +130,13 @@ type WalkStep struct {
 	NextGPP arch.GPP // frame the entry points at (next table or data page)
 }
 
-// WalkFrom returns the guest walk steps starting at the given level with
-// the given table page (startLevel = PTLevels and the root for a full
-// walk; an MMU-cache hit starts lower). ok is false on a hole in the table.
-func (g *GuestPT) WalkFrom(gvp arch.GVP, startLevel int, table arch.GPP) (steps []WalkStep, ok bool) {
+// WalkFrom appends the guest walk steps starting at the given level with
+// the given table page to buf and returns it (startLevel = PTLevels and the
+// root for a full walk; an MMU-cache hit starts lower). Hot callers pass a
+// reusable scratch buffer (buf[:0]) so the per-walk steps never touch the
+// heap; nil is fine too. ok is false on a hole in the table.
+func (g *GuestPT) WalkFrom(gvp arch.GVP, startLevel int, table arch.GPP, buf []WalkStep) (steps []WalkStep, ok bool) {
+	steps = buf
 	for level := startLevel; level >= 1; level-- {
 		gpa, spa := g.entryAddr(table, gvp, level)
 		e := g.store.ReadPTE(spa)
@@ -153,8 +163,9 @@ func (g *GuestPT) TablePageAt(gvp arch.GVP, level int) (arch.GPP, arch.SPP, bool
 		}
 		table = arch.GPP(e.Frame())
 	}
-	return table, g.backing[table], true
+	spp, _ := g.backing.get(uint64(table))
+	return table, arch.SPP(spp), true
 }
 
 // NumPTPages returns how many guest page-table pages exist.
-func (g *GuestPT) NumPTPages() int { return len(g.backing) }
+func (g *GuestPT) NumPTPages() int { return g.ptPages }

@@ -17,10 +17,11 @@ type NestedPT struct {
 	alloc FrameAlloc
 	root  arch.SPP
 
-	// leafCache memoizes gpp -> leaf entry SPA. Page-table pages are never
-	// freed or relocated, so a leaf entry's address is stable once its
-	// path exists; only the entry's contents change.
-	leafCache map[arch.GPP]arch.SPA
+	// leafCache memoizes gpp -> leaf entry SPA in a dense paged slice
+	// (guest physical pages are handed out densely per VM). Page-table
+	// pages are never freed or relocated, so a leaf entry's address is
+	// stable once its path exists; only the entry's contents change.
+	leafCache pagedU64
 
 	// Leaves tracks the number of leaf mappings (present or not).
 	Leaves int
@@ -32,7 +33,7 @@ func NewNestedPT(store *Store, alloc FrameAlloc) (*NestedPT, error) {
 	if err != nil {
 		return nil, fmt.Errorf("pagetable: allocating nested root: %w", err)
 	}
-	return &NestedPT{store: store, alloc: alloc, root: root, leafCache: make(map[arch.GPP]arch.SPA)}, nil
+	return &NestedPT{store: store, alloc: alloc, root: root}, nil
 }
 
 // Root returns the root table frame (the simulated nested CR3).
@@ -86,8 +87,8 @@ func (n *NestedPT) Map(gpp arch.GPP, spp arch.SPP, present bool) (arch.SPA, erro
 // LeafSPA returns the SPA of the leaf entry for gpp, or false if no path
 // exists yet.
 func (n *NestedPT) LeafSPA(gpp arch.GPP) (arch.SPA, bool) {
-	if spa, ok := n.leafCache[gpp]; ok {
-		return spa, true
+	if spa, ok := n.leafCache.get(uint64(gpp)); ok {
+		return arch.SPA(spa), true
 	}
 	table := n.root
 	for level := arch.PTLevels; level > 1; level-- {
@@ -98,7 +99,7 @@ func (n *NestedPT) LeafSPA(gpp arch.GPP) (arch.SPA, bool) {
 		table = arch.SPP(e.Frame())
 	}
 	spa := entrySPA(table, gpp.Index(1))
-	n.leafCache[gpp] = spa
+	n.leafCache.set(uint64(gpp), uint64(spa))
 	return spa, true
 }
 
@@ -178,7 +179,9 @@ func (n *NestedPT) Remap(gpp arch.GPP, spp arch.SPP, present bool) (arch.SPA, er
 func (n *NestedPT) SetAccessed(gpp arch.GPP, on bool) {
 	if spa, found := n.LeafSPA(gpp); found {
 		e := n.store.ReadPTE(spa)
-		n.store.WritePTE(spa, e.withFlag(FlagAccessed, on))
+		if ne := e.withFlag(FlagAccessed, on); ne != e {
+			n.store.WritePTE(spa, ne)
+		}
 	}
 }
 

@@ -1,0 +1,48 @@
+package pagetable
+
+// pagedU64 is a sparse map from small dense integer keys to uint64 values,
+// stored as lazily-allocated fixed-size chunks. The guest-physical and
+// guest-virtual page spaces it indexes are dense per VM (frames and pages
+// are handed out sequentially), so it replaces the map-based leaf caches of
+// the page tables with two array indexations and no hashing — and, once a
+// chunk exists, no allocation.
+//
+// Values are stored biased by +1 so the zero word means "absent"; callers
+// never see the bias.
+type pagedU64 struct {
+	chunks [][]uint64
+}
+
+const (
+	pagedChunkShift = 10
+	pagedChunkSize  = 1 << pagedChunkShift
+	pagedChunkMask  = pagedChunkSize - 1
+)
+
+// get returns the value for key, if set.
+func (p *pagedU64) get(key uint64) (uint64, bool) {
+	c := key >> pagedChunkShift
+	if c >= uint64(len(p.chunks)) || p.chunks[c] == nil {
+		return 0, false
+	}
+	v := p.chunks[c][key&pagedChunkMask]
+	return v - 1, v != 0
+}
+
+// set stores value for key, growing the chunk directory as needed.
+func (p *pagedU64) set(key, value uint64) {
+	c := key >> pagedChunkShift
+	for c >= uint64(len(p.chunks)) {
+		n := len(p.chunks) * 2
+		if n < 16 {
+			n = 16
+		}
+		bigger := make([][]uint64, n)
+		copy(bigger, p.chunks)
+		p.chunks = bigger
+	}
+	if p.chunks[c] == nil {
+		p.chunks[c] = make([]uint64, pagedChunkSize)
+	}
+	p.chunks[c][key&pagedChunkMask] = value + 1
+}

@@ -275,7 +275,7 @@ func TestGuestWalkFrom(t *testing.T) {
 	if err := g.Map(gvp, 0x55); err != nil {
 		t.Fatal(err)
 	}
-	steps, ok := g.WalkFrom(gvp, arch.PTLevels, g.Root())
+	steps, ok := g.WalkFrom(gvp, arch.PTLevels, g.Root(), nil)
 	if !ok || len(steps) != arch.PTLevels {
 		t.Fatalf("full walk: ok=%v len=%d", ok, len(steps))
 	}
@@ -295,7 +295,7 @@ func TestGuestWalkFrom(t *testing.T) {
 	if !ok {
 		t.Fatal("TablePageAt failed")
 	}
-	partial, ok := g.WalkFrom(gvp, 2, tbl)
+	partial, ok := g.WalkFrom(gvp, 2, tbl, nil)
 	if !ok || len(partial) != 2 {
 		t.Fatalf("partial walk: ok=%v len=%d", ok, len(partial))
 	}
@@ -308,7 +308,7 @@ func TestGuestEntrySPAsInsideHeap(t *testing.T) {
 	g, _, store := newGuest(t)
 	gvp := arch.GVP(0x777)
 	g.Map(gvp, 0x12)
-	steps, _ := g.WalkFrom(gvp, arch.PTLevels, g.Root())
+	steps, _ := g.WalkFrom(gvp, arch.PTLevels, g.Root(), nil)
 	for _, st := range steps {
 		if !store.InHeap(st.SPA) {
 			t.Errorf("guest PTE at %#x outside PT heap", uint64(st.SPA))

@@ -1,0 +1,50 @@
+package sim
+
+import (
+	"testing"
+
+	"hatric/internal/hv"
+)
+
+// TestSteadyStateZeroAllocs is the allocation-regression gate for the
+// flattened hot path: once the machine is warm (translation structures and
+// caches filled, the directory table and FIFO ring at their high-water
+// marks, page-table leaf caches populated), simulating a reference must
+// not allocate at all. The directory's open-addressed table, the flat
+// cache/tstruct arrays, the paged page-table caches, the walker's scratch
+// buffer, and the min-clock heap all exist precisely so this holds.
+func TestSteadyStateZeroAllocs(t *testing.T) {
+	spec := smokeSpec()
+	spec.Refs = 100_000_000 // never exhausts during the test
+	cfg := smokeConfig()
+	cfg.Mem.HBMFrames = 4096 // inf-hbm: no faults, pure steady state
+	// A small directory reaches capacity during warmup, so its FIFO ring
+	// stops growing (pops balance pushes) before measurement starts.
+	cfg.Dir.Entries = 4096
+	sys, err := New(Options{
+		Config:    cfg,
+		Protocol:  "hatric",
+		Paging:    hv.PagingConfig{Policy: "lru"},
+		Mode:      hv.ModeInfHBM,
+		Workloads: SingleWorkload(spec, cfg.NumCPUs),
+		Seed:      3,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	step := func(n int) {
+		for i := 0; i < n; i++ {
+			ok, err := sys.stepOnce()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !ok {
+				t.Fatal("machine went idle during the test")
+			}
+		}
+	}
+	step(120_000) // warm every structure past its high-water mark
+	if avg := testing.AllocsPerRun(50, func() { step(200) }); avg != 0 {
+		t.Errorf("steady-state simulation allocates: %.2f allocs per 200 references", avg)
+	}
+}

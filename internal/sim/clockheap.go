@@ -1,0 +1,94 @@
+package sim
+
+// Indexed binary min-heap over runnable physical CPUs, keyed by
+// (clock, cpu-id). It replaces the per-step O(NumCPUs) min-clock scan: the
+// run loop peeks the root, steps that CPU, and sifts it back down. The
+// cpu-id tie-break reproduces the scan's lowest-index-first order exactly,
+// which is what keeps the interleaving — and therefore every counter —
+// bit-identical to the linear-scan scheduler.
+//
+// hpos[cpu] is the CPU's heap index, or -1 when the CPU is not in the heap
+// (all its vCPUs finished, or the post-run migration drain is running).
+// Sifts move a hole instead of swapping, one store per level. Mid-step
+// cross-CPU charges mark the heap dirty; stepOnce re-heapifies wholesale
+// once the step's clocks are final (see Charge).
+
+func (s *System) heapLess(a, b int32) bool {
+	ca, cb := s.clock[a], s.clock[b]
+	return ca < cb || (ca == cb && a < b)
+}
+
+func (s *System) heapUp(i int) {
+	h := s.heap
+	v := h[i]
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !s.heapLess(v, h[parent]) {
+			break
+		}
+		h[i] = h[parent]
+		s.hpos[h[i]] = int32(i)
+		i = parent
+	}
+	h[i] = v
+	s.hpos[v] = int32(i)
+}
+
+func (s *System) heapDown(i int) {
+	h := s.heap
+	n := len(h)
+	v := h[i]
+	for {
+		least := 2*i + 1
+		if least >= n {
+			break
+		}
+		if r := least + 1; r < n && s.heapLess(h[r], h[least]) {
+			least = r
+		}
+		if !s.heapLess(h[least], v) {
+			break
+		}
+		h[i] = h[least]
+		s.hpos[h[i]] = int32(i)
+		i = least
+	}
+	h[i] = v
+	s.hpos[v] = int32(i)
+}
+
+// heapPush adds cpu to the heap (no-op if present).
+func (s *System) heapPush(cpu int) {
+	if s.hpos[cpu] >= 0 {
+		return
+	}
+	s.heap = append(s.heap, int32(cpu))
+	s.hpos[cpu] = int32(len(s.heap) - 1)
+	s.heapUp(len(s.heap) - 1)
+}
+
+// heapRemove drops cpu from the heap (no-op if absent).
+func (s *System) heapRemove(cpu int) {
+	i := int(s.hpos[cpu])
+	if i < 0 {
+		return
+	}
+	last := len(s.heap) - 1
+	v := s.heap[last]
+	s.heap = s.heap[:last]
+	s.hpos[cpu] = -1
+	if i < last {
+		s.heap[i] = v
+		s.hpos[v] = int32(i)
+		s.heapDown(i)
+		s.heapUp(int(s.hpos[v]))
+	}
+}
+
+// heapify rebuilds the heap from scratch after several keys changed at
+// once (mid-step cross-CPU charges).
+func (s *System) heapify() {
+	for i := len(s.heap)/2 - 1; i >= 0; i-- {
+		s.heapDown(i)
+	}
+}

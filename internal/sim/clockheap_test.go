@@ -1,0 +1,51 @@
+package sim
+
+import "testing"
+
+// scanMinClockCPU is the old O(NumCPUs) implementation, kept here to
+// cross-check the heap.
+func (s *System) scanMinClockCPU() int {
+	best := -1
+	for i := 0; i < s.cfg.NumCPUs; i++ {
+		if !s.cpuRunnable(i) {
+			continue
+		}
+		if best < 0 || s.clock[i] < s.clock[best] {
+			best = i
+		}
+	}
+	return best
+}
+
+func TestHeapMatchesScan(t *testing.T) {
+	opts := goldenScenarios()["pinned"]("unitd")
+	sys, err := New(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for step := 0; sys.active > 0; step++ {
+		// Validate the heap invariant and index map.
+		for i := range sys.heap {
+			if sys.hpos[sys.heap[i]] != int32(i) {
+				t.Fatalf("step %d: hpos out of sync at %d", step, i)
+			}
+			if p := (i - 1) / 2; i > 0 && sys.heapLess(sys.heap[i], sys.heap[p]) {
+				t.Fatalf("step %d: heap violation: child %d (cpu %d clock %d) < parent %d (cpu %d clock %d)",
+					step, i, sys.heap[i], sys.clock[sys.heap[i]], p, sys.heap[p], sys.clock[sys.heap[p]])
+			}
+		}
+		want := sys.scanMinClockCPU()
+		got := sys.minClockCPU()
+		if got != want {
+			t.Fatalf("step %d: heap picked CPU %d (clock %d), scan wants CPU %d (clock %d)",
+				step, got, sys.clock[got], want, sys.clock[want])
+		}
+		ok, err := sys.stepOnce()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !ok {
+			break
+		}
+	}
+}

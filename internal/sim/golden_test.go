@@ -1,0 +1,188 @@
+package sim
+
+import (
+	"fmt"
+	"hash/fnv"
+	"os"
+	"sort"
+	"testing"
+
+	"hatric/internal/arch"
+	"hatric/internal/hv"
+)
+
+// The golden-counter tests freeze the simulator's observable outputs at
+// fixed seeds. The fingerprints below were recorded from the map-and-scan
+// implementation (before the allocation-free flattening of the directory,
+// caches, translation structures, scheduler, and page-table caches) and
+// must never drift: a changed fingerprint means the refactored hot path is
+// no longer bit-identical to the modeled machine it replaced.
+//
+// Regenerate with GOLDEN_UPDATE=1 go test -run TestGoldenCounters -v ./internal/sim
+// only when an intentional modeling change lands, and say so in the commit.
+
+// goldenFingerprint folds everything observable about a Result into one
+// hash: runtime, per-CPU and aggregate counters, per-VM attribution,
+// migration reports, and QoS accounting.
+func goldenFingerprint(res *Result) uint64 {
+	h := fnv.New64a()
+	put := func(format string, args ...any) {
+		fmt.Fprintf(h, format, args...)
+	}
+	put("runtime=%d\n", uint64(res.Runtime))
+	put("agg=%+v\n", res.Agg)
+	for i := range res.PerCPU {
+		put("cpu%d=%+v done=%d\n", i, res.PerCPU[i], uint64(res.Completion[i]))
+	}
+	for v := range res.PerVM {
+		put("vm%d=%+v done=%d\n", v, res.PerVM[v], uint64(res.VMCompletion[v]))
+	}
+	put("bytes=%d,%d\n", res.HBMBytes, res.DRAMBytes)
+	for _, m := range res.Migrations {
+		put("mig=%+v\n", m)
+	}
+	for _, q := range res.QoS {
+		put("qos=%+v\n", q)
+	}
+	return h.Sum64()
+}
+
+// goldenScenarios are the machine shapes the determinism promise covers:
+// pinned single-VM paging, a consolidated multi-VM server, a live
+// migration, vCPU overcommit, and per-VM QoS tiers.
+func goldenScenarios() map[string]func(protocol string) Options {
+	spec := smokeSpec()
+	spec.Refs = 8_000
+	small := spec
+	small.Threads = 2
+	return map[string]func(protocol string) Options{
+		"pinned": func(protocol string) Options {
+			return Options{
+				Config:    smokeConfig(),
+				Protocol:  protocol,
+				Paging:    hv.PagingConfig{Policy: "lru"},
+				Mode:      hv.ModePaged,
+				Workloads: SingleWorkload(spec, 4),
+				Seed:      7,
+			}
+		},
+		"multivm": func(protocol string) Options {
+			return Options{
+				Config:   smokeConfig(),
+				Protocol: protocol,
+				Paging:   hv.PagingConfig{Policy: "fifo"},
+				Mode:     hv.ModePaged,
+				VMs: []VMSpec{
+					{Workloads: []AssignedWorkload{{Spec: small, CPUs: []int{0, 1}}}},
+					{Workloads: []AssignedWorkload{{Spec: small, CPUs: []int{2, 3}}}},
+				},
+				Seed: 11,
+			}
+		},
+		"migration": func(protocol string) Options {
+			return migrationOpts(protocol, small, small,
+				hv.MigrationSpec{VM: 0, At: 40_000, Dest: arch.TierDRAM, BurstPages: 8})
+		},
+		"overcommit": func(protocol string) Options {
+			cfg := smokeConfig()
+			cfg.Mem.HBMFrames = 896
+			return Options{
+				Config:      cfg,
+				Protocol:    protocol,
+				Paging:      hv.PagingConfig{Policy: "lru"},
+				Mode:        hv.ModePaged,
+				VMs:         StripedVMs(small.PerThread(1), cfg.NumCPUs, 2),
+				VCPUsPerCPU: 2,
+				Seed:        5,
+			}
+		},
+		"qos": func(protocol string) Options {
+			vms := []VMSpec{
+				{Workloads: []AssignedWorkload{{Spec: small, CPUs: []int{0, 1}}},
+					QuotaFrames: 200},
+				{Workloads: []AssignedWorkload{{Spec: small, CPUs: []int{2, 3}}},
+					QuotaWeight: 2},
+			}
+			return Options{
+				Config:   smokeConfig(),
+				Protocol: protocol,
+				Paging:   hv.PagingConfig{Policy: "lru"},
+				Mode:     hv.ModePaged,
+				VMs:      vms,
+				Seed:     9,
+			}
+		},
+	}
+}
+
+// goldenWant maps scenario/protocol to the fingerprint recorded before the
+// allocation-free refactor.
+var goldenWant = map[string]uint64{
+	"multivm/sw":        0x89cb8600184e8c6f,
+	"multivm/hatric":    0x11a0657b2800a32e,
+	"multivm/unitd":     0x4079332c72ad1eee,
+	"multivm/ideal":     0xd4bef9ffcfdbf83b,
+	"migration/sw":      0x4737233e9c98d2f1,
+	"migration/hatric":  0x042f36f838e48786,
+	"migration/unitd":   0x2fe1d28415f98a7e,
+	"migration/ideal":   0x72eda3b77dcc8df9,
+	"overcommit/sw":     0x2b49c562c492c93b,
+	"overcommit/hatric": 0x7dfb54b1f42ec345,
+	"overcommit/unitd":  0xc1653ad0ceccf79a,
+	"overcommit/ideal":  0x29d4d0c4a36942b2,
+	"pinned/sw":         0xc5d5cbbf021e515b,
+	"pinned/hatric":     0x1d379e52cde4ac49,
+	"pinned/unitd":      0x0254284d219bbf3c,
+	"pinned/ideal":      0x3be2920351fd69b9,
+	"qos/sw":            0x2e1ba79846a68e67,
+	"qos/hatric":        0xe5fabb05a048de86,
+	"qos/unitd":         0x44fb26d808fb295a,
+	"qos/ideal":         0x723d45b68875d590,
+}
+
+func TestGoldenCounters(t *testing.T) {
+	update := os.Getenv("GOLDEN_UPDATE") != ""
+	scenarios := goldenScenarios()
+	names := make([]string, 0, len(scenarios))
+	for name := range scenarios {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	var lines []string
+	for _, name := range names {
+		build := scenarios[name]
+		for _, proto := range []string{"sw", "hatric", "unitd", "ideal"} {
+			key := name + "/" + proto
+			t.Run(key, func(t *testing.T) {
+				sys, err := New(build(proto))
+				if err != nil {
+					t.Fatal(err)
+				}
+				res, err := sys.Run()
+				if err != nil {
+					t.Fatal(err)
+				}
+				got := goldenFingerprint(res)
+				if update {
+					lines = append(lines, fmt.Sprintf("\t%q: %#016x,", key, got))
+					return
+				}
+				want, ok := goldenWant[key]
+				if !ok {
+					t.Fatalf("no golden fingerprint for %s; run with GOLDEN_UPDATE=1 to record", key)
+				}
+				if got != want {
+					t.Errorf("fingerprint drifted: got %#016x want %#016x\nagg: %+v",
+						got, want, res.Agg)
+				}
+			})
+		}
+	}
+	if update {
+		fmt.Println("var goldenWant = map[string]uint64{")
+		for _, l := range lines {
+			fmt.Println(l)
+		}
+		fmt.Println("}")
+	}
+}

@@ -350,6 +350,18 @@ type System struct {
 	// migrating gates the live-migration hooks in the per-reference hot
 	// path; it is false for every run without Options.Migrations.
 	migrating bool
+
+	// defragEvery caches each VM's (static) defragmentation period so the
+	// per-reference check stays a slice load instead of a hypervisor call.
+	defragEvery []uint64
+
+	// heap/hpos form the indexed min-clock heap over runnable CPUs (see
+	// clockheap.go); hpos[cpu] == -1 means cpu is out of the heap.
+	// heapDirty records that a mid-step Charge advanced another CPU's
+	// clock, so the whole heap must be re-heapified after the step.
+	heap      []int32
+	hpos      []int32
+	heapDirty bool
 }
 
 // New builds a system from the options.
@@ -555,6 +567,23 @@ func New(opts Options) (*System, error) {
 		}
 	}
 	s.migrating = hyp.HasMigrations()
+	s.defragEvery = make([]uint64, len(s.vms))
+	for v := range s.vms {
+		s.defragEvery[v] = hyp.DefragEvery(v)
+	}
+
+	// Seed the min-clock heap with every runnable CPU (clocks all zero, so
+	// the id tie-break leaves the heap in lowest-index order, matching the
+	// old scan's first pick).
+	s.hpos = make([]int32, cfg.NumCPUs)
+	for p := range s.hpos {
+		s.hpos[p] = -1
+	}
+	for p := 0; p < cfg.NumCPUs; p++ {
+		if s.cpuRunnable(p) {
+			s.heapPush(p)
+		}
+	}
 	return s, nil
 }
 
@@ -658,8 +687,18 @@ func (s *System) OwnerVM(spa arch.SPA) int {
 // TS implements core.Machine.
 func (s *System) TS(cpu int) *tstruct.CPUSet { return s.ts[cpu] }
 
-// Charge implements core.Machine.
-func (s *System) Charge(cpu int, c arch.Cycles) { s.clock[cpu] += c }
+// Charge implements core.Machine. Charges land mid-step from other
+// subsystems (shootdown targets, migration freezes) while the stepped
+// CPU's own clock is still accumulating, so the heap cannot be repaired
+// element-by-element here — several keys are stale at once. The charge
+// only marks the heap dirty; stepOnce rebuilds it after the step, when
+// every clock is final.
+func (s *System) Charge(cpu int, c arch.Cycles) {
+	s.clock[cpu] += c
+	if s.hpos[cpu] >= 0 {
+		s.heapDirty = true
+	}
+}
 
 // Counters implements core.Machine.
 func (s *System) Counters(cpu int) *stats.Counters { return s.cnt[cpu] }
@@ -697,18 +736,49 @@ func (s *System) Clock(cpu int) arch.Cycles { return s.clock[cpu] }
 // Run executes every stream to completion and returns the result.
 func (s *System) Run() (*Result, error) {
 	for s.active > 0 {
-		cpu := s.minClockCPU()
-		if cpu < 0 {
-			break
-		}
-		if err := s.step(cpu); err != nil {
+		ok, err := s.stepOnce()
+		if err != nil {
 			return nil, err
+		}
+		if !ok {
+			break
 		}
 	}
 	if err := s.drainMigrations(); err != nil {
 		return nil, err
 	}
 	return s.collect(), nil
+}
+
+// stepOnce executes one memory reference on the CPU with the smallest
+// local clock and restores the heap afterwards. It reports false when no
+// runnable CPU remains.
+func (s *System) stepOnce() (bool, error) {
+	cpu := s.minClockCPU()
+	if cpu < 0 {
+		return false, nil
+	}
+	if err := s.step(cpu); err != nil {
+		return false, err
+	}
+	if s.heapDirty {
+		// Cross-CPU charges landed (a shootdown or migration freeze):
+		// several keys changed, so rebuild wholesale. Such steps are the
+		// rare case; the old implementation paid the O(NumCPUs) scan on
+		// every step.
+		s.heapify()
+		s.heapDirty = false
+		if !s.cpuRunnable(cpu) {
+			s.heapRemove(cpu)
+		}
+	} else if s.cpuRunnable(cpu) {
+		// No cross-charges: the stepped CPU still sits at the root and
+		// its clock only grew, so one sift-down restores order.
+		s.heapDown(0)
+	} else {
+		s.heapRemove(cpu)
+	}
+	return true, nil
 }
 
 // drainMigrations completes migrations still in flight after the last
@@ -743,18 +813,14 @@ func (s *System) drainMigrations() error {
 	return nil
 }
 
-// minClockCPU picks the unfinished CPU with the smallest local clock.
+// minClockCPU picks the unfinished CPU with the smallest local clock: the
+// root of the indexed heap, whose (clock, cpu-id) key reproduces the old
+// linear scan's lowest-index tie-break.
 func (s *System) minClockCPU() int {
-	best := -1
-	for i := 0; i < s.cfg.NumCPUs; i++ {
-		if !s.cpuRunnable(i) {
-			continue
-		}
-		if best < 0 || s.clock[i] < s.clock[best] {
-			best = i
-		}
+	if len(s.heap) == 0 {
+		return -1
 	}
-	return best
+	return int(s.heap[0])
 }
 
 // cpuRunnable reports whether any vCPU assigned to cpu still has work.
@@ -877,7 +943,7 @@ func (s *System) step(cpu int) error {
 
 	// Periodic defragmentation remaps (superpage compaction) in the
 	// CPU's own VM.
-	if de := s.hyp.DefragEvery(vm); de > 0 && c.MemRefs%de == 0 {
+	if de := s.defragEvery[vm]; de > 0 && c.MemRefs%de == 0 {
 		s.clock[cpu] += s.hyp.Defrag(cpu, vm, s.clock[cpu])
 	}
 

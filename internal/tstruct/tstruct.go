@@ -18,6 +18,8 @@
 // scoped to one VM never touches another VM's entries.
 package tstruct
 
+import "hatric/internal/lrurank"
+
 // AnyVM matches every VM tag in VM-qualified operations. Invalidations use
 // it when the source PTE identifies a unique owner anyway (exact-source
 // updates) or when no VM owns the line.
@@ -39,22 +41,36 @@ type Entry struct {
 	Src   uint64 // source PTE word index (SPA >> 3)
 	VM    int32  // VPID tag (the owning VM's dense ID)
 	Kind  uint8  // which page table the entry derives from (cache.IsPTKind)
-	lru   uint64
 	Valid bool
 }
 
-// matches reports whether the entry belongs to vm (AnyVM matches all).
-func (e *Entry) matches(vm int) bool {
-	return vm == AnyVM || int(e.VM) == vm
-}
-
 // Struct is one set-associative translation structure.
+//
+// Entry metadata lives in flat parallel arrays (keys, sources, VM tags, ...)
+// instead of an []Entry: the hot compares — the (VM, key) probe of a lookup
+// and the (VM, co-tag) CAM sweep of an invalidation — each walk only the two
+// or three dense arrays they need. A per-set valid count lets probes of
+// empty sets miss in O(1) and lets the CAM-style sweeps of
+// InvalidateMasked/FlushVM/CachesMasked skip empty sets entirely (the
+// modeled compare energy is unchanged: only valid entries ever counted).
+//
+// Recency is exact rank-based LRU (see internal/lrurank): identical
+// victims to a per-touch-timestamp scheme at a fraction of the footprint.
 type Struct struct {
-	name    string
-	sets    int
-	ways    int
-	entries []Entry
-	tick    uint64
+	name string
+	sets int
+	ways int
+	// rankStride is ways rounded up to a multiple of 8: rank rows are
+	// word-aligned so touch can update a whole row with SWAR word ops.
+	rankStride int
+
+	keys  []uint64
+	vals  []uint64
+	srcs  []uint64
+	ranks []uint8
+	vms   []int32 // owning VM per entry; -1 marks an invalid way
+	kinds []uint8
+	vcnt  []int32 // valid entries per set
 
 	// Stats
 	Hits               uint64
@@ -79,12 +95,33 @@ func New(name string, totalEntries, ways int) *Struct {
 		totalEntries = ways
 	}
 	sets := totalEntries / ways
-	return &Struct{
-		name:    name,
-		sets:    sets,
-		ways:    ways,
-		entries: make([]Entry, sets*ways),
+	n := sets * ways
+	stride := lrurank.Stride(ways)
+	st := &Struct{
+		name:       name,
+		sets:       sets,
+		ways:       ways,
+		rankStride: stride,
+		keys:       make([]uint64, n),
+		vals:       make([]uint64, n),
+		srcs:       make([]uint64, n),
+		ranks:      make([]uint8, sets*stride),
+		vms:        make([]int32, n),
+		kinds:      make([]uint8, n),
+		vcnt:       make([]int32, sets),
 	}
+	for i := range st.vms {
+		st.vms[i] = -1
+	}
+	for set := 0; set < sets; set++ {
+		lrurank.Init(st.ranks[set*stride:(set+1)*stride], ways)
+	}
+	return st
+}
+
+// touch marks way w of the set with rank row rbase as most recently used.
+func (s *Struct) touch(rbase, w int) {
+	lrurank.Touch(s.ranks[rbase:rbase+s.rankStride], w)
 }
 
 // Name returns the structure's name.
@@ -93,9 +130,9 @@ func (s *Struct) Name() string { return s.name }
 // Capacity returns the number of entries.
 func (s *Struct) Capacity() int { return s.sets * s.ways }
 
-func (s *Struct) set(key uint64) []Entry {
-	idx := int(mix(key) % uint64(s.sets))
-	return s.entries[idx*s.ways : (idx+1)*s.ways]
+// setOf returns the set index for key.
+func (s *Struct) setOf(key uint64) int {
+	return int(mix(key) % uint64(s.sets))
 }
 
 // mix spreads structured keys (page numbers, prefix keys) across sets.
@@ -109,18 +146,60 @@ func mix(x uint64) uint64 {
 	return x
 }
 
+// vmMatch reports whether the entry at index i is valid and belongs to vm.
+// Invalid ways carry VM tag -1, which AnyVM (-1) must not match, so the
+// validity test is part of the compare.
+func (s *Struct) vmMatch(i, vm int) bool {
+	t := s.vms[i]
+	return t >= 0 && (vm == AnyVM || int(t) == vm)
+}
+
+// find returns the index of vm's valid entry for key, or -1. The empty-set
+// shortcut makes misses in cold sets O(1). For a concrete VM the probe is a
+// single (key, vm) compare per way — invalid ways hold VM tag -1 and can
+// never match a real id; AnyVM probes accept any valid way.
+func (s *Struct) find(vm int, key uint64) int {
+	set := s.setOf(key)
+	if s.vcnt[set] == 0 {
+		return -1
+	}
+	base := set * s.ways
+	keys := s.keys[base : base+s.ways]
+	vms := s.vms[base : base+s.ways]
+	if vm != AnyVM {
+		v32 := int32(vm)
+		for i := range keys {
+			if keys[i] == key && vms[i] == v32 {
+				return base + i
+			}
+		}
+		return -1
+	}
+	for i := range keys {
+		if keys[i] == key && vms[i] >= 0 {
+			return base + i
+		}
+	}
+	return -1
+}
+
+// entryAt materializes the entry at index i.
+func (s *Struct) entryAt(i int) Entry {
+	return Entry{
+		Key: s.keys[i], Val: s.vals[i], Src: s.srcs[i],
+		VM: s.vms[i], Kind: s.kinds[i], Valid: s.vms[i] >= 0,
+	}
+}
+
 // Lookup probes for (vm, key); a hit refreshes LRU state. Entries of other
 // VMs never hit, however equal their keys — the VPID-qualification that
 // makes time-slicing vCPUs of different VMs onto one CPU safe.
 func (s *Struct) Lookup(vm int, key uint64) (uint64, bool) {
-	set := s.set(key)
-	for i := range set {
-		if set[i].Valid && set[i].Key == key && set[i].matches(vm) {
-			s.tick++
-			set[i].lru = s.tick
-			s.Hits++
-			return set[i].Val, true
-		}
+	if i := s.find(vm, key); i >= 0 {
+		set := s.setOf(key)
+		s.touch(set*s.rankStride, i-set*s.ways)
+		s.Hits++
+		return s.vals[i], true
 	}
 	s.Misses++
 	return 0, false
@@ -130,14 +209,11 @@ func (s *Struct) Lookup(vm int, key uint64) (uint64, bool) {
 // refreshing LRU state. Callers that need the co-tag (L2 to L1 refills)
 // use this instead of Lookup.
 func (s *Struct) LookupEntry(vm int, key uint64) (Entry, bool) {
-	set := s.set(key)
-	for i := range set {
-		if set[i].Valid && set[i].Key == key && set[i].matches(vm) {
-			s.tick++
-			set[i].lru = s.tick
-			s.Hits++
-			return set[i], true
-		}
+	if i := s.find(vm, key); i >= 0 {
+		set := s.setOf(key)
+		s.touch(set*s.rankStride, i-set*s.ways)
+		s.Hits++
+		return s.entryAt(i), true
 	}
 	s.Misses++
 	return Entry{}, false
@@ -145,13 +221,19 @@ func (s *Struct) LookupEntry(vm int, key uint64) (Entry, bool) {
 
 // Peek probes without touching LRU or stats.
 func (s *Struct) Peek(vm int, key uint64) (uint64, bool) {
-	set := s.set(key)
-	for i := range set {
-		if set[i].Valid && set[i].Key == key && set[i].matches(vm) {
-			return set[i].Val, true
-		}
+	if i := s.find(vm, key); i >= 0 {
+		return s.vals[i], true
 	}
 	return 0, false
+}
+
+// setEntry overwrites index i with a fresh valid entry.
+func (s *Struct) setEntry(i int, vm int, key, val, src uint64, kind uint8) {
+	s.keys[i] = key
+	s.vals[i] = val
+	s.srcs[i] = src
+	s.vms[i] = int32(vm)
+	s.kinds[i] = kind
 }
 
 // Fill inserts a translation tagged with vm. If a valid victim had to be
@@ -159,32 +241,38 @@ func (s *Struct) Peek(vm int, key uint64) (uint64, bool) {
 // the directory. Entries of different VMs with equal keys coexist: the
 // in-place update applies only to the same VM's entry.
 func (s *Struct) Fill(vm int, key, val, src uint64, kind uint8) (victim Entry, evicted bool) {
-	set := s.set(key)
-	s.tick++
+	set := s.setOf(key)
+	base := set * s.ways
+	rbase := set * s.rankStride
 	s.Fills++
-	for i := range set {
-		if set[i].Valid && set[i].Key == key && set[i].matches(vm) {
-			set[i].Val = val
-			set[i].Src = src
-			set[i].Kind = kind
-			set[i].lru = s.tick
+	// One scan finds the in-place hit and the first free way; the victim,
+	// needed only on a full-set miss, is the way holding the highest rank.
+	free := -1
+	for i := base; i < base+s.ways; i++ {
+		if s.vms[i] < 0 {
+			if free < 0 {
+				free = i
+			}
+			continue
+		}
+		if s.keys[i] == key && s.vmMatch(i, vm) {
+			s.vals[i] = val
+			s.srcs[i] = src
+			s.kinds[i] = kind
+			s.touch(rbase, i-base)
 			return Entry{}, false
 		}
 	}
-	for i := range set {
-		if !set[i].Valid {
-			set[i] = Entry{Key: key, Val: val, Src: src, VM: int32(vm), Kind: kind, lru: s.tick, Valid: true}
-			return Entry{}, false
-		}
+	if free >= 0 {
+		s.setEntry(free, vm, key, val, src, kind)
+		s.touch(rbase, free-base)
+		s.vcnt[set]++
+		return Entry{}, false
 	}
-	v := 0
-	for i := 1; i < len(set); i++ {
-		if set[i].lru < set[v].lru {
-			v = i
-		}
-	}
-	victim = set[v]
-	set[v] = Entry{Key: key, Val: val, Src: src, VM: int32(vm), Kind: kind, lru: s.tick, Valid: true}
+	lruWay := lrurank.Oldest(s.ranks[rbase:rbase+s.rankStride], s.ways)
+	victim = s.entryAt(base + lruWay)
+	s.setEntry(base+lruWay, vm, key, val, src, kind)
+	s.touch(rbase, lruWay)
 	s.Evictions++
 	return victim, true
 }
@@ -192,12 +280,10 @@ func (s *Struct) Fill(vm int, key, val, src uint64, kind uint8) (victim Entry, e
 // InvalidateKey drops vm's entry for key (selective invalidation with a
 // known key, e.g. invlpg with a known guest virtual page).
 func (s *Struct) InvalidateKey(vm int, key uint64) bool {
-	set := s.set(key)
-	for i := range set {
-		if set[i].Valid && set[i].Key == key && set[i].matches(vm) {
-			set[i].Valid = false
-			return true
-		}
+	if i := s.find(vm, key); i >= 0 {
+		s.vms[i] = -1
+		s.vcnt[s.setOf(key)]--
+		return true
 	}
 	return false
 }
@@ -213,17 +299,24 @@ func (s *Struct) InvalidateKey(vm int, key uint64) bool {
 func (s *Struct) InvalidateMasked(vm int, src uint64, shift uint, mask uint64) int {
 	n := 0
 	target := (src >> shift) & mask
-	for i := range s.entries {
-		if !s.entries[i].Valid {
+	for set := 0; set < s.sets; set++ {
+		if s.vcnt[set] == 0 {
 			continue
 		}
-		s.CoTagCompares++
-		if !s.entries[i].matches(vm) {
-			continue
-		}
-		if (s.entries[i].Src>>shift)&mask == target {
-			s.entries[i].Valid = false
-			n++
+		base := set * s.ways
+		for i := base; i < base+s.ways; i++ {
+			if s.vms[i] < 0 {
+				continue
+			}
+			s.CoTagCompares++
+			if !s.vmMatch(i, vm) {
+				continue
+			}
+			if (s.srcs[i]>>shift)&mask == target {
+				s.vms[i] = -1
+				s.vcnt[set]--
+				n++
+			}
 		}
 	}
 	s.CoTagInvalidations += uint64(n)
@@ -236,20 +329,27 @@ func (s *Struct) InvalidateMasked(vm int, src uint64, shift uint, mask uint64) i
 func (s *Struct) InvalidateMaskedExcept(vm int, src uint64, shift uint, mask, exceptSrc uint64) int {
 	n := 0
 	target := (src >> shift) & mask
-	for i := range s.entries {
-		if !s.entries[i].Valid {
+	for set := 0; set < s.sets; set++ {
+		if s.vcnt[set] == 0 {
 			continue
 		}
-		s.CoTagCompares++
-		if !s.entries[i].matches(vm) {
-			continue
-		}
-		if s.entries[i].Src == exceptSrc {
-			continue
-		}
-		if (s.entries[i].Src>>shift)&mask == target {
-			s.entries[i].Valid = false
-			n++
+		base := set * s.ways
+		for i := base; i < base+s.ways; i++ {
+			if s.vms[i] < 0 {
+				continue
+			}
+			s.CoTagCompares++
+			if !s.vmMatch(i, vm) {
+				continue
+			}
+			if s.srcs[i] == exceptSrc {
+				continue
+			}
+			if (s.srcs[i]>>shift)&mask == target {
+				s.vms[i] = -1
+				s.vcnt[set]--
+				n++
+			}
 		}
 	}
 	s.CoTagInvalidations += uint64(n)
@@ -261,16 +361,22 @@ func (s *Struct) InvalidateMaskedExcept(vm int, src uint64, shift uint, mask, ex
 // energy).
 func (s *Struct) CachesMasked(vm int, src uint64, shift uint, mask uint64) bool {
 	target := (src >> shift) & mask
-	for i := range s.entries {
-		if !s.entries[i].Valid {
+	for set := 0; set < s.sets; set++ {
+		if s.vcnt[set] == 0 {
 			continue
 		}
-		s.CoTagCompares++
-		if !s.entries[i].matches(vm) {
-			continue
-		}
-		if (s.entries[i].Src>>shift)&mask == target {
-			return true
+		base := set * s.ways
+		for i := base; i < base+s.ways; i++ {
+			if s.vms[i] < 0 {
+				continue
+			}
+			s.CoTagCompares++
+			if !s.vmMatch(i, vm) {
+				continue
+			}
+			if (s.srcs[i]>>shift)&mask == target {
+				return true
+			}
 		}
 	}
 	return false
@@ -284,17 +390,24 @@ func (s *Struct) CachesMasked(vm int, src uint64, shift uint, mask uint64) bool 
 // hardware can install the new mapping directly.
 func (s *Struct) UpdateMatching(vm int, src uint64, upd func(Entry) (uint64, bool)) int {
 	n := 0
-	for i := range s.entries {
-		if !s.entries[i].Valid || s.entries[i].Src != src || !s.entries[i].matches(vm) {
+	for set := 0; set < s.sets; set++ {
+		if s.vcnt[set] == 0 {
 			continue
 		}
-		newVal, keep := upd(s.entries[i])
-		if keep {
-			s.entries[i].Val = newVal
-		} else {
-			s.entries[i].Valid = false
+		base := set * s.ways
+		for i := base; i < base+s.ways; i++ {
+			if s.srcs[i] != src || !s.vmMatch(i, vm) {
+				continue
+			}
+			newVal, keep := upd(s.entryAt(i))
+			if keep {
+				s.vals[i] = newVal
+			} else {
+				s.vms[i] = -1
+				s.vcnt[set]--
+			}
+			n++
 		}
-		n++
 	}
 	return n
 }
@@ -302,11 +415,18 @@ func (s *Struct) UpdateMatching(vm int, src uint64, upd func(Entry) (uint64, boo
 // Flush invalidates everything and returns how many entries were lost.
 func (s *Struct) Flush() int {
 	n := 0
-	for i := range s.entries {
-		if s.entries[i].Valid {
-			s.entries[i].Valid = false
-			n++
+	for set := 0; set < s.sets; set++ {
+		if s.vcnt[set] == 0 {
+			continue
 		}
+		base := set * s.ways
+		for i := base; i < base+s.ways; i++ {
+			if s.vms[i] >= 0 {
+				s.vms[i] = -1
+				n++
+			}
+		}
+		s.vcnt[set] = 0
 	}
 	s.Flushes++
 	s.FlushedEntries += uint64(n)
@@ -319,10 +439,17 @@ func (s *Struct) Flush() int {
 // degenerates to a full flush.
 func (s *Struct) FlushVM(vm int) int {
 	n := 0
-	for i := range s.entries {
-		if s.entries[i].Valid && s.entries[i].matches(vm) {
-			s.entries[i].Valid = false
-			n++
+	for set := 0; set < s.sets; set++ {
+		if s.vcnt[set] == 0 {
+			continue
+		}
+		base := set * s.ways
+		for i := base; i < base+s.ways; i++ {
+			if s.vmMatch(i, vm) {
+				s.vms[i] = -1
+				s.vcnt[set]--
+				n++
+			}
 		}
 	}
 	s.Flushes++
@@ -333,19 +460,23 @@ func (s *Struct) FlushVM(vm int) int {
 // ValidCount returns the number of valid entries.
 func (s *Struct) ValidCount() int {
 	n := 0
-	for i := range s.entries {
-		if s.entries[i].Valid {
-			n++
-		}
+	for set := 0; set < s.sets; set++ {
+		n += int(s.vcnt[set])
 	}
 	return n
 }
 
 // ForEachValid visits every valid entry.
 func (s *Struct) ForEachValid(fn func(e Entry)) {
-	for i := range s.entries {
-		if s.entries[i].Valid {
-			fn(s.entries[i])
+	for set := 0; set < s.sets; set++ {
+		if s.vcnt[set] == 0 {
+			continue
+		}
+		base := set * s.ways
+		for i := base; i < base+s.ways; i++ {
+			if s.vms[i] >= 0 {
+				fn(s.entryAt(i))
+			}
 		}
 	}
 }

@@ -68,6 +68,10 @@ type Walker struct {
 	// vm is the current VM's ID (VPID), refreshed from VM at the start of
 	// every translation; 0 when no resolver is installed (single-VM rigs).
 	vm int
+
+	// steps is the scratch buffer for guest walk steps, reused across
+	// walks so the hot path never allocates (at most PTLevels entries).
+	steps []pagetable.WalkStep
 }
 
 // Translate resolves (pid, gvp) to a system physical page (plus the guest
@@ -121,7 +125,8 @@ func (w *Walker) walk(pid int, gvp arch.GVP, now arch.Cycles) (arch.SPP, arch.GP
 		w.Cnt.MMUCacheMisses++
 	}
 
-	steps, ok := gpt.WalkFrom(gvp, startLevel, table)
+	steps, ok := gpt.WalkFrom(gvp, startLevel, table, w.steps[:0])
+	w.steps = steps[:0]
 	if !ok {
 		// Guest page-table hole: the simulator maps every workload page at
 		// setup, so this indicates a malformed trace.

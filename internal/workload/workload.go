@@ -102,6 +102,9 @@ type Stream struct {
 	zipf    *xrand.Zipf
 	stride  uint64
 	emitted uint64
+	// untilDrift counts references down to the next drift event — the
+	// divisionless form of emitted%DriftEvery == 0.
+	untilDrift uint64
 
 	regionStart uint64
 	seqPtr      uint64
@@ -168,21 +171,33 @@ func (s *Stream) Next() (Access, bool) {
 		return Access{}, false
 	}
 	sp := &s.spec
-	if sp.DriftEvery > 0 && s.emitted > 0 && s.emitted%sp.DriftEvery == 0 {
-		span := uint64(sp.FootprintPages - sp.RegionPages + 1)
-		s.regionStart = (s.regionStart + uint64(sp.DriftPages)) % span
+	// Drift countdown: equivalent to emitted%DriftEvery == 0 (emitted > 0)
+	// without a per-reference division.
+	if sp.DriftEvery > 0 {
+		if s.untilDrift == 0 {
+			if s.emitted > 0 {
+				span := uint64(sp.FootprintPages - sp.RegionPages + 1)
+				s.regionStart = (s.regionStart + uint64(sp.DriftPages)) % span
+			}
+			s.untilDrift = sp.DriftEvery
+		}
+		s.untilDrift--
 	}
 	s.emitted++
 
 	var page uint64
 	var offset uint64
 	if s.rng.Float64() < sp.StreamFrac {
-		// Sequential scan through the region, line by line.
+		// Sequential scan through the region, line by line. seqPtr is
+		// maintained already-wrapped (it only ever advances by one), so no
+		// per-reference modulo is needed.
 		s.lineCtr++
-		page = s.regionStart + (s.seqPtr % uint64(sp.RegionPages))
+		page = s.regionStart + s.seqPtr
 		offset = (s.lineCtr % arch.LinesPerPage) * arch.LineSize
 		if s.lineCtr%arch.LinesPerPage == 0 {
-			s.seqPtr++
+			if s.seqPtr++; s.seqPtr == uint64(sp.RegionPages) {
+				s.seqPtr = 0
+			}
 		}
 	} else {
 		rank := s.zipf.Sample(s.rng)

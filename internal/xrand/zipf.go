@@ -7,12 +7,13 @@ import "math"
 // generating billion-record synthetic databases", SIGMOD 1994), the same
 // generator popularized by YCSB. Rank 0 is the most popular item.
 type Zipf struct {
-	n     uint64
-	theta float64
-	alpha float64
-	zetan float64
-	eta   float64
-	half  float64 // zeta(2, theta)
+	n       uint64
+	theta   float64
+	alpha   float64
+	zetan   float64
+	eta     float64
+	half    float64 // zeta(2, theta)
+	oneHalf float64 // 1 + 0.5^theta, hoisted out of Sample's rank-1 test
 }
 
 // NewZipf builds a Zipf sampler over [0, n) with skew theta. It precomputes
@@ -29,6 +30,7 @@ func NewZipf(n uint64, theta float64) *Zipf {
 	z.half = zeta(2, theta)
 	z.alpha = 1.0 / (1.0 - theta)
 	z.eta = (1 - math.Pow(2.0/float64(n), 1-theta)) / (1 - z.half/z.zetan)
+	z.oneHalf = 1.0 + math.Pow(0.5, theta)
 	return z
 }
 
@@ -42,7 +44,7 @@ func (z *Zipf) Sample(r *RNG) uint64 {
 	if uz < 1.0 {
 		return 0
 	}
-	if uz < 1.0+math.Pow(0.5, z.theta) {
+	if uz < z.oneHalf {
 		return 1
 	}
 	v := uint64(float64(z.n) * math.Pow(z.eta*u-z.eta+1, z.alpha))
