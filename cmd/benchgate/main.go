@@ -5,6 +5,13 @@
 // nonzero when the median regresses more than the allowed fraction below
 // the baseline.
 //
+// It also times one whole sweep — a paperfigs-quick campaign run
+// in-process — and records its wall-clock in the artifact. Single-run
+// refs/sec measures the simulator inner loop; the sweep wall-clock is the
+// number a user actually waits on (cell fan-out across cores included), so
+// the artifact keeps both trajectories observable. The sweep is
+// informational only: it never fails the gate.
+//
 // The committed baseline (bench/baseline_throughput.json) records the
 // median refs/sec on the machine that set it, so the gate is meaningful on
 // comparable runners and the artifact keeps the refs/sec trajectory
@@ -25,6 +32,9 @@ import (
 	"regexp"
 	"sort"
 	"strconv"
+	"time"
+
+	"hatric/internal/exp"
 )
 
 // Report is the JSON artifact the gate writes.
@@ -37,6 +47,52 @@ type Report struct {
 	MaxRegression  float64   `json:"max_regression"`
 	Pass           bool      `json:"pass"`
 	BaselineSource string    `json:"baseline_source,omitempty"`
+
+	// Whole-sweep wall-clock: one paperfigs-quick campaign timed
+	// in-process (informational; never gates).
+	SweepFigures   []string `json:"sweep_figures,omitempty"`
+	SweepRefs      uint64   `json:"sweep_refs_per_thread,omitempty"`
+	SweepWallSec   float64  `json:"sweep_wall_clock_sec,omitempty"`
+	SweepFigPerSec float64  `json:"sweep_figures_per_sec,omitempty"`
+}
+
+// runSweep times a paperfigs-quick campaign (every figure the default
+// cmd/paperfigs invocation regenerates) and fills the sweep fields.
+func runSweep(rep *Report, refs uint64) error {
+	r := exp.Quick()
+	if refs > 0 {
+		r.Refs = refs
+	}
+	figures := []struct {
+		name string
+		run  func() error
+	}{
+		{"fig2", func() error { _, err := r.Figure2(); return err }},
+		{"fig7", func() error { _, err := r.Figure7(); return err }},
+		{"fig8", func() error { _, err := r.Figure8(); return err }},
+		{"fig9", func() error { _, err := r.Figure9(); return err }},
+		{"fig10", func() error { _, err := r.Figure10(); return err }},
+		{"fig11L", func() error { _, err := r.Figure11Left(); return err }},
+		{"fig11R", func() error { _, err := r.Figure11Right(); return err }},
+		{"fig12", func() error { _, err := r.Figure12(); return err }},
+		{"fig13", func() error { _, err := r.Figure13(); return err }},
+		{"xen", func() error { _, err := r.XenTable(); return err }},
+		{"micro", func() error { _, err := r.MicroCosts(); return err }},
+	}
+	start := time.Now()
+	for _, f := range figures {
+		if err := f.run(); err != nil {
+			return fmt.Errorf("%s: %w", f.name, err)
+		}
+		rep.SweepFigures = append(rep.SweepFigures, f.name)
+	}
+	wall := time.Since(start).Seconds()
+	rep.SweepRefs = r.Refs
+	rep.SweepWallSec = wall
+	if wall > 0 {
+		rep.SweepFigPerSec = float64(len(figures)) / wall
+	}
+	return nil
 }
 
 // Baseline is the committed reference point.
@@ -54,6 +110,8 @@ func main() {
 	baselinePath := flag.String("baseline", "bench/baseline_throughput.json", "committed baseline JSON")
 	outPath := flag.String("out", "BENCH_throughput.json", "artifact output path")
 	maxReg := flag.Float64("max-regression", 0.15, "fail when median falls more than this fraction below baseline")
+	sweep := flag.Bool("sweep", true, "also time one paperfigs-quick campaign in-process")
+	sweepRefs := flag.Uint64("sweep-refs", 0, "refs per thread for the sweep (0 = exp.Quick default)")
 	flag.Parse()
 
 	cmd := exec.Command("go", "test", "-run", "^$",
@@ -103,6 +161,15 @@ func main() {
 		}
 	} else {
 		fmt.Fprintf(os.Stderr, "benchgate: no baseline at %s; recording trajectory only\n", *baselinePath)
+	}
+
+	if *sweep {
+		if err := runSweep(&rep, *sweepRefs); err != nil {
+			fmt.Fprintf(os.Stderr, "benchgate: sweep failed: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("benchgate: sweep (%d figures, %d refs/thread) took %.1fs\n",
+			len(rep.SweepFigures), rep.SweepRefs, rep.SweepWallSec)
 	}
 
 	data, _ := json.MarshalIndent(rep, "", "  ")

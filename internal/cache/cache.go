@@ -181,13 +181,19 @@ func (c *Cache) findLine(tag uint64) int {
 }
 
 // Lookup probes the cache. On a hit it refreshes LRU state and returns the
-// line's state; on a miss it returns Invalid, false.
+// line's state; on a miss it returns Invalid, false. The scan is findLine's,
+// inlined so the set index feeds both the probe and the LRU touch.
 func (c *Cache) Lookup(tag uint64) (State, bool) {
-	if i := c.findLine(tag); i >= 0 {
-		set := c.setOf(tag)
-		c.touch(set*c.rankRowStride, i-set*c.metaStride)
-		c.Hits++
-		return State(c.meta[i] & metaStateMask), true
+	set := c.setOf(tag)
+	base := set * c.metaStride
+	meta := c.meta[base : base+c.ways]
+	for i := range meta {
+		m := meta[i]
+		if m>>metaTagShift == tag && m&metaStateMask != 0 {
+			c.touch(set*c.rankRowStride, i)
+			c.Hits++
+			return State(m & metaStateMask), true
+		}
 	}
 	c.Misses++
 	return Invalid, false
@@ -222,6 +228,37 @@ type Victim struct {
 func (c *Cache) Insert(tag uint64, st State, kind IsPTKind) (Victim, bool) {
 	_, _, victim, evicted := c.probeInsert(tag, st, kind, true, false)
 	return victim, evicted
+}
+
+// InsertAbsent installs a line the caller guarantees is not resident (it
+// just missed a probe of this cache and nothing can have filled it since).
+// The set scan therefore only hunts for a free way — the tag compare of
+// Insert could never match — and the free-way choice, victim choice, and
+// stats are exactly Insert's.
+func (c *Cache) InsertAbsent(tag uint64, st State, kind IsPTKind) (Victim, bool) {
+	set := c.setOf(tag)
+	base := set * c.metaStride
+	rbase := set * c.rankRowStride
+	meta := c.meta[base : base+c.ways]
+	for i := range meta {
+		if meta[i]&metaStateMask == 0 {
+			meta[i] = packMeta(tag, st, kind)
+			c.touch(rbase, i)
+			c.vcnt[set]++
+			return Victim{}, false
+		}
+	}
+	lruWay := lrurank.Oldest(c.rank[rbase:rbase+c.rankStride], c.ways)
+	m := meta[lruWay]
+	victim := Victim{
+		Tag:   m >> metaTagShift,
+		State: State(m & metaStateMask),
+		Kind:  IsPTKind(m >> metaKindShift & metaKindMask),
+	}
+	meta[lruWay] = packMeta(tag, st, kind)
+	c.touch(rbase, lruWay)
+	c.Evictions++
+	return victim, true
 }
 
 // LookupOrInsert probes for tag and, on a miss, installs it with the given
@@ -261,14 +298,16 @@ func (c *Cache) probeInsert(tag uint64, st State, kind IsPTKind, updateOnHit, co
 			continue
 		}
 		if m>>metaTagShift == tag {
+			resident = State(m & metaStateMask)
 			if updateOnHit {
 				meta[i] = packMeta(tag, st, kind)
+				resident = st
 			}
 			c.touch(rbase, i)
 			if countStats {
 				c.Hits++
 			}
-			return State(meta[i] & metaStateMask), true, Victim{}, false
+			return resident, true, Victim{}, false
 		}
 	}
 	if countStats {

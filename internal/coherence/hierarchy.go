@@ -105,7 +105,10 @@ func (h *Hierarchy) Read(cpu int, spa arch.SPA, kind cache.IsPTKind, now arch.Cy
 	lat += h.cost.L2Hit
 	if st, ok := h.l2[cpu].Lookup(tag); ok {
 		c.L2Hits++
-		h.insertPrivateL1(cpu, tag, st, kind)
+		// The L1 just missed and nothing has filled it since, so the refill
+		// can skip Insert's tag compare. The victim stays in L2; no
+		// directory action needed.
+		h.l1[cpu].InsertAbsent(tag, st, kind)
 		return lat
 	}
 	c.L2Misses++
@@ -121,11 +124,13 @@ func (h *Hierarchy) Read(cpu int, spa arch.SPA, kind cache.IsPTKind, now arch.Cy
 
 	// If another CPU owns the line in M/E, downgrade it to S and pull the
 	// data into the LLC.
+	filledLLC := false
 	if e.owner >= 0 && int(e.owner) != cpu {
 		o := int(e.owner)
 		lat += 2 * h.cost.DirHop
 		if h.l2[o].SetState(tag, cache.Shared) {
 			h.llc.Insert(tag, cache.Shared, kind)
+			filledLLC = true
 		} else {
 			// Lazily stale ownership (possible for PT lines).
 			c.SpuriousInvalidations++
@@ -134,7 +139,12 @@ func (h *Hierarchy) Read(cpu int, spa arch.SPA, kind cache.IsPTKind, now arch.Cy
 		e.owner = -1
 	}
 
-	if _, hit, _, _ := h.llc.LookupOrInsert(tag, cache.Shared, kind); hit {
+	if filledLLC {
+		// The downgrade just installed the line as MRU, so the probe below
+		// could only hit; take its accounting without the second set scan.
+		h.llc.Hits++
+		c.LLCHits++
+	} else if _, hit, _, _ := h.llc.LookupOrInsert(tag, cache.Shared, kind); hit {
 		c.LLCHits++
 	} else {
 		c.LLCMisses++
@@ -147,7 +157,7 @@ func (h *Hierarchy) Read(cpu int, spa arch.SPA, kind cache.IsPTKind, now arch.Cy
 		e.owner = int8(cpu)
 	}
 	e.AddSharer(cpu, kind)
-	h.insertPrivate(cpu, tag, st, kind)
+	h.insertPrivateAbsent(cpu, tag, st, kind)
 	return lat
 }
 
@@ -163,8 +173,14 @@ func (h *Hierarchy) Write(cpu int, spa arch.SPA, kind cache.IsPTKind, now arch.C
 	// (including the writer's own, which may have refilled from the cached
 	// line since the last write). Data writes keep the usual fast paths.
 	fastOK := kind == cache.KindData
+	// resident tracks whether tag is in cpu's private caches at the final
+	// install: the invalidation wave spares the writer, so a hit in either
+	// lookup means the line survives until insertPrivate overwrites it, and
+	// a double miss means the cheaper absent-path insert is exact.
+	resident := false
 	if st, ok := h.l1[cpu].Lookup(tag); ok {
 		c.L1Hits++
+		resident = true
 		if fastOK && st == cache.Modified {
 			return lat
 		}
@@ -180,7 +196,9 @@ func (h *Hierarchy) Write(cpu int, spa arch.SPA, kind cache.IsPTKind, now arch.C
 		// Shared (or a page-table line): upgrade via the directory.
 	} else {
 		c.L1Misses++
-		if st, ok := h.l2[cpu].Lookup(tag); fastOK && ok && (st == cache.Modified || st == cache.Exclusive) {
+		st, ok := h.l2[cpu].Lookup(tag)
+		resident = ok
+		if fastOK && ok && (st == cache.Modified || st == cache.Exclusive) {
 			// Local upgrade without directory traffic.
 			c.L2Hits++
 			h.l2[cpu].SetState(tag, cache.Modified)
@@ -266,7 +284,11 @@ func (h *Hierarchy) Write(cpu int, spa arch.SPA, kind cache.IsPTKind, now arch.C
 	e.cacheSharers |= 1 << uint(cpu)
 	e.mergeKind(kind)
 	e.owner = int8(cpu)
-	h.insertPrivate(cpu, tag, cache.Modified, kind)
+	if resident {
+		h.insertPrivate(cpu, tag, cache.Modified, kind)
+	} else {
+		h.insertPrivateAbsent(cpu, tag, cache.Modified, kind)
+	}
 	return lat
 }
 
@@ -353,6 +375,19 @@ func (h *Hierarchy) insertPrivateL1(cpu int, tag uint64, st cache.State, kind ca
 		// The line remains in L2; no directory action needed.
 		_ = v
 	}
+}
+
+// insertPrivateAbsent is insertPrivate for the Read miss path, where both
+// private lookups just missed and the intervening directory work can only
+// invalidate lines, never fill them — so both inserts skip the tag compare.
+func (h *Hierarchy) insertPrivateAbsent(cpu int, tag uint64, st cache.State, kind cache.IsPTKind) {
+	if v, ok := h.l2[cpu].InsertAbsent(tag, st, kind); ok {
+		// Inclusive L2: the victim must leave L1 too (before the L1 fill, so
+		// a same-set victim frees its way exactly as in insertPrivate).
+		h.l1[cpu].Invalidate(v.Tag)
+		h.notePrivateEviction(cpu, v)
+	}
+	h.l1[cpu].InsertAbsent(tag, st, kind)
 }
 
 // notePrivateEviction updates the directory when a line leaves a CPU's

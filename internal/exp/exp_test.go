@@ -1,6 +1,7 @@
 package exp
 
 import (
+	"reflect"
 	"testing"
 )
 
@@ -464,5 +465,25 @@ func TestRunnerDefaults(t *testing.T) {
 	q := Quick()
 	if q.Refs == 0 || q.Mixes == 0 {
 		t.Errorf("Quick not reduced")
+	}
+}
+
+// TestParallelBitIdentical asserts that the worker-pool sweep runner is a
+// pure scheduling choice: every cell is an independent sim.Run with its own
+// System, so fanning cells across 8 goroutines must produce results
+// bit-identical to running them one at a time.
+func TestParallelBitIdentical(t *testing.T) {
+	run := func(parallel int) *Fig7Result {
+		r := &Runner{Refs: 6_000, Mixes: 3, Threads: 4, Parallel: parallel}
+		res, err := r.Figure7()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	serial := run(1)
+	fanned := run(8)
+	if !reflect.DeepEqual(serial, fanned) {
+		t.Fatalf("Figure7 differs between Parallel=1 and Parallel=8:\n%+v\nvs\n%+v", serial, fanned)
 	}
 }

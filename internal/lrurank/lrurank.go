@@ -13,7 +13,10 @@
 // and compare operand stays below 128 (associativities are far under 64).
 package lrurank
 
-import "encoding/binary"
+import (
+	"encoding/binary"
+	"math/bits"
+)
 
 // SWAR constants: per-byte low-ones and high-bits masks.
 const (
@@ -57,12 +60,18 @@ func Touch(row []uint8, w int) {
 }
 
 // Oldest returns the way holding rank ways-1 — the LRU victim of a full
-// set, whose ranks are a permutation of 0..ways-1.
+// set, whose ranks are a permutation of 0..ways-1. The byte equal to the
+// victim rank is found with a SWAR zero-byte scan, one word at a time.
+// Padding bytes (0xFF) can never match: real ranks stay below 128, so the
+// XOR leaves their high bit set and the &^x mask rejects them. A borrow in
+// the subtraction only starts at a true zero byte, and it propagates toward
+// higher bytes, so the lowest set flag is always the real match.
 func Oldest(row []uint8, ways int) int {
-	oldest := uint8(ways - 1)
-	for w := 0; w < ways; w++ {
-		if row[w] == oldest {
-			return w
+	target := uint64(ways-1) * swarLo
+	for k := 0; k+8 <= len(row); k += 8 {
+		x := binary.LittleEndian.Uint64(row[k:]) ^ target
+		if z := (x - swarLo) &^ x & swarHi; z != 0 {
+			return k + bits.TrailingZeros64(z)>>3
 		}
 	}
 	return 0

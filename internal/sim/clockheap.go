@@ -7,15 +7,24 @@ package sim
 // which is what keeps the interleaving — and therefore every counter —
 // bit-identical to the linear-scan scheduler.
 //
+// Each element packs (clock << keyShift) | cpu into one uint64, so a heap
+// comparison is a single integer compare instead of two dependent clock
+// loads — and it orders by clock with the lowest-cpu tie-break for free.
+// keyShift is just wide enough for the CPU ids, leaving 64-keyShift bits
+// of clock (far beyond any simulated runtime).
+//
 // hpos[cpu] is the CPU's heap index, or -1 when the CPU is not in the heap
 // (all its vCPUs finished, or the post-run migration drain is running).
 // Sifts move a hole instead of swapping, one store per level. Mid-step
 // cross-CPU charges mark the heap dirty; stepOnce re-heapifies wholesale
 // once the step's clocks are final (see Charge).
 
-func (s *System) heapLess(a, b int32) bool {
-	ca, cb := s.clock[a], s.clock[b]
-	return ca < cb || (ca == cb && a < b)
+func (s *System) heapKey(cpu int) uint64 {
+	return uint64(s.clock[cpu])<<s.keyShift | uint64(cpu)
+}
+
+func (s *System) heapCPU(k uint64) int {
+	return int(k & s.keyMask)
 }
 
 func (s *System) heapUp(i int) {
@@ -23,15 +32,15 @@ func (s *System) heapUp(i int) {
 	v := h[i]
 	for i > 0 {
 		parent := (i - 1) / 2
-		if !s.heapLess(v, h[parent]) {
+		if v >= h[parent] {
 			break
 		}
 		h[i] = h[parent]
-		s.hpos[h[i]] = int32(i)
+		s.hpos[s.heapCPU(h[i])] = int32(i)
 		i = parent
 	}
 	h[i] = v
-	s.hpos[v] = int32(i)
+	s.hpos[s.heapCPU(v)] = int32(i)
 }
 
 func (s *System) heapDown(i int) {
@@ -43,18 +52,18 @@ func (s *System) heapDown(i int) {
 		if least >= n {
 			break
 		}
-		if r := least + 1; r < n && s.heapLess(h[r], h[least]) {
+		if r := least + 1; r < n && h[r] < h[least] {
 			least = r
 		}
-		if !s.heapLess(h[least], v) {
+		if h[least] >= v {
 			break
 		}
 		h[i] = h[least]
-		s.hpos[h[i]] = int32(i)
+		s.hpos[s.heapCPU(h[i])] = int32(i)
 		i = least
 	}
 	h[i] = v
-	s.hpos[v] = int32(i)
+	s.hpos[s.heapCPU(v)] = int32(i)
 }
 
 // heapPush adds cpu to the heap (no-op if present).
@@ -62,7 +71,7 @@ func (s *System) heapPush(cpu int) {
 	if s.hpos[cpu] >= 0 {
 		return
 	}
-	s.heap = append(s.heap, int32(cpu))
+	s.heap = append(s.heap, s.heapKey(cpu))
 	s.hpos[cpu] = int32(len(s.heap) - 1)
 	s.heapUp(len(s.heap) - 1)
 }
@@ -79,15 +88,27 @@ func (s *System) heapRemove(cpu int) {
 	s.hpos[cpu] = -1
 	if i < last {
 		s.heap[i] = v
-		s.hpos[v] = int32(i)
+		c := s.heapCPU(v)
+		s.hpos[c] = int32(i)
 		s.heapDown(i)
-		s.heapUp(int(s.hpos[v]))
+		s.heapUp(int(s.hpos[c]))
 	}
 }
 
-// heapify rebuilds the heap from scratch after several keys changed at
-// once (mid-step cross-CPU charges).
+// heapFix re-keys cpu after its own step advanced its clock and sifts it
+// down (the stepped CPU was the root, so its key can only have grown).
+func (s *System) heapFix(cpu int) {
+	i := int(s.hpos[cpu])
+	s.heap[i] = s.heapKey(cpu)
+	s.heapDown(i)
+}
+
+// heapify recomputes every key and rebuilds the heap from scratch after
+// several clocks changed at once (mid-step cross-CPU charges).
 func (s *System) heapify() {
+	for i, k := range s.heap {
+		s.heap[i] = s.heapKey(s.heapCPU(k))
+	}
 	for i := len(s.heap)/2 - 1; i >= 0; i-- {
 		s.heapDown(i)
 	}

@@ -24,14 +24,20 @@ func TestHeapMatchesScan(t *testing.T) {
 		t.Fatal(err)
 	}
 	for step := 0; sys.active > 0; step++ {
-		// Validate the heap invariant and index map.
-		for i := range sys.heap {
-			if sys.hpos[sys.heap[i]] != int32(i) {
+		// Validate the heap invariant, the index map, and that every
+		// stored key matches its CPU's current clock.
+		for i, k := range sys.heap {
+			cpu := sys.heapCPU(k)
+			if sys.hpos[cpu] != int32(i) {
 				t.Fatalf("step %d: hpos out of sync at %d", step, i)
 			}
-			if p := (i - 1) / 2; i > 0 && sys.heapLess(sys.heap[i], sys.heap[p]) {
-				t.Fatalf("step %d: heap violation: child %d (cpu %d clock %d) < parent %d (cpu %d clock %d)",
-					step, i, sys.heap[i], sys.clock[sys.heap[i]], p, sys.heap[p], sys.clock[sys.heap[p]])
+			if k != sys.heapKey(cpu) {
+				t.Fatalf("step %d: stale key at %d: cpu %d clock %d key %#x",
+					step, i, cpu, sys.clock[cpu], k)
+			}
+			if p := (i - 1) / 2; i > 0 && k < sys.heap[p] {
+				t.Fatalf("step %d: heap violation: child %d (cpu %d clock %d) < parent %d",
+					step, i, cpu, sys.clock[cpu], p)
 			}
 		}
 		want := sys.scanMinClockCPU()

@@ -1,0 +1,46 @@
+// Package sim wires every substrate into a runnable system: CPUs with
+// translation structures and hardware walkers, the coherent cache
+// hierarchy, the two-tier memory, N virtual machines each with its own
+// guest and nested page tables, the hypervisor's paging machinery, and a
+// translation-coherence protocol. It executes workload streams with
+// min-clock-first scheduling (per-CPU cycle counters stay within one
+// reference of each other) and reports runtime, event counts, and energy
+// — per CPU, per VM, and machine-wide.
+//
+// The machine can run more vCPUs than physical CPUs: Options.VCPUsPerCPU
+// enables a round-robin quantum scheduler that time-slices vCPU slots onto
+// physical CPUs, striping consecutive per-VM slot blocks across the
+// machine so every physical CPU interleaves vCPUs of different VMs. The
+// VPID-tagged translation structures keep the VMs' entries apart without
+// flushing at world switches (Options.FlushOnVMSwitch restores the
+// no-VPID flush baseline for comparison), and software shootdowns charge
+// the initiator for descheduled target vCPUs — the consolidation cost the
+// paper's hardware coherence never pays.
+//
+// # Batching
+//
+// Reference generation is batched; execution is not. Each vCPU owns a
+// reference slab (vcpuState.buf) that workload.Stream.NextBatch fills
+// wholesale, and the run loop consumes it one reference at a time. The
+// two concerns separate cleanly because generation and execution share
+// no state in either direction:
+//
+//   - Generation depends only on the stream's private RNG and the Zipf
+//     table, never on simulated time, cache contents, or another vCPU's
+//     progress — so drawing reference k+255 early produces exactly the
+//     bytes it would have produced on demand.
+//
+//   - Scheduling depends only on the per-CPU clocks: the min-clock heap
+//     still picks the globally oldest CPU before every single reference,
+//     so the interleaving across CPUs — and therefore every coherence
+//     race, shootdown ordering, and migration overlap — is identical
+//     cycle for cycle to the unbatched loop.
+//
+// The slab size (refBatch) is thus a pure host-throughput knob: it
+// amortizes the generator call and keeps the sampled stream hot in host
+// cache, but is invisible in simulated results. The golden-counter
+// fingerprints in golden_test.go — including slab-boundary cases where a
+// run ends mid-slab or exactly on a slab edge — pin this property, and
+// TestSteadyStateZeroAllocs asserts the slabs are reused, never
+// reallocated, in steady state.
+package sim

@@ -112,6 +112,62 @@ func goldenScenarios() map[string]func(protocol string) Options {
 				Seed:     9,
 			}
 		},
+		// The three scenarios below pin the batch-boundary edge cases of the
+		// batched reference pipeline: a one-cycle scheduler quantum (every
+		// reference is a scheduling decision, so batches degenerate to single
+		// references), per-thread reference counts that are not a multiple of
+		// any power-of-two slab size (the final refill is a partial batch),
+		// and a live migration firing mid-run under the vCPU scheduler (remap
+		// bursts and dirty tracking interleave with partially consumed
+		// slabs). Their fingerprints were recorded from the per-reference
+		// Stream.Next pipeline before batching existed.
+		"quantum1": func(protocol string) Options {
+			cfg := smokeConfig()
+			cfg.Mem.HBMFrames = 896
+			return Options{
+				Config:       cfg,
+				Protocol:     protocol,
+				Paging:       hv.PagingConfig{Policy: "lru"},
+				Mode:         hv.ModePaged,
+				VMs:          StripedVMs(small.PerThread(1), cfg.NumCPUs, 2),
+				VCPUsPerCPU:  2,
+				SchedQuantum: 1,
+				Seed:         13,
+			}
+		},
+		"oddrefs": func(protocol string) Options {
+			odd := spec
+			odd.Refs = 7_919 // prime: never divisible by any slab size
+			uneven := small
+			uneven.Refs = 4_001 // staggered completion mid-batch
+			return Options{
+				Config:   smokeConfig(),
+				Protocol: protocol,
+				Paging:   hv.PagingConfig{Policy: "lru"},
+				Mode:     hv.ModePaged,
+				VMs: []VMSpec{
+					{Workloads: []AssignedWorkload{{Spec: odd, CPUs: []int{0, 1}}}},
+					{Workloads: []AssignedWorkload{{Spec: uneven, CPUs: []int{2, 3}}}},
+				},
+				Seed: 17,
+			}
+		},
+		"migsched": func(protocol string) Options {
+			cfg := smokeConfig()
+			cfg.Mem.HBMFrames = 896
+			return Options{
+				Config:      cfg,
+				Protocol:    protocol,
+				Paging:      hv.PagingConfig{Policy: "lru"},
+				Mode:        hv.ModePaged,
+				VMs:         StripedVMs(small.PerThread(1), cfg.NumCPUs, 2),
+				VCPUsPerCPU: 2,
+				Migrations: []hv.MigrationSpec{
+					{VM: 0, At: 30_000, Dest: arch.TierDRAM, BurstPages: 8},
+				},
+				Seed: 19,
+			}
+		},
 	}
 }
 
@@ -138,6 +194,18 @@ var goldenWant = map[string]uint64{
 	"qos/hatric":        0xe5fabb05a048de86,
 	"qos/unitd":         0x44fb26d808fb295a,
 	"qos/ideal":         0x723d45b68875d590,
+	"quantum1/sw":       0x436b494f385fb303,
+	"quantum1/hatric":   0x6bdb0e30f0daa102,
+	"quantum1/unitd":    0xb0a58290dc10ece4,
+	"quantum1/ideal":    0x4ba0428fe3c1ac70,
+	"oddrefs/sw":        0x62e09199978aa4c8,
+	"oddrefs/hatric":    0xe3c871b3a5a281b8,
+	"oddrefs/unitd":     0x0ef70937f39edbbc,
+	"oddrefs/ideal":     0x30f0a42b01afbf56,
+	"migsched/sw":       0x59edd6cd3ce91c9c,
+	"migsched/hatric":   0x45e11b36262b62de,
+	"migsched/unitd":    0x1cf62397c6f706e4,
+	"migsched/ideal":    0x1e6268fa8081f7cf,
 }
 
 func TestGoldenCounters(t *testing.T) {

@@ -1,25 +1,8 @@
-// Package sim wires every substrate into a runnable system: CPUs with
-// translation structures and hardware walkers, the coherent cache
-// hierarchy, the two-tier memory, N virtual machines each with its own
-// guest and nested page tables, the hypervisor's paging machinery, and a
-// translation-coherence protocol. It executes workload streams with
-// min-clock-first scheduling (per-CPU cycle counters stay within one
-// reference of each other) and reports runtime, event counts, and energy
-// — per CPU, per VM, and machine-wide.
-//
-// The machine can run more vCPUs than physical CPUs: Options.VCPUsPerCPU
-// enables a round-robin quantum scheduler that time-slices vCPU slots onto
-// physical CPUs, striping consecutive per-VM slot blocks across the
-// machine so every physical CPU interleaves vCPUs of different VMs. The
-// VPID-tagged translation structures keep the VMs' entries apart without
-// flushing at world switches (Options.FlushOnVMSwitch restores the
-// no-VPID flush baseline for comparison), and software shootdowns charge
-// the initiator for descheduled target vCPUs — the consolidation cost the
-// paper's hardware coherence never pays.
 package sim
 
 import (
 	"fmt"
+	"math/bits"
 
 	"hatric/internal/arch"
 	"hatric/internal/cache"
@@ -300,11 +283,23 @@ func (r *Result) VMFinish(vm int) arch.Cycles {
 // physical CPU (slot == CPU); overcommitted machines have
 // NumCPUs*VCPUsPerCPU slots.
 type vcpuState struct {
-	vm, pid  int
-	stream   *workload.Stream
+	vm, pid int
+	stream  *workload.Stream
+	// buf is the vCPU's reference slab: NextBatch fills it wholesale and
+	// step consumes it one reference at a time, so generation amortizes
+	// across refBatch references while the execution interleaving across
+	// CPUs stays exactly per-reference (see doc.go, "Batching").
+	buf      []workload.Access
+	bufPos   int
+	bufLen   int
 	done     arch.Cycles
 	finished bool
 }
+
+// refBatch is the reference slab size. Each stream draws from its own RNG,
+// so pre-generating a slab cannot observe or affect any other vCPU; the
+// size is a pure throughput knob, invisible in simulated results.
+const refBatch = 256
 
 // System is a fully wired simulated machine.
 type System struct {
@@ -359,7 +354,9 @@ type System struct {
 	// clockheap.go); hpos[cpu] == -1 means cpu is out of the heap.
 	// heapDirty records that a mid-step Charge advanced another CPU's
 	// clock, so the whole heap must be re-heapified after the step.
-	heap      []int32
+	heap      []uint64
+	keyShift  uint
+	keyMask   uint64
 	hpos      []int32
 	heapDirty bool
 }
@@ -460,6 +457,7 @@ func New(opts Options) (*System, error) {
 				s.vcpus[slot] = vcpuState{
 					vm: v, pid: pidx,
 					stream: workload.NewStream(threadSpec, opts.Seed+uint64(globalPID)*101, ti),
+					buf:    make([]workload.Access, refBatch),
 				}
 				s.active++
 			}
@@ -542,8 +540,16 @@ func New(opts Options) (*System, error) {
 			Hier: s.hier,
 			TS:   s.ts[i],
 			Cnt:  s.cnt[i],
-			VM:   s.vmResolver(i),
 		}
+		// Install the starting VM context. A CPU's context changes only at
+		// cross-VM world switches, where schedule() reinstalls it — the
+		// walker no longer resolves it per translation. Idle CPUs (no
+		// stream) borrow VM 0's tables; they never walk.
+		v := s.vmOf[i]
+		if v < 0 {
+			v = 0
+		}
+		s.walkers[i].SetVM(v, s.vms[v].Nested, s.guestFn[v])
 	}
 
 	// Per-VM paging and die-stacked shares for the hypervisor (zero
@@ -574,7 +580,10 @@ func New(opts Options) (*System, error) {
 
 	// Seed the min-clock heap with every runnable CPU (clocks all zero, so
 	// the id tie-break leaves the heap in lowest-index order, matching the
-	// old scan's first pick).
+	// old scan's first pick). Keys pack (clock, cpu) into one word; the
+	// cpu field is just wide enough for the machine.
+	s.keyShift = uint(bits.Len(uint(cfg.NumCPUs - 1)))
+	s.keyMask = 1<<s.keyShift - 1
 	s.hpos = make([]int32, cfg.NumCPUs)
 	for p := range s.hpos {
 		s.hpos[p] = -1
@@ -585,19 +594,6 @@ func New(opts Options) (*System, error) {
 		}
 	}
 	return s, nil
-}
-
-// vmResolver returns the walker hook resolving cpu's current VM — its ID
-// (the VPID fills are tagged with) and page tables. Idle CPUs (no stream)
-// borrow VM 0's tables; they never walk.
-func (s *System) vmResolver(cpu int) walker.VMResolver {
-	return func() (int, *pagetable.NestedPT, walker.GuestPTResolver) {
-		v := s.vmOf[cpu]
-		if v < 0 {
-			v = 0
-		}
-		return v, s.vms[v].Nested, s.guestFn[v]
-	}
 }
 
 // --- core.Machine implementation ---
@@ -773,8 +769,9 @@ func (s *System) stepOnce() (bool, error) {
 		}
 	} else if s.cpuRunnable(cpu) {
 		// No cross-charges: the stepped CPU still sits at the root and
-		// its clock only grew, so one sift-down restores order.
-		s.heapDown(0)
+		// its clock only grew, so re-keying it and one sift-down restores
+		// order.
+		s.heapFix(cpu)
 	} else {
 		s.heapRemove(cpu)
 	}
@@ -820,7 +817,7 @@ func (s *System) minClockCPU() int {
 	if len(s.heap) == 0 {
 		return -1
 	}
-	return int(s.heap[0])
+	return s.heapCPU(s.heap[0])
 }
 
 // cpuRunnable reports whether any vCPU assigned to cpu still has work.
@@ -875,6 +872,7 @@ func (s *System) schedule(cpu int) {
 	newVM := s.vcpus[next].vm
 	if prevVM != newVM {
 		s.attribute(cpu, prevVM)
+		s.walkers[cpu].SetVM(newVM, s.vms[newVM].Nested, s.guestFn[newVM])
 		if s.opts.FlushOnVMSwitch {
 			tlb, mmu, ntlb := s.ts[cpu].FlushAll()
 			c.SwitchFlushes++
@@ -920,18 +918,22 @@ func (s *System) step(cpu int) error {
 		s.schedule(cpu)
 	}
 	vc := &s.vcpus[s.running[cpu]]
-	st := vc.stream
-	acc, ok := st.Next()
-	if !ok {
-		// A stream exhausted before yielding anything (zero-reference
-		// specs): retire the vCPU here, or the run loop would spin on a
-		// CPU whose clock never advances.
-		vc.finished = true
-		vc.done = s.clock[cpu]
-		s.done[cpu] = s.clock[cpu]
-		s.active--
-		return nil
+	if vc.bufPos == vc.bufLen {
+		vc.bufLen = vc.stream.NextBatch(vc.buf)
+		vc.bufPos = 0
+		if vc.bufLen == 0 {
+			// A stream exhausted before yielding anything (zero-reference
+			// specs): retire the vCPU here, or the run loop would spin on
+			// a CPU whose clock never advances.
+			vc.finished = true
+			vc.done = s.clock[cpu]
+			s.done[cpu] = s.clock[cpu]
+			s.active--
+			return nil
+		}
 	}
+	acc := vc.buf[vc.bufPos]
+	vc.bufPos++
 	c := s.cnt[cpu]
 	pid := vc.pid
 	vm := vc.vm
@@ -1011,7 +1013,10 @@ func (s *System) step(cpu int) error {
 		s.clock[cpu] += s.hier.Read(cpu, spa, cache.KindData, s.clock[cpu])
 	}
 
-	if st.Done() {
+	// The vCPU retires exactly when it consumes its stream's last
+	// reference: the slab is drained and the generator has nothing more to
+	// fill it with. Identical timing to the unbatched stream.Done() check.
+	if vc.bufPos == vc.bufLen && vc.stream.Done() {
 		vc.finished = true
 		vc.done = s.clock[cpu]
 		s.done[cpu] = s.clock[cpu]

@@ -60,6 +60,10 @@ type Struct struct {
 	name string
 	sets int
 	ways int
+	// setMask is sets-1 when the set count is a power of two (every hot
+	// structure: L1/L2 TLB, nested TLB), letting setOf mask instead of
+	// divide; -1 selects the modulo path (e.g. the 12-set MMU cache).
+	setMask int
 	// rankStride is ways rounded up to a multiple of 8: rank rows are
 	// word-aligned so touch can update a whole row with SWAR word ops.
 	rankStride int
@@ -97,10 +101,15 @@ func New(name string, totalEntries, ways int) *Struct {
 	sets := totalEntries / ways
 	n := sets * ways
 	stride := lrurank.Stride(ways)
+	mask := -1
+	if sets&(sets-1) == 0 {
+		mask = sets - 1
+	}
 	st := &Struct{
 		name:       name,
 		sets:       sets,
 		ways:       ways,
+		setMask:    mask,
 		rankStride: stride,
 		keys:       make([]uint64, n),
 		vals:       make([]uint64, n),
@@ -130,8 +139,12 @@ func (s *Struct) Name() string { return s.name }
 // Capacity returns the number of entries.
 func (s *Struct) Capacity() int { return s.sets * s.ways }
 
-// setOf returns the set index for key.
+// setOf returns the set index for key. The mask path is bit-identical to
+// the modulo for power-of-two set counts.
 func (s *Struct) setOf(key uint64) int {
+	if s.setMask >= 0 {
+		return int(mix(key) & uint64(s.setMask))
+	}
 	return int(mix(key) % uint64(s.sets))
 }
 
@@ -159,7 +172,20 @@ func (s *Struct) vmMatch(i, vm int) bool {
 // single (key, vm) compare per way — invalid ways hold VM tag -1 and can
 // never match a real id; AnyVM probes accept any valid way.
 func (s *Struct) find(vm int, key uint64) int {
-	set := s.setOf(key)
+	return s.findIn(s.setOf(key), vm, key)
+}
+
+// entryAt materializes the entry at index i.
+func (s *Struct) entryAt(i int) Entry {
+	return Entry{
+		Key: s.keys[i], Val: s.vals[i], Src: s.srcs[i],
+		VM: s.vms[i], Kind: s.kinds[i], Valid: s.vms[i] >= 0,
+	}
+}
+
+// findIn is find with the set index already computed, so the hot lookups
+// mix the key once for both the probe and the LRU touch.
+func (s *Struct) findIn(set, vm int, key uint64) int {
 	if s.vcnt[set] == 0 {
 		return -1
 	}
@@ -183,20 +209,12 @@ func (s *Struct) find(vm int, key uint64) int {
 	return -1
 }
 
-// entryAt materializes the entry at index i.
-func (s *Struct) entryAt(i int) Entry {
-	return Entry{
-		Key: s.keys[i], Val: s.vals[i], Src: s.srcs[i],
-		VM: s.vms[i], Kind: s.kinds[i], Valid: s.vms[i] >= 0,
-	}
-}
-
 // Lookup probes for (vm, key); a hit refreshes LRU state. Entries of other
 // VMs never hit, however equal their keys — the VPID-qualification that
 // makes time-slicing vCPUs of different VMs onto one CPU safe.
 func (s *Struct) Lookup(vm int, key uint64) (uint64, bool) {
-	if i := s.find(vm, key); i >= 0 {
-		set := s.setOf(key)
+	set := s.setOf(key)
+	if i := s.findIn(set, vm, key); i >= 0 {
 		s.touch(set*s.rankStride, i-set*s.ways)
 		s.Hits++
 		return s.vals[i], true
@@ -209,8 +227,8 @@ func (s *Struct) Lookup(vm int, key uint64) (uint64, bool) {
 // refreshing LRU state. Callers that need the co-tag (L2 to L1 refills)
 // use this instead of Lookup.
 func (s *Struct) LookupEntry(vm int, key uint64) (Entry, bool) {
-	if i := s.find(vm, key); i >= 0 {
-		set := s.setOf(key)
+	set := s.setOf(key)
+	if i := s.findIn(set, vm, key); i >= 0 {
 		s.touch(set*s.rankStride, i-set*s.ways)
 		s.Hits++
 		return s.entryAt(i), true

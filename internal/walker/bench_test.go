@@ -1,0 +1,39 @@
+package walker
+
+import (
+	"testing"
+
+	"hatric/internal/arch"
+)
+
+// BenchmarkWalkerProbe isolates the translation stage: L1/L2 TLB probes,
+// the two-dimensional walk with nTLB and MMU-cache shortcuts, and the
+// cache-hierarchy probes every walk reference makes. The footprint (640
+// pages) overflows the L1 TLB (64 entries) and strains the L2 TLB (512
+// entries), so the loop exercises the full hit/miss mix rather than just
+// the L1 fast path. Pair with BenchmarkStreamNext and BenchmarkZipfSample
+// to see which stage moved when end-to-end throughput changes.
+func BenchmarkWalkerProbe(b *testing.B) {
+	r := newRig(b)
+	const pages = 640
+	for i := 0; i < pages; i++ {
+		r.mapPage(b, arch.GVP(i), arch.GPP(0x1000+i), true)
+	}
+	// One warm pass so page-table frames, nTLB, and MMU caches hold
+	// steady-state contents before timing starts.
+	for i := 0; i < pages; i++ {
+		if _, _, _, fault := r.w.Translate(0, arch.GVP(i), 0); fault != nil {
+			b.Fatalf("warmup fault at page %d: %+v", i, fault)
+		}
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		// Deterministic scatter (617 is coprime to 640) so successive
+		// probes land in different TLB sets instead of streaming.
+		gvp := arch.GVP(i * 617 % pages)
+		if _, _, _, fault := r.w.Translate(0, gvp, 0); fault != nil {
+			b.Fatalf("fault at %#x: %+v", uint64(gvp), fault)
+		}
+	}
+}

@@ -26,15 +26,6 @@ type Fault struct {
 // GuestPTResolver returns the guest page table of a process in the VM.
 type GuestPTResolver func(pid int) *pagetable.GuestPT
 
-// VMResolver returns the VM a CPU currently runs — its dense ID (the VPID
-// every fill is tagged with and every lookup qualified by), its nested
-// page table, and its per-process guest page tables. The walker
-// re-resolves them on every translation, so the walk always descends the
-// current VM's tables and the translation structures always tag and match
-// the current VM: under a time-sliced scheduler this is what keeps two
-// VMs' identical (pid, gvp) pairs apart in a shared TLB.
-type VMResolver func() (int, *pagetable.NestedPT, GuestPTResolver)
-
 // TLB values pack both the system physical page (so the access proceeds)
 // and the guest physical page (so the simulator can maintain nested
 // accessed bits precisely on every reference, matching the paper's
@@ -51,10 +42,11 @@ func unpackVal(v uint64) (arch.SPP, arch.GPP) {
 }
 
 // Walker is one CPU's MMU: translation structures plus the hardware walker.
-// Nested and Guest identify the page tables the walker descends; when VM is
-// set, they are re-resolved from it at the start of every translation (the
-// faulting CPU's *current* VM), which is how a multi-VM machine keeps each
-// CPU walking the nested page table of the VM it runs.
+// Nested and Guest identify the page tables the walker descends — the
+// current VM's. A CPU's VM context can only change at a world switch, so
+// the simulator installs it with SetVM there (and once at setup) instead of
+// the walker re-resolving it on every translation; this is how a multi-VM
+// machine keeps each CPU walking the nested page table of the VM it runs.
 type Walker struct {
 	CPU    int
 	Cost   arch.CostModel
@@ -63,10 +55,9 @@ type Walker struct {
 	Cnt    *stats.Counters
 	Nested *pagetable.NestedPT
 	Guest  GuestPTResolver
-	VM     VMResolver
 
-	// vm is the current VM's ID (VPID), refreshed from VM at the start of
-	// every translation; 0 when no resolver is installed (single-VM rigs).
+	// vm is the current VM's ID (VPID), installed by SetVM; 0 when never
+	// set (single-VM rigs).
 	vm int
 
 	// steps is the scratch buffer for guest walk steps, reused across
@@ -74,14 +65,23 @@ type Walker struct {
 	steps []pagetable.WalkStep
 }
 
+// SetVM installs the VM context the walker operates in: the dense ID (the
+// VPID every fill is tagged with and every lookup qualified by), the VM's
+// nested page table, and its per-process guest page tables. Under a
+// time-sliced scheduler this must be called at every cross-VM world switch;
+// the VM tags are what keep two VMs' identical (pid, gvp) pairs apart in a
+// shared TLB.
+func (w *Walker) SetVM(vm int, nested *pagetable.NestedPT, guest GuestPTResolver) {
+	w.vm = vm
+	w.Nested = nested
+	w.Guest = guest
+}
+
 // Translate resolves (pid, gvp) to a system physical page (plus the guest
 // physical page backing it), charging all translation-structure and memory
 // latencies. On a nested fault it returns a non-nil fault and the cycles
 // burned discovering it.
 func (w *Walker) Translate(pid int, gvp arch.GVP, now arch.Cycles) (arch.SPP, arch.GPP, arch.Cycles, *Fault) {
-	if w.VM != nil {
-		w.vm, w.Nested, w.Guest = w.VM()
-	}
 	key := tstruct.TLBKey(pid, gvp)
 	if v, ok := w.TS.L1TLB.Lookup(w.vm, key); ok {
 		w.Cnt.L1TLBHits++

@@ -19,7 +19,7 @@ type rig struct {
 	mem    *memdev.Memory
 }
 
-func newRig(t *testing.T) *rig {
+func newRig(t testing.TB) *rig {
 	t.Helper()
 	cfg := arch.DefaultConfig()
 	cfg.NumCPUs = 1
@@ -66,7 +66,7 @@ func newRig(t *testing.T) *rig {
 }
 
 // mapPage wires gvp -> gpp -> a fresh HBM frame, present.
-func (r *rig) mapPage(t *testing.T, gvp arch.GVP, gpp arch.GPP, present bool) arch.SPP {
+func (r *rig) mapPage(t testing.TB, gvp arch.GVP, gpp arch.GPP, present bool) arch.SPP {
 	t.Helper()
 	if err := r.guest.Map(gvp, gpp); err != nil {
 		t.Fatal(err)

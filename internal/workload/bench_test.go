@@ -16,3 +16,19 @@ func BenchmarkStreamNext(b *testing.B) {
 		}
 	}
 }
+
+func BenchmarkStreamNextBatch(b *testing.B) {
+	spec := Spec{
+		Name: "bench", FootprintPages: 4096, Refs: 1 << 62,
+		RegionPages: 512, Theta: 0.7, DriftEvery: 10_000, DriftPages: 8,
+		StreamFrac: 0.2, WriteFrac: 0.3, GapMean: 4,
+	}
+	s := NewStream(spec, 1, 0)
+	buf := make([]Access, 256)
+	b.ResetTimer()
+	for i := 0; i < b.N; i += len(buf) {
+		if s.NextBatch(buf) == 0 {
+			b.Fatal("stream exhausted")
+		}
+	}
+}

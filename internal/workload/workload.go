@@ -9,6 +9,8 @@
 package workload
 
 import (
+	"sync"
+
 	"hatric/internal/arch"
 	"hatric/internal/xrand"
 )
@@ -105,6 +107,9 @@ type Stream struct {
 	// untilDrift counts references down to the next drift event — the
 	// divisionless form of emitted%DriftEvery == 0.
 	untilDrift uint64
+	// scatter[rank] = (rank*stride) % RegionPages, precomputed so the hot
+	// path replaces a variable modulo with a table load.
+	scatter []uint32
 
 	regionStart uint64
 	seqPtr      uint64
@@ -117,14 +122,52 @@ func NewStream(spec Spec, workloadSeed uint64, thread int) *Stream {
 	if spec.RegionPages <= 0 || spec.RegionPages > spec.FootprintPages {
 		spec.RegionPages = spec.FootprintPages
 	}
+	n := uint64(spec.RegionPages)
 	s := &Stream{
 		spec: spec,
 		rng:  xrand.New(workloadSeed*1e9 + uint64(thread)*7919 + 13),
-		zipf: xrand.NewZipf(uint64(spec.RegionPages), clampTheta(spec.Theta)),
+		zipf: sharedZipf(n, clampTheta(spec.Theta)),
 	}
-	s.stride = coprimeStride(uint64(spec.RegionPages))
+	s.stride = coprimeStride(n)
+	s.scatter = sharedScatter(n, s.stride)
 	return s
 }
+
+// sharedZipf returns the Zipf sampler for (n, theta), building it at most
+// once per process. Samplers are immutable after construction (the RNG is
+// the caller's), so every thread of a workload — and every run of a sweep —
+// can draw from one instance instead of rebuilding the threshold table.
+func sharedZipf(n uint64, theta float64) *xrand.Zipf {
+	type key struct {
+		n     uint64
+		theta float64
+	}
+	k := key{n, theta}
+	if z, ok := zipfCache.Load(k); ok {
+		return z.(*xrand.Zipf)
+	}
+	z, _ := zipfCache.LoadOrStore(k, xrand.NewZipf(n, theta))
+	return z.(*xrand.Zipf)
+}
+
+// sharedScatter returns the rank-scatter table for an n-page region
+// (read-only after construction, so streams share it like the sampler).
+func sharedScatter(n, stride uint64) []uint32 {
+	if t, ok := scatterCache.Load(n); ok {
+		return t.([]uint32)
+	}
+	sc := make([]uint32, n)
+	for r := uint64(0); r < n; r++ {
+		sc[r] = uint32((r * stride) % n)
+	}
+	t, _ := scatterCache.LoadOrStore(n, sc)
+	return t.([]uint32)
+}
+
+var (
+	zipfCache    sync.Map // (n, theta) -> *xrand.Zipf
+	scatterCache sync.Map // n -> []uint32 (stride is a function of n)
+)
 
 func clampTheta(t float64) float64 {
 	if t <= 0.01 {
@@ -167,51 +210,71 @@ func (s *Stream) Spec() Spec { return s.spec }
 
 // Next produces the next access; ok is false when the stream is exhausted.
 func (s *Stream) Next() (Access, bool) {
-	if s.Done() {
+	var one [1]Access
+	if s.NextBatch(one[:]) == 0 {
 		return Access{}, false
 	}
+	return one[0], true
+}
+
+// NextBatch fills dst with the next accesses of the stream and returns how
+// many it produced — less than len(dst) only when the stream runs out. The
+// sequence is identical to repeated Next calls: batching changes where the
+// generator loop lives, not what it draws.
+func (s *Stream) NextBatch(dst []Access) int {
 	sp := &s.spec
-	// Drift countdown: equivalent to emitted%DriftEvery == 0 (emitted > 0)
-	// without a per-reference division.
-	if sp.DriftEvery > 0 {
-		if s.untilDrift == 0 {
-			if s.emitted > 0 {
-				span := uint64(sp.FootprintPages - sp.RegionPages + 1)
-				s.regionStart = (s.regionStart + uint64(sp.DriftPages)) % span
+	if s.emitted >= sp.Refs {
+		return 0
+	}
+	m := sp.Refs - s.emitted
+	if uint64(len(dst)) < m {
+		m = uint64(len(dst))
+	}
+	r := s.rng
+	for i := uint64(0); i < m; i++ {
+		// Drift countdown: equivalent to emitted%DriftEvery == 0
+		// (emitted > 0) without a per-reference division.
+		if sp.DriftEvery > 0 {
+			if s.untilDrift == 0 {
+				if s.emitted > 0 {
+					span := uint64(sp.FootprintPages - sp.RegionPages + 1)
+					s.regionStart = (s.regionStart + uint64(sp.DriftPages)) % span
+				}
+				s.untilDrift = sp.DriftEvery
 			}
-			s.untilDrift = sp.DriftEvery
+			s.untilDrift--
 		}
-		s.untilDrift--
-	}
-	s.emitted++
+		s.emitted++
 
-	var page uint64
-	var offset uint64
-	if s.rng.Float64() < sp.StreamFrac {
-		// Sequential scan through the region, line by line. seqPtr is
-		// maintained already-wrapped (it only ever advances by one), so no
-		// per-reference modulo is needed.
-		s.lineCtr++
-		page = s.regionStart + s.seqPtr
-		offset = (s.lineCtr % arch.LinesPerPage) * arch.LineSize
-		if s.lineCtr%arch.LinesPerPage == 0 {
-			if s.seqPtr++; s.seqPtr == uint64(sp.RegionPages) {
-				s.seqPtr = 0
+		var page uint64
+		var offset uint64
+		if r.Float64() < sp.StreamFrac {
+			// Sequential scan through the region, line by line. seqPtr is
+			// maintained already-wrapped (it only ever advances by one), so
+			// no per-reference modulo is needed.
+			s.lineCtr++
+			page = s.regionStart + s.seqPtr
+			offset = (s.lineCtr % arch.LinesPerPage) * arch.LineSize
+			if s.lineCtr%arch.LinesPerPage == 0 {
+				if s.seqPtr++; s.seqPtr == uint64(sp.RegionPages) {
+					s.seqPtr = 0
+				}
 			}
+		} else {
+			rank := s.zipf.Sample(r)
+			page = s.regionStart + uint64(s.scatter[rank])
+			offset = (r.Uint64() % arch.LinesPerPage) * arch.LineSize
 		}
-	} else {
-		rank := s.zipf.Sample(s.rng)
-		page = s.regionStart + (rank*s.stride)%uint64(sp.RegionPages)
-		offset = (s.rng.Uint64() % arch.LinesPerPage) * arch.LineSize
-	}
 
-	gap := uint32(sp.GapMean)
-	if sp.GapMean > 1 {
-		gap = uint32(sp.GapMean/2) + uint32(s.rng.Uint64n(uint64(sp.GapMean)))
+		gap := uint32(sp.GapMean)
+		if sp.GapMean > 1 {
+			gap = uint32(sp.GapMean/2) + uint32(r.Uint64n(uint64(sp.GapMean)))
+		}
+		dst[i] = Access{
+			VA:    arch.GVA(page*arch.PageSize + offset),
+			Write: r.Bool(sp.WriteFrac),
+			Gap:   gap,
+		}
 	}
-	return Access{
-		VA:    arch.GVA(page*arch.PageSize + offset),
-		Write: s.rng.Bool(sp.WriteFrac),
-		Gap:   gap,
-	}, true
+	return int(m)
 }

@@ -308,3 +308,42 @@ func TestScatterBijection(t *testing.T) {
 		t.Error(err)
 	}
 }
+
+// Property: NextBatch produces exactly the sequence of repeated Next calls,
+// for every batch size — including 1, sizes that do not divide Refs, and
+// slabs larger than what remains.
+func TestNextBatchMatchesNext(t *testing.T) {
+	spec := Spec{
+		Name: "batch", FootprintPages: 512, Refs: 4_001,
+		RegionPages: 96, Theta: 0.6, DriftEvery: 700, DriftPages: 8,
+		StreamFrac: 0.25, WriteFrac: 0.3, GapMean: 4,
+	}
+	for _, size := range []int{1, 7, 64, 256, 5000} {
+		ref := NewStream(spec, 3, 1)
+		got := NewStream(spec, 3, 1)
+		buf := make([]Access, size)
+		total := 0
+		for {
+			n := got.NextBatch(buf)
+			if n == 0 {
+				break
+			}
+			for i := 0; i < n; i++ {
+				want, ok := ref.Next()
+				if !ok {
+					t.Fatalf("size %d: batch produced %d extra refs", size, n-i)
+				}
+				if buf[i] != want {
+					t.Fatalf("size %d ref %d: batch %+v, next %+v", size, total+i, buf[i], want)
+				}
+			}
+			total += n
+		}
+		if _, ok := ref.Next(); ok {
+			t.Fatalf("size %d: batch exhausted early at %d refs", size, total)
+		}
+		if uint64(total) != spec.Refs {
+			t.Fatalf("size %d: %d refs, want %d", size, total, spec.Refs)
+		}
+	}
+}

@@ -2,10 +2,32 @@ package xrand
 
 import "math"
 
+const (
+	// Float64 exposes the top 53 bits of each Uint64 draw, so the sample
+	// domain is k in [0, 2^53) with u = k / 2^53.
+	zipfBits = 53
+	zipfOne  = uint64(1) << zipfBits
+
+	// The guide table splits the k domain into 2^zipfGuideBits buckets and
+	// stores, per bucket, the range of ranks whose thresholds fall inside
+	// it. A bucket rarely spans more than one threshold, so the binary
+	// search in Sample usually terminates in zero or one probes.
+	zipfGuideBits  = 11
+	zipfGuideShift = zipfBits - zipfGuideBits
+
+	// maxZipfTable caps the threshold table at 32 MB (8 B per rank). Larger
+	// domains fall back to the closed form; no preset comes close.
+	maxZipfTable = 1 << 22
+)
+
 // Zipf samples from a Zipfian distribution over [0, n) with skew theta in
-// (0, 1). It uses the constant-time method of Gray et al. ("Quickly
-// generating billion-record synthetic databases", SIGMOD 1994), the same
-// generator popularized by YCSB. Rank 0 is the most popular item.
+// (0, 1). It uses the method of Gray et al. ("Quickly generating
+// billion-record synthetic databases", SIGMOD 1994), the same generator
+// popularized by YCSB, with the per-draw math.Pow replaced by a threshold
+// table precomputed in NewZipf: cut[i] is the smallest draw whose
+// closed-form rank exceeds i, so Sample is a table lookup that returns the
+// same rank as the closed form for every possible draw. Rank 0 is the most
+// popular item.
 type Zipf struct {
 	n       uint64
 	theta   float64
@@ -13,11 +35,23 @@ type Zipf struct {
 	zetan   float64
 	eta     float64
 	half    float64 // zeta(2, theta)
-	oneHalf float64 // 1 + 0.5^theta, hoisted out of Sample's rank-1 test
+	oneHalf float64 // 1 + 0.5^theta, the closed form's rank-1 test
+
+	cut   []uint64 // cut[i]: smallest k with rankClosed(k) > i, sorted
+	guide []uint32 // per-bucket rank search bounds, len 2^zipfGuideBits+1
+
+	// math.Pow is not monotone at ulp scale, so within a few draws of a
+	// threshold the closed form can dip back to the lower rank for an
+	// isolated k. Those draws are enumerated at build time; excBits flags
+	// the guide buckets containing one so Sample pays a single predictable
+	// branch in the common case.
+	excK    []uint64
+	excR    []uint32
+	excBits []uint64
 }
 
 // NewZipf builds a Zipf sampler over [0, n) with skew theta. It precomputes
-// the harmonic normalizer in O(n).
+// the harmonic normalizer and the rank threshold table in O(n).
 func NewZipf(n uint64, theta float64) *Zipf {
 	if n == 0 {
 		panic("xrand: NewZipf with n == 0")
@@ -31,15 +65,55 @@ func NewZipf(n uint64, theta float64) *Zipf {
 	z.alpha = 1.0 / (1.0 - theta)
 	z.eta = (1 - math.Pow(2.0/float64(n), 1-theta)) / (1 - z.half/z.zetan)
 	z.oneHalf = 1.0 + math.Pow(0.5, theta)
+	if n-1 <= maxZipfTable {
+		z.buildTable()
+	}
 	return z
 }
 
 // N returns the domain size.
 func (z *Zipf) N() uint64 { return z.n }
 
-// Sample draws the next rank in [0, n) using r.
+// Sample draws the next rank in [0, n) using r. It consumes exactly one
+// Uint64 — the same draw, truncated the same way, as the closed form — and
+// returns the identical rank for every value of that draw.
 func (z *Zipf) Sample(r *RNG) uint64 {
-	u := r.Float64()
+	k := r.Uint64() >> 11
+	if z.guide == nil {
+		return z.rankClosed(k)
+	}
+	return z.rankOf(k)
+}
+
+// rankOf maps a 53-bit draw to its rank via the threshold table: the rank
+// is the number of thresholds at or below k. The guide bucket bounds the
+// binary search to the thresholds that can fall in k's slice of the domain.
+func (z *Zipf) rankOf(k uint64) uint64 {
+	g := k >> zipfGuideShift
+	if z.excBits != nil && z.excBits[g>>6]&(1<<(g&63)) != 0 {
+		for i, ek := range z.excK {
+			if ek == k {
+				return uint64(z.excR[i])
+			}
+		}
+	}
+	lo, hi := uint64(z.guide[g]), uint64(z.guide[g+1])
+	for lo < hi {
+		mid := (lo + hi) >> 1
+		if z.cut[mid] <= k {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo
+}
+
+// rankClosed is the original Gray et al. closed form, evaluated at
+// u = k / 2^53. It is the reference the table is built from and the
+// fallback for domains too large to tabulate.
+func (z *Zipf) rankClosed(k uint64) uint64 {
+	u := float64(k) / (1 << 53)
 	uz := u * z.zetan
 	if uz < 1.0 {
 		return 0
@@ -52,6 +126,153 @@ func (z *Zipf) Sample(r *RNG) uint64 {
 		v = z.n - 1
 	}
 	return v
+}
+
+// buildTable records, for every rank boundary, the exact draw at which the
+// closed form first returns the higher rank. The closed form is monotone
+// nondecreasing in the draw (uz and the eta*u-eta+1 transform are monotone
+// in u, and the integer truncation only flattens), so rank recovery is an
+// ordered search over these thresholds.
+func (z *Zipf) buildTable() {
+	z.cut = make([]uint64, z.n-1)
+	lo := uint64(0)
+	for i := range z.cut {
+		c := z.findCut(uint64(i)+1, lo)
+		z.cut[i] = c
+		lo = c
+	}
+	z.guide = make([]uint32, (1<<zipfGuideBits)+1)
+	j := 0
+	for g := range z.guide {
+		start := uint64(g) << zipfGuideShift
+		for j < len(z.cut) && z.cut[j] < start {
+			j++
+		}
+		z.guide[g] = uint32(j)
+	}
+	z.recordExceptions()
+}
+
+// recordExceptions walks outward from each threshold comparing the table
+// against the closed form, and records every draw where the two disagree —
+// the isolated ulp-scale dips of math.Pow. The walk in each direction stops
+// only after excRun consecutive agreements, so a contiguous disagreement
+// region around a threshold is always captured whole.
+func (z *Zipf) recordExceptions() {
+	const excRun = 8
+	var ks []uint64
+	var rs []uint32
+	seen := func(k uint64) bool {
+		for _, e := range ks {
+			if e == k {
+				return true
+			}
+		}
+		return false
+	}
+	check := func(k uint64) bool {
+		r := z.rankClosed(k)
+		if z.rankOf(k) == r {
+			return false
+		}
+		if !seen(k) {
+			ks = append(ks, k)
+			rs = append(rs, uint32(r))
+		}
+		return true
+	}
+	for _, c := range z.cut {
+		if c >= zipfOne {
+			continue
+		}
+		run := 0
+		for k := c; k < zipfOne && run < excRun; k++ {
+			if check(k) {
+				run = 0
+			} else {
+				run++
+			}
+		}
+		run = 0
+		for k := c; k > 0 && run < excRun; {
+			k--
+			if check(k) {
+				run = 0
+			} else {
+				run++
+			}
+		}
+	}
+	if len(ks) == 0 {
+		return
+	}
+	z.excK, z.excR = ks, rs
+	z.excBits = make([]uint64, (1<<zipfGuideBits)/64)
+	for _, k := range ks {
+		g := k >> zipfGuideShift
+		z.excBits[g>>6] |= 1 << (g & 63)
+	}
+}
+
+// findCut returns the smallest k in [lo, 2^53] with rankClosed(k) >= r,
+// where k == 2^53 is the unreachable sentinel for ranks the closed form
+// never emits. It inverts the closed form analytically to land within a
+// few ulps of the boundary, then gallops to bracket it and binary-searches
+// the bracket, so each threshold costs only a handful of math.Pow calls.
+func (z *Zipf) findCut(r, lo uint64) uint64 {
+	hi := zipfOne
+	var est float64
+	switch r {
+	case 1:
+		est = 1.0 / z.zetan
+	case 2:
+		est = z.oneHalf / z.zetan
+	default:
+		est = 1 + (math.Pow(float64(r)/float64(z.n), 1-z.theta)-1)/z.eta
+	}
+	k := lo
+	if est > 0 {
+		e := zipfOne - 1
+		if est < 1 {
+			e = uint64(est * float64(zipfOne))
+		}
+		if e > k {
+			k = e
+		}
+	}
+	if k >= hi {
+		k = hi - 1
+	}
+	if z.rankClosed(k) >= r {
+		hi = k
+		for step := uint64(1); hi-lo > step; step <<= 1 {
+			if z.rankClosed(hi-step) >= r {
+				hi -= step
+			} else {
+				lo = hi - step + 1
+				break
+			}
+		}
+	} else {
+		lo = k + 1
+		for step := uint64(1); hi-lo > step; step <<= 1 {
+			if z.rankClosed(lo+step) < r {
+				lo += step + 1
+			} else {
+				hi = lo + step
+				break
+			}
+		}
+	}
+	for lo < hi {
+		mid := lo + (hi-lo)>>1
+		if z.rankClosed(mid) >= r {
+			hi = mid
+		} else {
+			lo = mid + 1
+		}
+	}
+	return lo
 }
 
 // zeta computes the generalized harmonic number sum_{i=1..n} 1/i^theta.

@@ -1,0 +1,132 @@
+package xrand
+
+import (
+	"math"
+	"testing"
+)
+
+// sampleGray is the original per-draw closed-form sampler, kept verbatim as
+// the reference implementation: the table-driven Sample must return the
+// identical rank for the identical RNG state, draw for draw.
+func sampleGray(z *Zipf, r *RNG) uint64 {
+	u := r.Float64()
+	uz := u * z.zetan
+	if uz < 1.0 {
+		return 0
+	}
+	if uz < z.oneHalf {
+		return 1
+	}
+	v := uint64(float64(z.n) * math.Pow(z.eta*u-z.eta+1, z.alpha))
+	if v >= z.n {
+		v = z.n - 1
+	}
+	return v
+}
+
+// zipfGrid spans the preset workloads' region sizes and skews plus the
+// degenerate domains (n=1 has no thresholds; n=2 exercises the eta=NaN
+// corner of the Gray formula).
+var zipfGridN = []uint64{1, 2, 3, 5, 16, 48, 100, 576, 640, 1000, 4096}
+
+var zipfGridTheta = []float64{0.01, 0.35, 0.60, 0.82, 0.99}
+
+func TestZipfTableBitIdentical(t *testing.T) {
+	draws := 1_000_000
+	if testing.Short() {
+		draws = 50_000
+	}
+	for _, n := range zipfGridN {
+		for _, theta := range zipfGridTheta {
+			z := NewZipf(n, theta)
+			if z.guide == nil {
+				t.Fatalf("n=%d theta=%.2f: no table built", n, theta)
+			}
+			rNew := New(n*1000 + uint64(theta*100))
+			rOld := New(n*1000 + uint64(theta*100))
+			for i := 0; i < draws; i++ {
+				got := z.Sample(rNew)
+				want := sampleGray(z, rOld)
+				if got != want {
+					t.Fatalf("n=%d theta=%.2f draw %d: table rank %d, closed form %d",
+						n, theta, i, got, want)
+				}
+			}
+		}
+	}
+}
+
+// TestZipfBoundaryExact probes a window of draws around every recorded
+// threshold — exactly where truncation flips and where math.Pow's ulp-scale
+// non-monotonicity lives — and requires the table search (exception list
+// included) to agree with the closed form at every one of them, including
+// the exact boundary value of u itself.
+func TestZipfBoundaryExact(t *testing.T) {
+	const window = 16
+	for _, n := range zipfGridN {
+		for _, theta := range zipfGridTheta {
+			z := NewZipf(n, theta)
+			prev := uint64(0)
+			for i, c := range z.cut {
+				if c < prev {
+					t.Fatalf("n=%d theta=%.2f: cut[%d]=%d below cut[%d]=%d",
+						n, theta, i, c, i-1, prev)
+				}
+				prev = c
+				lo := uint64(0)
+				if c > window {
+					lo = c - window
+				}
+				for k := lo; k <= c+window && k < zipfOne; k++ {
+					if got, want := z.rankOf(k), z.rankClosed(k); got != want {
+						t.Errorf("n=%d theta=%.2f cut[%d]=%d at k=%d: table %d, closed form %d",
+							n, theta, i, c, k, got, want)
+					}
+				}
+				if c < zipfOne && z.rankClosed(c) < uint64(i)+1 {
+					t.Errorf("n=%d theta=%.2f: rank at cut[%d]=%d is %d, want >= %d",
+						n, theta, i, c, z.rankClosed(c), i+1)
+				}
+			}
+		}
+	}
+}
+
+func TestZipfLargeDomainFallback(t *testing.T) {
+	z := NewZipf(maxZipfTable+2, 0.6)
+	if z.guide != nil {
+		t.Fatal("domain above maxZipfTable should not tabulate")
+	}
+	rNew, rOld := New(3), New(3)
+	for i := 0; i < 10_000; i++ {
+		if got, want := z.Sample(rNew), sampleGray(z, rOld); got != want {
+			t.Fatalf("fallback draw %d: got %d want %d", i, got, want)
+		}
+	}
+}
+
+var benchSink uint64
+
+func BenchmarkZipfSample(b *testing.B) {
+	z := NewZipf(576, 0.60)
+	r := New(1)
+	var s uint64
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s += z.Sample(r)
+	}
+	benchSink = s
+}
+
+// BenchmarkZipfSampleClosed is the pre-table closed form, kept for A/B
+// comparison against BenchmarkZipfSample.
+func BenchmarkZipfSampleClosed(b *testing.B) {
+	z := NewZipf(576, 0.60)
+	r := New(1)
+	var s uint64
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s += sampleGray(z, r)
+	}
+	benchSink = s
+}
