@@ -78,6 +78,7 @@ func runSweep(rep *Report, refs uint64) error {
 		{"fig13", func() error { _, err := r.Figure13(); return err }},
 		{"xen", func() error { _, err := r.XenTable(); return err }},
 		{"micro", func() error { _, err := r.MicroCosts(); return err }},
+		{"dedup", func() error { _, err := r.Dedup(); return err }},
 	}
 	start := time.Now()
 	for _, f := range figures {

@@ -68,6 +68,18 @@ func main() {
 		vmQuotas = flag.String("vm-quota", "", "per-VM die-stacked reservations, comma-separated (frames, or a share like 25%)")
 		vmWeight = flag.String("vm-weight", "", "per-VM scheduler quantum weights, comma-separated (empty entry = 1)")
 
+		ksmEvery   = flag.Uint64("ksm", 0, "KSM dedup scan period in refs per CPU (0 = off)")
+		ksmShare   = flag.Float64("ksm-share", 0.5, "fraction of pages with duplicated content")
+		ksmBreak   = flag.Float64("ksm-break", 0.1, "probability a write to a shared page breaks the sharing")
+		ksmClasses = flag.Int("ksm-classes", 0, "distinct duplicated contents (0 = default)")
+
+		balloonSize = flag.Int("balloon", 0, "inflate a balloon reclaiming this many frames (0 = off)")
+		balloonAt   = flag.Uint64("balloon-at", 0, "inflate the balloon at this cycle")
+		balloonVM   = flag.Int("balloon-vm", 0, "VM whose balloon inflates")
+
+		compactEvery  = flag.Uint64("compact", 0, "compaction window period in refs per CPU (0 = off)")
+		compactWindow = flag.Int("compact-window", 0, "pages relocated per compaction window (0 = default)")
+
 		migrateAt    = flag.Uint64("migrate", 0, "live-migrate a VM at this cycle (0 = off)")
 		migrateVM    = flag.Int("migrate-vm", 0, "VM to live-migrate")
 		migrateDest  = flag.String("migrate-dest", "dram", "migration destination: dram, hbm")
@@ -124,6 +136,25 @@ func main() {
 		VCPUsPerCPU:     *vcpus,
 		SchedQuantum:    arch.Cycles(*quantum),
 		FlushOnVMSwitch: *flushsw,
+	}
+	if *ksmEvery > 0 {
+		opts.KSM = hv.KSMConfig{
+			ScanEvery:     *ksmEvery,
+			SharingFactor: *ksmShare,
+			BreakRate:     *ksmBreak,
+			ClassCount:    *ksmClasses,
+		}
+	}
+	if *balloonSize > 0 {
+		opts.Balloons = []hv.BalloonSpec{{
+			VM: *balloonVM, At: arch.Cycles(*balloonAt), Frames: *balloonSize,
+		}}
+	}
+	if *compactEvery > 0 {
+		opts.Compaction = hv.CompactionConfig{
+			Every:       *compactEvery,
+			WindowPages: *compactWindow,
+		}
 	}
 	if *migrateAt > 0 {
 		var dest arch.MemTier
@@ -211,6 +242,21 @@ func main() {
 		printQoS(res)
 	}
 	printMigrations(res)
+	printStorms(res)
+}
+
+// printStorms summarizes the memory-management storm sources: the KSM
+// scanner's end-of-run sharing state and each balloon's reclaim outcome.
+func printStorms(res *sim.Result) {
+	if res.KSM != nil {
+		k := res.KSM
+		fmt.Printf("\nksm: %d merges, %d cow breaks; %d shared frames backing %d mappings (%d content classes)\n",
+			k.Merges, k.Breaks, k.SharedFrames, k.SharedMappings, k.Classes)
+	}
+	for _, b := range res.Balloons {
+		fmt.Printf("\nballoon: VM %d reclaimed %d of %d frames (shortfall %d), cycles %d..%d\n",
+			b.VM, b.Reclaimed, b.Target, b.Shortfall, uint64(b.Started), uint64(b.Finished))
+	}
 }
 
 // parseMode maps a placement-mode name to the hv constant.
@@ -369,6 +415,10 @@ func printResult(spec workload.Spec, protocol string, res *sim.Result) {
 	t.AddRow("evictions", a.PageEvictions)
 	t.AddRow("prefetches", a.PagePrefetches)
 	t.AddRow("defrag remaps", a.DefragRemaps)
+	t.AddRow("ksm merges", a.KSMMerges)
+	t.AddRow("cow breaks", a.KSMBreaks)
+	t.AddRow("balloon reclaims", a.BalloonReclaims)
+	t.AddRow("compaction moves", a.CompactionMoves)
 	t.AddRow("vm exits", a.VMExits)
 	t.AddRow("ipis", a.IPIs)
 	t.AddRow("tlb flushes", a.TLBFlushes)

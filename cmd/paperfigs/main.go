@@ -9,8 +9,10 @@
 // ablation, -fig interference the multi-VM noisy-neighbor study, -fig
 // migration the whole-VM live-migration storm study, -fig overcommit
 // the vCPU-overcommit study (descheduled-target shootdown stalls across
-// consolidation ratios), and -fig qos the per-VM QoS study (a protected
-// VM's die-stacked reservation swept against a noisy neighbor's churn).
+// consolidation ratios), -fig qos the per-VM QoS study (a protected
+// VM's die-stacked reservation swept against a noisy neighbor's churn),
+// and -fig dedup the KSM merge/break storm study (sharing-factor x
+// break-rate sweep over two clone VMs).
 //
 // Each figure prints the same series the paper plots, normalized the same
 // way. -quick shrinks reference counts for a fast pass.
@@ -161,6 +163,12 @@ func runFig(r *exp.Runner, f string) error {
 		fmt.Println(res.Table())
 	case "qos":
 		res, err := r.QoS()
+		if err != nil {
+			return err
+		}
+		fmt.Println(res.Table())
+	case "dedup":
+		res, err := r.Dedup()
 		if err != nil {
 			return err
 		}

@@ -1,6 +1,7 @@
 package exp
 
 import (
+	"fmt"
 	"reflect"
 	"testing"
 )
@@ -437,6 +438,85 @@ func TestQoSShape(t *testing.T) {
 	if f, n := byKey["half/sw"], byKey["none/sw"]; f.VictimFlushes >= n.VictimFlushes {
 		t.Errorf("half/sw victim flushes (%d) not below none/sw (%d)",
 			f.VictimFlushes, n.VictimFlushes)
+	}
+	if res.Table().NumRows() != len(res.Rows) {
+		t.Errorf("table rows wrong")
+	}
+}
+
+// TestDedupShape is the acceptance property of the KSM dedup storm study:
+// software coherence pays an IPI storm whose cycle bill grows with the
+// merge+break rate, while hatric and ideal pay zero coherence cycles —
+// their residual slowdown is the intrinsic copy-on-write cost (VM exits
+// and page copies) no translation-coherence scheme can remove, so hatric
+// must land within a few percent of the ideal bound in every cell.
+func TestDedupShape(t *testing.T) {
+	r := tiny()
+	r.CheckStale = true
+	res, err := r.Dedup()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := 4 * len(dedupCells()); len(res.Rows) != want {
+		t.Fatalf("rows = %d, want %d", len(res.Rows), want)
+	}
+	key := func(sharing, brk float64, proto string) string {
+		return fmt.Sprintf("%g/%g/%s", sharing, brk, proto)
+	}
+	byKey := map[string]DedupRow{}
+	for _, row := range res.Rows {
+		byKey[key(row.Sharing, row.Break, row.Protocol)] = row
+		if row.Merges == 0 {
+			t.Errorf("%g/%g/%s: no merges; the storm is idle", row.Sharing, row.Break, row.Protocol)
+		}
+		if row.Breaks == 0 {
+			t.Errorf("%g/%g/%s: no cow breaks; the storm is idle", row.Sharing, row.Break, row.Protocol)
+		}
+		switch row.Protocol {
+		case "sw":
+			if row.IPIs == 0 {
+				t.Errorf("sw %g/%g: merge/break remaps caused no IPIs", row.Sharing, row.Break)
+			}
+		case "hatric", "ideal":
+			if row.IPIs != 0 {
+				t.Errorf("%s %g/%g: hardware coherence sent %d IPIs",
+					row.Protocol, row.Sharing, row.Break, row.IPIs)
+			}
+			if row.ShootdownCycles != 0 {
+				t.Errorf("%s %g/%g: charged %d shootdown cycles for the storm",
+					row.Protocol, row.Sharing, row.Break, row.ShootdownCycles)
+			}
+		}
+	}
+	for _, cell := range dedupCells() {
+		sw := byKey[key(cell.Sharing, cell.Break, "sw")]
+		hatric := byKey[key(cell.Sharing, cell.Break, "hatric")]
+		ideal := byKey[key(cell.Sharing, cell.Break, "ideal")]
+		// The acceptance bound: hatric within a few percent of the
+		// zero-coherence-overhead ideal, and strictly cheaper than sw.
+		if hatric.Slowdown > ideal.Slowdown*1.05 {
+			t.Errorf("%g/%g: hatric slowdown %.3f far from ideal %.3f",
+				cell.Sharing, cell.Break, hatric.Slowdown, ideal.Slowdown)
+		}
+		if sw.Slowdown <= hatric.Slowdown {
+			t.Errorf("%g/%g: sw slowdown (%.3f) not above hatric (%.3f)",
+				cell.Sharing, cell.Break, sw.Slowdown, hatric.Slowdown)
+		}
+		if sw.ShootdownCycles == 0 {
+			t.Errorf("%g/%g: sw paid no shootdown cycles; the storm is invisible",
+				cell.Sharing, cell.Break)
+		}
+	}
+	// The sw storm grows with both knobs: the heaviest cell is strictly
+	// costlier than the lightest.
+	lo, hi := byKey[key(0.2, 0.02, "sw")], byKey[key(0.8, 0.1, "sw")]
+	if hi.Merges+hi.Breaks <= lo.Merges+lo.Breaks {
+		t.Errorf("sw heavy cell (%d events) not above light cell (%d)",
+			hi.Merges+hi.Breaks, lo.Merges+lo.Breaks)
+	}
+	if hi.ShootdownCycles <= lo.ShootdownCycles {
+		t.Errorf("sw shootdown cycles not growing with the storm: %d vs %d",
+			hi.ShootdownCycles, lo.ShootdownCycles)
 	}
 	if res.Table().NumRows() != len(res.Rows) {
 		t.Errorf("table rows wrong")

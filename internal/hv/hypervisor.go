@@ -59,6 +59,7 @@ type Hypervisor struct {
 	vms      []*VM
 	policies []Policy
 	rng      *xrand.RNG
+	seed     uint64
 
 	// qos is the per-VM paging configuration and die-stacked share
 	// accounting (see qos.go).
@@ -72,6 +73,14 @@ type Hypervisor struct {
 	// simulator's hot path stop pumping the moment all are done.
 	migrations           []*Migration
 	unfinishedMigrations int
+
+	// Memory-management storm sources (all nil/empty by default): the KSM
+	// dedup scanner (ksm.go), balloon inflations (balloon.go), and the
+	// compaction daemon (compaction.go).
+	ksm                *ksmState
+	balloons           []*Balloon
+	unfinishedBalloons int
+	compact            *compactState
 }
 
 // New builds the hypervisor for the given VMs. cfg is the machine-wide
@@ -87,8 +96,9 @@ func New(cfg PagingConfig, vmcfgs []VMConfig, cost arch.CostModel, mem *memdev.M
 	h := &Hypervisor{
 		cost: cost, mem: mem, hier: hier,
 		machine: machine, protocol: protocol,
-		vms: append([]*VM(nil), vms...),
-		rng: xrand.New(seed ^ 0x9a7c15),
+		vms:  append([]*VM(nil), vms...),
+		rng:  xrand.New(seed ^ 0x9a7c15),
+		seed: seed,
 	}
 	if err := h.initQoS(cfg, vmcfgs); err != nil {
 		return nil, err
@@ -236,6 +246,14 @@ func (h *Hypervisor) evictOne(cpu, reqVM int, now arch.Cycles, critical bool) (a
 	if !ok {
 		return 0, fmt.Errorf("hv: nothing to evict")
 	}
+	return h.evictFrom(cpu, vmIdx, reqVM, now, critical)
+}
+
+// evictFrom evicts one die-stacked page of VM vmIdx specifically,
+// bypassing the victim-VM selector: the balloon driver returns its own
+// VM's frames this way. Accounting and the coherence storm are identical
+// to evictOne — reqVM only attributes the cross-VM/frozen charges.
+func (h *Hypervisor) evictFrom(cpu, vmIdx, reqVM int, now arch.Cycles, critical bool) (arch.Cycles, error) {
 	vm := h.vms[vmIdx]
 	victim, ok := h.policies[vmIdx].PickVictim()
 	if !ok {

@@ -518,7 +518,14 @@ func (h *Hypervisor) migratePage(m *Migration, gpp arch.GPP, now arch.Cycles, fo
 		// Remote migration: the page also crosses the inter-host link.
 		lat += m.link.Access(now+lat, arch.PageSize)
 	}
-	h.mem.FreeFrame(oldSPP)
+	// A KSM-shared page's old frame belongs to the shared-frame table:
+	// dropping this VM's sharer reference (which frees the frame only when
+	// it was the last) replaces the direct free, and the migrated copy is
+	// a private page again.
+	wasShared := h.ksmUnshare(m.spec.VM, gpp)
+	if !wasShared {
+		h.mem.FreeFrame(oldSPP)
+	}
 	pteSPA, err := vm.Nested.Remap(gpp, frame, true)
 	if err != nil {
 		return lat, false, err
@@ -535,8 +542,15 @@ func (h *Hypervisor) migratePage(m *Migration, gpp arch.GPP, now arch.Cycles, fo
 	c.ShootdownCycles += uint64(tcLat)
 	lat += tcLat
 	// Policy bookkeeping and share accounting follow the tier transition
-	// (a forced re-copy within the destination tier changes nothing).
-	if m.spec.Dest == arch.TierHBM && fromTier != arch.TierHBM {
+	// (a forced re-copy within the destination tier changes nothing). A
+	// page unshared by the move was never in the VM's private residency,
+	// so it only re-enters when the private copy lands die-stacked.
+	if wasShared {
+		if m.spec.Dest == arch.TierHBM {
+			h.policies[m.spec.VM].NoteResident(gpp)
+			h.qos.resident[m.spec.VM]++
+		}
+	} else if m.spec.Dest == arch.TierHBM && fromTier != arch.TierHBM {
 		h.policies[m.spec.VM].NoteResident(gpp)
 		h.qos.resident[m.spec.VM]++
 	} else if m.spec.Dest == arch.TierDRAM && fromTier == arch.TierHBM {

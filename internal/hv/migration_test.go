@@ -4,117 +4,9 @@ import (
 	"testing"
 
 	"hatric/internal/arch"
-	"hatric/internal/cache"
-	"hatric/internal/coherence"
-	"hatric/internal/core"
-	"hatric/internal/memdev"
-	"hatric/internal/pagetable"
 	"hatric/internal/stats"
 	"hatric/internal/tstruct"
 )
-
-// multiVMStub extends the single-VM machineStub to a partitioned two-VM
-// machine: CPUs 0-1 run VM 0, CPUs 2-3 run VM 1, and page-table-line
-// ownership is answered from the VMs' pinned PT-heap frames, exactly as the
-// simulator's OwnerVM does.
-type multiVMStub struct {
-	*machineStub
-	cpuVM []int
-	vms   []*VM
-}
-
-func (m *multiVMStub) NumVMs() int                 { return len(m.vms) }
-func (m *multiVMStub) VMCPUs(vm int) []int         { return m.vms[vm].CPUs }
-func (m *multiVMStub) VMOf(cpu int) int            { return m.cpuVM[cpu] }
-func (m *multiVMStub) VMMayCache(cpu, vm int) bool { return vm == m.cpuVM[cpu] }
-func (m *multiVMStub) OwnerVM(spa arch.SPA) int {
-	spp := spa.Page()
-	for _, vm := range m.vms {
-		if vm.OwnsPTPage(spp) {
-			return vm.ID
-		}
-	}
-	return -1
-}
-
-// migRig is a two-VM hypervisor under direct (simulator-free) drive.
-type migRig struct {
-	mem     *memdev.Memory
-	hier    *coherence.Hierarchy
-	machine *multiVMStub
-	hyp     *Hypervisor
-	vms     []*VM
-	proto   core.Protocol
-}
-
-// newMigRig builds two VMs with pagesA/pagesB data pages resident in the
-// chosen tiers and a protocol wired through the cache hierarchy's
-// translation relay, as in the full simulator.
-func newMigRig(t *testing.T, protocol string, pagesA, pagesB int, modeA, modeB PlacementMode) *migRig {
-	t.Helper()
-	cfg := arch.DefaultConfig()
-	cfg.NumCPUs = 4
-	cfg.Mem = smallMem()
-	cfg.Mem.HBMFrames = pagesA + pagesB + 16
-	cfg.Mem.DRAMFrames = 2 * (pagesA + pagesB + 16)
-	mem := memdev.New(cfg.Mem)
-	store := pagetable.NewStore(cfg.Mem.PTFrames)
-	base := newMachineStub(4)
-	machine := &multiVMStub{machineStub: base, cpuVM: []int{0, 0, 1, 1}}
-	cnts := []*stats.Counters{base.cnt[0], base.cnt[1], base.cnt[2], base.cnt[3]}
-	hier := coherence.NewHierarchy(&cfg, mem, cnts)
-
-	vmA, err := NewVM(0, store, mem, 1, []int{0, 1})
-	if err != nil {
-		t.Fatal(err)
-	}
-	vmB, err := NewVM(1, store, mem, 1, []int{2, 3})
-	if err != nil {
-		t.Fatal(err)
-	}
-	machine.vms = []*VM{vmA, vmB}
-	if _, err := vmA.MapProcess(0, 0, pagesA, modeA); err != nil {
-		t.Fatal(err)
-	}
-	if _, err := vmB.MapProcess(0, 0, pagesB, modeB); err != nil {
-		t.Fatal(err)
-	}
-	proto := core.New(protocol, machine, 2)
-	hook, relay := proto.Hook()
-	hier.SetTranslationHook(hook, relay)
-	hyp, err := New(PagingConfig{Policy: "fifo"}, nil, cfg.Cost, mem, hier, machine, proto, machine.vms, 1)
-	if err != nil {
-		t.Fatal(err)
-	}
-	return &migRig{mem: mem, hier: hier, machine: machine, hyp: hyp,
-		vms: machine.vms, proto: proto}
-}
-
-// cacheTranslations makes every CPU of vm a coherence sharer of each data
-// page's nested leaf line and fills its nTLB with the current translation —
-// the state a hardware walker leaves behind, so relays have real targets.
-func (r *migRig) cacheTranslations(t *testing.T, vm, pages int) {
-	t.Helper()
-	for gvp := arch.GVP(0); gvp < arch.GVP(pages); gvp++ {
-		gpp, ok := r.vms[vm].Guests[0].Translate(gvp)
-		if !ok {
-			t.Fatalf("VM %d gvp %d unmapped", vm, gvp)
-		}
-		spp, _, ok := r.vms[vm].Nested.Translate(gpp)
-		if !ok {
-			t.Fatalf("VM %d gpp unmapped", vm)
-		}
-		leaf, ok := r.vms[vm].Nested.LeafSPA(gpp)
-		if !ok {
-			t.Fatalf("VM %d gpp %#x has no leaf", vm, uint64(gpp))
-		}
-		for _, cpu := range r.vms[vm].CPUs {
-			r.hier.Read(cpu, leaf, cache.KindNestedPT, 0)
-			r.hier.NoteTranslationFill(cpu, leaf, cache.KindNestedPT)
-			r.machine.ts[cpu].NTLB.Fill(vm, tstruct.NTLBKey(gpp), uint64(spp), uint64(leaf)>>3, uint8(cache.KindNestedPT))
-		}
-	}
-}
 
 // runMigration pumps the driver until the migration finishes, optionally
 // injecting guest writes (to re-dirty copied pages) after each quantum.

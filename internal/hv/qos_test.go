@@ -12,95 +12,6 @@ import (
 	"hatric/internal/xrand"
 )
 
-// qosRig is an N-VM hypervisor with per-VM QoS configs under direct
-// (simulator-free) drive, each VM one process on two CPUs.
-type qosRig struct {
-	mem     *memdev.Memory
-	machine *multiVMStub
-	hyp     *Hypervisor
-	vms     []*VM
-	gpps    [][]arch.GPP // per VM: its data pages, in GVP order
-}
-
-func newQoSRig(t *testing.T, protocol string, cfgs []VMConfig, pages []int, modes []PlacementMode, hbmFrames int) *qosRig {
-	t.Helper()
-	n := len(pages)
-	cfg := arch.DefaultConfig()
-	cfg.NumCPUs = 2 * n
-	cfg.Mem = smallMem()
-	cfg.Mem.HBMFrames = hbmFrames
-	cfg.Mem.DRAMFrames = 4 * (sum(pages) + 64)
-	mem := memdev.New(cfg.Mem)
-	store := pagetable.NewStore(cfg.Mem.PTFrames)
-	base := newMachineStub(cfg.NumCPUs)
-	machine := &multiVMStub{machineStub: base}
-	cnts := make([]*stats.Counters, cfg.NumCPUs)
-	for i := range cnts {
-		cnts[i] = base.cnt[i]
-		machine.cpuVM = append(machine.cpuVM, i/2)
-	}
-	hier := coherence.NewHierarchy(&cfg, mem, cnts)
-
-	r := &qosRig{mem: mem, machine: machine}
-	for v := 0; v < n; v++ {
-		vm, err := NewVM(v, store, mem, 1, []int{2 * v, 2*v + 1})
-		if err != nil {
-			t.Fatal(err)
-		}
-		gpps, err := vm.MapProcess(0, 0, pages[v], modes[v])
-		if err != nil {
-			t.Fatal(err)
-		}
-		machine.vms = append(machine.vms, vm)
-		r.vms = append(r.vms, vm)
-		r.gpps = append(r.gpps, gpps)
-	}
-	proto := core.New(protocol, machine, 2)
-	hook, relay := proto.Hook()
-	hier.SetTranslationHook(hook, relay)
-	hyp, err := New(PagingConfig{Policy: "fifo"}, cfgs, cfg.Cost, mem, hier, machine, proto, machine.vms, 1)
-	if err != nil {
-		t.Fatal(err)
-	}
-	r.hyp = hyp
-	return r
-}
-
-func sum(xs []int) int {
-	t := 0
-	for _, x := range xs {
-		t += x
-	}
-	return t
-}
-
-// fault demand-faults one page of a VM through the hypervisor.
-func (r *qosRig) fault(t *testing.T, vm, page int) {
-	t.Helper()
-	if _, err := r.hyp.HandleFault(2*vm, vm, r.gpps[vm][page], 0); err != nil {
-		t.Fatalf("VM %d fault on page %d: %v", vm, page, err)
-	}
-}
-
-// residentSum checks the pool identity: per-VM resident frames must sum
-// to exactly the die-stacked frames in use, and never exceed capacity.
-func (r *qosRig) residentSum(t *testing.T) int {
-	t.Helper()
-	total := 0
-	for v := range r.vms {
-		total += r.hyp.ResidentFrames(v)
-	}
-	cap := r.mem.Layout.HBMFrames
-	used := cap - r.mem.FreeFrames(arch.TierHBM)
-	if total != used {
-		t.Fatalf("resident accounting drifted: per-VM sum %d, pool in use %d", total, used)
-	}
-	if total > cap {
-		t.Fatalf("resident frames %d exceed pool capacity %d", total, cap)
-	}
-	return total
-}
-
 // TestVictimSelectorSharePreference: with quotas configured, the selector
 // takes from the VM over its fair share, never from a VM at-or-under its
 // reservation — and only as a last resort from a protected VM when

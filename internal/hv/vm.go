@@ -3,10 +3,18 @@
 // die-stacked and off-chip DRAM (the paper's KVM modifications, Sec. 5.2),
 // paging policies (FIFO, LRU/CLOCK, migration daemon, prefetching), the
 // defragmentation remapper that keeps translation coherence relevant even
-// for workloads that fit in die-stacked DRAM (Sec. 6, Fig. 11), and the
+// for workloads that fit in die-stacked DRAM (Sec. 6, Fig. 11), the
 // live-migration engine (migration.go) that turns a whole VM's resident
 // set into a pre-copy remap burst — the heaviest translation-coherence
-// storm the machine can produce.
+// storm the machine can produce — and the memory-management storm
+// daemons: a KSM-style scanner (ksm.go) that merges identical pages
+// across VMs into refcounted shared copy-on-write frames and breaks the
+// sharing on guest writes, balloon inflate bursts (balloon.go) that
+// reclaim frames through the quota-aware eviction path, and a THP-style
+// compaction daemon (compaction.go) that defragments die-stacked frames
+// in sliding windows. Every merge, break, reclaim, and move is a
+// coherent remap of a present translation, so they reproduce the OS
+// memory-management remap storms the paper motivates with.
 package hv
 
 import (

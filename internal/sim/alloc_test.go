@@ -48,3 +48,55 @@ func TestSteadyStateZeroAllocs(t *testing.T) {
 		t.Errorf("steady-state simulation allocates: %.2f allocs per 200 references", avg)
 	}
 }
+
+// TestSteadyStateZeroAllocsStorms extends the allocation gate to the
+// memory-management storm paths: with the KSM scanner and the compaction
+// daemon both firing every few hundred references (merges, write-breaks,
+// and window relocations all running full coherent remaps), the hot path
+// must still not allocate. The shared-frame bitmaps, the content-class
+// table, and the global page cursors are pre-sized at enable time
+// precisely so this holds.
+func TestSteadyStateZeroAllocsStorms(t *testing.T) {
+	spec := smokeSpec()
+	spec.Refs = 100_000_000
+	spec.Threads = 2
+	cfg := smokeConfig()
+	cfg.Mem.HBMFrames = 4096
+	cfg.Dir.Entries = 4096
+	sys, err := New(Options{
+		Config:   cfg,
+		Protocol: "hatric",
+		Paging:   hv.PagingConfig{Policy: "lru"},
+		Mode:     hv.ModeInfHBM,
+		VMs: []VMSpec{
+			{Workloads: []AssignedWorkload{{Spec: spec, CPUs: []int{0, 1}}}},
+			{Workloads: []AssignedWorkload{{Spec: spec, CPUs: []int{2, 3}}}},
+		},
+		KSM:        hv.KSMConfig{ScanEvery: 300, PagesPerScan: 16, SharingFactor: 0.5, BreakRate: 0.3},
+		Compaction: hv.CompactionConfig{Every: 250, WindowPages: 4},
+		Seed:       3,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	step := func(n int) {
+		for i := 0; i < n; i++ {
+			ok, err := sys.stepOnce()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !ok {
+				t.Fatal("machine went idle during the test")
+			}
+		}
+	}
+	step(120_000)
+	if avg := testing.AllocsPerRun(50, func() { step(400) }); avg != 0 {
+		t.Errorf("storm steady state allocates: %.2f allocs per 400 references", avg)
+	}
+	ksm := sys.hyp.KSMReport()
+	if ksm.Merges == 0 || ksm.Breaks == 0 || sys.hyp.CompactionMoves() == 0 {
+		t.Errorf("storm paths idle during alloc gate: merges=%d breaks=%d moves=%d",
+			ksm.Merges, ksm.Breaks, sys.hyp.CompactionMoves())
+	}
+}

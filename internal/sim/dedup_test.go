@@ -1,0 +1,107 @@
+package sim
+
+import "testing"
+
+// runStormTwice builds the named golden scenario for proto twice from
+// scratch and checks the two results are bit-identical: same runtime, same
+// aggregate and per-CPU counters. Callers add trigger-specific report
+// checks on the returned pair. CI repeats every TestQuick test in-process
+// (-run TestQuick -count=2), so run-to-run divergence within one binary is
+// caught as well.
+func runStormTwice(t *testing.T, scenario, proto string) (a, b *Result) {
+	t.Helper()
+	build := goldenScenarios()[scenario]
+	if build == nil {
+		t.Fatalf("unknown golden scenario %q", scenario)
+	}
+	run := func() *Result {
+		sys, err := New(build(proto))
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := sys.Run()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	a, b = run(), run()
+	if a.Runtime != b.Runtime {
+		t.Errorf("runtime diverged: %d vs %d", a.Runtime, b.Runtime)
+	}
+	if a.Agg != b.Agg {
+		t.Errorf("aggregate counters diverged:\n%+v\n%+v", a.Agg, b.Agg)
+	}
+	for cpu := range a.PerCPU {
+		if a.PerCPU[cpu] != b.PerCPU[cpu] {
+			t.Errorf("CPU %d counters diverged", cpu)
+		}
+	}
+	return a, b
+}
+
+// TestQuickDedupDeterminism guards the seed-stability promise for the KSM
+// scanner: the dedup scenario produces bit-identical counters and KSM
+// reports across two fresh systems, for every protocol — and actually
+// exercises both merge and write-break remaps, so the golden scenario
+// stays a meaningful storm rather than a silently idle knob.
+func TestQuickDedupDeterminism(t *testing.T) {
+	for _, proto := range []string{"sw", "hatric", "unitd", "ideal"} {
+		t.Run(proto, func(t *testing.T) {
+			a, b := runStormTwice(t, "dedup", proto)
+			if a.KSM == nil || b.KSM == nil {
+				t.Fatal("KSM report missing")
+			}
+			if *a.KSM != *b.KSM {
+				t.Errorf("KSM reports diverged:\n%+v\n%+v", *a.KSM, *b.KSM)
+			}
+			if a.Agg.KSMMerges == 0 || a.KSM.Merges == 0 {
+				t.Errorf("dedup scenario merged nothing: agg=%d report=%d",
+					a.Agg.KSMMerges, a.KSM.Merges)
+			}
+			if a.Agg.KSMBreaks == 0 || a.KSM.Breaks == 0 {
+				t.Errorf("dedup scenario broke nothing: agg=%d report=%d",
+					a.Agg.KSMBreaks, a.KSM.Breaks)
+			}
+		})
+	}
+}
+
+// TestQuickBalloonDeterminism does the same for balloon inflation: the
+// reclaim burst runs through the quota-aware eviction path identically on
+// both runs and actually reclaims frames.
+func TestQuickBalloonDeterminism(t *testing.T) {
+	for _, proto := range []string{"sw", "hatric", "unitd", "ideal"} {
+		t.Run(proto, func(t *testing.T) {
+			a, b := runStormTwice(t, "balloon", proto)
+			if len(a.Balloons) != 1 || len(b.Balloons) != 1 {
+				t.Fatalf("balloon reports missing: %d vs %d", len(a.Balloons), len(b.Balloons))
+			}
+			if a.Balloons[0] != b.Balloons[0] {
+				t.Errorf("balloon reports diverged:\n%+v\n%+v", a.Balloons[0], b.Balloons[0])
+			}
+			r := a.Balloons[0]
+			if !r.Completed {
+				t.Error("balloon never finished")
+			}
+			if r.Reclaimed == 0 || a.Agg.BalloonReclaims == 0 {
+				t.Errorf("balloon reclaimed nothing: report=%d agg=%d",
+					r.Reclaimed, a.Agg.BalloonReclaims)
+			}
+		})
+	}
+}
+
+// TestQuickCompactionDeterminism does the same for the compaction daemon:
+// sliding-window relocations are bit-identical across runs and actually
+// move pages through the coherent remap path.
+func TestQuickCompactionDeterminism(t *testing.T) {
+	for _, proto := range []string{"sw", "hatric", "unitd", "ideal"} {
+		t.Run(proto, func(t *testing.T) {
+			a, _ := runStormTwice(t, "compact", proto)
+			if a.Agg.CompactionMoves == 0 {
+				t.Error("compaction scenario moved nothing")
+			}
+		})
+	}
+}

@@ -17,6 +17,25 @@
 // the initiator for descheduled target vCPUs — the consolidation cost the
 // paper's hardware coherence never pays.
 //
+// # Memory-management storms
+//
+// Beyond demand paging and live migration, three hypervisor daemons
+// generate remap storms from inside the run loop, each hooked into the
+// per-quantum maintenance path and each a deterministic pure function of
+// the seeded streams: Options.KSM drives the content-dedup scanner
+// (merges across VMs into shared copy-on-write frames, write-triggered
+// breaks), Options.Balloons schedules inflate bursts that reclaim frames
+// through the quota-aware eviction path, and Options.Compaction runs the
+// THP-style defragmenter over die-stacked frames in sliding windows. All
+// three remap present translations through the coherent PTE-store path,
+// so their event counters (KSMMerges, KSMBreaks, BalloonReclaims,
+// CompactionMoves) land in Result.Agg beside the shootdown costs they
+// cause, Result.KSM snapshots the end-of-run sharing state, and
+// Result.Balloons reports each burst. The golden fingerprints in
+// golden_test.go pin dedup/balloon/compact scenarios per protocol, and
+// TestSteadyStateZeroAllocsStorms extends the zero-allocation gate over
+// the scan and compaction paths.
+//
 // # Batching
 //
 // Reference generation is batched; execution is not. Each vCPU owns a

@@ -4,11 +4,15 @@ import (
 	"fmt"
 	"hash/fnv"
 	"os"
+	"reflect"
 	"sort"
+	"strconv"
+	"strings"
 	"testing"
 
 	"hatric/internal/arch"
 	"hatric/internal/hv"
+	"hatric/internal/stats"
 )
 
 // The golden-counter tests freeze the simulator's observable outputs at
@@ -21,21 +25,62 @@ import (
 // Regenerate with GOLDEN_UPDATE=1 go test -run TestGoldenCounters -v ./internal/sim
 // only when an intentional modeling change lands, and say so in the commit.
 
+// fpSkipZero lists counter fields added after the original fingerprints
+// were recorded. fpCounters omits them while they are zero so every
+// scenario that cannot produce them hashes exactly as it did before the
+// fields existed; scenarios that do produce them (the storm scenarios
+// below) print them at the end, where the struct keeps them.
+var fpSkipZero = map[string]bool{
+	"KSMMerges":       true,
+	"KSMBreaks":       true,
+	"BalloonReclaims": true,
+	"CompactionMoves": true,
+}
+
+// fpCounters formats a stats.Counters byte-identically to fmt's %+v for
+// every legacy field, skipping the fpSkipZero fields at zero. New counters
+// must be appended at the end of the Counters struct so the legacy fields
+// stay a stable prefix (TestFingerprintFormatterCompat pins this).
+func fpCounters(c *stats.Counters) string {
+	v := reflect.ValueOf(c).Elem()
+	t := v.Type()
+	var b strings.Builder
+	b.WriteByte('{')
+	first := true
+	for i := 0; i < v.NumField(); i++ {
+		val := v.Field(i).Uint()
+		name := t.Field(i).Name
+		if val == 0 && fpSkipZero[name] {
+			continue
+		}
+		if !first {
+			b.WriteByte(' ')
+		}
+		first = false
+		b.WriteString(name)
+		b.WriteByte(':')
+		b.WriteString(strconv.FormatUint(val, 10))
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
 // goldenFingerprint folds everything observable about a Result into one
 // hash: runtime, per-CPU and aggregate counters, per-VM attribution,
-// migration reports, and QoS accounting.
+// migration reports, QoS accounting, and (when present) balloon and KSM
+// reports.
 func goldenFingerprint(res *Result) uint64 {
 	h := fnv.New64a()
 	put := func(format string, args ...any) {
 		fmt.Fprintf(h, format, args...)
 	}
 	put("runtime=%d\n", uint64(res.Runtime))
-	put("agg=%+v\n", res.Agg)
+	put("agg=%s\n", fpCounters(&res.Agg))
 	for i := range res.PerCPU {
-		put("cpu%d=%+v done=%d\n", i, res.PerCPU[i], uint64(res.Completion[i]))
+		put("cpu%d=%s done=%d\n", i, fpCounters(&res.PerCPU[i]), uint64(res.Completion[i]))
 	}
 	for v := range res.PerVM {
-		put("vm%d=%+v done=%d\n", v, res.PerVM[v], uint64(res.VMCompletion[v]))
+		put("vm%d=%s done=%d\n", v, fpCounters(&res.PerVM[v]), uint64(res.VMCompletion[v]))
 	}
 	put("bytes=%d,%d\n", res.HBMBytes, res.DRAMBytes)
 	for _, m := range res.Migrations {
@@ -44,7 +89,61 @@ func goldenFingerprint(res *Result) uint64 {
 	for _, q := range res.QoS {
 		put("qos=%+v\n", q)
 	}
+	for _, b := range res.Balloons {
+		put("balloon=%+v\n", b)
+	}
+	if res.KSM != nil {
+		put("ksm=%+v\n", *res.KSM)
+	}
 	return h.Sum64()
+}
+
+// TestFingerprintFormatterCompat pins fpCounters to fmt's %+v for any
+// Counters whose post-freeze fields are zero: the 32 original fingerprints
+// were recorded via %+v, so the formatter must reproduce it byte for byte
+// there — and diverge only by appending the new fields when nonzero.
+func TestFingerprintFormatterCompat(t *testing.T) {
+	legacy := stats.Counters{Instructions: 3, MemRefs: 2, StaleTranslationUses: 9}
+	// The legacy format is today's %+v with the all-zero storm-counter tail
+	// removed — exactly what %+v printed when the fingerprints were frozen.
+	tail := " KSMMerges:0 KSMBreaks:0 BalloonReclaims:0 CompactionMoves:0}"
+	want := fmt.Sprintf("%+v", legacy)
+	if !strings.HasSuffix(want, tail) {
+		t.Fatalf("storm counters no longer the final fields of stats.Counters: %s", want)
+	}
+	want = strings.TrimSuffix(want, tail) + "}"
+	if got := fpCounters(&legacy); got != want {
+		t.Errorf("formatter diverged from the frozen legacy format:\n got %s\nwant %s", got, want)
+	}
+	storm := legacy
+	storm.KSMMerges = 5
+	storm.CompactionMoves = 7
+	s := fpCounters(&storm)
+	if !strings.Contains(s, "KSMMerges:5") || !strings.Contains(s, "CompactionMoves:7") {
+		t.Errorf("nonzero storm counters missing from fingerprint: %s", s)
+	}
+	if strings.Contains(s, "KSMBreaks") || strings.Contains(s, "BalloonReclaims") {
+		t.Errorf("zero storm counters must be omitted: %s", s)
+	}
+	// Every fpSkipZero name must still exist in the struct (renames would
+	// silently stop skipping) and sit after every legacy field.
+	typ := reflect.TypeOf(stats.Counters{})
+	firstNew := -1
+	seen := 0
+	for i := 0; i < typ.NumField(); i++ {
+		if fpSkipZero[typ.Field(i).Name] {
+			seen++
+			if firstNew < 0 {
+				firstNew = i
+			}
+		} else if firstNew >= 0 {
+			t.Errorf("legacy field %s appears after new counter fields; append new fields at the end",
+				typ.Field(i).Name)
+		}
+	}
+	if seen != len(fpSkipZero) {
+		t.Errorf("fpSkipZero names drifted from stats.Counters: matched %d of %d", seen, len(fpSkipZero))
+	}
 }
 
 // goldenScenarios are the machine shapes the determinism promise covers:
@@ -152,6 +251,50 @@ func goldenScenarios() map[string]func(protocol string) Options {
 				Seed: 17,
 			}
 		},
+		// Memory-management storm scenarios: KSM dedup (merge + break
+		// remaps), a balloon inflation (targeted eviction burst), and the
+		// compaction daemon (sliding-window relocation remaps; the paging
+		// daemon keeps the free pool compaction moves through).
+		"dedup": func(protocol string) Options {
+			return Options{
+				Config:   smokeConfig(),
+				Protocol: protocol,
+				Paging:   hv.PagingConfig{Policy: "lru"},
+				Mode:     hv.ModePaged,
+				VMs: []VMSpec{
+					{Workloads: []AssignedWorkload{{Spec: small, CPUs: []int{0, 1}}}},
+					{Workloads: []AssignedWorkload{{Spec: small, CPUs: []int{2, 3}}}},
+				},
+				KSM: hv.KSMConfig{ScanEvery: 400, PagesPerScan: 16,
+					SharingFactor: 0.5, BreakRate: 0.3, ClassCount: 24},
+				Seed: 29,
+			}
+		},
+		"balloon": func(protocol string) Options {
+			return Options{
+				Config:   smokeConfig(),
+				Protocol: protocol,
+				Paging:   hv.PagingConfig{Policy: "lru"},
+				Mode:     hv.ModePaged,
+				VMs: []VMSpec{
+					{Workloads: []AssignedWorkload{{Spec: small, CPUs: []int{0, 1}}}},
+					{Workloads: []AssignedWorkload{{Spec: small, CPUs: []int{2, 3}}}},
+				},
+				Balloons: []hv.BalloonSpec{{VM: 1, At: 30_000, Frames: 64, BurstFrames: 8}},
+				Seed:     31,
+			}
+		},
+		"compact": func(protocol string) Options {
+			return Options{
+				Config:     smokeConfig(),
+				Protocol:   protocol,
+				Paging:     hv.PagingConfig{Policy: "lru", Daemon: true},
+				Mode:       hv.ModePaged,
+				Workloads:  SingleWorkload(spec, 4),
+				Compaction: hv.CompactionConfig{Every: 300, WindowPages: 4},
+				Seed:       37,
+			}
+		},
 		"migsched": func(protocol string) Options {
 			cfg := smokeConfig()
 			cfg.Mem.HBMFrames = 896
@@ -202,6 +345,18 @@ var goldenWant = map[string]uint64{
 	"oddrefs/hatric":    0xe3c871b3a5a281b8,
 	"oddrefs/unitd":     0x0ef70937f39edbbc,
 	"oddrefs/ideal":     0x30f0a42b01afbf56,
+	"dedup/sw":          0x06f0273fdc7d8d35,
+	"dedup/hatric":      0xf5651c8bcc55fe64,
+	"dedup/unitd":       0x3db93c742290a449,
+	"dedup/ideal":       0x2ab1ddb10b9d9b72,
+	"balloon/sw":        0xbe102a366643017f,
+	"balloon/hatric":    0x0e88b160debb6b54,
+	"balloon/unitd":     0xea175f91ac1e4d21,
+	"balloon/ideal":     0x710bbc229d6cb263,
+	"compact/sw":        0x7d4602a14e62b36f,
+	"compact/hatric":    0x3e9583727db96488,
+	"compact/unitd":     0x38a84184399b5a8a,
+	"compact/ideal":     0x639aa0caab437919,
 	"migsched/sw":       0x59edd6cd3ce91c9c,
 	"migsched/hatric":   0x45e11b36262b62de,
 	"migsched/unitd":    0x1cf62397c6f706e4,

@@ -122,6 +122,22 @@ type Options struct {
 	// entire resident set into a remap burst driven from the VM's first
 	// CPU, interleaved with normal execution.
 	Migrations []hv.MigrationSpec
+	// KSM enables the content-dedup scanner (hv.KSMConfig): periodic
+	// scans merge identical pages across VMs into shared copy-on-write
+	// frames, and guest writes break the sharing — each merge and break a
+	// coherent remap. The zero value (ScanEvery == 0) disables KSM and
+	// keeps the run bit-identical to the pre-dedup machine.
+	KSM hv.KSMConfig
+	// Balloons schedules balloon inflations (which VM, at what cycle, how
+	// many frames — see hv.BalloonSpec). Each reclaims the VM's own
+	// die-stacked frames through the quota-aware eviction path in bursts
+	// driven from the VM's first CPU.
+	Balloons []hv.BalloonSpec
+	// Compaction enables the THP-style compaction daemon
+	// (hv.CompactionConfig): sliding-window relocations of live
+	// die-stacked pages through the coherent-PTE-store path. The zero
+	// value (Every == 0) disables it.
+	Compaction hv.CompactionConfig
 	Seed       uint64
 	// CheckStale verifies every translation against the page tables and
 	// counts mismatches (must stay zero under a correct protocol).
@@ -268,6 +284,12 @@ type Result struct {
 	// eviction pressure it absorbed (including frames stolen by other
 	// VMs and steals from it while frozen mid-migration).
 	QoS []hv.VMQoSReport
+	// Balloons reports each scheduled balloon inflation's outcome, in
+	// Options.Balloons order (nil when none were scheduled).
+	Balloons []hv.BalloonReport
+	// KSM summarizes the dedup scanner's activity (nil unless
+	// Options.KSM enabled it).
+	KSM *hv.KSMReport
 }
 
 // VMFinish returns the last completion cycle among VM vm's vCPUs.
@@ -345,6 +367,15 @@ type System struct {
 	// migrating gates the live-migration hooks in the per-reference hot
 	// path; it is false for every run without Options.Migrations.
 	migrating bool
+
+	// ksmOn/ksmEvery gate the dedup hooks (write-break check and periodic
+	// scan), ballooning the balloon pump, and compactEvery the compaction
+	// daemon. All stay zero/false — and the hot path untouched — for runs
+	// that configure none of the storm sources.
+	ksmOn        bool
+	ksmEvery     uint64
+	ballooning   bool
+	compactEvery uint64
 
 	// defragEvery caches each VM's (static) defragmentation period so the
 	// per-reference check stays a slice load instead of a hypervisor call.
@@ -573,6 +604,25 @@ func New(opts Options) (*System, error) {
 		}
 	}
 	s.migrating = hyp.HasMigrations()
+	if opts.KSM.ScanEvery > 0 {
+		if err := hyp.EnableKSM(opts.KSM); err != nil {
+			return nil, err
+		}
+		s.ksmOn = true
+		s.ksmEvery = opts.KSM.ScanEvery
+	}
+	for i, bs := range opts.Balloons {
+		if _, err := hyp.ScheduleBalloon(bs); err != nil {
+			return nil, fmt.Errorf("sim: balloon %d: %w", i, err)
+		}
+	}
+	s.ballooning = hyp.HasBalloons()
+	if opts.Compaction.Every > 0 {
+		if err := hyp.EnableCompaction(opts.Compaction); err != nil {
+			return nil, err
+		}
+		s.compactEvery = opts.Compaction.Every
+	}
 	s.defragEvery = make([]uint64, len(s.vms))
 	for v := range s.vms {
 		s.defragEvery[v] = hyp.DefragEvery(v)
@@ -743,6 +793,9 @@ func (s *System) Run() (*Result, error) {
 	if err := s.drainMigrations(); err != nil {
 		return nil, err
 	}
+	if err := s.drainBalloons(); err != nil {
+		return nil, err
+	}
 	return s.collect(), nil
 }
 
@@ -804,6 +857,33 @@ func (s *System) drainMigrations() error {
 					err = fmt.Errorf("%w: %w", err, last)
 				}
 				return err
+			}
+		}
+	}
+	return nil
+}
+
+// drainBalloons completes balloon inflations still pending after the last
+// stream finished (the trigger cycle lay beyond the run, or the target was
+// not reached in time): the driver vCPU keeps pumping on its own clock.
+// Every pump either reclaims at least one frame or completes the balloon
+// (reservation floor / nothing evictable), so the progress guard is purely
+// defensive.
+func (s *System) drainBalloons() error {
+	if !s.ballooning {
+		return nil
+	}
+	for _, b := range s.hyp.Balloons() {
+		cpu := b.DriverCPU()
+		for !b.Done() {
+			if s.clock[cpu] < b.Spec().At {
+				s.clock[cpu] = b.Spec().At
+			}
+			before := b.Report().Reclaimed
+			s.clock[cpu] += s.hyp.PumpBalloons(cpu, s.clock[cpu])
+			if b.Report().Reclaimed == before && !b.Done() {
+				return fmt.Errorf("sim: balloon on VM %d stalled (no progress at cycle %d)",
+					b.Spec().VM, uint64(s.clock[cpu]))
 			}
 		}
 	}
@@ -949,6 +1029,25 @@ func (s *System) step(cpu int) error {
 		s.clock[cpu] += s.hyp.Defrag(cpu, vm, s.clock[cpu])
 	}
 
+	// Memory-management storm daemons: the KSM dedup scan and the
+	// compaction window steal cycles from whichever vCPU crossed the
+	// period, like the defrag daemon above.
+	if s.ksmEvery > 0 && c.MemRefs%s.ksmEvery == 0 {
+		s.clock[cpu] += s.hyp.KSMScan(cpu, s.clock[cpu])
+	}
+	if s.compactEvery > 0 && c.MemRefs%s.compactEvery == 0 {
+		s.clock[cpu] += s.hyp.Compact(cpu, s.clock[cpu])
+	}
+
+	// Balloon inflations: if this CPU drives one, reclaim the next frame
+	// burst. The flag drops once every balloon completes.
+	if s.ballooning {
+		s.clock[cpu] += s.hyp.PumpBalloons(cpu, s.clock[cpu])
+		if s.hyp.UnfinishedBalloons() == 0 {
+			s.ballooning = false
+		}
+	}
+
 	// Live migration: if this CPU drives a migration, perform the next
 	// remap burst — the coherence storm interleaves with guest execution
 	// at the BurstPages granularity. Once every migration has completed
@@ -970,6 +1069,17 @@ func (s *System) step(cpu int) error {
 		spp, gpp, lat, fault = s.walkers[cpu].Translate(pid, gvp, s.clock[cpu])
 		s.clock[cpu] += lat
 		if fault == nil {
+			// Copy-on-write check: a guest write to a KSM-shared page may
+			// break the sharing, which remaps the page to a private frame
+			// before the write completes — so the translation just
+			// obtained is stale and the walk retries, exactly the
+			// post-shootdown re-walk real hardware performs.
+			if s.ksmOn && acc.Write {
+				if blat, broke := s.hyp.KSMWriteBreak(cpu, vm, gpp, s.clock[cpu]); broke {
+					s.clock[cpu] += blat
+					continue
+				}
+			}
 			break
 		}
 		if attempt >= 4 {
@@ -1079,6 +1189,13 @@ func (s *System) collect() *Result {
 	r.QoS = s.hyp.QoSReport()
 	if s.hyp.HasMigrations() {
 		r.Migrations = s.hyp.MigrationReports()
+	}
+	if s.hyp.HasBalloons() {
+		r.Balloons = s.hyp.BalloonReports()
+	}
+	if s.hyp.KSMEnabled() {
+		ksm := s.hyp.KSMReport()
+		r.KSM = &ksm
 	}
 	r.Energy = energy.Compute(energy.Input{
 		Cfg:        s.cfg,

@@ -127,6 +127,21 @@ type Counters struct {
 	// longer match the page table. Correct coherence keeps this at zero;
 	// the integration tests assert it.
 	StaleTranslationUses uint64
+
+	// Memory-management storms (KSM dedup, ballooning, THP compaction).
+	// KSMMerges counts pages merged into shared copy-on-write frames (one
+	// coherent remap each, charged to the scanning CPU); KSMBreaks counts
+	// copy-on-write breaks on guest writes (one remap + frame allocation
+	// each, charged to the writing CPU). BalloonReclaims counts frames a
+	// balloon inflation reclaimed through the quota-aware eviction path
+	// (driver vCPU). CompactionMoves counts live die-stacked pages the
+	// compaction daemon relocated (triggering CPU). New fields stay at the
+	// end of the struct: the golden-fingerprint formatter relies on the
+	// legacy field order staying a stable prefix.
+	KSMMerges       uint64
+	KSMBreaks       uint64
+	BalloonReclaims uint64
+	CompactionMoves uint64
 }
 
 // Add accumulates o into c.
@@ -193,6 +208,10 @@ func (c *Counters) Add(o *Counters) {
 	c.MigrationDowntimeCycles += o.MigrationDowntimeCycles
 	c.MigrationsCompleted += o.MigrationsCompleted
 	c.StaleTranslationUses += o.StaleTranslationUses
+	c.KSMMerges += o.KSMMerges
+	c.KSMBreaks += o.KSMBreaks
+	c.BalloonReclaims += o.BalloonReclaims
+	c.CompactionMoves += o.CompactionMoves
 }
 
 // Sub subtracts o from c field by field. The time-sliced scheduler uses it
