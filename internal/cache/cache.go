@@ -183,6 +183,8 @@ func (c *Cache) findLine(tag uint64) int {
 // Lookup probes the cache. On a hit it refreshes LRU state and returns the
 // line's state; on a miss it returns Invalid, false. The scan is findLine's,
 // inlined so the set index feeds both the probe and the LRU touch.
+//
+//hatric:hotpath
 func (c *Cache) Lookup(tag uint64) (State, bool) {
 	set := c.setOf(tag)
 	base := set * c.metaStride
@@ -200,6 +202,8 @@ func (c *Cache) Lookup(tag uint64) (State, bool) {
 }
 
 // Peek returns the state without touching LRU or stats.
+//
+//hatric:hotpath
 func (c *Cache) Peek(tag uint64) (State, bool) {
 	if i := c.findLine(tag); i >= 0 {
 		return State(c.meta[i] & metaStateMask), true
@@ -208,6 +212,8 @@ func (c *Cache) Peek(tag uint64) (State, bool) {
 }
 
 // Kind returns the PT-kind of a resident line (KindData if absent).
+//
+//hatric:hotpath
 func (c *Cache) Kind(tag uint64) IsPTKind {
 	if i := c.findLine(tag); i >= 0 {
 		return IsPTKind(c.meta[i] >> metaKindShift & metaKindMask)
@@ -225,6 +231,8 @@ type Victim struct {
 // Insert installs (or updates) a line. If the set was full, the LRU entry
 // is displaced and returned so the caller can write it back and/or notify
 // the directory.
+//
+//hatric:hotpath
 func (c *Cache) Insert(tag uint64, st State, kind IsPTKind) (Victim, bool) {
 	_, _, victim, evicted := c.probeInsert(tag, st, kind, true, false)
 	return victim, evicted
@@ -235,6 +243,8 @@ func (c *Cache) Insert(tag uint64, st State, kind IsPTKind) (Victim, bool) {
 // The set scan therefore only hunts for a free way — the tag compare of
 // Insert could never match — and the free-way choice, victim choice, and
 // stats are exactly Insert's.
+//
+//hatric:hotpath
 func (c *Cache) InsertAbsent(tag uint64, st State, kind IsPTKind) (Victim, bool) {
 	set := c.setOf(tag)
 	base := set * c.metaStride
@@ -267,6 +277,8 @@ func (c *Cache) InsertAbsent(tag uint64, st State, kind IsPTKind) (Victim, bool)
 // left unchanged (matching Lookup); on a miss the line is inserted and the
 // displaced victim, if any, returned. Stats match a Lookup followed by an
 // Insert exactly.
+//
+//hatric:hotpath
 func (c *Cache) LookupOrInsert(tag uint64, st State, kind IsPTKind) (resident State, hit bool, victim Victim, evicted bool) {
 	return c.probeInsert(tag, st, kind, false, true)
 }
@@ -335,6 +347,8 @@ func (c *Cache) probeInsert(tag uint64, st State, kind IsPTKind, updateOnHit, co
 
 // SetState changes a resident line's state; it reports whether the line was
 // present.
+//
+//hatric:hotpath
 func (c *Cache) SetState(tag uint64, st State) bool {
 	i := c.findLine(tag)
 	if i < 0 {
@@ -350,11 +364,15 @@ func (c *Cache) SetState(tag uint64, st State) bool {
 }
 
 // Invalidate removes the line; it reports whether it was present.
+//
+//hatric:hotpath
 func (c *Cache) Invalidate(tag uint64) bool {
 	return c.SetState(tag, Invalid)
 }
 
 // Flush invalidates every line and returns how many were valid.
+//
+//hatric:hotpath
 func (c *Cache) Flush() int {
 	n := 0
 	for set := 0; set < c.sets; set++ {

@@ -99,6 +99,7 @@ func NewDirectory(cfg arch.DirectoryConfig) *Directory {
 
 // newTags allocates a probe array with every slot free.
 func newTags(n int) []uint64 {
+	//hatric:alloc-ok table construction/growth only; steady state never grows (zero-alloc gate)
 	t := make([]uint64, n)
 	for i := range t {
 		t[i] = emptyTag
@@ -137,6 +138,7 @@ func (d *Directory) grow() {
 	oldTags, oldEntries := d.tags, d.entries
 	size := len(oldTags) * 2
 	d.tags = newTags(size)
+	//hatric:alloc-ok doubling rehash is amortized warm-up work; steady state never grows
 	d.entries = make([]Entry, size)
 	d.mask = uint64(size - 1)
 	for i := range oldTags {
@@ -179,6 +181,7 @@ func (d *Directory) deleteSlot(i int) {
 // fifoPush appends tag to the insertion-order ring, doubling it if full.
 func (d *Directory) fifoPush(tag uint64) {
 	if d.fifoLen == len(d.fifo) {
+		//hatric:alloc-ok ring doubling is amortized warm-up work; steady state never grows
 		bigger := make([]uint64, len(d.fifo)*2)
 		n := copy(bigger, d.fifo[d.fifoHead:])
 		copy(bigger[n:], d.fifo[:d.fifoHead])

@@ -93,6 +93,8 @@ func (h *Hierarchy) L2(cpu int) *cache.Cache { return h.l2[cpu] }
 // Read performs a coherent read of the line containing spa on behalf of
 // cpu and returns its latency. kind tags page-table lines so the directory
 // learns the nPT/gPT bits.
+//
+//hatric:hotpath
 func (h *Hierarchy) Read(cpu int, spa arch.SPA, kind cache.IsPTKind, now arch.Cycles) arch.Cycles {
 	tag := cache.Tag(spa)
 	c := h.cnt[cpu]
@@ -164,6 +166,8 @@ func (h *Hierarchy) Read(cpu int, spa arch.SPA, kind cache.IsPTKind, now arch.Cy
 // Write performs a coherent write of the line containing spa on behalf of
 // cpu and returns its latency. Writing a page-table line triggers the
 // invalidation relay that HATRIC piggybacks on.
+//
+//hatric:hotpath
 func (h *Hierarchy) Write(cpu int, spa arch.SPA, kind cache.IsPTKind, now arch.Cycles) arch.Cycles {
 	tag := cache.Tag(spa)
 	c := h.cnt[cpu]

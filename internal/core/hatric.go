@@ -46,6 +46,8 @@ func (h *HATRIC) Hook() (coherence.TranslationHook, bool) { return h, true }
 // PTE store already did everything. (Precise target identification and
 // lightweight target-side handling are both inherited from the cache
 // coherence protocol.)
+//
+//hatric:hotpath
 func (h *HATRIC) OnRemap(initiator, vm int, pteSPA arch.SPA, now arch.Cycles) arch.Cycles {
 	return 0
 }
@@ -60,6 +62,8 @@ func (h *HATRIC) OnRemap(initiator, vm int, pteSPA arch.SPA, now arch.Cycles) ar
 // vCPUs runs here is filtered outright, and at a CPU time-sharing several
 // VMs the per-entry VM tags confine the drop to the owner's entries, so
 // co-tag aliasing can never leak invalidations across VM boundaries.
+//
+//hatric:hotpath
 func (h *HATRIC) OnPTInvalidation(cpu int, spa arch.SPA, kind cache.IsPTKind) (int, bool) {
 	owner := h.m.OwnerVM(spa)
 	if relayFiltered(h.m, cpu, owner) {

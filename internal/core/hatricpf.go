@@ -41,6 +41,8 @@ func (h *HATRICPF) Hook() (coherence.TranslationHook, bool) { return h, true }
 // OnPTInvalidation implements coherence.TranslationHook: update exact
 // matches in place, invalidate the rest of the co-tag match set. As in
 // baseline HATRIC, the compare is VM-qualified.
+//
+//hatric:hotpath
 func (h *HATRICPF) OnPTInvalidation(cpu int, spa arch.SPA, kind cache.IsPTKind) (int, bool) {
 	owner := h.m.OwnerVM(spa)
 	if relayFiltered(h.m, cpu, owner) {
@@ -55,6 +57,7 @@ func (h *HATRICPF) OnPTInvalidation(cpu int, spa arch.SPA, kind cache.IsPTKind) 
 	updated := 0
 	if present {
 		// TLB entries: swap the SPP half of the packed value.
+		//hatric:alloc-ok non-escaping closure (UpdateMatching only calls it); remap path, not per-reference
 		upd := func(e tstruct.Entry) (uint64, bool) {
 			_, gpp := tstruct.UnpackTLBVal(e.Val)
 			return tstruct.PackTLBVal(frame, gpp), true
@@ -62,6 +65,7 @@ func (h *HATRICPF) OnPTInvalidation(cpu int, spa arch.SPA, kind cache.IsPTKind) 
 		updated += ts.L1TLB.UpdateMatching(tag, exact, upd)
 		updated += ts.L2TLB.UpdateMatching(tag, exact, upd)
 		// nTLB entries hold the bare frame.
+		//hatric:alloc-ok non-escaping closure (UpdateMatching only calls it); remap path, not per-reference
 		updated += ts.NTLB.UpdateMatching(tag, exact, func(tstruct.Entry) (uint64, bool) {
 			return frame, true
 		})
@@ -74,7 +78,7 @@ func (h *HATRICPF) OnPTInvalidation(cpu int, spa arch.SPA, kind cache.IsPTKind) 
 	// drop; MMU-cache entries never update and always follow the baseline
 	// path (their exact source is a guest PTE, not this nested PTE).
 	dropped := 0
-	for _, s := range []*tstruct.Struct{ts.L1TLB, ts.L2TLB, ts.NTLB} {
+	for _, s := range [...]*tstruct.Struct{ts.L1TLB, ts.L2TLB, ts.NTLB} {
 		if present {
 			dropped += s.InvalidateMaskedExcept(tag, uint64(spa)>>3, 3, h.mask, exact)
 		} else {

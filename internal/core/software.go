@@ -40,6 +40,8 @@ func (s *Software) Hook() (coherence.TranslationHook, bool) { return nil, false 
 // on a pinned machine the targets hold nothing but the VM's entries, so
 // this is the classic wholesale flush; on a time-sliced machine other
 // VMs' resident entries survive, as invept single-context leaves them.
+//
+//hatric:hotpath
 func (s *Software) OnRemap(initiator, vm int, pteSPA arch.SPA, now arch.Cycles) arch.Cycles {
 	cost := s.m.Cost()
 	ic := s.m.Counters(initiator)

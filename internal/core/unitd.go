@@ -39,6 +39,8 @@ func (u *UNITDPP) Hook() (coherence.TranslationHook, bool) { return u, true }
 // time-sharing several VMs, only that VM's entries (the flush is
 // VPID-scoped). Being a hardware broadcast it needs no vCPU to execute:
 // descheduled vCPUs cost it nothing.
+//
+//hatric:hotpath
 func (u *UNITDPP) OnRemap(initiator, vm int, pteSPA arch.SPA, now arch.Cycles) arch.Cycles {
 	cost := u.m.Cost()
 	for _, t := range u.m.VMCPUs(vm) {
@@ -62,6 +64,8 @@ func (u *UNITDPP) OnRemap(initiator, vm int, pteSPA arch.SPA, now arch.Cycles) a
 // against TLB entries only. MMU-cache and nTLB entries from the line are
 // not covered and survive, so the CPU must stay on the sharer list. The
 // CAM is VM-qualified: relays for another VM's page tables are ignored.
+//
+//hatric:hotpath
 func (u *UNITDPP) OnPTInvalidation(cpu int, spa arch.SPA, kind cache.IsPTKind) (int, bool) {
 	owner := u.m.OwnerVM(spa)
 	if relayFiltered(u.m, cpu, owner) {

@@ -125,6 +125,8 @@ func (h *Hypervisor) BalloonReports() []BalloonReport {
 // pending inflations whose time has come and reclaims up to BurstFrames
 // frames per active balloon, each through the targeted eviction path of
 // the balloon's own VM. Returns the cycles the driver vCPU stalls.
+//
+//hatric:hotpath
 func (h *Hypervisor) PumpBalloons(cpu int, now arch.Cycles) arch.Cycles {
 	var lat arch.Cycles
 	for _, b := range h.balloons {

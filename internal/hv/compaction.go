@@ -76,6 +76,8 @@ func (h *Hypervisor) CompactionMoves() uint64 {
 // Compaction is strictly opportunistic — it moves pages only while free
 // frames exist (it never evicts to make room) and skips shared, migrating,
 // and page-table pages. Returns the daemon cycles charged to cpu.
+//
+//hatric:hotpath
 func (h *Hypervisor) Compact(cpu int, now arch.Cycles) arch.Cycles {
 	k := h.compact
 	if k == nil {

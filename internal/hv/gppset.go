@@ -26,6 +26,7 @@ func (s *gppSet) add(gpp arch.GPP) {
 		for uint64(n) <= w {
 			n *= 2
 		}
+		//hatric:alloc-ok bitmap doubling: amortized growth, bounded by the VM footprint
 		bigger := make([]uint64, n)
 		copy(bigger, s.bits)
 		s.bits = bigger

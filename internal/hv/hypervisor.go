@@ -129,8 +129,11 @@ func (h *Hypervisor) Protocol() core.Protocol { return h.protocol }
 // exit, the page-fault handler, frame reclamation if needed, the page
 // copy, and the nested page-table update. It returns the cycles the
 // faulting vCPU is stalled.
+//
+//hatric:hotpath
 func (h *Hypervisor) HandleFault(cpu, vm int, gpp arch.GPP, now arch.Cycles) (arch.Cycles, error) {
 	if vm < 0 || vm >= len(h.vms) {
+		//hatric:alloc-ok cold error exit; malformed-config faults abort the run
 		return 0, fmt.Errorf("hv: fault on unknown VM %d", vm)
 	}
 	c := h.machine.Counters(cpu)
@@ -191,6 +194,7 @@ func (h *Hypervisor) HandleFault(cpu, vm int, gpp arch.GPP, now arch.Cycles) (ar
 func (h *Hypervisor) migrateIn(cpu, vm int, gpp arch.GPP, now arch.Cycles, critical bool) (arch.Cycles, error) {
 	oldSPP, present, ok := h.vms[vm].Nested.Translate(gpp)
 	if !ok {
+		//hatric:alloc-ok cold error exit; an unmapped fault aborts the run
 		return 0, fmt.Errorf("hv: fault on unmapped gpp %#x (VM %d)", uint64(gpp), vm)
 	}
 	if present {
@@ -257,10 +261,12 @@ func (h *Hypervisor) evictFrom(cpu, vmIdx, reqVM int, now arch.Cycles, critical 
 	vm := h.vms[vmIdx]
 	victim, ok := h.policies[vmIdx].PickVictim()
 	if !ok {
+		//hatric:alloc-ok cold error exit; eviction from an empty pool aborts the run
 		return 0, fmt.Errorf("hv: nothing to evict in VM %d", vmIdx)
 	}
 	oldSPP, _, ok := vm.Nested.Translate(victim)
 	if !ok {
+		//hatric:alloc-ok cold error exit; an unmapped victim aborts the run
 		return 0, fmt.Errorf("hv: victim gpp %#x unmapped (VM %d)", uint64(victim), vmIdx)
 	}
 	dramFrame, got := h.mem.AllocFrame(arch.TierDRAM)
@@ -298,6 +304,8 @@ func (h *Hypervisor) evictFrom(cpu, vmIdx, reqVM int, now arch.Cycles, critical 
 // die-stacked frame (contiguity building for superpages). The mapping
 // stays present, so cached translations go stale and translation coherence
 // runs, exactly as for an eviction. Returns initiator cycles.
+//
+//hatric:hotpath
 func (h *Hypervisor) Defrag(cpu, vm int, now arch.Cycles) arch.Cycles {
 	if vm < 0 || vm >= len(h.vms) {
 		return 0

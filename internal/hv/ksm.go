@@ -215,6 +215,8 @@ func (h *Hypervisor) ksmShared(vm int, gpp arch.GPP) bool {
 // every later duplicate is remapped onto it, which hits a present
 // translation and therefore runs full translation coherence against the
 // owning VM. Returns the daemon cycles charged to cpu.
+//
+//hatric:hotpath
 func (h *Hypervisor) KSMScan(cpu int, now arch.Cycles) arch.Cycles {
 	k := h.ksm
 	if k == nil {
@@ -286,6 +288,8 @@ func (h *Hypervisor) KSMScan(cpu int, now arch.Cycles) arch.Cycles {
 // re-translate afterwards — exactly the post-shootdown re-walk real
 // hardware performs. Returns the cycles the writing vCPU stalls and
 // whether a break happened.
+//
+//hatric:hotpath
 func (h *Hypervisor) KSMWriteBreak(cpu, vmIdx int, gpp arch.GPP, now arch.Cycles) (arch.Cycles, bool) {
 	k := h.ksm
 	if k == nil || !k.shared[vmIdx].has(gpp) {

@@ -219,6 +219,7 @@ func (m *Migration) addPage(gpp arch.GPP) {
 
 func (m *Migration) enqueueDirty(gpp arch.GPP) {
 	m.dirty.add(gpp)
+	//hatric:alloc-ok dirty-list growth is bounded by the migration set and amortized across the storm
 	m.dirtyList = append(m.dirtyList, gpp)
 	m.report.Redirtied++
 	if n := len(m.report.Rounds); n > 0 {
@@ -291,6 +292,8 @@ func (h *Hypervisor) MigrationReports() []MigrationReport {
 
 // NoteMigrationWrite records a guest write by cpu on a page of vm for
 // dirty tracking. No-op unless vm is mid-migration.
+//
+//hatric:hotpath
 func (h *Hypervisor) NoteMigrationWrite(cpu, vm int, gpp arch.GPP) {
 	for _, m := range h.migrations {
 		if m.spec.VM == vm && m.phase == migrationPreCopy && m.noteWrite(gpp) {
@@ -304,6 +307,8 @@ func (h *Hypervisor) NoteMigrationWrite(cpu, vm int, gpp arch.GPP) {
 // remaps per active migration. It returns the cycles the driver vCPU
 // stalls (the migration thread runs on it); target-side coherence costs
 // land on the VM's other vCPUs through the protocol as usual.
+//
+//hatric:hotpath
 func (h *Hypervisor) PumpMigrations(cpu int, now arch.Cycles) arch.Cycles {
 	var lat arch.Cycles
 	for _, m := range h.migrations {
@@ -349,12 +354,14 @@ func (h *Hypervisor) startMigration(m *Migration, now arch.Cycles) {
 		if h.mem.Layout.TierOf(spp) == m.spec.Dest {
 			continue
 		}
+		//hatric:alloc-ok one-time queue build at storm start, not per-reference work
 		m.queue = append(m.queue, gpp)
 		m.pending.add(gpp)
 	}
 	m.qpos = 0
 	m.round = 1
 	m.progress++
+	//hatric:alloc-ok per-round report bookkeeping, a handful of entries per storm
 	m.report.Rounds = append(m.report.Rounds, RoundStats{})
 }
 
@@ -367,6 +374,7 @@ func (h *Hypervisor) startMigration(m *Migration, now arch.Cycles) {
 // accrued while it was current.
 func (h *Hypervisor) pumpOne(m *Migration, now arch.Cycles) (arch.Cycles, error) {
 	var lat, attributed arch.Cycles
+	//hatric:alloc-ok non-escaping closure; called inline within this quantum only
 	flush := func() {
 		m.report.Rounds[len(m.report.Rounds)-1].Cycles += lat - attributed
 		attributed = lat
@@ -416,6 +424,7 @@ func (h *Hypervisor) finishRound(m *Migration, now arch.Cycles, lat *arch.Cycles
 	if len(m.dirtyList) > 0 &&
 		len(m.dirtyList) > m.spec.stopThreshold() && m.round < m.spec.maxRounds() {
 		// Another pre-copy round over the dirty set.
+		//hatric:alloc-ok reuses the queue's capacity; grows only while the dirty set still grows
 		m.queue = append(m.queue[:0], m.dirtyList...)
 		m.qpos = 0
 		for _, g := range m.queue {
@@ -426,6 +435,7 @@ func (h *Hypervisor) finishRound(m *Migration, now arch.Cycles, lat *arch.Cycles
 		m.round++
 		m.progress++
 		c.MigrationRounds++
+		//hatric:alloc-ok per-round report bookkeeping, a handful of entries per storm
 		m.report.Rounds = append(m.report.Rounds, RoundStats{})
 		return false, nil
 	}
@@ -434,6 +444,7 @@ func (h *Hypervisor) finishRound(m *Migration, now arch.Cycles, lat *arch.Cycles
 	// and their translation coherence completes. The freeze is the
 	// downtime; every vCPU of the VM pays it.
 	var down arch.Cycles
+	//hatric:alloc-ok one stop-and-copy snapshot per migration, not per-reference work
 	final := append([]arch.GPP(nil), m.dirtyList...)
 	m.dirtyList = m.dirtyList[:0]
 	m.dirty.clear()
@@ -459,6 +470,7 @@ func (h *Hypervisor) finishRound(m *Migration, now arch.Cycles, lat *arch.Cycles
 			m.report.FinalDirty++
 		}
 	}
+	//hatric:alloc-ok final-round report bookkeeping, once per migration
 	m.report.Rounds = append(m.report.Rounds,
 		RoundStats{Pages: m.report.FinalDirty, Cycles: down, Final: true})
 	m.report.Downtime = down
@@ -511,6 +523,7 @@ func (h *Hypervisor) migratePage(m *Migration, gpp arch.GPP, now arch.Cycles, fo
 	}
 	frame, got := h.mem.AllocFrame(m.spec.Dest)
 	if !got {
+		//hatric:alloc-ok cold error exit; destination-tier exhaustion ends the storm
 		return lat, false, fmt.Errorf("hv: migration out of %v frames", m.spec.Dest)
 	}
 	lat += h.mem.CopyPage(now+lat, oldSPP, frame)

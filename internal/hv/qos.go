@@ -271,12 +271,14 @@ func (h *Hypervisor) scanVictims(eligible func(v int) bool) (int, bool) {
 func (h *Hypervisor) pickVictimVM(reqVM int) (int, bool) {
 	if h.qos.sharesOn {
 		spare := h.spareFrames()
+		//hatric:alloc-ok non-escaping predicate closure; scanVictims only calls it
 		if v, ok := h.scanVictims(func(v int) bool {
 			return !h.Migrating(v) && float64(h.qos.resident[v]) > h.shareGiven(v, spare)
 		}); ok {
 			return v, true
 		}
 	}
+	//hatric:alloc-ok non-escaping predicate closure; scanVictims only calls it
 	if v, ok := h.scanVictims(func(v int) bool {
 		return !h.Migrating(v) && h.qos.resident[v] > h.qos.reserved[v]
 	}); ok {
@@ -286,6 +288,7 @@ func (h *Hypervisor) pickVictimVM(reqVM int) (int, bool) {
 		h.policies[reqVM].Resident() > 0 {
 		return reqVM, true
 	}
+	//hatric:alloc-ok non-escaping predicate closure; scanVictims only calls it
 	if v, ok := h.scanVictims(func(v int) bool {
 		return h.Migrating(v) && h.qos.resident[v] > h.qos.reserved[v]
 	}); ok {

@@ -173,6 +173,8 @@ func (vm *VM) MapProcess(pid int, base arch.GVP, pages int, mode PlacementMode) 
 
 // Translate functionally resolves (pid, gvp) through both page tables.
 // Used by the simulator's stale-translation checker.
+//
+//hatric:hotpath
 func (vm *VM) Translate(pid int, gvp arch.GVP) (arch.SPP, bool) {
 	gpp, ok := vm.Guests[pid].Translate(gvp)
 	if !ok {

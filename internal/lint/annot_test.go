@@ -1,0 +1,33 @@
+package lint
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestAnnotFixture checks the annotation validator programmatically: its
+// findings sit on the directive comment lines themselves, where a fixture
+// want comment cannot (a trailing comment would become the reason text).
+func TestAnnotFixture(t *testing.T) {
+	pkg := loadFixture(t, "annot", "fixture/internal/tools")
+	diags, err := RunAnalyzers([]*Package{pkg}, All())
+	if err != nil {
+		t.Fatalf("running analyzers: %v", err)
+	}
+	want := []string{
+		"//hatric:alloc-ok requires a reason",
+		"unknown //hatric: annotation kind mistyped-kind",
+		"//hatric:hotpath must directly precede a function declaration",
+	}
+	if len(diags) != len(want) {
+		t.Fatalf("got %d diagnostics, want %d:\n%v", len(diags), len(want), diags)
+	}
+	for i, w := range want {
+		if diags[i].Analyzer != "annot" {
+			t.Errorf("diagnostic %d from %s, want annot", i, diags[i].Analyzer)
+		}
+		if !strings.Contains(diags[i].Message, w) {
+			t.Errorf("diagnostic %d = %q, want substring %q", i, diags[i].Message, w)
+		}
+	}
+}

@@ -1,0 +1,11 @@
+package lint
+
+import "testing"
+
+func TestCounterFlowFixture(t *testing.T) {
+	runFixture(t, loadFixture(t, "stats", "fixture/internal/stats"))
+}
+
+func TestCounterFlowSinkWithoutCounters(t *testing.T) {
+	runFixture(t, loadFixture(t, "sinkless", "fixture/internal/tools"))
+}

@@ -1,0 +1,179 @@
+package lint
+
+// Analysistest-style fixture harness: each directory under testdata/src is
+// parsed and type-checked as one package, the full analyzer suite runs over
+// it, and every diagnostic must be announced by a `// want` comment with a
+// backquoted regexp on the offending line (multiple patterns allowed).
+// Fixtures choose their determinism-criticality through the import path the
+// test assigns them — `fixture/internal/sim` is critical, anything whose
+// last /internal/ segment is not a critical package name is not.
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strings"
+	"sync"
+	"testing"
+)
+
+var (
+	stdlibOnce sync.Once
+	stdlibMap  map[string]string
+	stdlibErr  error
+)
+
+// stdlibExports gathers compiler export data for the standard-library
+// packages fixtures may import, once per test binary.
+func stdlibExports(t *testing.T) map[string]string {
+	t.Helper()
+	stdlibOnce.Do(func() {
+		listed, err := goList(".", "-deps",
+			"fmt", "math/rand", "os", "reflect", "sort", "strconv", "sync", "time")
+		if err != nil {
+			stdlibErr = err
+			return
+		}
+		stdlibMap = map[string]string{}
+		for _, p := range listed {
+			if p.Export != "" && !strings.Contains(p.ImportPath, " ") {
+				stdlibMap[p.ImportPath] = p.Export
+			}
+		}
+	})
+	if stdlibErr != nil {
+		t.Fatalf("listing stdlib export data: %v", stdlibErr)
+	}
+	return stdlibMap
+}
+
+// loadFixture parses and type-checks testdata/src/<dir> as importPath.
+func loadFixture(t *testing.T, dir, importPath string) *Package {
+	t.Helper()
+	full := filepath.Join("testdata", "src", dir)
+	entries, err := os.ReadDir(full)
+	if err != nil {
+		t.Fatalf("reading fixture dir: %v", err)
+	}
+	var paths []string
+	for _, e := range entries {
+		if !e.IsDir() && strings.HasSuffix(e.Name(), ".go") {
+			paths = append(paths, filepath.Join(full, e.Name()))
+		}
+	}
+	sort.Strings(paths)
+	if len(paths) == 0 {
+		t.Fatalf("no fixture files in %s", full)
+	}
+	fset := token.NewFileSet()
+	var files []*ast.File
+	for _, p := range paths {
+		f, err := parser.ParseFile(fset, p, nil, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			t.Fatalf("parsing fixture: %v", err)
+		}
+		files = append(files, f)
+	}
+	info := newInfo()
+	var typeErrs []error
+	conf := types.Config{
+		Importer: newExportImporter(fset, stdlibExports(t)),
+		Error:    func(err error) { typeErrs = append(typeErrs, err) },
+	}
+	tpkg, _ := conf.Check(importPath, fset, files, info)
+	if len(typeErrs) > 0 {
+		t.Fatalf("fixture %s: type checking failed: %v", dir, typeErrs[0])
+	}
+	annots := parseAnnotations(fset, files)
+	return &Package{
+		ImportPath: importPath,
+		BasePath:   importPath,
+		Name:       files[0].Name.Name,
+		Dir:        full,
+		Fset:       fset,
+		Files:      files,
+		Filenames:  paths,
+		Types:      tpkg,
+		Info:       info,
+		Critical:   criticalPath(importPath) && !annots.NonCritical,
+		Annots:     annots,
+	}
+}
+
+var (
+	wantRE    = regexp.MustCompile(`//\s*want\s+(.*)$`)
+	wantArgRE = regexp.MustCompile("`([^`]+)`")
+)
+
+type wantSpec struct {
+	file string
+	line int
+	re   *regexp.Regexp
+	text string
+	hit  bool
+}
+
+// collectWants scans fixture sources for `// want` comments.
+func collectWants(t *testing.T, pkg *Package) []*wantSpec {
+	t.Helper()
+	var wants []*wantSpec
+	for _, path := range pkg.Filenames {
+		data, err := os.ReadFile(path)
+		if err != nil {
+			t.Fatalf("reading fixture: %v", err)
+		}
+		for i, line := range strings.Split(string(data), "\n") {
+			m := wantRE.FindStringSubmatch(line)
+			if m == nil {
+				continue
+			}
+			args := wantArgRE.FindAllStringSubmatch(m[1], -1)
+			if len(args) == 0 {
+				t.Fatalf("%s:%d: want comment with no backquoted pattern", path, i+1)
+			}
+			for _, a := range args {
+				re, err := regexp.Compile(a[1])
+				if err != nil {
+					t.Fatalf("%s:%d: bad want pattern %q: %v", path, i+1, a[1], err)
+				}
+				wants = append(wants, &wantSpec{file: path, line: i + 1, re: re, text: a[1]})
+			}
+		}
+	}
+	return wants
+}
+
+// runFixture runs the full analyzer suite over the fixture and matches the
+// diagnostics against its want comments, both ways: an unannounced
+// diagnostic and an unmatched want are both failures.
+func runFixture(t *testing.T, pkg *Package) {
+	t.Helper()
+	diags, err := RunAnalyzers([]*Package{pkg}, All())
+	if err != nil {
+		t.Fatalf("running analyzers: %v", err)
+	}
+	wants := collectWants(t, pkg)
+	for _, d := range diags {
+		matched := false
+		for _, w := range wants {
+			if !w.hit && w.file == d.Pos.Filename && w.line == d.Pos.Line && w.re.MatchString(d.Message) {
+				w.hit = true
+				matched = true
+				break
+			}
+		}
+		if !matched {
+			t.Errorf("unexpected diagnostic: %s", d)
+		}
+	}
+	for _, w := range wants {
+		if !w.hit {
+			t.Errorf("%s:%d: no diagnostic matched want `%s`", w.file, w.line, w.text)
+		}
+	}
+}

@@ -1,0 +1,12 @@
+package lint
+
+import "testing"
+
+// TestHotAllocFixture covers every construct class hotalloc flags, the
+// alloc-ok suppression, and — through the deepRoot -> mid -> leaf chain —
+// the intra-package hotpath propagation with its "(hot via root)"
+// attribution. The fixture loads at a non-critical import path on purpose:
+// hotalloc is annotation-driven everywhere.
+func TestHotAllocFixture(t *testing.T) {
+	runFixture(t, loadFixture(t, "hotalloc", "fixture/internal/tools"))
+}

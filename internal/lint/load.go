@@ -1,0 +1,230 @@
+package lint
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+)
+
+// criticalNames are the determinism-critical packages: the simulated
+// machine and everything that feeds it. mapiter and nondet only apply
+// here; code outside (cmd, examples, exp-adjacent tooling) may use maps
+// and the environment freely.
+var criticalNames = map[string]bool{
+	"sim": true, "hv": true, "core": true, "coherence": true,
+	"walker": true, "workload": true, "tstruct": true, "cache": true,
+	"pagetable": true, "exp": true,
+}
+
+// criticalPath reports whether the (base, undecorated) import path names
+// a determinism-critical package.
+func criticalPath(path string) bool {
+	i := strings.LastIndex(path, "/internal/")
+	if i < 0 {
+		return false
+	}
+	return criticalNames[path[i+len("/internal/"):]]
+}
+
+// listPkg is the subset of `go list -json` output the loader consumes.
+type listPkg struct {
+	ImportPath string
+	Name       string
+	Dir        string
+	GoFiles    []string
+	Export     string
+	Standard   bool
+	DepOnly    bool
+	ForTest    string
+	Incomplete bool
+	Error      *struct{ Err string }
+}
+
+// goList runs `go list -e -export -json` in dir with the given extra
+// arguments and decodes the JSON stream.
+func goList(dir string, args ...string) ([]*listPkg, error) {
+	cmd := exec.Command("go", append([]string{"list", "-e", "-export",
+		"-json=ImportPath,Name,Dir,GoFiles,Export,Standard,DepOnly,ForTest,Incomplete,Error"},
+		args...)...)
+	cmd.Dir = dir
+	var stderr bytes.Buffer
+	cmd.Stderr = &stderr
+	out, err := cmd.Output()
+	if err != nil {
+		return nil, fmt.Errorf("go list %s: %v\n%s", strings.Join(args, " "), err, stderr.String())
+	}
+	var pkgs []*listPkg
+	dec := json.NewDecoder(bytes.NewReader(out))
+	for {
+		p := new(listPkg)
+		if err := dec.Decode(p); err == io.EOF {
+			break
+		} else if err != nil {
+			return nil, fmt.Errorf("decoding go list output: %v", err)
+		}
+		pkgs = append(pkgs, p)
+	}
+	return pkgs, nil
+}
+
+// exportImporter resolves import paths to compiler export data gathered
+// from `go list -export`. It satisfies both types.Importer interfaces.
+type exportImporter struct {
+	exports map[string]string // import path -> export file
+	gc      types.ImporterFrom
+}
+
+func newExportImporter(fset *token.FileSet, exports map[string]string) *exportImporter {
+	ei := &exportImporter{exports: exports}
+	lookup := func(path string) (io.ReadCloser, error) {
+		file, ok := ei.exports[path]
+		if !ok || file == "" {
+			return nil, fmt.Errorf("no export data for %q", path)
+		}
+		return os.Open(file)
+	}
+	ei.gc = importer.ForCompiler(fset, "gc", lookup).(types.ImporterFrom)
+	return ei
+}
+
+func (ei *exportImporter) Import(path string) (*types.Package, error) {
+	return ei.ImportFrom(path, "", 0)
+}
+
+func (ei *exportImporter) ImportFrom(path, dir string, mode types.ImportMode) (*types.Package, error) {
+	return ei.gc.ImportFrom(path, dir, mode)
+}
+
+// Load resolves the patterns with the go tool, parses and type-checks
+// every matched package (test variants included when tests is set), and
+// returns them ready for analysis. Dependencies are imported from
+// compiler export data, so only the matched packages themselves are
+// type-checked from source.
+func Load(dir string, patterns []string, tests bool) ([]*Package, error) {
+	args := []string{"-deps"}
+	if tests {
+		args = append(args, "-test")
+	}
+	args = append(args, patterns...)
+	listed, err := goList(dir, args...)
+	if err != nil {
+		return nil, err
+	}
+
+	exports := map[string]string{}
+	// hasVariant records base packages that a test variant supersedes:
+	// the variant's files are a strict superset, so analyzing both would
+	// duplicate every finding in the non-test files.
+	hasVariant := map[string]bool{}
+	for _, p := range listed {
+		if p.Export != "" {
+			// A test variant's bracketed ImportPath never appears in an
+			// import statement, and its base path must keep resolving to
+			// the unmodified package, so only undecorated paths land in
+			// the export map.
+			if !strings.Contains(p.ImportPath, " ") {
+				exports[p.ImportPath] = p.Export
+			}
+		}
+		if p.ForTest != "" && p.ImportPath == p.ForTest+" ["+p.ForTest+".test]" {
+			hasVariant[p.ForTest] = true
+		}
+	}
+
+	fset := token.NewFileSet()
+	imp := newExportImporter(fset, exports)
+	var pkgs []*Package
+	for _, p := range listed {
+		switch {
+		case p.DepOnly, p.Standard:
+			continue
+		case strings.HasSuffix(p.ImportPath, ".test"):
+			continue // synthesized test-main package
+		case p.ForTest == "" && hasVariant[p.ImportPath]:
+			continue // superseded by its in-package test variant
+		case len(p.GoFiles) == 0:
+			continue
+		}
+		if p.Error != nil {
+			return nil, fmt.Errorf("%s: %s", p.ImportPath, p.Error.Err)
+		}
+		pkg, err := checkPackage(fset, imp, p)
+		if err != nil {
+			return nil, err
+		}
+		pkgs = append(pkgs, pkg)
+	}
+	return pkgs, nil
+}
+
+// checkPackage parses and type-checks one listed package.
+func checkPackage(fset *token.FileSet, imp types.ImporterFrom, p *listPkg) (*Package, error) {
+	var (
+		files []*ast.File
+		names []string
+	)
+	for _, name := range p.GoFiles {
+		path := name
+		if !filepath.IsAbs(path) {
+			path = filepath.Join(p.Dir, name)
+		}
+		f, err := parser.ParseFile(fset, path, nil, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			return nil, fmt.Errorf("%s: %v", p.ImportPath, err)
+		}
+		files = append(files, f)
+		names = append(names, path)
+	}
+	// Strip test-variant decoration: `pkg [pkg.test]` type-checks as pkg,
+	// `pkg_test [pkg.test]` as pkg_test.
+	base := p.ImportPath
+	if i := strings.Index(base, " ["); i >= 0 {
+		base = base[:i]
+	}
+	info := newInfo()
+	var typeErrs []error
+	conf := types.Config{
+		Importer: imp,
+		Error:    func(err error) { typeErrs = append(typeErrs, err) },
+	}
+	tpkg, _ := conf.Check(base, fset, files, info)
+	if len(typeErrs) > 0 {
+		return nil, fmt.Errorf("%s: type checking failed: %v", p.ImportPath, typeErrs[0])
+	}
+	annots := parseAnnotations(fset, files)
+	return &Package{
+		ImportPath: p.ImportPath,
+		BasePath:   base,
+		Name:       p.Name,
+		Dir:        p.Dir,
+		Fset:       fset,
+		Files:      files,
+		Filenames:  names,
+		Types:      tpkg,
+		Info:       info,
+		Critical:   criticalPath(base) && !annots.NonCritical,
+		Annots:     annots,
+	}, nil
+}
+
+func newInfo() *types.Info {
+	return &types.Info{
+		Types:      map[ast.Expr]types.TypeAndValue{},
+		Defs:       map[*ast.Ident]types.Object{},
+		Uses:       map[*ast.Ident]types.Object{},
+		Selections: map[*ast.SelectorExpr]*types.Selection{},
+		Implicits:  map[ast.Node]types.Object{},
+		Scopes:     map[ast.Node]*types.Scope{},
+		Instances:  map[*ast.Ident]types.Instance{},
+	}
+}

@@ -1,0 +1,87 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// MapIter flags `range` over a map in non-test code of the
+// determinism-critical packages. Go randomizes map iteration order, so
+// any such loop whose body does more than collect keys for sorting can
+// change simulated results — or error messages — from run to run.
+//
+// Two escapes exist: the sorted-key idiom (a loop whose entire body is a
+// single `keys = append(keys, k)` collecting the range key, which is
+// order-independent because the caller sorts before use) is recognized
+// structurally, and anything else needs an explicit
+// `//hatric:mapiter-ok <reason>` annotation on or directly above the
+// `for` line.
+var MapIter = &Analyzer{
+	Name: "mapiter",
+	Doc:  "flag iteration-order-dependent map ranges in determinism-critical packages",
+	Run:  runMapIter,
+}
+
+func runMapIter(pass *Pass) error {
+	if !pass.Pkg.Critical {
+		return nil
+	}
+	for i, f := range pass.Pkg.Files {
+		if isTestFile(pass.Pkg.Filenames[i]) {
+			continue
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			rs, ok := n.(*ast.RangeStmt)
+			if !ok {
+				return true
+			}
+			t := pass.Pkg.Info.TypeOf(rs.X)
+			if t == nil {
+				return true
+			}
+			if _, isMap := t.Underlying().(*types.Map); !isMap {
+				return true
+			}
+			if pass.suppressed(annotMapiterOK, rs.For) {
+				return true
+			}
+			if isKeyCollectLoop(pass, rs) {
+				return true
+			}
+			pass.Reportf(rs.For, "range over map is iteration-order-dependent; "+
+				"iterate sorted keys instead, or annotate //hatric:mapiter-ok <reason> if order provably cannot matter")
+			return true
+		})
+	}
+	return nil
+}
+
+// isKeyCollectLoop recognizes the sorted-key idiom: the loop binds only
+// the key and its whole body is one `keys = append(keys, k)`.
+func isKeyCollectLoop(pass *Pass, rs *ast.RangeStmt) bool {
+	if rs.Value != nil || rs.Body == nil || len(rs.Body.List) != 1 {
+		return false
+	}
+	key, ok := rs.Key.(*ast.Ident)
+	if !ok {
+		return false
+	}
+	as, ok := rs.Body.List[0].(*ast.AssignStmt)
+	if !ok || len(as.Lhs) != 1 || len(as.Rhs) != 1 {
+		return false
+	}
+	call, ok := as.Rhs[0].(*ast.CallExpr)
+	if !ok || len(call.Args) != 2 || call.Ellipsis.IsValid() {
+		return false
+	}
+	fn, ok := call.Fun.(*ast.Ident)
+	if !ok || fn.Name != "append" {
+		return false
+	}
+	if b, isBuiltin := pass.Pkg.Info.Uses[fn].(*types.Builtin); !isBuiltin || b.Name() != "append" {
+		return false
+	}
+	arg, ok := call.Args[1].(*ast.Ident)
+	return ok && arg.Name == key.Name &&
+		pass.Pkg.Info.Uses[arg] == pass.Pkg.Info.Defs[key]
+}

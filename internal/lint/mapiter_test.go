@@ -1,0 +1,45 @@
+package lint
+
+import "testing"
+
+func TestMapIterFixture(t *testing.T) {
+	runFixture(t, loadFixture(t, "mapiter", "fixture/internal/sim"))
+}
+
+// TestMapIterSkipsNonCriticalPath proves mapiter and nondet both ignore
+// packages outside the determinism-critical import paths: the fixture
+// ranges a map and reads the wall clock with no want comments at all.
+func TestMapIterSkipsNonCriticalPath(t *testing.T) {
+	pkg := loadFixture(t, "noncrit", "fixture/internal/tools")
+	if pkg.Critical {
+		t.Fatal("fixture/internal/tools must not be determinism-critical")
+	}
+	runFixture(t, pkg)
+}
+
+// TestMapIterSkipsNonCriticalPragma proves the fixture-only pragma clears
+// criticality even at a critical import path.
+func TestMapIterSkipsNonCriticalPragma(t *testing.T) {
+	pkg := loadFixture(t, "noncritpragma", "fixture/internal/sim")
+	if pkg.Critical {
+		t.Fatal("fixture-noncritical pragma did not clear Critical")
+	}
+	runFixture(t, pkg)
+}
+
+func TestCriticalPath(t *testing.T) {
+	for path, want := range map[string]bool{
+		"hatric/internal/sim":      true,
+		"hatric/internal/hv":       true,
+		"hatric/internal/exp":      true,
+		"hatric/internal/stats":    false,
+		"hatric/internal/xrand":    false,
+		"hatric/cmd/hatricsim":     false,
+		"hatric/internal/sim/deep": false,
+		"sim":                      false,
+	} {
+		if got := criticalPath(path); got != want {
+			t.Errorf("criticalPath(%q) = %v, want %v", path, got, want)
+		}
+	}
+}

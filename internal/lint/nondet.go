@@ -1,0 +1,137 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"strconv"
+)
+
+// NonDet bans unseeded nondeterminism sources in non-test code of the
+// determinism-critical packages, so that all randomness provably flows
+// through the seeded generators in internal/xrand:
+//
+//   - wall-clock reads: time.Now, time.Since, time.Until
+//   - math/rand and math/rand/v2 (unseeded or globally-seeded PRNGs)
+//   - environment reads: os.Getenv, os.LookupEnv, os.Environ
+//   - (*sync.Map).Range (iteration order is unspecified)
+//
+// sync.Map declarations themselves also require a rationale annotation:
+// the type is only order-safe under a load-or-store-of-immutable-values
+// discipline the annotation must spell out (//hatric:mapiter-ok <reason>).
+// Other findings are suppressible with //hatric:nondet-ok <reason>.
+var NonDet = &Analyzer{
+	Name: "nondet",
+	Doc:  "ban unseeded nondeterminism sources in determinism-critical packages",
+	Run:  runNonDet,
+}
+
+// bannedFuncs maps package path -> function name -> what to say.
+var bannedFuncs = map[string]map[string]string{
+	"time": {
+		"Now":   "wall-clock time is nondeterministic",
+		"Since": "wall-clock time is nondeterministic",
+		"Until": "wall-clock time is nondeterministic",
+	},
+	"os": {
+		"Getenv":    "environment reads make results host-dependent",
+		"LookupEnv": "environment reads make results host-dependent",
+		"Environ":   "environment reads make results host-dependent",
+	},
+}
+
+func runNonDet(pass *Pass) error {
+	for i, f := range pass.Pkg.Files {
+		if !pass.Pkg.Critical || isTestFile(pass.Pkg.Filenames[i]) {
+			continue
+		}
+		for _, imp := range f.Imports {
+			path, err := strconv.Unquote(imp.Path.Value)
+			if err != nil {
+				continue
+			}
+			if path == "math/rand" || path == "math/rand/v2" {
+				if !pass.suppressed(annotNondetOK, imp.Pos()) {
+					pass.Reportf(imp.Pos(), "import of %s: all simulator randomness must flow through "+
+						"the seeded internal/xrand generators (//hatric:nondet-ok <reason> to override)", path)
+				}
+			}
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.SelectorExpr:
+				checkBannedSelector(pass, n)
+			case *ast.StructType:
+				for _, field := range n.Fields.List {
+					checkSyncMapDecl(pass, field.Type)
+				}
+			case *ast.ValueSpec:
+				if n.Type != nil {
+					checkSyncMapDecl(pass, n.Type)
+				}
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// checkBannedSelector flags uses of the banned time/os functions and of
+// (*sync.Map).Range.
+func checkBannedSelector(pass *Pass, sel *ast.SelectorExpr) {
+	obj, ok := pass.Pkg.Info.Uses[sel.Sel].(*types.Func)
+	if !ok || obj.Pkg() == nil {
+		return
+	}
+	name := obj.Name()
+	switch obj.Pkg().Path() {
+	case "time", "os":
+		if why, banned := bannedFuncs[obj.Pkg().Path()][name]; banned {
+			if !pass.suppressed(annotNondetOK, sel.Pos()) {
+				pass.Reportf(sel.Pos(), "%s.%s in a determinism-critical package: %s "+
+					"(//hatric:nondet-ok <reason> to override)", obj.Pkg().Path(), name, why)
+			}
+		}
+	case "sync":
+		if name == "Range" && isSyncMapRecv(obj) {
+			if !pass.suppressed(annotNondetOK, sel.Pos()) {
+				pass.Reportf(sel.Pos(), "(*sync.Map).Range iterates in unspecified order; "+
+					"iterate a sorted snapshot instead (//hatric:nondet-ok <reason> to override)")
+			}
+		}
+	}
+}
+
+func isSyncMapRecv(fn *types.Func) bool {
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil {
+		return false
+	}
+	return isSyncMapType(sig.Recv().Type())
+}
+
+func isSyncMapType(t types.Type) bool {
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Name() == "Map" && obj.Pkg() != nil && obj.Pkg().Path() == "sync"
+}
+
+// checkSyncMapDecl requires a //hatric:mapiter-ok rationale on every
+// sync.Map-typed field or variable declaration in a critical package.
+func checkSyncMapDecl(pass *Pass, typeExpr ast.Expr) {
+	t := pass.Pkg.Info.TypeOf(typeExpr)
+	if t == nil || !isSyncMapType(t) {
+		return
+	}
+	if pass.suppressed(annotMapiterOK, typeExpr.Pos()) || pass.suppressed(annotNondetOK, typeExpr.Pos()) {
+		return
+	}
+	pass.Reportf(typeExpr.Pos(), "sync.Map in a determinism-critical package: iteration order and "+
+		"first-store races are nondeterministic; annotate //hatric:mapiter-ok <reason> stating the "+
+		"order-safe discipline (e.g. load-or-store of immutable values only)")
+}

@@ -1,0 +1,7 @@
+package lint
+
+import "testing"
+
+func TestNonDetFixture(t *testing.T) {
+	runFixture(t, loadFixture(t, "nondet", "fixture/internal/hv"))
+}

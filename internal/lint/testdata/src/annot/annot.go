@@ -1,0 +1,14 @@
+// Package annot exercises the annotation validator: a malformed directive
+// is itself a diagnostic, so a typo can never silently disable a check.
+// Expectations live in annot_test.go (the findings sit on the directive
+// lines themselves, where a want comment cannot).
+package annot
+
+//hatric:alloc-ok
+var missingReason = 1
+
+//hatric:mistyped-kind some reason
+var unknownKind = 2
+
+//hatric:hotpath
+var danglingMarker = 3

@@ -1,0 +1,74 @@
+// Package hotalloc exercises the hotalloc analyzer. It is loaded at a
+// non-critical import path on purpose: hotalloc is annotation-driven and
+// applies wherever a //hatric:hotpath marker appears.
+package hotalloc
+
+//hatric:hotpath
+func scratch(n int) []int {
+	return make([]int, n) // want `make allocates in hot-path function scratch`
+}
+
+//hatric:hotpath
+func grow(dst []int, v int) []int {
+	return append(dst, v) // want `append may grow and allocate in hot-path function grow`
+}
+
+//hatric:hotpath
+func concat(a, b string) string {
+	return a + b // want `string concatenation allocates in hot-path function concat`
+}
+
+//hatric:hotpath
+func box(v int) any {
+	return v // want `return boxes int into interface any`
+}
+
+//hatric:hotpath
+func closure(n int) func() int {
+	f := func() int { return n } // want `closure capturing n allocates`
+	return f
+}
+
+func sink(vs ...any) int { return len(vs) }
+
+//hatric:hotpath
+func callsVariadic(v int) int {
+	return sink(v) // want `variadic call allocates its argument slice` `argument boxes int into interface any`
+}
+
+// leaf and mid carry no annotation of their own: they are hot purely
+// because the BFS propagation pulls them in through deepRoot -> mid -> leaf.
+func leaf(n int) []int {
+	return make([]int, n) // want `make allocates in hot-path function leaf .hot via deepRoot.`
+}
+
+func mid(n int) []int { return leaf(n) }
+
+//hatric:hotpath
+func deepRoot(n int) []int { return mid(n) }
+
+type ring struct{ buf []int }
+
+func (r *ring) length() int { return len(r.buf) }
+
+//hatric:hotpath
+func (r *ring) push(v int) {
+	r.buf = append(r.buf, v) // want `append may grow and allocate in hot-path function .ring.push`
+}
+
+//hatric:hotpath
+func methodValue(r *ring) func() int {
+	return r.length // want `method value allocates a bound-method closure`
+}
+
+//hatric:hotpath
+func vetted(n int) []int {
+	//hatric:alloc-ok fixture: documents a warm-up-only growth path
+	return make([]int, n)
+}
+
+// cold carries no annotation and is called by no hot function: it may
+// allocate freely.
+func cold(n int) []int {
+	return make([]int, n)
+}

@@ -1,0 +1,40 @@
+// Package mapiter exercises the mapiter analyzer: range over a map in a
+// determinism-critical package is flagged unless it is the sorted-key
+// collection idiom or carries a reasoned suppression.
+package mapiter
+
+import "sort"
+
+func sum(m map[int]int) int {
+	total := 0
+	for _, v := range m { // want `range over map is iteration-order-dependent`
+		total += v
+	}
+	return total
+}
+
+func sortedKeys(m map[int]int) []int {
+	var keys []int
+	for k := range m { // the sorted-key idiom is recognized structurally
+		keys = append(keys, k)
+	}
+	sort.Ints(keys)
+	return keys
+}
+
+func vetted(m map[int]int) int {
+	n := 0
+	//hatric:mapiter-ok commutative count; order cannot change the result
+	for range m {
+		n++
+	}
+	return n
+}
+
+func overSlice(s []int) int {
+	n := 0
+	for range s { // not a map; never flagged
+		n++
+	}
+	return n
+}

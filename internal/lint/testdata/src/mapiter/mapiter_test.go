@@ -1,0 +1,12 @@
+package mapiter
+
+// _test.go files are exempt even in critical packages: tests may iterate
+// maps freely (the golden tests themselves never depend on map order).
+
+func testOnlyHelper(m map[int]int) int {
+	n := 0
+	for range m {
+		n++
+	}
+	return n
+}

@@ -1,0 +1,18 @@
+// Package noncrit sits at an import path outside the determinism-critical
+// set, so mapiter and nondet must both stay silent on constructs they would
+// flag elsewhere.
+package noncrit
+
+import "time"
+
+func now() time.Time {
+	return time.Now() // non-critical package: nondet does not apply
+}
+
+func sum(m map[int]int) int {
+	total := 0
+	for _, v := range m { // non-critical package: mapiter does not apply
+		total += v
+	}
+	return total
+}

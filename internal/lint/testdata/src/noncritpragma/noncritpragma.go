@@ -1,0 +1,20 @@
+// Package noncritpragma is loaded at a determinism-critical import path,
+// but the fixture-only pragma below opts the whole package out; mapiter and
+// nondet must skip it entirely.
+//
+//hatric:fixture-noncritical
+package noncritpragma
+
+import "time"
+
+func now() time.Time {
+	return time.Now() // pragma-exempted package: nondet does not apply
+}
+
+func sum(m map[int]int) int {
+	total := 0
+	for _, v := range m { // pragma-exempted package: mapiter does not apply
+		total += v
+	}
+	return total
+}

@@ -1,0 +1,53 @@
+// Package nondet exercises the nondet analyzer: wall-clock reads,
+// environment reads, unseeded PRNG imports, and sync.Map in a
+// determinism-critical package.
+package nondet
+
+import (
+	mrand "math/rand" // want `import of math/rand`
+	"os"
+	"sync"
+	"time"
+)
+
+func stamp() int64 {
+	return time.Now().UnixNano() // want `time.Now in a determinism-critical package`
+}
+
+func debugEnabled() bool {
+	_, ok := os.LookupEnv("HATRIC_DEBUG") // want `os.LookupEnv in a determinism-critical package`
+	return ok
+}
+
+func vettedStamp() time.Time {
+	//hatric:nondet-ok fixture exercises the override path
+	return time.Now()
+}
+
+func draw() int {
+	return mrand.Int()
+}
+
+type tables struct {
+	cache sync.Map // want `sync.Map in a determinism-critical package`
+}
+
+var rawCache sync.Map // want `sync.Map in a determinism-critical package`
+
+//hatric:mapiter-ok load-or-store of immutable values only; never iterated
+var vettedCache sync.Map
+
+func drain(m *sync.Map) int {
+	n := 0
+	m.Range(func(_, _ any) bool { // want `sync.Map..Range iterates in unspecified order`
+		n++
+		return true
+	})
+	return n
+}
+
+func use(t *tables) *sync.Map {
+	_ = &rawCache
+	_ = &vettedCache
+	return &t.cache
+}

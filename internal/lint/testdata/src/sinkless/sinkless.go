@@ -1,0 +1,9 @@
+// Package sinkless carries a counters-sink annotation with no
+// stats.Counters type reachable, which is itself a finding: the annotation
+// would otherwise silently check nothing.
+package sinkless
+
+//hatric:counters-sink
+func dump() string { // want `no stats.Counters type is reachable`
+	return ""
+}

@@ -1,0 +1,36 @@
+// Package stats exercises the counterflow analyzer: the fixture's Counters
+// struct has a non-uint64 field, an Add that skips fields, no Sub at all,
+// and sinks in every state (incomplete, complete, reflective).
+package stats
+
+import (
+	"reflect"
+	"strconv"
+)
+
+type Counters struct { // want `Counters has no Sub method`
+	Hits   uint64
+	Misses uint64
+	Walks  uint64
+	Label  string // want `Counters field Label is string`
+}
+
+func (c *Counters) Add(o *Counters) { // want `Add must aggregate every field of Counters: Add never references Walks, Label`
+	c.Hits += o.Hits
+	c.Misses += o.Misses
+}
+
+//hatric:counters-sink
+func fingerprint(c *Counters) string { // want `a counters sink must print or fold every field of Counters: fingerprint never references Misses, Walks, Label`
+	return strconv.FormatUint(c.Hits, 10)
+}
+
+//hatric:counters-sink
+func describe(c *Counters) string {
+	return c.Label + " " + strconv.FormatUint(c.Hits+c.Misses+c.Walks, 10)
+}
+
+//hatric:counters-sink
+func dump(c *Counters) int {
+	return reflect.ValueOf(c).Elem().NumField()
+}

@@ -57,6 +57,8 @@ func NewGuestPT(store *Store, alloc PTPageAlloc) (*GuestPT, error) {
 func (g *GuestPT) Root() arch.GPP { return g.rootGPP }
 
 // BackingSPP returns the pinned frame of a guest page-table page.
+//
+//hatric:hotpath
 func (g *GuestPT) BackingSPP(ptPage arch.GPP) (arch.SPP, bool) {
 	spp, ok := g.backing.get(uint64(ptPage))
 	return arch.SPP(spp), ok
@@ -100,6 +102,8 @@ func (g *GuestPT) Map(gvp arch.GVP, gpp arch.GPP) error {
 }
 
 // Translate functionally resolves gvp to a guest physical page.
+//
+//hatric:hotpath
 func (g *GuestPT) Translate(gvp arch.GVP) (arch.GPP, bool) {
 	if gpp, ok := g.leafCache.get(uint64(gvp)); ok {
 		return arch.GPP(gpp), true
@@ -135,6 +139,8 @@ type WalkStep struct {
 // root for a full walk; an MMU-cache hit starts lower). Hot callers pass a
 // reusable scratch buffer (buf[:0]) so the per-walk steps never touch the
 // heap; nil is fine too. ok is false on a hole in the table.
+//
+//hatric:hotpath
 func (g *GuestPT) WalkFrom(gvp arch.GVP, startLevel int, table arch.GPP, buf []WalkStep) (steps []WalkStep, ok bool) {
 	steps = buf
 	for level := startLevel; level >= 1; level-- {
@@ -144,6 +150,7 @@ func (g *GuestPT) WalkFrom(gvp arch.GVP, startLevel int, table arch.GPP, buf []W
 			return steps, false
 		}
 		next := arch.GPP(e.Frame())
+		//hatric:alloc-ok grows the caller's reusable scratch to at most PTLevels entries once; allocation-free thereafter
 		steps = append(steps, WalkStep{Level: level, Table: table, GPA: gpa, SPA: spa, NextGPP: next})
 		table = next
 	}

@@ -86,6 +86,8 @@ func (n *NestedPT) Map(gpp arch.GPP, spp arch.SPP, present bool) (arch.SPA, erro
 
 // LeafSPA returns the SPA of the leaf entry for gpp, or false if no path
 // exists yet.
+//
+//hatric:hotpath
 func (n *NestedPT) LeafSPA(gpp arch.GPP) (arch.SPA, bool) {
 	if spa, ok := n.leafCache.get(uint64(gpp)); ok {
 		return arch.SPA(spa), true
@@ -105,6 +107,8 @@ func (n *NestedPT) LeafSPA(gpp arch.GPP) (arch.SPA, bool) {
 
 // WalkSPAs returns the four entry addresses (levels 4..1) a hardware nested
 // walk for gpp touches. ok is false if the path is incomplete.
+//
+//hatric:hotpath
 func (n *NestedPT) WalkSPAs(gpp arch.GPP) (spas [arch.PTLevels]arch.SPA, ok bool) {
 	table := n.root
 	for level := arch.PTLevels; level >= 1; level-- {
@@ -123,6 +127,8 @@ func (n *NestedPT) WalkSPAs(gpp arch.GPP) (spas [arch.PTLevels]arch.SPA, ok bool
 
 // Translate functionally resolves gpp. present reports the present bit;
 // ok reports whether any leaf entry exists.
+//
+//hatric:hotpath
 func (n *NestedPT) Translate(gpp arch.GPP) (spp arch.SPP, present, ok bool) {
 	spa, found := n.LeafSPA(gpp)
 	if !found {
@@ -176,6 +182,8 @@ func (n *NestedPT) Remap(gpp arch.GPP, spp arch.SPP, present bool) (arch.SPA, er
 // SetAccessed updates the accessed flag of gpp's leaf entry (hardware
 // walker metadata update; picked up by ordinary cache coherence, so it is
 // not treated as a remap).
+//
+//hatric:hotpath
 func (n *NestedPT) SetAccessed(gpp arch.GPP, on bool) {
 	if spa, found := n.LeafSPA(gpp); found {
 		e := n.store.ReadPTE(spa)

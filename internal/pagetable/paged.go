@@ -37,11 +37,13 @@ func (p *pagedU64) set(key, value uint64) {
 		if n < 16 {
 			n = 16
 		}
+		//hatric:alloc-ok chunk-directory doubling: demand growth during warm-up, never in steady state
 		bigger := make([][]uint64, n)
 		copy(bigger, p.chunks)
 		p.chunks = bigger
 	}
 	if p.chunks[c] == nil {
+		//hatric:alloc-ok first touch of a chunk allocates it once; steady state only overwrites
 		p.chunks[c] = make([]uint64, pagedChunkSize)
 	}
 	p.chunks[c][key&pagedChunkMask] = value + 1

@@ -76,6 +76,7 @@ func NewStore(frames int) *Store {
 // Read8 loads the 8-byte word at spa.
 func (s *Store) Read8(spa arch.SPA) uint64 {
 	if spa >= s.limit {
+		//hatric:alloc-ok cold bounds-violation panic; unreachable on a well-formed PT heap
 		panic(fmt.Sprintf("pagetable: read outside PT heap: %#x", uint64(spa)))
 	}
 	return s.words[spa>>3]
@@ -84,6 +85,7 @@ func (s *Store) Read8(spa arch.SPA) uint64 {
 // Write8 stores the 8-byte word at spa.
 func (s *Store) Write8(spa arch.SPA, v uint64) {
 	if spa >= s.limit {
+		//hatric:alloc-ok cold bounds-violation panic; unreachable on a well-formed PT heap
 		panic(fmt.Sprintf("pagetable: write outside PT heap: %#x", uint64(spa)))
 	}
 	s.words[spa>>3] = v

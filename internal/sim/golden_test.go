@@ -41,6 +41,12 @@ var fpSkipZero = map[string]bool{
 // every legacy field, skipping the fpSkipZero fields at zero. New counters
 // must be appended at the end of the Counters struct so the legacy fields
 // stay a stable prefix (TestFingerprintFormatterCompat pins this).
+//
+// counterflow checks this sink covers every Counters field; the reflective
+// sweep does so by construction, which is exactly why the goldens catch a
+// counter that Add or the fingerprint would otherwise silently drop.
+//
+//hatric:counters-sink
 func fpCounters(c *stats.Counters) string {
 	v := reflect.ValueOf(c).Elem()
 	t := v.Type()

@@ -189,7 +189,11 @@ func Multiprogrammed(specs []workload.Spec) []AssignedWorkload {
 // only fits without them could not be honored.
 func validateVMSpecs(vmSpecs []VMSpec, cfg *arch.Config, ratio int, defaultMode hv.PlacementMode) error {
 	numSlots := cfg.NumCPUs * ratio
-	owner := make(map[int]string) // slot -> who pinned it
+	// owner[slot] names who pinned the slot. A slice, not a map, so the
+	// conflict diagnostics below are deterministic: the first pinner in
+	// VM/workload declaration order always wins the "pinned by both"
+	// message, regardless of map iteration order.
+	owner := make([]string, numSlots)
 	reservedTotal, pinnedTotal, claimTotal := 0, 0, 0
 	for v := range vmSpecs {
 		spec := &vmSpecs[v]
@@ -206,7 +210,7 @@ func validateVMSpecs(vmSpecs []VMSpec, cfg *arch.Config, ratio int, defaultMode 
 					return fmt.Errorf("sim: %s pins slot %d outside [0, %d) (%d CPUs x %d vCPUs/CPU)",
 						who, c, numSlots, cfg.NumCPUs, ratio)
 				}
-				if prev, taken := owner[c]; taken {
+				if prev := owner[c]; prev != "" {
 					return fmt.Errorf("sim: slot %d pinned by both %s and %s", c, prev, who)
 				}
 				owner[c] = who
@@ -458,13 +462,16 @@ func New(opts Options) (*System, error) {
 	// anywhere share a reference stream.
 	globalPID := 0
 	for v, spec := range vmSpecs {
-		vmCPUSet := map[int]bool{}
+		// A per-CPU bitmap (not a map) keeps the vmCPUs ordering — and
+		// therefore every downstream structure built from it —
+		// trivially deterministic: ascending physical-CPU order.
+		vmCPUSet := make([]bool, cfg.NumCPUs)
 		for _, w := range spec.Workloads {
 			for _, c := range w.CPUs {
 				vmCPUSet[c%cfg.NumCPUs] = true
 			}
 		}
-		vmCPUs := make([]int, 0, len(vmCPUSet))
+		vmCPUs := make([]int, 0, cfg.NumCPUs)
 		for c := 0; c < cfg.NumCPUs; c++ {
 			if vmCPUSet[c] {
 				vmCPUs = append(vmCPUs, c)
@@ -802,6 +809,13 @@ func (s *System) Run() (*Result, error) {
 // stepOnce executes one memory reference on the CPU with the smallest
 // local clock and restores the heap afterwards. It reports false when no
 // runnable CPU remains.
+//
+// This is the root of the simulator's per-reference hot path: hatriclint
+// propagates the annotation below through every same-package callee
+// (step, schedule, attribute, the min-clock heap), and the runtime gate
+// sim.TestSteadyStateZeroAllocs asserts the same contract dynamically.
+//
+//hatric:hotpath
 func (s *System) stepOnce() (bool, error) {
 	cpu := s.minClockCPU()
 	if cpu < 0 {
@@ -1083,6 +1097,7 @@ func (s *System) step(cpu int) error {
 			break
 		}
 		if attempt >= 4 {
+			//hatric:alloc-ok cold error exit; a livelock aborts the whole run
 			return fmt.Errorf("sim: CPU %d livelocked faulting on gvp %#x", cpu, uint64(gvp))
 		}
 		hlat, err := s.hyp.HandleFault(cpu, vm, fault.GPP, s.clock[cpu])

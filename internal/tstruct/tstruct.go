@@ -212,6 +212,8 @@ func (s *Struct) findIn(set, vm int, key uint64) int {
 // Lookup probes for (vm, key); a hit refreshes LRU state. Entries of other
 // VMs never hit, however equal their keys — the VPID-qualification that
 // makes time-slicing vCPUs of different VMs onto one CPU safe.
+//
+//hatric:hotpath
 func (s *Struct) Lookup(vm int, key uint64) (uint64, bool) {
 	set := s.setOf(key)
 	if i := s.findIn(set, vm, key); i >= 0 {
@@ -226,6 +228,8 @@ func (s *Struct) Lookup(vm int, key uint64) (uint64, bool) {
 // LookupEntry probes for (vm, key) and returns the whole entry on a hit,
 // refreshing LRU state. Callers that need the co-tag (L2 to L1 refills)
 // use this instead of Lookup.
+//
+//hatric:hotpath
 func (s *Struct) LookupEntry(vm int, key uint64) (Entry, bool) {
 	set := s.setOf(key)
 	if i := s.findIn(set, vm, key); i >= 0 {
@@ -238,6 +242,8 @@ func (s *Struct) LookupEntry(vm int, key uint64) (Entry, bool) {
 }
 
 // Peek probes without touching LRU or stats.
+//
+//hatric:hotpath
 func (s *Struct) Peek(vm int, key uint64) (uint64, bool) {
 	if i := s.find(vm, key); i >= 0 {
 		return s.vals[i], true
@@ -258,6 +264,8 @@ func (s *Struct) setEntry(i int, vm int, key, val, src uint64, kind uint8) {
 // displaced, it is returned so the caller can lazily (or eagerly) update
 // the directory. Entries of different VMs with equal keys coexist: the
 // in-place update applies only to the same VM's entry.
+//
+//hatric:hotpath
 func (s *Struct) Fill(vm int, key, val, src uint64, kind uint8) (victim Entry, evicted bool) {
 	set := s.setOf(key)
 	base := set * s.ways
@@ -297,6 +305,8 @@ func (s *Struct) Fill(vm int, key, val, src uint64, kind uint8) (victim Entry, e
 
 // InvalidateKey drops vm's entry for key (selective invalidation with a
 // known key, e.g. invlpg with a known guest virtual page).
+//
+//hatric:hotpath
 func (s *Struct) InvalidateKey(vm int, key uint64) bool {
 	if i := s.find(vm, key); i >= 0 {
 		s.vms[i] = -1
@@ -314,6 +324,8 @@ func (s *Struct) InvalidateKey(vm int, key uint64) bool {
 // every compare — but entries of other VMs never match, so co-tag aliasing
 // cannot leak invalidations across VM boundaries. It returns the number of
 // entries invalidated.
+//
+//hatric:hotpath
 func (s *Struct) InvalidateMasked(vm int, src uint64, shift uint, mask uint64) int {
 	n := 0
 	target := (src >> shift) & mask
@@ -344,6 +356,8 @@ func (s *Struct) InvalidateMasked(vm int, src uint64, shift uint, mask uint64) i
 // InvalidateMaskedExcept behaves like InvalidateMasked but spares entries
 // whose exact source word is exceptSrc (they were just updated in place by
 // the prefetch extension rather than made stale).
+//
+//hatric:hotpath
 func (s *Struct) InvalidateMaskedExcept(vm int, src uint64, shift uint, mask, exceptSrc uint64) int {
 	n := 0
 	target := (src >> shift) & mask
@@ -377,6 +391,8 @@ func (s *Struct) InvalidateMaskedExcept(vm int, src uint64, shift uint, mask, ex
 // CachesMasked reports whether any valid entry of vm matches the masked
 // compare (used by the eager directory-update ablation; counts compare
 // energy).
+//
+//hatric:hotpath
 func (s *Struct) CachesMasked(vm int, src uint64, shift uint, mask uint64) bool {
 	target := (src >> shift) & mask
 	for set := 0; set < s.sets; set++ {
@@ -406,6 +422,8 @@ func (s *Struct) CachesMasked(vm int, src uint64, shift uint, mask uint64) bool 
 // touched. This is the mechanism behind the paper's Sec. 4.4 prefetching
 // extension: instead of dropping a translation made stale by a remap,
 // hardware can install the new mapping directly.
+//
+//hatric:hotpath
 func (s *Struct) UpdateMatching(vm int, src uint64, upd func(Entry) (uint64, bool)) int {
 	n := 0
 	for set := 0; set < s.sets; set++ {
@@ -431,6 +449,8 @@ func (s *Struct) UpdateMatching(vm int, src uint64, upd func(Entry) (uint64, boo
 }
 
 // Flush invalidates everything and returns how many entries were lost.
+//
+//hatric:hotpath
 func (s *Struct) Flush() int {
 	n := 0
 	for set := 0; set < s.sets; set++ {
@@ -455,6 +475,8 @@ func (s *Struct) Flush() int {
 // VPID-scoped flush) and returns how many were lost. Other VMs' entries —
 // resident because their vCPUs time-share this CPU — survive. AnyVM
 // degenerates to a full flush.
+//
+//hatric:hotpath
 func (s *Struct) FlushVM(vm int) int {
 	n := 0
 	for set := 0; set < s.sets; set++ {

@@ -63,6 +63,12 @@ type Walker struct {
 	// steps is the scratch buffer for guest walk steps, reused across
 	// walks so the hot path never allocates (at most PTLevels entries).
 	steps []pagetable.WalkStep
+
+	// fault is the scratch Fault the walker returns a pointer to on a
+	// nested fault, reused across walks so the paged-mode fault path does
+	// not allocate either. Callers consume the fault before the next
+	// Translate call on the same walker (the sim's retry loop does).
+	fault Fault
 }
 
 // SetVM installs the VM context the walker operates in: the dense ID (the
@@ -81,6 +87,12 @@ func (w *Walker) SetVM(vm int, nested *pagetable.NestedPT, guest GuestPTResolver
 // physical page backing it), charging all translation-structure and memory
 // latencies. On a nested fault it returns a non-nil fault and the cycles
 // burned discovering it.
+//
+// Runs once per memory reference: allocation-free by contract
+// (hatriclint hotpath; the annotation propagates through walk,
+// translateGPP, and fill).
+//
+//hatric:hotpath
 func (w *Walker) Translate(pid int, gvp arch.GVP, now arch.Cycles) (arch.SPP, arch.GPP, arch.Cycles, *Fault) {
 	key := tstruct.TLBKey(pid, gvp)
 	if v, ok := w.TS.L1TLB.Lookup(w.vm, key); ok {
@@ -159,7 +171,8 @@ func (w *Walker) walk(pid int, gvp arch.GVP, now arch.Cycles) (arch.SPP, arch.GP
 	spp, present, nlat := w.translateGPP(dataGPP, now+lat)
 	lat += nlat
 	if !present {
-		return 0, dataGPP, lat, &Fault{PID: pid, GVP: gvp, GPP: dataGPP}
+		w.fault = Fault{PID: pid, GVP: gvp, GPP: dataGPP}
+		return 0, dataGPP, lat, &w.fault
 	}
 
 	// Hardware metadata update: set the accessed bit (picked up by normal

@@ -164,8 +164,20 @@ func sharedScatter(n, stride uint64) []uint32 {
 	return t.([]uint32)
 }
 
+// The two table caches below are process-wide sync.Maps, which hatriclint
+// flags in determinism-critical packages: iteration order and
+// first-store-wins races are nondeterministic. Both uses are order-safe
+// by discipline — the caches are only ever Load/LoadOrStore'd with values
+// that are pure functions of their key (a (n, theta) Zipf table, an
+// n-page scatter table), immutable after construction, and never
+// iterated. Whichever concurrent constructor wins the LoadOrStore race,
+// every loser reads back a bit-identical table, so simulated results
+// cannot depend on the race. Keep that discipline (and never call
+// .Range) or the annotations below stop being true.
 var (
-	zipfCache    sync.Map // (n, theta) -> *xrand.Zipf
+	//hatric:mapiter-ok load-or-store of immutable, key-determined tables; never iterated
+	zipfCache sync.Map // (n, theta) -> *xrand.Zipf
+	//hatric:mapiter-ok load-or-store of immutable, key-determined tables; never iterated
 	scatterCache sync.Map // n -> []uint32 (stride is a function of n)
 )
 
@@ -221,6 +233,8 @@ func (s *Stream) Next() (Access, bool) {
 // many it produced — less than len(dst) only when the stream runs out. The
 // sequence is identical to repeated Next calls: batching changes where the
 // generator loop lives, not what it draws.
+//
+//hatric:hotpath
 func (s *Stream) NextBatch(dst []Access) int {
 	sp := &s.spec
 	if s.emitted >= sp.Refs {
