@@ -1,0 +1,114 @@
+package coherence
+
+import (
+	"hatric/internal/arch"
+	"hatric/internal/cache"
+)
+
+// Epoch-deferred coherence for the parallel simulator.
+//
+// In the sim package's opt-in parallel mode the machine advances in
+// fixed-length cycle epochs: within an epoch every pCPU executes on its own
+// worker against worker-local state only (private caches, translation
+// structures, counters, clocks), and every operation that would touch a
+// cross-shard structure — the shared LLC, the coherence directory, the
+// memory devices, another CPU's caches or translation structures — is not
+// performed but appended to this per-CPU event log. At the epoch barrier
+// the logs are merged in (cycle, cpu) order and each event is replayed
+// through the unmodified serial Read/Write paths against the then-quiescent
+// shared structures. Replay order is a pure function of the per-CPU event
+// streams (each already cycle-sorted, because a CPU's clock is monotonic),
+// so the merged order — and therefore every directory transition,
+// invalidation wave, and translation relay — is independent of how pCPUs
+// were sharded across workers.
+//
+// The log stores one flat 32-byte record per event and reuses its per-CPU
+// slices across epochs, so steady-state epochs append into existing
+// capacity and the parallel zero-allocation gate holds.
+
+// DeferredOp identifies what a logged event defers. Codes below OpSimBase
+// are owned by this package (the hierarchy's own shared-state operations);
+// the embedding simulator defines its own codes at OpSimBase and above for
+// hypervisor work that must also serialize at the barrier (faults, storm
+// daemons, copy-on-write breaks, migration dirty tracking).
+type DeferredOp uint8
+
+const (
+	// OpRead defers a coherent read that missed the private hierarchy.
+	OpRead DeferredOp = iota
+	// OpWrite defers a coherent write that could not complete privately.
+	OpWrite
+	// OpTSFill defers NoteTranslationFill (directory sharer-bit update).
+	OpTSFill
+	// OpTSEvict defers NoteTranslationEviction (eager-mode demotion).
+	OpTSEvict
+
+	// OpSimBase is the first op code available to the embedding simulator.
+	OpSimBase DeferredOp = 16
+)
+
+// DeferredEvent is one logged cross-shard effect. Cycle is the issuing
+// CPU's clock when the event was logged (the `now` the barrier replay
+// uses); SPA and Kind parameterize hierarchy ops; Arg carries
+// simulator-defined payload for OpSimBase+ codes.
+type DeferredEvent struct {
+	Cycle arch.Cycles
+	SPA   arch.SPA
+	Arg   uint64
+	Op    DeferredOp
+	Kind  cache.IsPTKind
+}
+
+// DeferredLog collects each CPU's deferred events for one epoch. Workers
+// append only to their own CPUs' slices, so the log needs no locking; the
+// barrier drains it single-threaded.
+type DeferredLog struct {
+	perCPU [][]DeferredEvent
+	// last tracks each CPU's most recent operation cycle, so hierarchy
+	// entry points without a `now` parameter (NoteTranslationFill,
+	// NoteTranslationEviction) can stamp their events with the cycle of
+	// the access that triggered them.
+	last []arch.Cycles
+}
+
+// NewDeferredLog builds a log for an ncpus-machine.
+func NewDeferredLog(ncpus int) *DeferredLog {
+	return &DeferredLog{
+		perCPU: make([][]DeferredEvent, ncpus),
+		last:   make([]arch.Cycles, ncpus),
+	}
+}
+
+// Stamp records cpu's current cycle for events logged without one.
+func (d *DeferredLog) Stamp(cpu int, now arch.Cycles) { d.last[cpu] = now }
+
+// Last returns the most recent cycle stamped for cpu.
+func (d *DeferredLog) Last(cpu int) arch.Cycles { return d.last[cpu] }
+
+// Append logs one deferred event on cpu's stream.
+//
+// Called from the parallel per-reference hot path; the append grows each
+// per-CPU slice to its high-water mark during warm-up epochs and then
+// reuses the capacity, which is exactly the contract
+// sim.TestSteadyStateZeroAllocsParallel gates.
+//
+//hatric:hotpath
+func (d *DeferredLog) Append(cpu int, op DeferredOp, spa arch.SPA, arg uint64, kind cache.IsPTKind, cycle arch.Cycles) {
+	//hatric:alloc-ok amortized capacity growth during warm-up; steady-state epochs append within capacity (parallel zero-alloc gate)
+	d.perCPU[cpu] = append(d.perCPU[cpu], DeferredEvent{
+		Cycle: cycle, SPA: spa, Arg: arg, Op: op, Kind: kind,
+	})
+}
+
+// CPU returns cpu's event stream for this epoch, in log (= cycle) order.
+func (d *DeferredLog) CPU(cpu int) []DeferredEvent { return d.perCPU[cpu] }
+
+// NumCPUs returns the number of per-CPU streams.
+func (d *DeferredLog) NumCPUs() int { return len(d.perCPU) }
+
+// Reset clears every stream for the next epoch, keeping capacity.
+func (d *DeferredLog) Reset() {
+	for i := range d.perCPU {
+		d.perCPU[i] = d.perCPU[i][:0]
+	}
+}

@@ -58,11 +58,17 @@ func (r *Runner) mixes() int {
 	return workload.NumMixes
 }
 
+// hostCPUs is snapshotted once at startup: runtime.NumCPU re-reads the
+// affinity mask on every call, so a mid-campaign cgroup or taskset change
+// could otherwise hand different job batches different parallelism within
+// one campaign.
+var hostCPUs = runtime.NumCPU()
+
 func (r *Runner) parallel() int {
 	if r.Parallel > 0 {
 		return r.Parallel
 	}
-	return runtime.NumCPU()
+	return hostCPUs
 }
 
 func (r *Runner) seed() uint64 {

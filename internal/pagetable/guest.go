@@ -98,6 +98,11 @@ func (g *GuestPT) Map(gvp arch.GVP, gpp arch.GPP) error {
 		g.Leaves++
 	}
 	g.store.WritePTE(spa, MakePTE(uint64(gpp), true))
+	// Populate the leaf cache now rather than lazily on first Translate:
+	// guest mappings are all installed at process setup, so run-time
+	// Translate is then a pure read — a requirement for the parallel
+	// engine, whose workers probe the guest tables concurrently.
+	g.leafCache.set(uint64(gvp), uint64(gpp))
 	return nil
 }
 

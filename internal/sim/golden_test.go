@@ -31,10 +31,12 @@ import (
 // fields existed; scenarios that do produce them (the storm scenarios
 // below) print them at the end, where the struct keeps them.
 var fpSkipZero = map[string]bool{
-	"KSMMerges":       true,
-	"KSMBreaks":       true,
-	"BalloonReclaims": true,
-	"CompactionMoves": true,
+	"KSMMerges":        true,
+	"KSMBreaks":        true,
+	"BalloonReclaims":  true,
+	"CompactionMoves":  true,
+	"ParallelEpochs":   true,
+	"ParallelDeferred": true,
 }
 
 // fpCounters formats a stats.Counters byte-identically to fmt's %+v for
@@ -112,7 +114,8 @@ func TestFingerprintFormatterCompat(t *testing.T) {
 	legacy := stats.Counters{Instructions: 3, MemRefs: 2, StaleTranslationUses: 9}
 	// The legacy format is today's %+v with the all-zero storm-counter tail
 	// removed — exactly what %+v printed when the fingerprints were frozen.
-	tail := " KSMMerges:0 KSMBreaks:0 BalloonReclaims:0 CompactionMoves:0}"
+	tail := " KSMMerges:0 KSMBreaks:0 BalloonReclaims:0 CompactionMoves:0" +
+		" ParallelEpochs:0 ParallelDeferred:0}"
 	want := fmt.Sprintf("%+v", legacy)
 	if !strings.HasSuffix(want, tail) {
 		t.Fatalf("storm counters no longer the final fields of stats.Counters: %s", want)

@@ -1,0 +1,541 @@
+package sim
+
+// The epoch-barrier parallel engine (Options.ParallelCPUs > 0).
+//
+// Physical CPUs are sharded round-robin across ParallelCPUs persistent
+// worker goroutines. The machine advances in fixed-length cycle epochs:
+// within an epoch each worker steps its own pCPUs' references against
+// worker-local state only — private caches, translation structures,
+// per-CPU counters and clocks, the vCPU runqueue of each pCPU — while
+// every cross-shard effect (shared-LLC fills, invalidation waves,
+// directory updates, faults, storm daemons, copy-on-write breaks,
+// migration dirty tracking) is appended to a per-CPU deferred-event log
+// (coherence.DeferredLog) instead of being performed. At the epoch
+// barrier the logs are merged in (cycle, cpu) order and replayed
+// serially through the unmodified serial code paths. Because each CPU's
+// epoch execution is a pure function of its own state plus the frozen
+// shared state, and the merge order is a pure function of the per-CPU
+// event streams, the results are bit-identical for every worker count —
+// ParallelCPUs is a throughput knob, not a model parameter. They are
+// NOT bit-identical to the serial engine: deferring shared-cache fills
+// and invalidation waves to the barrier shifts LLC/directory timing, so
+// parallel runs carry their own golden set (TestGoldenCountersParallel).
+// See doc.go, "Parallel execution", for the full argument.
+
+import (
+	"fmt"
+	"sync"
+
+	"hatric/internal/arch"
+	"hatric/internal/cache"
+	"hatric/internal/coherence"
+	"hatric/internal/stats"
+	"hatric/internal/workload"
+)
+
+// Simulator-defined deferred-op codes (coherence owns the codes below
+// OpSimBase). All serialize hypervisor work at the barrier.
+const (
+	// opFault parks the CPU on a nested page fault; the barrier runs
+	// HandleFault in merged order and unparks it. Arg packs (vm, gpp).
+	opFault = coherence.OpSimBase + iota
+	// opDefrag runs the periodic defragmentation daemon. Arg is the VM.
+	opDefrag
+	// opKSMScan runs the periodic dedup scan.
+	opKSMScan
+	// opCompact runs the compaction daemon's window.
+	opCompact
+	// opKSMBreak breaks copy-on-write sharing after a guest write to a
+	// KSM-shared page. Arg packs (vm, gpp). Unlike the serial engine,
+	// which breaks inline and re-walks before the write completes, the
+	// epoch's write lands on the pre-break frame and the break (with its
+	// coherent remap) applies at the barrier — part of the parallel
+	// mode's documented timing deviation.
+	opKSMBreak
+	// opMigWrite dirty-tracks a guest write for an in-flight migration
+	// of the CPU's VM. Arg packs (vm, gpp).
+	opMigWrite
+)
+
+// vmGPPShift packs (vm, gpp) into one DeferredEvent.Arg word; guest
+// physical page numbers stay far below 2^40.
+const vmGPPShift = 40
+
+func packVMGPP(vm int, gpp arch.GPP) uint64 {
+	return uint64(vm)<<vmGPPShift | uint64(gpp)
+}
+
+func unpackVMGPP(v uint64) (int, arch.GPP) {
+	return int(v >> vmGPPShift), arch.GPP(v & (1<<vmGPPShift - 1))
+}
+
+// accFilterBits sizes each CPU's direct-mapped accessed-bit dedup filter.
+// The filter only suppresses duplicate log entries (the accessed-bit OR
+// is idempotent), so collisions cost log space, never correctness.
+const accFilterBits = 8
+
+// parCPU is one physical CPU's worker-local epoch state.
+type parCPU struct {
+	// pendValid/pendAcc park an in-flight reference across a fault: the
+	// barrier handles the fault, and the CPU resumes at the translate
+	// stage next epoch without re-consuming the slab or re-running the
+	// gap charge and daemon triggers.
+	pendValid bool
+	// parked stops the CPU's shard loop until the barrier unparks it.
+	parked      bool
+	pendAcc     workload.Access
+	faultStreak int
+	// steps counts references executed this epoch; the barrier uses it
+	// as the balloon/migration pump budget (the serial engine pumps once
+	// per reference).
+	steps uint64
+	// accessed logs the (vm, gpp) pairs referenced this epoch, deduped
+	// through accFilter; the barrier ORs the nested accessed bits in.
+	accessed  []uint64
+	accFilter [1 << accFilterBits]uint64
+}
+
+// parState is the engine's run-wide state, nil on the serial path.
+type parState struct {
+	workers int
+	epoch   arch.Cycles
+	cpus    []parCPU
+	log     *coherence.DeferredLog
+	// perVM is the per-(CPU, VM) attribution matrix scheduled machines
+	// use in place of the shared perVM slice: each worker writes only
+	// its own CPUs' rows, and collect folds the matrix serially.
+	perVM [][]stats.Counters
+	// start[w] carries worker w's epoch-end cycle; closing it shuts the
+	// worker down. wg is the epoch barrier.
+	start  []chan arch.Cycles
+	wg     sync.WaitGroup
+	errCPU []error
+	// heads is the k-way merge cursor scratch, one per CPU.
+	heads []int
+}
+
+// parInit builds the engine state and spawns the persistent workers.
+// Deliberately outside the hot path: the goroutine spawns and slice
+// builds here run once per System.
+func (s *System) parInit() {
+	if s.par != nil {
+		return
+	}
+	epoch := s.opts.EpochCycles
+	if epoch == 0 {
+		epoch = DefaultEpochCycles
+	}
+	p := &parState{
+		workers: s.opts.ParallelCPUs,
+		epoch:   epoch,
+		cpus:    make([]parCPU, s.cfg.NumCPUs),
+		log:     coherence.NewDeferredLog(s.cfg.NumCPUs),
+		start:   make([]chan arch.Cycles, s.opts.ParallelCPUs),
+		errCPU:  make([]error, s.cfg.NumCPUs),
+		heads:   make([]int, s.cfg.NumCPUs),
+	}
+	if s.sched {
+		p.perVM = make([][]stats.Counters, s.cfg.NumCPUs)
+		for cpu := range p.perVM {
+			p.perVM[cpu] = make([]stats.Counters, len(s.vms))
+		}
+	}
+	// The device queueing model assumes request times arrive near-sorted
+	// (the serial min-clock schedule); barrier replay mixes per-epoch event
+	// stamps with fault handling at current clocks, so the shared busy
+	// horizon would turn that skew into runaway queue delays. Parallel
+	// mode uses the queue-free device timing instead (part of the
+	// documented timing deviation; byte and access accounting is exact).
+	s.mem.SetUnordered(true)
+	// The min-clock heap serves only the serial scheduler; neutralize it
+	// so cross-CPU Charges during barrier replay stay plain clock adds.
+	s.heap = s.heap[:0]
+	for i := range s.hpos {
+		s.hpos[i] = -1
+	}
+	// The walkers must not touch the shared page tables mid-epoch; the
+	// barrier's accessed-bit log covers every walked data page.
+	for _, w := range s.walkers {
+		w.DeferAccessed = true
+	}
+	s.par = p
+	for w := 0; w < p.workers; w++ {
+		p.start[w] = make(chan arch.Cycles, 1)
+		go s.parWorker(w)
+	}
+}
+
+// parStop shuts the persistent workers down after the run.
+func (s *System) parStop() {
+	for _, ch := range s.par.start {
+		close(ch)
+	}
+}
+
+// runParallel is the parallel counterpart of Run's serial loop: epochs
+// until every vCPU retires. The caller's drains and collect run after,
+// shared with the serial path.
+func (s *System) runParallel() error {
+	s.parInit()
+	defer s.parStop()
+	for s.active > 0 {
+		if err := s.parEpoch(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// parWorker is one worker goroutine: it runs its pCPU shard once per
+// epoch-end received, then hits the barrier.
+func (s *System) parWorker(w int) {
+	for end := range s.par.start[w] {
+		s.runShard(w, end)
+		s.par.wg.Done()
+	}
+}
+
+// runShard advances every pCPU of worker w's shard to the epoch end (or
+// until it parks on a fault or retires its last vCPU).
+//
+// Everything below is the parallel per-reference hot path: the gate
+// sim.TestSteadyStateZeroAllocsParallel asserts steady-state epochs
+// allocate nothing.
+//
+//hatric:hotpath
+func (s *System) runShard(w int, end arch.Cycles) {
+	for cpu := w; cpu < s.cfg.NumCPUs; cpu += s.par.workers {
+		pc := &s.par.cpus[cpu]
+		for !pc.parked && s.clock[cpu] < end && s.cpuRunnable(cpu) {
+			if err := s.stepShard(cpu, pc); err != nil {
+				s.par.errCPU[cpu] = err
+				break
+			}
+		}
+	}
+}
+
+// stepShard executes one memory reference on cpu against worker-local
+// state, deferring every cross-shard effect to the epoch log. It mirrors
+// the serial step; divergences are commented at their site.
+//
+//hatric:hotpath
+func (s *System) stepShard(cpu int, pc *parCPU) error {
+	pc.steps++
+	c := s.cnt[cpu]
+	var acc workload.Access
+	if pc.pendValid {
+		// Resuming the reference parked on a fault: the slab position,
+		// gap charge, and daemon triggers already ran when it parked.
+		acc = pc.pendAcc
+	} else {
+		if s.sched {
+			s.schedule(cpu)
+		}
+		vc := &s.vcpus[s.running[cpu]]
+		if vc.bufPos == vc.bufLen {
+			vc.bufLen = vc.stream.NextBatch(vc.buf)
+			vc.bufPos = 0
+			if vc.bufLen == 0 {
+				// Zero-reference stream: retire here. s.active is
+				// recomputed at the barrier, not decremented (workers
+				// must not write shared scalars mid-epoch).
+				vc.finished = true
+				vc.done = s.clock[cpu]
+				s.done[cpu] = s.clock[cpu]
+				return nil
+			}
+		}
+		acc = vc.buf[vc.bufPos]
+		vc.bufPos++
+
+		c.Instructions += uint64(acc.Gap) + 1
+		s.clock[cpu] += arch.Cycles(float64(acc.Gap) * s.cfg.Cost.BaseCPI)
+		c.MemRefs++
+
+		// Daemon triggers fire on the same per-CPU reference counts as
+		// the serial engine, but the work itself (page-table mutation,
+		// coherent remaps) serializes at the barrier. Balloon and
+		// migration pumps run there too, budgeted by pc.steps.
+		vm := vc.vm
+		if de := s.defragEvery[vm]; de > 0 && c.MemRefs%de == 0 {
+			s.par.log.Append(cpu, opDefrag, 0, uint64(vm), cache.KindData, s.clock[cpu])
+		}
+		if s.ksmEvery > 0 && c.MemRefs%s.ksmEvery == 0 {
+			s.par.log.Append(cpu, opKSMScan, 0, 0, cache.KindData, s.clock[cpu])
+		}
+		if s.compactEvery > 0 && c.MemRefs%s.compactEvery == 0 {
+			s.par.log.Append(cpu, opCompact, 0, 0, cache.KindData, s.clock[cpu])
+		}
+	}
+	vc := &s.vcpus[s.running[cpu]]
+	pid, vm := vc.pid, vc.vm
+
+	// Translate. One attempt only: a nested fault parks the CPU for the
+	// barrier's serialized HandleFault instead of the serial engine's
+	// inline retry loop.
+	gvp := acc.VA.Page()
+	spp, gpp, lat, fault := s.walkers[cpu].Translate(pid, gvp, s.clock[cpu])
+	s.clock[cpu] += lat
+	if fault != nil {
+		pc.faultStreak++
+		if pc.faultStreak > 64 {
+			//hatric:alloc-ok cold error exit; a livelock aborts the whole run
+			return fmt.Errorf("sim: CPU %d livelocked faulting on gvp %#x (parallel engine)", cpu, uint64(gvp))
+		}
+		pc.pendValid = true
+		pc.pendAcc = acc
+		pc.parked = true
+		s.par.log.Append(cpu, opFault, 0, packVMGPP(vm, fault.GPP), cache.KindData, s.clock[cpu])
+		return nil
+	}
+	pc.faultStreak = 0
+	pc.pendValid = false
+
+	// Copy-on-write probe: the sharing bitmaps are frozen mid-epoch, so
+	// the check is a pure read; the break itself is barrier work and the
+	// epoch's write lands on the pre-break frame (see opKSMBreak).
+	if s.ksmOn && acc.Write && s.hyp.KSMShared(vm, gpp) {
+		s.par.log.Append(cpu, opKSMBreak, 0, packVMGPP(vm, gpp), cache.KindData, s.clock[cpu])
+	}
+
+	// Nested accessed bit: logged (deduped) instead of written — the
+	// page tables are shared. The barrier ORs the bits in before any
+	// eviction policy can read them.
+	packed := packVMGPP(vm, gpp)
+	slot := (packed * 0x9E3779B97F4A7C15) >> (64 - accFilterBits)
+	if pc.accFilter[slot] != packed+1 {
+		pc.accFilter[slot] = packed + 1
+		//hatric:alloc-ok amortized capacity growth during warm-up epochs; steady state appends within capacity (parallel zero-alloc gate)
+		pc.accessed = append(pc.accessed, packed)
+	}
+
+	if s.migrating && acc.Write {
+		s.par.log.Append(cpu, opMigWrite, 0, packed, cache.KindData, s.clock[cpu])
+	}
+
+	// Stale-translation audit: page tables are frozen mid-epoch and every
+	// remap replays at a barrier, so the serial invariant (zero stale
+	// uses under a correct protocol) carries over unchanged.
+	if s.opts.CheckStale {
+		want, ok := s.vms[vm].Translate(pid, gvp)
+		if !ok || want != spp {
+			c.StaleTranslationUses++
+			if ok {
+				spp = want
+			}
+		}
+	}
+
+	// The data access itself, against the private hierarchy; misses past
+	// the L2 defer (hierarchy deferredRead/deferredWrite).
+	spa := spp.Addr() + arch.SPA(acc.VA.Offset())
+	if acc.Write {
+		s.clock[cpu] += s.hier.Write(cpu, spa, cache.KindData, s.clock[cpu])
+	} else {
+		s.clock[cpu] += s.hier.Read(cpu, spa, cache.KindData, s.clock[cpu])
+	}
+
+	if vc.bufPos == vc.bufLen && vc.stream.Done() {
+		vc.finished = true
+		vc.done = s.clock[cpu]
+		s.done[cpu] = s.clock[cpu]
+	}
+	return nil
+}
+
+// parEpoch runs one epoch: fan the workers out to the next epoch-end
+// boundary, then serially apply the barrier work — accessed bits, the
+// merged event log, the pump budgets — and refresh the shared flags the
+// workers read but must not write.
+//
+//hatric:hotpath
+func (s *System) parEpoch() error {
+	p := s.par
+
+	// The epoch ends at the next epoch-length boundary strictly above
+	// the minimum runnable clock, so the slowest CPU always advances.
+	minClock, found := arch.Cycles(0), false
+	for cpu := 0; cpu < s.cfg.NumCPUs; cpu++ {
+		if !s.cpuRunnable(cpu) {
+			continue
+		}
+		if !found || s.clock[cpu] < minClock {
+			minClock, found = s.clock[cpu], true
+		}
+	}
+	if !found {
+		//hatric:alloc-ok cold error exit
+		return fmt.Errorf("sim: parallel engine has %d active vCPUs but no runnable CPU", s.active)
+	}
+	end := (minClock/p.epoch + 1) * p.epoch
+
+	// Fan out. The deferred log arms the hierarchy's deferring paths for
+	// exactly the span the workers run; barrier replay below uses the
+	// serial paths.
+	s.hier.SetDeferredLog(p.log)
+	p.wg.Add(p.workers)
+	for w := 0; w < p.workers; w++ {
+		p.start[w] <- end
+	}
+	p.wg.Wait()
+	s.hier.SetDeferredLog(nil)
+
+	// Surface worker errors in CPU order so the reported one is
+	// deterministic regardless of sharding.
+	for cpu := range p.errCPU {
+		if err := p.errCPU[cpu]; err != nil {
+			return err
+		}
+	}
+
+	// Barrier, phase 1: accessed bits first — they are idempotent ORs
+	// and the replayed work below (evictions, scans) reads them.
+	for cpu := 0; cpu < s.cfg.NumCPUs; cpu++ {
+		pc := &p.cpus[cpu]
+		for _, packed := range pc.accessed {
+			vm, gpp := unpackVMGPP(packed)
+			s.vms[vm].Nested.SetAccessed(gpp, true)
+		}
+		pc.accessed = pc.accessed[:0]
+		clear(pc.accFilter[:])
+	}
+
+	// Phase 2: replay the merged event log.
+	if err := s.dispatchEvents(); err != nil {
+		return err
+	}
+
+	// Phase 3: balloon and migration pumps, budgeted by each CPU's step
+	// count this epoch (the serial engine pumps once per reference).
+	if s.ballooning || s.migrating {
+		s.pumpAtBarrier()
+	}
+	if s.ballooning && s.hyp.UnfinishedBalloons() == 0 {
+		s.ballooning = false
+	}
+	if s.migrating && s.hyp.UnfinishedMigrations() == 0 {
+		s.migrating = false
+	}
+
+	// Phase 4: recompute the shared progress scalar the workers could
+	// not decrement, then reset the epoch logs (keeping capacity).
+	active := 0
+	for i := range s.vcpus {
+		if s.vcpus[i].stream != nil && !s.vcpus[i].finished {
+			active++
+		}
+	}
+	s.active = active
+	s.cnt[0].ParallelEpochs++
+	for cpu := 0; cpu < s.cfg.NumCPUs; cpu++ {
+		s.cnt[cpu].ParallelDeferred += uint64(len(p.log.CPU(cpu)))
+		p.cpus[cpu].steps = 0
+	}
+	p.log.Reset()
+	return nil
+}
+
+// dispatchEvents replays the epoch's deferred events in (cycle, cpu)
+// order — a k-way merge over the per-CPU streams, each already
+// cycle-sorted because a CPU's clock is monotonic. The order is a pure
+// function of the streams, so every replayed directory transition and
+// relay is independent of the worker count.
+func (s *System) dispatchEvents() error {
+	p := s.par
+	n := s.cfg.NumCPUs
+	for i := 0; i < n; i++ {
+		p.heads[i] = 0
+	}
+	for {
+		best := -1
+		var bestCycle arch.Cycles
+		for cpu := 0; cpu < n; cpu++ {
+			ev := p.log.CPU(cpu)
+			if p.heads[cpu] >= len(ev) {
+				continue
+			}
+			if c := ev[p.heads[cpu]].Cycle; best < 0 || c < bestCycle {
+				best, bestCycle = cpu, c
+			}
+		}
+		if best < 0 {
+			return nil
+		}
+		ev := &p.log.CPU(best)[p.heads[best]]
+		p.heads[best]++
+		if err := s.applyEvent(best, ev); err != nil {
+			return err
+		}
+	}
+}
+
+// applyEvent replays one deferred event through the unmodified serial
+// paths. Replay latency lands on the issuing CPU's clock; `now` is the
+// cycle the event was logged at, so directory and shootdown timing sees
+// the same instant the serial engine would have.
+func (s *System) applyEvent(cpu int, ev *coherence.DeferredEvent) error {
+	switch ev.Op {
+	case coherence.OpRead:
+		s.clock[cpu] += s.hier.Read(cpu, ev.SPA, ev.Kind, ev.Cycle)
+	case coherence.OpWrite:
+		s.clock[cpu] += s.hier.Write(cpu, ev.SPA, ev.Kind, ev.Cycle)
+	case coherence.OpTSFill:
+		s.hier.NoteTranslationFill(cpu, ev.SPA, ev.Kind)
+	case coherence.OpTSEvict:
+		s.hier.NoteTranslationEviction(cpu, ev.SPA, ev.Kind)
+	case opFault:
+		vm, gpp := unpackVMGPP(ev.Arg)
+		lat, err := s.hyp.HandleFault(cpu, vm, gpp, s.clock[cpu])
+		if err != nil {
+			return err
+		}
+		s.clock[cpu] += lat
+		s.par.cpus[cpu].parked = false
+	case opDefrag:
+		s.clock[cpu] += s.hyp.Defrag(cpu, int(ev.Arg), ev.Cycle)
+	case opKSMScan:
+		s.clock[cpu] += s.hyp.KSMScan(cpu, ev.Cycle)
+	case opCompact:
+		s.clock[cpu] += s.hyp.Compact(cpu, ev.Cycle)
+	case opKSMBreak:
+		// A later same-page event this epoch may find the sharing
+		// already broken; KSMWriteBreak then reports no break, cost-free.
+		vm, gpp := unpackVMGPP(ev.Arg)
+		lat, _ := s.hyp.KSMWriteBreak(cpu, vm, gpp, ev.Cycle)
+		s.clock[cpu] += lat
+	case opMigWrite:
+		vm, gpp := unpackVMGPP(ev.Arg)
+		s.hyp.NoteMigrationWrite(cpu, vm, gpp)
+	}
+	return nil
+}
+
+// pumpAtBarrier drives balloon and migration bursts the serial engine
+// interleaves per reference: up to one pump per reference the CPU
+// executed this epoch, stopping early once a pump makes no progress
+// (not yet triggered, or this CPU drives nothing). drainMigrations and
+// drainBalloons still complete any work outlasting the last stream.
+func (s *System) pumpAtBarrier() {
+	for cpu := 0; cpu < s.cfg.NumCPUs; cpu++ {
+		budget := s.par.cpus[cpu].steps
+		if s.ballooning {
+			for i := uint64(0); i < budget; i++ {
+				lat := s.hyp.PumpBalloons(cpu, s.clock[cpu])
+				if lat == 0 {
+					break
+				}
+				s.clock[cpu] += lat
+			}
+		}
+		if s.migrating {
+			for i := uint64(0); i < budget; i++ {
+				lat := s.hyp.PumpMigrations(cpu, s.clock[cpu])
+				if lat == 0 {
+					break
+				}
+				s.clock[cpu] += lat
+			}
+		}
+	}
+}

@@ -1,0 +1,341 @@
+package sim
+
+// Tests for the epoch-barrier parallel engine (Options.ParallelCPUs).
+//
+// The engine's contract has two halves, tested separately:
+//
+//  1. Worker-count independence (the hard determinism property): at a
+//     fixed configuration, ParallelCPUs=1 and ParallelCPUs=N produce
+//     bit-identical results. This is what makes the mode a throughput
+//     knob rather than a model parameter.
+//  2. The parallel engine is a documented statistical variant of the
+//     serial engine — deferring shared-cache fills and invalidation
+//     waves to the barrier shifts LLC/directory timing — so it carries
+//     its own golden set (goldenParallelWant) instead of reusing the
+//     serial fingerprints. Counters the deferral provably cannot shift
+//     (instruction and reference counts; translation-structure behavior
+//     on remap-free machines) are asserted equal to the serial engine.
+
+import (
+	"fmt"
+	"math/rand"
+	"os"
+	"sort"
+	"testing"
+
+	"hatric/internal/arch"
+	"hatric/internal/hv"
+	"hatric/internal/workload"
+)
+
+func runParallelFP(t *testing.T, o Options) uint64 {
+	t.Helper()
+	sys, err := New(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := sys.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return goldenFingerprint(res)
+}
+
+// TestParallelWorkerIndependence is the epoch-barrier property test:
+// randomized small machines, all four protocols, several seeds — the
+// fingerprint (every counter, clock, byte total, and per-VM aggregate)
+// must be bit-identical across worker counts.
+func TestParallelWorkerIndependence(t *testing.T) {
+	rng := rand.New(rand.NewSource(1234))
+	epochs := []arch.Cycles{10_000, 25_000, 50_000}
+	for trial := 0; trial < 3; trial++ {
+		spec := workload.Spec{
+			Name:           fmt.Sprintf("rnd%d", trial),
+			FootprintPages: 600 + rng.Intn(600),
+			Refs:           uint64(2_500 + rng.Intn(2_000)),
+			RegionPages:    150 + rng.Intn(200),
+			Theta:          0.4 + rng.Float64()*0.4,
+			DriftEvery:     uint64(1_000 + rng.Intn(1_500)),
+			DriftPages:     8 + rng.Intn(24),
+			StreamFrac:     rng.Float64() * 0.2,
+			WriteFrac:      0.2 + rng.Float64()*0.3,
+			GapMean:        1 + rng.Intn(4),
+			Threads:        2,
+		}
+		seed := uint64(rng.Int63())
+		epoch := epochs[trial]
+		build := func(protocol string, workers int) Options {
+			o := Options{
+				Config:   smokeConfig(),
+				Protocol: protocol,
+				Paging:   hv.PagingConfig{Policy: "lru"},
+				Mode:     hv.ModePaged,
+				VMs: []VMSpec{
+					{Workloads: []AssignedWorkload{{Spec: spec, CPUs: []int{0, 1}}}},
+					{Workloads: []AssignedWorkload{{Spec: spec, CPUs: []int{2, 3}}}},
+				},
+				Seed:         seed,
+				CheckStale:   true,
+				ParallelCPUs: workers,
+				EpochCycles:  epoch,
+			}
+			if trial == 2 {
+				// Exercise the storm deferrals (dedup scans, write-breaks,
+				// compaction windows) under sharding too.
+				o.KSM = hv.KSMConfig{ScanEvery: 400, PagesPerScan: 16,
+					SharingFactor: 0.5, BreakRate: 0.3, ClassCount: 24}
+				o.Compaction = hv.CompactionConfig{Every: 300, WindowPages: 4}
+				o.Paging.Daemon = true
+			}
+			return o
+		}
+		for _, proto := range []string{"sw", "hatric", "unitd", "ideal"} {
+			t.Run(fmt.Sprintf("trial%d/%s", trial, proto), func(t *testing.T) {
+				want := runParallelFP(t, build(proto, 1))
+				for _, workers := range []int{2, 4} {
+					if got := runParallelFP(t, build(proto, workers)); got != want {
+						t.Errorf("ParallelCPUs=%d diverged from ParallelCPUs=1: %#016x vs %#016x",
+							workers, got, want)
+					}
+				}
+			})
+		}
+	}
+}
+
+// TestParallelMatchesSerialTranslation pins the counters the epoch
+// deferral provably cannot shift: on a remap-free machine (inf-hbm, no
+// storms) the per-CPU translation sequence is identical to the serial
+// engine's — same streams, same TLB/MMU/nTLB fill order — so the whole
+// translation-structure block, instruction and reference counts, and
+// the stale-use audit must match the serial run exactly, even though
+// cache timing differs.
+func TestParallelMatchesSerialTranslation(t *testing.T) {
+	build := func(workers int) Options {
+		cfg := smokeConfig()
+		cfg.Mem.HBMFrames = 4096
+		return Options{
+			Config:       cfg,
+			Protocol:     "hatric",
+			Paging:       hv.PagingConfig{Policy: "lru"},
+			Mode:         hv.ModeInfHBM,
+			Workloads:    SingleWorkload(smokeSpec(), 4),
+			Seed:         42,
+			CheckStale:   true,
+			ParallelCPUs: workers,
+		}
+	}
+	run := func(o Options) *Result {
+		sys, err := New(o)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := sys.Run()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	serial := run(build(0))
+	par := run(build(2))
+	if serial.Agg.PageFaults != 0 || serial.Agg.RemapsInitiated != 0 {
+		t.Fatalf("precondition violated: inf-hbm run faulted (%d) or remapped (%d)",
+			serial.Agg.PageFaults, serial.Agg.RemapsInitiated)
+	}
+	if par.Agg.StaleTranslationUses != 0 {
+		t.Errorf("parallel engine used %d stale translations", par.Agg.StaleTranslationUses)
+	}
+	type pair struct {
+		name string
+		s, p uint64
+	}
+	for _, f := range []pair{
+		{"Instructions", serial.Agg.Instructions, par.Agg.Instructions},
+		{"MemRefs", serial.Agg.MemRefs, par.Agg.MemRefs},
+		{"Walks", serial.Agg.Walks, par.Agg.Walks},
+		{"WalkRefs", serial.Agg.WalkRefs, par.Agg.WalkRefs},
+		{"L1TLBHits", serial.Agg.L1TLBHits, par.Agg.L1TLBHits},
+		{"L1TLBMisses", serial.Agg.L1TLBMisses, par.Agg.L1TLBMisses},
+		{"L2TLBHits", serial.Agg.L2TLBHits, par.Agg.L2TLBHits},
+		{"L2TLBMisses", serial.Agg.L2TLBMisses, par.Agg.L2TLBMisses},
+		{"NTLBHits", serial.Agg.NTLBHits, par.Agg.NTLBHits},
+		{"NTLBMisses", serial.Agg.NTLBMisses, par.Agg.NTLBMisses},
+		{"MMUCacheHits", serial.Agg.MMUCacheHits, par.Agg.MMUCacheHits},
+		{"MMUCacheMisses", serial.Agg.MMUCacheMisses, par.Agg.MMUCacheMisses},
+		{"PageFaults", serial.Agg.PageFaults, par.Agg.PageFaults},
+	} {
+		if f.s != f.p {
+			t.Errorf("%s: serial %d vs parallel %d", f.name, f.s, f.p)
+		}
+	}
+	if par.Agg.ParallelEpochs == 0 {
+		t.Errorf("parallel run recorded no epochs")
+	}
+}
+
+// TestQuickParallelDeterminism rides the CI determinism job (which runs
+// every TestQuick* twice with -count=2): the same parallel configuration
+// must fingerprint identically run over run, in-process and across
+// processes.
+func TestQuickParallelDeterminism(t *testing.T) {
+	build := func() Options {
+		spec := smokeSpec()
+		spec.Refs = 5_000
+		return Options{
+			Config:       smokeConfig(),
+			Protocol:     "hatric",
+			Paging:       hv.PagingConfig{Policy: "lru"},
+			Mode:         hv.ModePaged,
+			Workloads:    SingleWorkload(spec, 4),
+			Seed:         7,
+			CheckStale:   true,
+			ParallelCPUs: 4,
+		}
+	}
+	first := runParallelFP(t, build())
+	if again := runParallelFP(t, build()); again != first {
+		t.Errorf("same parallel run fingerprinted differently: %#016x vs %#016x", again, first)
+	}
+}
+
+// TestParallelOptionsValidation pins the configuration errors: the
+// engine shards physical CPUs, so negative worker counts and more
+// workers than pCPUs are rejected up front with descriptive messages.
+func TestParallelOptionsValidation(t *testing.T) {
+	base := func() Options {
+		return Options{
+			Config:    smokeConfig(),
+			Protocol:  "hatric",
+			Paging:    hv.PagingConfig{Policy: "lru"},
+			Mode:      hv.ModePaged,
+			Workloads: SingleWorkload(smokeSpec(), 4),
+			Seed:      7,
+		}
+	}
+	neg := base()
+	neg.ParallelCPUs = -1
+	if _, err := New(neg); err == nil {
+		t.Errorf("negative ParallelCPUs accepted")
+	}
+	over := base()
+	over.ParallelCPUs = smokeConfig().NumCPUs + 1
+	if _, err := New(over); err == nil {
+		t.Errorf("ParallelCPUs > NumCPUs accepted")
+	} else if want := "physical CPUs"; !containsStr(err.Error(), want) {
+		t.Errorf("oversubscription error %q does not mention %q", err, want)
+	}
+}
+
+func containsStr(s, sub string) bool {
+	for i := 0; i+len(sub) <= len(s); i++ {
+		if s[i:i+len(sub)] == sub {
+			return true
+		}
+	}
+	return false
+}
+
+// goldenParallelWant is the parallel engine's own golden set: the same
+// eleven machine shapes and four protocols as goldenWant, run at
+// ParallelCPUs=4 with the default epoch length. The fingerprints differ
+// from the serial set by design (epoch-deferred shared-state timing) and
+// are frozen here; TestParallelWorkerIndependence is what ties every
+// other worker count to these values.
+var goldenParallelWant = map[string]uint64{
+	"balloon/sw":        0xf2cbbb71eb343267,
+	"balloon/hatric":    0x0371304f28809d77,
+	"balloon/unitd":     0x231dc958bc47391d,
+	"balloon/ideal":     0x884bf1d5d851bb01,
+	"compact/sw":        0x064c294b32b01922,
+	"compact/hatric":    0xe4062cc2c2724212,
+	"compact/unitd":     0xc73f5661b94ae0ec,
+	"compact/ideal":     0x8670898d53307248,
+	"dedup/sw":          0x759059b70c81612e,
+	"dedup/hatric":      0xbff4a55dfd411995,
+	"dedup/unitd":       0x280321ebf2af2e71,
+	"dedup/ideal":       0x1e33b407ef75e952,
+	"migration/sw":      0x773a6e3b5faead90,
+	"migration/hatric":  0x1a00ba55fd80120d,
+	"migration/unitd":   0x303bea9b4df6073f,
+	"migration/ideal":   0x42f6f094874b58a0,
+	"migsched/sw":       0xba4756b2d0982647,
+	"migsched/hatric":   0x944ed2aa4585f876,
+	"migsched/unitd":    0xd7c8dee941884fef,
+	"migsched/ideal":    0x2d8b15d73f6a52a3,
+	"multivm/sw":        0xb855440f0376ac72,
+	"multivm/hatric":    0x5573ba5abb6b1d4c,
+	"multivm/unitd":     0x3d927e5b34a92fb0,
+	"multivm/ideal":     0xace6cfcaf19130ab,
+	"oddrefs/sw":        0x70e083cfcc80d73a,
+	"oddrefs/hatric":    0x6261b328e71191e2,
+	"oddrefs/unitd":     0x72fab1fa91800e24,
+	"oddrefs/ideal":     0xe6941f234612d102,
+	"overcommit/sw":     0xcb00ceb6943b4b0d,
+	"overcommit/hatric": 0xe87335b819aa917d,
+	"overcommit/unitd":  0x67f26ad2c4f8201f,
+	"overcommit/ideal":  0x7671a1e9be17a491,
+	"pinned/sw":         0xdae7d77970828fe6,
+	"pinned/hatric":     0x5d8783430751ab3d,
+	"pinned/unitd":      0x588a9dd87e342962,
+	"pinned/ideal":      0x2d12b55ba85c9f5a,
+	"qos/sw":            0x47c95a29cb71ef7f,
+	"qos/hatric":        0x98656ea0d54886aa,
+	"qos/unitd":         0x5f1415e42e3ac099,
+	"qos/ideal":         0x7e6c7edb817c854f,
+	"quantum1/sw":       0xc4154d1496d3a63c,
+	"quantum1/hatric":   0x4ae5a1840f7f327b,
+	"quantum1/unitd":    0x92137f2dde227341,
+	"quantum1/ideal":    0xb4dd768492d6af74,
+}
+
+func TestGoldenCountersParallel(t *testing.T) {
+	update := os.Getenv("GOLDEN_UPDATE") != ""
+	scenarios := goldenScenarios()
+	names := make([]string, 0, len(scenarios))
+	for name := range scenarios {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	var lines []string
+	for _, name := range names {
+		build := scenarios[name]
+		for _, proto := range []string{"sw", "hatric", "unitd", "ideal"} {
+			key := name + "/" + proto
+			t.Run(key, func(t *testing.T) {
+				o := build(proto)
+				o.ParallelCPUs = 4
+				sys, err := New(o)
+				if err != nil {
+					t.Fatal(err)
+				}
+				res, err := sys.Run()
+				if err != nil {
+					t.Fatal(err)
+				}
+				if res.Agg.ParallelEpochs == 0 {
+					t.Errorf("parallel run recorded no epochs")
+				}
+				got := goldenFingerprint(res)
+				if update {
+					lines = append(lines, fmt.Sprintf("\t%q: %#016x,", key, got))
+					return
+				}
+				want, ok := goldenParallelWant[key]
+				if !ok {
+					t.Fatalf("no parallel golden fingerprint for %s; run with GOLDEN_UPDATE=1 to record", key)
+				}
+				if got != want {
+					t.Errorf("parallel fingerprint drifted: got %#016x want %#016x\nagg: %+v",
+						got, want, res.Agg)
+				}
+			})
+		}
+	}
+	if update {
+		fmt.Println("var goldenParallelWant = map[string]uint64{")
+		for _, l := range lines {
+			fmt.Println(l)
+		}
+		fmt.Println("}")
+	}
+}

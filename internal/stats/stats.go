@@ -142,6 +142,15 @@ type Counters struct {
 	KSMBreaks       uint64
 	BalloonReclaims uint64
 	CompactionMoves uint64
+
+	// Parallel-mode execution (sim.Options.ParallelCPUs > 0; both stay
+	// zero on the serial path, keeping serial fingerprints frozen).
+	// ParallelEpochs counts epoch barriers (machine-wide, recorded on CPU
+	// 0); ParallelDeferred counts the cross-shard events each CPU logged
+	// for barrier replay — the mode's serialization traffic, the number to
+	// watch when tuning EpochCycles.
+	ParallelEpochs   uint64
+	ParallelDeferred uint64
 }
 
 // Add accumulates o into c.
@@ -212,6 +221,8 @@ func (c *Counters) Add(o *Counters) {
 	c.KSMBreaks += o.KSMBreaks
 	c.BalloonReclaims += o.BalloonReclaims
 	c.CompactionMoves += o.CompactionMoves
+	c.ParallelEpochs += o.ParallelEpochs
+	c.ParallelDeferred += o.ParallelDeferred
 }
 
 // Sub subtracts o from c field by field. The time-sliced scheduler uses it
