@@ -29,6 +29,17 @@
 // Example (a protected VM beside a paging neighbor):
 //
 //	hatricsim -vms 2 -threads 4 -protocol sw -vm-quota 50%,0
+//
+// Deterministic fault injection: -fault-ipi-loss, -fault-ack-loss, and
+// -fault-link-outage drop shootdown IPIs, invalidation acks, and
+// migration-link pump quanta with the given probabilities. Recovery —
+// timeouts, bounded retries, exponential backoff — is charged in cycles,
+// and every loss decision is a pure function of (seed, site, sequence), so
+// fault-injected runs replay bit-identically (see internal/faults).
+//
+// Example (a migration storm over a lossy fabric):
+//
+//	hatricsim -protocol sw -migrate 30000 -fault-ipi-loss 0.2 -fault-link-outage 0.1
 package main
 
 import (
@@ -41,6 +52,7 @@ import (
 	"strings"
 
 	"hatric/internal/arch"
+	"hatric/internal/faults"
 	"hatric/internal/hv"
 	"hatric/internal/sim"
 	"hatric/internal/stats"
@@ -80,9 +92,10 @@ func main() {
 		ksmBreak   = flag.Float64("ksm-break", 0.1, "probability a write to a shared page breaks the sharing")
 		ksmClasses = flag.Int("ksm-classes", 0, "distinct duplicated contents (0 = default)")
 
-		balloonSize = flag.Int("balloon", 0, "inflate a balloon reclaiming this many frames (0 = off)")
-		balloonAt   = flag.Uint64("balloon-at", 0, "inflate the balloon at this cycle")
-		balloonVM   = flag.Int("balloon-vm", 0, "VM whose balloon inflates")
+		balloonSize    = flag.Int("balloon", 0, "inflate a balloon reclaiming this many frames (0 = off)")
+		balloonAt      = flag.Uint64("balloon-at", 0, "inflate the balloon at this cycle")
+		balloonVM      = flag.Int("balloon-vm", 0, "VM whose balloon inflates")
+		balloonDeflate = flag.Uint64("balloon-deflate-at", 0, "actively deflate the balloon at this cycle (0 = implicit deflation via guest re-faults)")
 
 		compactEvery  = flag.Uint64("compact", 0, "compaction window period in refs per CPU (0 = off)")
 		compactWindow = flag.Int("compact-window", 0, "pages relocated per compaction window (0 = default)")
@@ -92,6 +105,14 @@ func main() {
 		migrateDest  = flag.String("migrate-dest", "dram", "migration destination: dram, hbm")
 		migrateBurst = flag.Int("migrate-burst", 0, "remaps per migration quantum (0 = default)")
 		migrateLink  = flag.Float64("migrate-link-bw", 0, "remote-host link bytes/cycle (0 = local tiers only)")
+
+		faultIPILoss  = flag.Float64("fault-ipi-loss", 0, "probability a shootdown IPI is lost in delivery (0 = off)")
+		faultAckLoss  = flag.Float64("fault-ack-loss", 0, "probability an invalidation ack is lost (0 = off)")
+		faultLinkLoss = flag.Float64("fault-link-outage", 0, "probability a migration pump quantum finds the link down (0 = off)")
+		faultIPITO    = flag.Uint64("fault-ipi-timeout", 0, "cycles before a lost IPI is re-sent (0 = default)")
+		faultAckTO    = flag.Uint64("fault-ack-timeout", 0, "cycles before a lost ack's invalidation is reissued (0 = default)")
+		faultRetries  = flag.Int("fault-retries", 0, "max re-sends per shootdown IPI (0 = default)")
+		faultSeed     = flag.Uint64("fault-seed", 0, "fault-injection seed (0 = the run seed)")
 
 		cpuprofile = flag.String("cpuprofile", "", "write a CPU profile of the simulation to this file")
 		memprofile = flag.String("memprofile", "", "write an allocation profile to this file at exit")
@@ -160,7 +181,19 @@ func main() {
 	if *balloonSize > 0 {
 		opts.Balloons = []hv.BalloonSpec{{
 			VM: *balloonVM, At: arch.Cycles(*balloonAt), Frames: *balloonSize,
+			DeflateAt: arch.Cycles(*balloonDeflate),
 		}}
+	}
+	if *faultIPILoss > 0 || *faultAckLoss > 0 || *faultLinkLoss > 0 {
+		opts.Faults = faults.Config{
+			Seed:             *faultSeed,
+			IPILossRate:      *faultIPILoss,
+			AckLossRate:      *faultAckLoss,
+			LinkOutageRate:   *faultLinkLoss,
+			IPITimeoutCycles: arch.Cycles(*faultIPITO),
+			AckTimeoutCycles: arch.Cycles(*faultAckTO),
+			MaxRetries:       *faultRetries,
+		}
 	}
 	if *compactEvery > 0 {
 		opts.Compaction = hv.CompactionConfig{
@@ -268,6 +301,9 @@ func printStorms(res *sim.Result) {
 	for _, b := range res.Balloons {
 		fmt.Printf("\nballoon: VM %d reclaimed %d of %d frames (shortfall %d), cycles %d..%d\n",
 			b.VM, b.Reclaimed, b.Target, b.Shortfall, uint64(b.Started), uint64(b.Finished))
+		if b.Returned > 0 {
+			fmt.Printf("balloon: deflation returned %d frames to VM %d\n", b.Returned, b.VM)
+		}
 	}
 }
 
@@ -372,6 +408,17 @@ func printMigrations(res *sim.Result) {
 		fmt.Printf("\nmigration: VM %d -> %v (%s), cycles %d..%d, downtime %d cycles, %d pages copied (%d re-dirtied, %d in final freeze)\n",
 			rep.VM, rep.Dest, where, uint64(rep.Started), uint64(rep.Finished),
 			uint64(rep.Downtime), rep.PagesCopied, rep.Redirtied, rep.FinalDirty)
+		if rep.LinkRetries > 0 || rep.EarlyStopCopy {
+			early := ""
+			if rep.EarlyStopCopy {
+				early = "; pre-copy stopped converging, degraded to early stop-and-copy"
+			}
+			fmt.Printf("migration: %d link outages cost %d backoff cycles%s\n",
+				rep.LinkRetries, uint64(rep.OutageCycles), early)
+		}
+		if rep.LastError != "" {
+			fmt.Printf("migration: last error: %s\n", rep.LastError)
+		}
 		t := stats.NewTable("", "round", "pages", "redirtied", "cycles")
 		for i, rd := range rep.Rounds {
 			name := fmt.Sprintf("%d", i+1)
@@ -444,6 +491,17 @@ func printResult(spec workload.Spec, protocol string, res *sim.Result) {
 	t.AddRow("hbm bytes", res.HBMBytes)
 	t.AddRow("dram bytes", res.DRAMBytes)
 	t.AddRow("stale uses", a.StaleTranslationUses)
+	// Fault-injection accounting, shown only when the injector fired so the
+	// default report stays unchanged.
+	if a.IPIsLost+a.ShootdownRetries+a.AcksLost+a.RelayReissues+
+		a.MigrationLinkRetries+a.BalloonReturns > 0 {
+		t.AddRow("ipis lost", a.IPIsLost)
+		t.AddRow("shootdown retries", a.ShootdownRetries)
+		t.AddRow("acks lost", a.AcksLost)
+		t.AddRow("relay reissues", a.RelayReissues)
+		t.AddRow("link retries", a.MigrationLinkRetries)
+		t.AddRow("balloon returns", a.BalloonReturns)
+	}
 	fmt.Print(t)
 	fmt.Printf("energy            %.4g pJ (static %.4g, translation %.4g, cotag %.4g, cam %.4g)\n",
 		res.Energy.TotalPJ, res.Energy.StaticPJ, res.Energy.TranslationPJ, res.Energy.CoTagPJ, res.Energy.CAMPJ)

@@ -11,8 +11,11 @@
 // the vCPU-overcommit study (descheduled-target shootdown stalls across
 // consolidation ratios), -fig qos the per-VM QoS study (a protected
 // VM's die-stacked reservation swept against a noisy neighbor's churn),
-// and -fig dedup the KSM merge/break storm study (sharing-factor x
-// break-rate sweep over two clone VMs).
+// -fig dedup the KSM merge/break storm study (sharing-factor x
+// break-rate sweep over two clone VMs), and -fig faults the
+// fault-injection study (loss-rate x timeout sweep of the migration storm
+// under deterministic IPI/ack/link loss with timeout-retry-backoff
+// recovery).
 //
 // Each figure prints the same series the paper plots, normalized the same
 // way. -quick shrinks reference counts for a fast pass.
@@ -169,6 +172,12 @@ func runFig(r *exp.Runner, f string) error {
 		fmt.Println(res.Table())
 	case "dedup":
 		res, err := r.Dedup()
+		if err != nil {
+			return err
+		}
+		fmt.Println(res.Table())
+	case "faults":
+		res, err := r.Faults()
 		if err != nil {
 			return err
 		}

@@ -5,6 +5,7 @@ import (
 
 	"hatric/internal/arch"
 	"hatric/internal/cache"
+	"hatric/internal/faults"
 	"hatric/internal/stats"
 	"hatric/internal/tstruct"
 )
@@ -23,6 +24,7 @@ type fakeMachine struct {
 	ownerOf    func(arch.SPA) int
 	deschedOf  func(cpu, vm int) arch.Cycles
 	mayCacheOf func(cpu, vm int) bool
+	inj        *faults.Injector
 }
 
 func newFakeMachine(cpus int) *fakeMachine {
@@ -83,6 +85,8 @@ func (m *fakeMachine) ReadPTE(spa arch.SPA) (uint64, bool) {
 	v := fakePTEs[spa]
 	return v.frame, v.present
 }
+
+func (m *fakeMachine) FaultInjector() *faults.Injector { return m.inj }
 
 // fillAll fills every structure of cpu with entries tagged with the CPU's
 // own VM (what its hardware walker would leave behind).

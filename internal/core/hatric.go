@@ -4,6 +4,7 @@ import (
 	"hatric/internal/arch"
 	"hatric/internal/cache"
 	"hatric/internal/coherence"
+	"hatric/internal/faults"
 	"hatric/internal/tstruct"
 )
 
@@ -18,6 +19,15 @@ type HATRIC struct {
 	m     Machine
 	mask  uint64
 	bytes int
+	// inj is the machine's fault injector (nil when fault-free). A lost
+	// relay acknowledgment costs the target one reissue round trip —
+	// bounded per relay, which is why hatric stays near ideal under the
+	// same loss rates that send sw into retry storms.
+	inj *faults.Injector
+	// reissue is the per-lost-ack recovery charge, precomputed so the
+	// relay hot path stays arithmetic-only: the directory's ack timeout
+	// plus the reissued relay's round trip through the fabric.
+	reissue arch.Cycles
 }
 
 var _ Protocol = (*HATRIC)(nil)
@@ -29,7 +39,12 @@ func NewHATRIC(m Machine, cotagBytes int) *HATRIC {
 	if cotagBytes <= 0 {
 		cotagBytes = 2
 	}
-	return &HATRIC{m: m, mask: tstruct.CoTagMask(cotagBytes), bytes: cotagBytes}
+	inj := m.FaultInjector()
+	return &HATRIC{
+		m: m, mask: tstruct.CoTagMask(cotagBytes), bytes: cotagBytes,
+		inj:     inj,
+		reissue: inj.AckTimeout() + 2*m.Cost().DirHop,
+	}
 }
 
 // Name implements Protocol.
@@ -73,6 +88,16 @@ func (h *HATRIC) OnPTInvalidation(cpu int, spa arch.SPA, kind cache.IsPTKind) (i
 	n := ts.InvalidateMaskedAll(ownerTag(owner), uint64(spa)>>3, 3, h.mask)
 	c := h.m.Counters(cpu)
 	c.CoTagInvalidations += uint64(n)
+	// Fault injection: the relay's acknowledgment may be lost. The
+	// directory reissues after its ack timeout; the target absorbs the
+	// timeout plus the reissued round trip. The compare already ran and
+	// invalidated, so the reissue is pure recovery cost — bounded per
+	// relay, never a storm. Nil-injector runs never enter this branch.
+	if h.inj.DropAck() {
+		c.AcksLost++
+		c.RelayReissues++
+		h.m.Charge(cpu, h.reissue)
+	}
 	return n, false
 }
 

@@ -87,5 +87,12 @@ func (h *HATRICPF) OnPTInvalidation(cpu int, spa arch.SPA, kind cache.IsPTKind) 
 	}
 	dropped += ts.MMU.InvalidateMasked(tag, uint64(spa)>>3, 3, h.mask)
 	c.CoTagInvalidations += uint64(dropped)
+	// Ack-loss fault site, as in baseline HATRIC: a lost acknowledgment
+	// makes the directory reissue the invalidation after its ack timeout.
+	if h.inj.DropAck() {
+		c.AcksLost++
+		c.RelayReissues++
+		h.m.Charge(cpu, h.reissue)
+	}
 	return updated + dropped, updated > 0
 }

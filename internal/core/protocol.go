@@ -19,6 +19,7 @@ package core
 import (
 	"hatric/internal/arch"
 	"hatric/internal/coherence"
+	"hatric/internal/faults"
 	"hatric/internal/stats"
 	"hatric/internal/tstruct"
 )
@@ -82,6 +83,11 @@ type Machine interface {
 	// The prefetch extension uses it to install updated mappings instead
 	// of invalidating.
 	ReadPTE(spa arch.SPA) (frame uint64, present bool)
+	// FaultInjector returns the machine's fault injector, or nil when no
+	// fault site is enabled (the default). Protocols cache it at
+	// construction; every injector method is nil-receiver safe, so a
+	// fault-free machine pays one nil check per site and nothing else.
+	FaultInjector() *faults.Injector
 }
 
 // Protocol is a translation-coherence mechanism.

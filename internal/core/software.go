@@ -4,6 +4,7 @@ import (
 	"hatric/internal/arch"
 	"hatric/internal/cache"
 	"hatric/internal/coherence"
+	"hatric/internal/faults"
 )
 
 // Software models today's translation coherence (Sec. 3.2, Fig. 3):
@@ -21,12 +22,18 @@ import (
 // two-dimensional page-table walk.
 type Software struct {
 	m Machine
+	// inj is the machine's fault injector (nil when fault-free). Lost
+	// IPIs surface here as timeout + re-IPI with exponential backoff —
+	// the retry storm the fault study measures.
+	inj *faults.Injector
 }
 
 var _ Protocol = (*Software)(nil)
 
 // NewSoftware builds the software baseline.
-func NewSoftware(m Machine) *Software { return &Software{m: m} }
+func NewSoftware(m Machine) *Software {
+	return &Software{m: m, inj: m.FaultInjector()}
+}
 
 // Name implements Protocol.
 func (s *Software) Name() string { return "sw" }
@@ -74,6 +81,18 @@ func (s *Software) OnRemap(initiator, vm int, pteSPA arch.SPA, now arch.Cycles) 
 			first = false
 		} else {
 			init += cost.IPISendPerTarget
+		}
+		// Fault injection: the IPI may be lost in delivery. The initiator
+		// detects the missing acknowledgment by timeout and re-sends with
+		// exponential backoff — each retry costs a full timeout wait plus
+		// the re-send, which is what amplifies shootdown cost under loss.
+		// With no injector configured DropIPI is a single nil check and
+		// this loop never runs.
+		for retry := 0; s.inj.DropIPI() && retry < s.inj.MaxRetries(); retry++ {
+			ic.IPIsLost++
+			ic.ShootdownRetries++
+			ic.IPIs++
+			init += s.inj.IPIBackoff(retry+1) + cost.IPISendPerTarget
 		}
 		// A target whose vCPU is not scheduled cannot take the VM exit
 		// until the hypervisor runs it again (Sec. 3.2: "the initiating

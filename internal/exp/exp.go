@@ -9,9 +9,12 @@
 package exp
 
 import (
+	"errors"
 	"fmt"
 	"runtime"
+	"runtime/debug"
 	"sync"
+	"time"
 
 	"hatric/internal/arch"
 	"hatric/internal/hv"
@@ -34,6 +37,12 @@ type Runner struct {
 	CheckStale bool
 	// Seed perturbs workload generation (default 1).
 	Seed uint64
+	// CellTimeout, when nonzero, is the watchdog budget per campaign cell:
+	// a simulation that has not returned within it is abandoned (its
+	// goroutine keeps running detached — simulations have no cancellation
+	// points — but the campaign moves on) and reported as a CellError.
+	// Zero disables the watchdog.
+	CellTimeout time.Duration
 }
 
 // Quick returns a runner sized for fast iteration (benchmarks, CI).
@@ -91,36 +100,116 @@ type job struct {
 	opts sim.Options
 }
 
+// CellError reports the failure of one campaign cell: the job key, the
+// underlying error, and — when the cell panicked — the goroutine stack at
+// the point of the panic. A failed cell never takes the campaign down:
+// runAll completes every other cell and joins the CellErrors.
+type CellError struct {
+	// Cell is the failed job's key (workload/protocol/config label).
+	Cell string
+	// Err is the failure: the simulation's error, a wrapped panic value,
+	// or a watchdog timeout.
+	Err error
+	// Stack is the panicking goroutine's stack, nil unless the cell
+	// panicked.
+	Stack []byte
+}
+
+func (e *CellError) Error() string {
+	if len(e.Stack) > 0 {
+		return fmt.Sprintf("exp: cell %s: %v\n%s", e.Cell, e.Err, e.Stack)
+	}
+	return fmt.Sprintf("exp: cell %s: %v", e.Cell, e.Err)
+}
+
+func (e *CellError) Unwrap() error { return e.Err }
+
+// runCellStart is a test seam invoked (when non-nil) just before a cell's
+// simulation starts, on the cell's own goroutine. Tests use it to inject
+// panics into specific cells; production never sets it.
+var runCellStart func(key string)
+
+// cellOutcome carries one cell's result or failure out of its goroutine.
+type cellOutcome struct {
+	res *sim.Result
+	err error
+}
+
+// runCell executes one job crash-isolated: the simulation runs in its own
+// goroutine behind a recover barrier, so a panic in one cell becomes a
+// CellError (with the stack) instead of aborting the whole campaign, and
+// the optional watchdog bounds how long the campaign waits for it.
+func (r *Runner) runCell(j job) (*sim.Result, error) {
+	done := make(chan cellOutcome, 1)
+	go func() {
+		defer func() {
+			if p := recover(); p != nil {
+				done <- cellOutcome{err: &CellError{
+					Cell:  j.key,
+					Err:   fmt.Errorf("panic: %v", p),
+					Stack: debug.Stack(),
+				}}
+			}
+		}()
+		if runCellStart != nil {
+			runCellStart(j.key)
+		}
+		res, err := runOne(j.opts)
+		if err != nil {
+			err = &CellError{Cell: j.key, Err: err}
+		}
+		done <- cellOutcome{res: res, err: err}
+	}()
+	if r.CellTimeout <= 0 {
+		out := <-done
+		return out.res, out.err
+	}
+	watchdog := time.NewTimer(r.CellTimeout)
+	defer watchdog.Stop()
+	select {
+	case out := <-done:
+		return out.res, out.err
+	case <-watchdog.C:
+		// The cell's goroutine is abandoned, not killed: the simulator has
+		// no cancellation points, and its buffered channel send cannot
+		// block. The watchdog exists to keep one wedged cell from wedging
+		// the campaign.
+		return nil, &CellError{
+			Cell: j.key,
+			Err:  fmt.Errorf("watchdog: no result within %v", r.CellTimeout),
+		}
+	}
+}
+
 // runAll executes jobs concurrently and returns results keyed by job key.
+// Failed cells (errors, panics, watchdog timeouts) do not abort the
+// campaign: every other cell still runs, the partial results map is
+// returned alongside the error, and the per-cell failures are joined in
+// job order so callers can render what completed and report what did not.
 func (r *Runner) runAll(jobs []job) (map[string]*sim.Result, error) {
 	results := make(map[string]*sim.Result, len(jobs))
+	errs := make([]error, len(jobs))
 	var mu sync.Mutex
-	var firstErr error
 	sem := make(chan struct{}, r.parallel())
 	var wg sync.WaitGroup
-	for _, j := range jobs {
+	for i, j := range jobs {
 		wg.Add(1)
-		go func(j job) {
+		go func(i int, j job) {
 			defer wg.Done()
 			sem <- struct{}{}
 			defer func() { <-sem }()
-			res, err := runOne(j.opts)
+			res, err := r.runCell(j)
 			mu.Lock()
 			defer mu.Unlock()
 			if err != nil {
-				if firstErr == nil {
-					firstErr = fmt.Errorf("exp: job %s: %w", j.key, err)
-				}
+				errs[i] = err
 				return
 			}
 			results[j.key] = res
-		}(j)
+		}(i, j)
 	}
 	wg.Wait()
-	if firstErr != nil {
-		return nil, firstErr
-	}
-	return results, nil
+	return results, errors.Join(errs...)
 }
 
 func runOne(opts sim.Options) (*sim.Result, error) {

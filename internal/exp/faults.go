@@ -1,0 +1,137 @@
+package exp
+
+import (
+	"fmt"
+
+	"hatric/internal/arch"
+	"hatric/internal/faults"
+	"hatric/internal/hv"
+	"hatric/internal/sim"
+	"hatric/internal/stats"
+)
+
+// FaultCell is one protocol's numbers for one (loss rate, timeout) point of
+// the fault-injection study: what deterministic message loss on the
+// coherence and migration paths costs each mechanism once timeouts, retries,
+// and backoff are in the loop.
+type FaultCell struct {
+	Protocol string
+	// LossRate is the injected per-message loss probability (IPIs and
+	// invalidation acks; the migration link sees half of it as outage
+	// probability per pump quantum).
+	LossRate float64
+	// TimeoutCycles is the initiator's IPI re-send timeout — the base of
+	// the exponential backoff a lost shootdown triggers.
+	TimeoutCycles uint64
+	// Slowdown is runtime at this loss rate over runtime of the same
+	// protocol with fault injection disabled (same seed, same storm).
+	Slowdown float64
+	// ShootdownCycles is the initiator-side cost of remap shootdowns —
+	// under sw this is where retry storms land; zero for hatric/ideal.
+	ShootdownCycles uint64
+	// Retry/loss accounting per fault site.
+	IPIsLost, ShootdownRetries uint64
+	AcksLost, RelayReissues    uint64
+	LinkRetries                int
+	// EarlyStopCopy records that pre-copy stopped converging under link
+	// outages and the engine degraded to an early stop-and-copy.
+	EarlyStopCopy bool
+	// Completed is the migration's outcome (recovery must always land it).
+	Completed bool
+}
+
+// FaultsResult is the fault-injection study.
+type FaultsResult struct {
+	Cells []FaultCell
+}
+
+// Faults runs the fault-injection study: the live-migration storm scenario
+// (whole-VM evacuation from die-stacked to off-chip DRAM, inf-hbm placement
+// so the storm is the only remap source) replayed under sw, HATRIC, and
+// ideal coherence while the injector deterministically drops shootdown
+// IPIs, invalidation acks, and migration-link quanta at increasing loss
+// rates, for a short and a long retry timeout. The sweep shows the paper's
+// robustness argument from the cost side: sw pays for every lost IPI with
+// a timeout plus an exponentially backed-off re-send, so its shootdown
+// cost amplifies with the loss rate, while HATRIC's ack reissues ride the
+// cache-coherence relay and keep it within a small factor of ideal.
+func (r *Runner) Faults() (*FaultsResult, error) {
+	losses := []float64{0.05, 0.15, 0.30}
+	timeouts := []arch.Cycles{5_000, 20_000}
+	protos := []string{"sw", "hatric", "ideal"}
+	const at = arch.Cycles(20_000)
+
+	mkOpts := func(p string) sim.Options {
+		spec := r.spec(migrationSpec(1024, 0.30))
+		opts := r.workloadOpts(spec, p, hv.BestPolicy(), hv.ModeInfHBM, r.threads(), nil)
+		opts.Migrations = []hv.MigrationSpec{{VM: 0, At: at, Dest: arch.TierDRAM, MaxRounds: 1}}
+		return opts
+	}
+
+	var jobs []job
+	for _, p := range protos {
+		jobs = append(jobs, job{p + "/base", mkOpts(p)})
+		for _, to := range timeouts {
+			for _, loss := range losses {
+				opts := mkOpts(p)
+				opts.Faults = faults.Config{
+					IPILossRate:      loss,
+					AckLossRate:      loss,
+					LinkOutageRate:   loss / 2,
+					IPITimeoutCycles: to,
+				}
+				key := fmt.Sprintf("%s/%d/%.2f", p, uint64(to), loss)
+				jobs = append(jobs, job{key, opts})
+			}
+		}
+	}
+	res, err := r.runAll(jobs)
+	if err != nil {
+		return nil, err
+	}
+
+	out := &FaultsResult{}
+	for _, p := range protos {
+		base := res[p+"/base"]
+		for _, to := range timeouts {
+			for _, loss := range losses {
+				key := fmt.Sprintf("%s/%d/%.2f", p, uint64(to), loss)
+				run := res[key]
+				if len(run.Migrations) != 1 {
+					return nil, fmt.Errorf("exp: faults %s: no migration report", key)
+				}
+				rep := run.Migrations[0]
+				out.Cells = append(out.Cells, FaultCell{
+					Protocol:         p,
+					LossRate:         loss,
+					TimeoutCycles:    uint64(to),
+					Slowdown:         norm(run, base),
+					ShootdownCycles:  run.Agg.ShootdownCycles,
+					IPIsLost:         run.Agg.IPIsLost,
+					ShootdownRetries: run.Agg.ShootdownRetries,
+					AcksLost:         run.Agg.AcksLost,
+					RelayReissues:    run.Agg.RelayReissues,
+					LinkRetries:      rep.LinkRetries,
+					EarlyStopCopy:    rep.EarlyStopCopy,
+					Completed:        rep.Completed,
+				})
+			}
+		}
+	}
+	return out, nil
+}
+
+// Table renders the study.
+func (f *FaultsResult) Table() *stats.Table {
+	t := stats.NewTable(
+		"Fault injection: migration storm under message loss; retry cost per protocol",
+		"protocol", "loss", "timeout", "slowdown", "shootdown cycles",
+		"ipis lost", "retries", "acks lost", "reissues", "link retries",
+		"early stop", "completed")
+	for _, c := range f.Cells {
+		t.AddRow(c.Protocol, c.LossRate, c.TimeoutCycles, c.Slowdown,
+			c.ShootdownCycles, c.IPIsLost, c.ShootdownRetries, c.AcksLost,
+			c.RelayReissues, c.LinkRetries, c.EarlyStopCopy, c.Completed)
+	}
+	return t
+}

@@ -1,0 +1,196 @@
+package exp
+
+import (
+	"errors"
+	"strings"
+	"testing"
+	"time"
+
+	"hatric/internal/hv"
+)
+
+// TestFaultsShape is the acceptance property of the fault-injection study:
+// lost shootdown IPIs amplify software coherence's cost — its shootdown
+// cycle bill grows monotonically with the loss rate, inflated by timeout
+// plus backoff per retry — while HATRIC's ack reissues ride the coherence
+// relay and keep it within a small factor of the ideal bound at every loss
+// rate. Recovery must always land the migration despite link outages.
+func TestFaultsShape(t *testing.T) {
+	res, err := tiny().Faults()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Cells) != 18 {
+		t.Fatalf("cells = %d", len(res.Cells))
+	}
+	type key struct {
+		proto   string
+		timeout uint64
+	}
+	byKey := map[key][]FaultCell{}
+	var linkRetries int
+	for _, c := range res.Cells {
+		byKey[key{c.Protocol, c.TimeoutCycles}] = append(byKey[key{c.Protocol, c.TimeoutCycles}], c)
+		if !c.Completed {
+			t.Errorf("%s/%d/%.2f: migration did not complete under faults",
+				c.Protocol, c.TimeoutCycles, c.LossRate)
+		}
+		linkRetries += c.LinkRetries
+		switch c.Protocol {
+		case "sw":
+			if c.IPIsLost == 0 || c.ShootdownRetries == 0 {
+				t.Errorf("sw/%d/%.2f: no IPI loss recorded (lost=%d retries=%d)",
+					c.TimeoutCycles, c.LossRate, c.IPIsLost, c.ShootdownRetries)
+			}
+			if c.AcksLost != 0 || c.RelayReissues != 0 {
+				t.Errorf("sw/%d/%.2f: ack-loss counters moved on the IPI protocol",
+					c.TimeoutCycles, c.LossRate)
+			}
+		case "hatric":
+			if c.AcksLost == 0 || c.RelayReissues == 0 {
+				t.Errorf("hatric/%d/%.2f: no ack loss recorded (lost=%d reissues=%d)",
+					c.TimeoutCycles, c.LossRate, c.AcksLost, c.RelayReissues)
+			}
+			if c.IPIsLost != 0 || c.ShootdownCycles != 0 {
+				t.Errorf("hatric/%d/%.2f: paid software shootdown costs", c.TimeoutCycles, c.LossRate)
+			}
+		case "ideal":
+			if c.IPIsLost != 0 || c.AcksLost != 0 {
+				t.Errorf("ideal/%d/%.2f: fault sites fired on the free protocol",
+					c.TimeoutCycles, c.LossRate)
+			}
+		}
+	}
+	if linkRetries == 0 {
+		t.Errorf("no migration-link outage fired anywhere in the sweep")
+	}
+	for k, cells := range byKey {
+		if k.proto != "sw" {
+			continue
+		}
+		// sw retry cost grows monotonically with the loss rate.
+		for i := 1; i < len(cells); i++ {
+			if cells[i].ShootdownCycles <= cells[i-1].ShootdownCycles {
+				t.Errorf("sw/%d: shootdown cycles not monotone in loss: %d at %.2f vs %d at %.2f",
+					k.timeout, cells[i].ShootdownCycles, cells[i].LossRate,
+					cells[i-1].ShootdownCycles, cells[i-1].LossRate)
+			}
+			if cells[i].Slowdown < cells[i-1].Slowdown {
+				t.Errorf("sw/%d: slowdown shrank with more loss: %.3f at %.2f vs %.3f at %.2f",
+					k.timeout, cells[i].Slowdown, cells[i].LossRate,
+					cells[i-1].Slowdown, cells[i-1].LossRate)
+			}
+		}
+	}
+	// hatric stays within a small factor of ideal at every (timeout, loss),
+	// and strictly below sw: retry storms amplify the shootdown cost, ack
+	// reissues do not.
+	for _, to := range []uint64{5_000, 20_000} {
+		sw, hatric, ideal := byKey[key{"sw", to}], byKey[key{"hatric", to}], byKey[key{"ideal", to}]
+		for i := range hatric {
+			if hatric[i].Slowdown > ideal[i].Slowdown*1.25 {
+				t.Errorf("timeout %d loss %.2f: hatric slowdown %.3f far above ideal %.3f",
+					to, hatric[i].LossRate, hatric[i].Slowdown, ideal[i].Slowdown)
+			}
+			if sw[i].Slowdown <= hatric[i].Slowdown {
+				t.Errorf("timeout %d loss %.2f: sw slowdown %.3f not above hatric %.3f",
+					to, hatric[i].LossRate, sw[i].Slowdown, hatric[i].Slowdown)
+			}
+		}
+	}
+	if res.Table().NumRows() != 18 {
+		t.Errorf("table rows wrong")
+	}
+}
+
+// faultTestJobs builds three tiny independent cells for the runner tests.
+func faultTestJobs(r *Runner) []job {
+	var jobs []job
+	for _, k := range []string{"a", "b", "c"} {
+		spec := r.spec(migrationSpec(128, 0.1))
+		jobs = append(jobs, job{k, r.workloadOpts(spec, "hatric", hv.BestPolicy(), hv.ModeInfHBM, 4, nil)})
+	}
+	return jobs
+}
+
+// TestRunnerCrashIsolation proves the campaign survives a panicking cell:
+// the injected panic in cell "b" becomes a CellError carrying the stack,
+// while cells "a" and "c" still run to completion and their results are
+// returned alongside the error.
+func TestRunnerCrashIsolation(t *testing.T) {
+	r := &Runner{Refs: 5_000, Threads: 4, Parallel: 2}
+	runCellStart = func(key string) {
+		if key == "b" {
+			panic("injected cell failure")
+		}
+	}
+	defer func() { runCellStart = nil }()
+	results, err := r.runAll(faultTestJobs(r))
+	if err == nil {
+		t.Fatal("panicking cell produced no error")
+	}
+	var ce *CellError
+	if !errors.As(err, &ce) {
+		t.Fatalf("error is not a CellError: %v", err)
+	}
+	if ce.Cell != "b" {
+		t.Errorf("CellError.Cell = %q, want b", ce.Cell)
+	}
+	if !strings.Contains(ce.Err.Error(), "injected cell failure") {
+		t.Errorf("CellError lost the panic value: %v", ce.Err)
+	}
+	if len(ce.Stack) == 0 || !strings.Contains(string(ce.Stack), "goroutine") {
+		t.Errorf("CellError carries no stack")
+	}
+	if len(results) != 2 || results["a"] == nil || results["c"] == nil {
+		t.Errorf("surviving cells missing from partial results: %v", results)
+	}
+	if results["a"].Runtime == 0 || results["c"].Runtime == 0 {
+		t.Errorf("surviving cells did not actually run")
+	}
+}
+
+// TestRunnerWatchdog proves the per-cell watchdog: with an impossible
+// budget every cell is abandoned and reported as a CellError, and the
+// campaign still returns (partial, here empty) results instead of hanging.
+func TestRunnerWatchdog(t *testing.T) {
+	r := &Runner{Refs: 5_000, Threads: 4, Parallel: 2, CellTimeout: time.Nanosecond}
+	results, err := r.runAll(faultTestJobs(r))
+	if err == nil {
+		t.Fatal("watchdog fired no error")
+	}
+	var ce *CellError
+	if !errors.As(err, &ce) {
+		t.Fatalf("error is not a CellError: %v", err)
+	}
+	if !strings.Contains(ce.Err.Error(), "watchdog") {
+		t.Errorf("CellError is not a watchdog timeout: %v", ce.Err)
+	}
+	if len(results) != 0 {
+		t.Errorf("abandoned cells produced results: %v", results)
+	}
+}
+
+// TestRunnerCellError proves plain simulation errors are wrapped per cell
+// and the rest of the campaign completes.
+func TestRunnerCellError(t *testing.T) {
+	r := &Runner{Refs: 5_000, Threads: 4, Parallel: 2}
+	jobs := faultTestJobs(r)
+	// A balloon on a VM that does not exist: sim.New returns an error (no
+	// panic), so this exercises the plain-error wrapping path.
+	jobs[1].opts.Balloons = []hv.BalloonSpec{{VM: 99, Frames: 10}}
+	results, err := r.runAll(jobs)
+	if err == nil {
+		t.Fatal("bad cell produced no error")
+	}
+	var ce *CellError
+	if !errors.As(err, &ce) {
+		t.Fatalf("error is not a CellError: %v", err)
+	}
+	if ce.Cell != "b" || len(ce.Stack) != 0 {
+		t.Errorf("unexpected CellError: cell=%q stack=%d bytes", ce.Cell, len(ce.Stack))
+	}
+	if len(results) != 2 {
+		t.Errorf("surviving cells missing: %v", results)
+	}
+}

@@ -1,0 +1,120 @@
+package faults
+
+import (
+	"testing"
+
+	"hatric/internal/arch"
+)
+
+func TestNilWhenDisabled(t *testing.T) {
+	if inj := NewInjector(Config{}, 7); inj != nil {
+		t.Fatal("zero config built an injector")
+	}
+	// Non-rate knobs alone must not enable injection.
+	cfg := Config{Seed: 9, IPITimeoutCycles: 50, AckTimeoutCycles: 50, MaxRetries: 3}
+	if inj := NewInjector(cfg, 7); inj != nil {
+		t.Fatal("rate-free config built an injector")
+	}
+}
+
+func TestNilReceiverSafe(t *testing.T) {
+	var inj *Injector
+	if inj.DropIPI() || inj.DropAck() || inj.LinkDown() || inj.LinkFaults() {
+		t.Error("nil injector injected a fault")
+	}
+	if inj.MaxRetries() != DefaultMaxRetries {
+		t.Errorf("nil MaxRetries = %d", inj.MaxRetries())
+	}
+	if inj.IPIBackoff(1) != DefaultIPITimeoutCycles {
+		t.Errorf("nil IPIBackoff(1) = %d", inj.IPIBackoff(1))
+	}
+	if inj.AckTimeout() != DefaultAckTimeoutCycles {
+		t.Errorf("nil AckTimeout = %d", inj.AckTimeout())
+	}
+	if inj.LinkOutage(0) != DefaultLinkOutageCycles {
+		t.Errorf("nil LinkOutage(0) = %d", inj.LinkOutage(0))
+	}
+}
+
+// TestDeterministicReplay is the injector's contract: two injectors built
+// from the same seeds draw identical decision streams at every site.
+func TestDeterministicReplay(t *testing.T) {
+	cfg := Config{IPILossRate: 0.3, AckLossRate: 0.1, LinkOutageRate: 0.05}
+	a, b := NewInjector(cfg, 42), NewInjector(cfg, 42)
+	for i := 0; i < 10_000; i++ {
+		if a.DropIPI() != b.DropIPI() || a.DropAck() != b.DropAck() || a.LinkDown() != b.LinkDown() {
+			t.Fatalf("decision %d diverged between identical injectors", i)
+		}
+	}
+}
+
+// TestSiteIndependence: disabling one site must not perturb another site's
+// stream — sites hash independent sequences, they do not share an RNG.
+func TestSiteIndependence(t *testing.T) {
+	both := NewInjector(Config{IPILossRate: 0.3, AckLossRate: 0.5}, 42)
+	ipiOnly := NewInjector(Config{IPILossRate: 0.3}, 42)
+	for i := 0; i < 10_000; i++ {
+		both.DropAck() // drains the ack stream; must not touch the IPI stream
+		if both.DropIPI() != ipiOnly.DropIPI() {
+			t.Fatalf("IPI decision %d changed when the ack site was enabled", i)
+		}
+	}
+}
+
+func TestRatesApproximatelyHonored(t *testing.T) {
+	for _, rate := range []float64{0.05, 0.3, 0.7} {
+		inj := NewInjector(Config{IPILossRate: rate}, 1)
+		n, hits := 100_000, 0
+		for i := 0; i < n; i++ {
+			if inj.DropIPI() {
+				hits++
+			}
+		}
+		got := float64(hits) / float64(n)
+		if got < rate-0.02 || got > rate+0.02 {
+			t.Errorf("rate %.2f produced %.4f over %d draws", rate, got, n)
+		}
+	}
+	// Extremes: rate 1 always fires (up to the 1-in-2^64 threshold miss,
+	// which no 10^5-draw run will see), rate 0 never.
+	always := NewInjector(Config{IPILossRate: 1}, 1)
+	never := NewInjector(Config{IPILossRate: 1, AckLossRate: 0}, 1)
+	for i := 0; i < 1_000; i++ {
+		if !always.DropIPI() {
+			t.Fatal("rate 1.0 missed")
+		}
+		if never.DropAck() {
+			t.Fatal("rate 0 fired")
+		}
+	}
+}
+
+func TestBackoffDoublesAndClamps(t *testing.T) {
+	inj := NewInjector(Config{IPILossRate: 0.5, IPITimeoutCycles: 100, LinkOutageCycles: 100, LinkOutageRate: 0.5}, 1)
+	for n := 1; n <= 4; n++ {
+		want := arch.Cycles(100) << uint(n-1)
+		if got := inj.IPIBackoff(n); got != want {
+			t.Errorf("IPIBackoff(%d) = %d, want %d", n, got, want)
+		}
+	}
+	// The shift clamps: enormous retry counts must not overflow.
+	if got := inj.IPIBackoff(1_000); got != 100<<maxBackoffShift {
+		t.Errorf("clamped IPIBackoff = %d", got)
+	}
+	if got := inj.LinkOutage(1_000); got != 100<<maxBackoffShift {
+		t.Errorf("clamped LinkOutage = %d", got)
+	}
+	if inj.LinkOutage(0) != 100 || inj.LinkOutage(2) != 400 {
+		t.Errorf("LinkOutage backoff wrong: %d %d", inj.LinkOutage(0), inj.LinkOutage(2))
+	}
+}
+
+func TestConfigSeedOverridesRunSeed(t *testing.T) {
+	pinned := NewInjector(Config{Seed: 99, IPILossRate: 0.5}, 1)
+	other := NewInjector(Config{Seed: 99, IPILossRate: 0.5}, 2)
+	for i := 0; i < 1_000; i++ {
+		if pinned.DropIPI() != other.DropIPI() {
+			t.Fatal("cfg.Seed did not pin the fault pattern across run seeds")
+		}
+	}
+}

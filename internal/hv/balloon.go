@@ -11,9 +11,12 @@ import (
 // Frames in total, BurstFrames per pump quantum. Every returned frame goes
 // through the quota-aware eviction path (a present-to-not-present remap,
 // so translation coherence runs per frame — the balloon storm), and the
-// inflation never digs below the VM's reserved share. Deflation is
-// implicit: the guest refaults the pages on its next touch, exactly like
-// any other non-resident page.
+// inflation never digs below the VM's reserved share. Without DeflateAt,
+// deflation is implicit: the guest refaults the pages on its next touch,
+// exactly like any other non-resident page. With DeflateAt set, the
+// balloon actively deflates at that cycle: the driver re-faults the VM
+// into the frames it gave up, in the order they were reclaimed — the
+// return storm mirroring the reclaim storm.
 type BalloonSpec struct {
 	// VM is the virtual machine whose balloon inflates.
 	VM int
@@ -25,6 +28,12 @@ type BalloonSpec struct {
 	// BurstFrames bounds the reclaims per pump quantum so the storm
 	// interleaves with guest execution. Zero defaults to 8.
 	BurstFrames int
+	// DeflateAt, when nonzero, schedules the deflation: starting at this
+	// cycle the driver re-faults the VM into the frames the inflation
+	// reclaimed (BurstFrames per quantum), counting each return in
+	// BalloonReport.Returned and stats.Counters.BalloonReturns. Zero
+	// keeps the legacy inflate-only behavior bit-identically.
+	DeflateAt arch.Cycles
 }
 
 func (s *BalloonSpec) burst() int {
@@ -47,6 +56,12 @@ type BalloonReport struct {
 	Shortfall         int
 	Started, Finished arch.Cycles
 	Completed         bool
+
+	// Returned counts frames a scheduled deflation handed back to the VM
+	// through the re-fault path (zero without BalloonSpec.DeflateAt; the
+	// fingerprint formatter appends it only when nonzero, keeping legacy
+	// fingerprints frozen).
+	Returned int
 }
 
 type balloonPhase int
@@ -54,6 +69,9 @@ type balloonPhase int
 const (
 	balloonPending balloonPhase = iota
 	balloonInflating
+	// balloonInflated waits for DeflateAt (scheduled deflations only).
+	balloonInflated
+	balloonDeflating
 	balloonDone
 )
 
@@ -65,6 +83,16 @@ type Balloon struct {
 	phase  balloonPhase
 	driver int
 	report BalloonReport
+
+	// evicted records the reclaimed pages in reclaim order (only when a
+	// deflation is scheduled); epos is the next page to return.
+	evicted []arch.GPP
+	epos    int
+	// progress advances with every unit of forward progress — reclaims,
+	// returns, phase transitions — including progress that consumes no
+	// driver cycles (already-resident pages skipped during deflation);
+	// the simulator's drain loop keys its stall detection on it.
+	progress uint64
 }
 
 // Spec returns the balloon's configuration.
@@ -78,6 +106,23 @@ func (b *Balloon) Done() bool { return b.phase == balloonDone }
 
 // Report returns the inflation's outcome so far.
 func (b *Balloon) Report() BalloonReport { return b.report }
+
+// Progress returns a counter that advances with every unit of forward
+// progress, including progress that consumes no driver cycles.
+func (b *Balloon) Progress() uint64 { return b.progress }
+
+// NextTrigger returns the cycle the balloon is waiting for (its inflate
+// or deflate trigger), or 0 when it is actively pumping or done; the
+// simulator's drain loop fast-forwards the driver's clock to it.
+func (b *Balloon) NextTrigger() arch.Cycles {
+	switch b.phase {
+	case balloonPending:
+		return b.spec.At
+	case balloonInflated:
+		return b.spec.DeflateAt
+	}
+	return 0
+}
 
 // ScheduleBalloon registers a balloon inflation to be triggered at
 // spec.At. The driver vCPU is the VM's first CPU.
@@ -140,7 +185,16 @@ func (h *Hypervisor) PumpBalloons(cpu int, now arch.Cycles) arch.Cycles {
 			b.phase = balloonInflating
 			b.report.Started = now
 		}
-		lat += h.pumpBalloon(b, now+lat)
+		if b.phase == balloonInflating {
+			lat += h.pumpBalloon(b, now+lat)
+		}
+		if b.phase == balloonInflated && now+lat >= b.spec.DeflateAt {
+			b.phase = balloonDeflating
+			b.progress++
+		}
+		if b.phase == balloonDeflating {
+			lat += h.pumpDeflate(b, now+lat)
+		}
 	}
 	return lat
 }
@@ -158,22 +212,75 @@ func (h *Hypervisor) pumpBalloon(b *Balloon, now arch.Cycles) arch.Cycles {
 			break
 		}
 		if h.qos.resident[vmIdx] <= h.qos.reserved[vmIdx] {
-			h.finishBalloon(b, now+lat) // reservation floor: stop here
+			h.finishInflate(b, now+lat) // reservation floor: stop here
 			return lat
 		}
-		evLat, err := h.evictFrom(b.driver, vmIdx, vmIdx, now+lat, true)
+		victim, evLat, err := h.evictFrom(b.driver, vmIdx, vmIdx, now+lat, true)
 		if err != nil {
-			h.finishBalloon(b, now+lat) // nothing evictable left
+			h.finishInflate(b, now+lat) // nothing evictable left
 			return lat
 		}
 		lat += evLat
 		b.report.Reclaimed++
+		b.progress++
 		c.BalloonReclaims++
+		if b.spec.DeflateAt > 0 {
+			//hatric:alloc-ok deflation bookkeeping, bounded by the balloon target and amortized across the storm
+			b.evicted = append(b.evicted, victim)
+		}
 	}
 	if b.report.Reclaimed >= b.spec.Frames {
+		h.finishInflate(b, now+lat)
+	}
+	return lat
+}
+
+// pumpDeflate performs one burst quantum of deflation: the driver
+// re-faults the VM into the frames the inflation reclaimed, in reclaim
+// order. Pages the guest already re-faulted on its own are skipped — the
+// balloon only returns what is still missing.
+func (h *Hypervisor) pumpDeflate(b *Balloon, now arch.Cycles) arch.Cycles {
+	var lat arch.Cycles
+	vmIdx := b.spec.VM
+	c := h.machine.Counters(b.driver)
+	for n := 0; n < b.spec.burst(); n++ {
+		if b.epos >= len(b.evicted) {
+			h.finishBalloon(b, now+lat)
+			return lat
+		}
+		gpp := b.evicted[b.epos]
+		b.epos++
+		b.progress++
+		if _, present, ok := h.vms[vmIdx].Nested.Translate(gpp); !ok || present {
+			continue // unmapped, or the guest already re-faulted it in
+		}
+		fLat, err := h.HandleFault(b.driver, vmIdx, gpp, now+lat)
+		lat += fLat
+		if err != nil {
+			// Out of frames to return into: end the deflation; whatever
+			// remains deflates implicitly through guest re-faults.
+			h.finishBalloon(b, now+lat)
+			return lat
+		}
+		b.report.Returned++
+		c.BalloonReturns++
+	}
+	if b.epos >= len(b.evicted) {
 		h.finishBalloon(b, now+lat)
 	}
 	return lat
+}
+
+// finishInflate ends the reclaim phase: straight to done for the legacy
+// inflate-only balloon, or on to the deflation wait when one is
+// scheduled.
+func (h *Hypervisor) finishInflate(b *Balloon, now arch.Cycles) {
+	if b.spec.DeflateAt > 0 {
+		b.phase = balloonInflated
+		b.progress++
+		return
+	}
+	h.finishBalloon(b, now)
 }
 
 func (h *Hypervisor) finishBalloon(b *Balloon, now arch.Cycles) {
@@ -181,5 +288,6 @@ func (h *Hypervisor) finishBalloon(b *Balloon, now arch.Cycles) {
 	b.report.Shortfall = b.spec.Frames - b.report.Reclaimed
 	b.report.Finished = now
 	b.report.Completed = true
+	b.progress++
 	h.unfinishedBalloons--
 }

@@ -6,6 +6,7 @@ import (
 	"hatric/internal/arch"
 	"hatric/internal/coherence"
 	"hatric/internal/core"
+	"hatric/internal/faults"
 	"hatric/internal/memdev"
 	"hatric/internal/pagetable"
 	"hatric/internal/stats"
@@ -19,6 +20,7 @@ type machineStub struct {
 	charged []arch.Cycles
 	cost    arch.CostModel
 	cpus    []int
+	inj     *faults.Injector
 }
 
 func newMachineStub(cpus int) *machineStub {
@@ -44,6 +46,7 @@ func (m *machineStub) Charge(cpu int, c arch.Cycles)       { m.charged[cpu] += c
 func (m *machineStub) Counters(cpu int) *stats.Counters    { return m.cnt[cpu] }
 func (m *machineStub) Cost() arch.CostModel                { return m.cost }
 func (m *machineStub) ReadPTE(arch.SPA) (uint64, bool)     { return 0, false }
+func (m *machineStub) FaultInjector() *faults.Injector     { return m.inj }
 
 type hvRig struct {
 	mem     *memdev.Memory

@@ -7,6 +7,7 @@ import (
 	"hatric/internal/cache"
 	"hatric/internal/coherence"
 	"hatric/internal/core"
+	"hatric/internal/faults"
 	"hatric/internal/memdev"
 	"hatric/internal/xrand"
 )
@@ -61,6 +62,10 @@ type Hypervisor struct {
 	rng      *xrand.RNG
 	seed     uint64
 
+	// inj is the machine's fault injector (nil when fault-free); the
+	// migration engine draws link-outage decisions from it.
+	inj *faults.Injector
+
 	// qos is the per-VM paging configuration and die-stacked share
 	// accounting (see qos.go).
 	qos qosState
@@ -99,6 +104,7 @@ func New(cfg PagingConfig, vmcfgs []VMConfig, cost arch.CostModel, mem *memdev.M
 		vms:  append([]*VM(nil), vms...),
 		rng:  xrand.New(seed ^ 0x9a7c15),
 		seed: seed,
+		inj:  machine.FaultInjector(),
 	}
 	if err := h.initQoS(cfg, vmcfgs); err != nil {
 		return nil, err
@@ -250,33 +256,36 @@ func (h *Hypervisor) evictOne(cpu, reqVM int, now arch.Cycles, critical bool) (a
 	if !ok {
 		return 0, fmt.Errorf("hv: nothing to evict")
 	}
-	return h.evictFrom(cpu, vmIdx, reqVM, now, critical)
+	_, lat, err := h.evictFrom(cpu, vmIdx, reqVM, now, critical)
+	return lat, err
 }
 
 // evictFrom evicts one die-stacked page of VM vmIdx specifically,
 // bypassing the victim-VM selector: the balloon driver returns its own
-// VM's frames this way. Accounting and the coherence storm are identical
-// to evictOne — reqVM only attributes the cross-VM/frozen charges.
-func (h *Hypervisor) evictFrom(cpu, vmIdx, reqVM int, now arch.Cycles, critical bool) (arch.Cycles, error) {
+// VM's frames this way (and remembers the returned victim GPP so a later
+// deflation can hand the same pages back). Accounting and the coherence
+// storm are identical to evictOne — reqVM only attributes the
+// cross-VM/frozen charges.
+func (h *Hypervisor) evictFrom(cpu, vmIdx, reqVM int, now arch.Cycles, critical bool) (arch.GPP, arch.Cycles, error) {
 	vm := h.vms[vmIdx]
 	victim, ok := h.policies[vmIdx].PickVictim()
 	if !ok {
 		//hatric:alloc-ok cold error exit; eviction from an empty pool aborts the run
-		return 0, fmt.Errorf("hv: nothing to evict in VM %d", vmIdx)
+		return 0, 0, fmt.Errorf("hv: nothing to evict in VM %d", vmIdx)
 	}
 	oldSPP, _, ok := vm.Nested.Translate(victim)
 	if !ok {
 		//hatric:alloc-ok cold error exit; an unmapped victim aborts the run
-		return 0, fmt.Errorf("hv: victim gpp %#x unmapped (VM %d)", uint64(victim), vmIdx)
+		return 0, 0, fmt.Errorf("hv: victim gpp %#x unmapped (VM %d)", uint64(victim), vmIdx)
 	}
 	dramFrame, got := h.mem.AllocFrame(arch.TierDRAM)
 	if !got {
-		return 0, fmt.Errorf("hv: off-chip DRAM full")
+		return 0, 0, fmt.Errorf("hv: off-chip DRAM full")
 	}
 	copyLat := h.mem.CopyPage(now, oldSPP, dramFrame)
 	pteSPA, err := vm.Nested.Remap(victim, dramFrame, false)
 	if err != nil {
-		return 0, err
+		return 0, 0, err
 	}
 	h.mem.FreeFrame(oldSPP)
 	c := h.machine.Counters(cpu)
@@ -295,9 +304,9 @@ func (h *Hypervisor) evictFrom(cpu, vmIdx, reqVM int, now arch.Cycles, critical 
 	c.RemapsInitiated++
 	c.ShootdownCycles += uint64(tcLat)
 	if !critical {
-		return 0, nil
+		return victim, 0, nil
 	}
-	return copyLat + wLat + tcLat, nil
+	return victim, copyLat + wLat + tcLat, nil
 }
 
 // Defrag relocates one live die-stacked page of VM vm to another

@@ -114,6 +114,26 @@ type MigrationReport struct {
 	// FinalDirty is the number of pages moved during the freeze.
 	FinalDirty int
 	Completed  bool
+
+	// The fields below were added after the golden fingerprints were
+	// frozen; the fingerprint formatter appends them only when set, so
+	// fault-free runs hash exactly as before they existed.
+
+	// LinkRetries counts pump quanta that found the migration link down
+	// and backed off (fault injection; see internal/faults).
+	LinkRetries int
+	// OutageCycles totals the backoff waits those outages cost the driver.
+	OutageCycles arch.Cycles
+	// EarlyStopCopy records that the engine gave up on pre-copy
+	// convergence early — the dirty set stopped shrinking under link
+	// outages — and degraded to the stop-and-copy before the round budget
+	// ran out.
+	EarlyStopCopy bool
+	// LastError surfaces the most recent pump failure ("" once the
+	// migration progresses again or completes), so transient destination
+	// exhaustion is visible in Result.Migrations instead of only through
+	// the Migration accessor.
+	LastError string
 }
 
 // migrationPhase is the engine's state machine.
@@ -167,6 +187,16 @@ type Migration struct {
 	// capacity exhaustion) for diagnosis when the migration cannot make
 	// progress at all.
 	lastErr error
+
+	// outageStreak counts consecutive pump quanta the link was down; the
+	// backoff doubles with it and a healthy pump resets it.
+	outageStreak int
+	// lastDirty and stallRounds track pre-copy convergence under link
+	// faults: when the dirty set stops shrinking for consecutive rounds,
+	// the engine degrades to an early stop-and-copy instead of burning
+	// the whole round budget re-copying into outages.
+	lastDirty   int
+	stallRounds int
 }
 
 // Spec returns the migration's configuration.
@@ -321,14 +351,34 @@ func (h *Hypervisor) PumpMigrations(cpu int, now arch.Cycles) arch.Cycles {
 			}
 			h.startMigration(m, now)
 		}
+		// Fault injection: the link may be down for this quantum. The
+		// driver backs off (exponentially across consecutive outages) and
+		// retries; dirty tracking is untouched, so no progress is lost —
+		// but the dirty set keeps growing while the link is out, which is
+		// what the early-stop-and-copy degradation below guards against.
+		if h.inj.LinkDown() {
+			wait := h.inj.LinkOutage(m.outageStreak)
+			m.outageStreak++
+			m.report.LinkRetries++
+			m.report.OutageCycles += wait
+			h.machine.Counters(cpu).MigrationLinkRetries++
+			m.progress++
+			lat += wait
+			continue
+		}
+		m.outageStreak = 0
 		l, err := h.pumpOne(m, now+lat)
 		m.lastErr = err
 		if err != nil {
 			// Out of destination frames: abandon this burst; the next pump
-			// retries after the fault path has freed capacity.
+			// retries after the fault path has freed capacity. The report
+			// mirrors the failure so campaign results surface it even when
+			// the caller only keeps Result.Migrations.
+			m.report.LastError = err.Error()
 			lat += l
 			continue
 		}
+		m.report.LastError = ""
 		lat += l
 	}
 	return lat
@@ -421,7 +471,23 @@ func (h *Hypervisor) pumpOne(m *Migration, now arch.Cycles) (arch.Cycles, error)
 // round's queue. fin reports that this pump quantum is over.
 func (h *Hypervisor) finishRound(m *Migration, now arch.Cycles, lat *arch.Cycles) (bool, error) {
 	c := h.machine.Counters(m.driver)
-	if len(m.dirtyList) > 0 &&
+	// Convergence watchdog, active only when link outages are configured
+	// (fault-free runs keep the legacy round count exactly): a dirty set
+	// that has stopped shrinking for two consecutive rounds means outages
+	// are eating the copy bandwidth faster than pre-copy drains it, so
+	// another round would only re-dirty more pages. Degrade gracefully to
+	// the stop-and-copy now rather than burning the round budget.
+	stuck := false
+	if h.inj.LinkFaults() {
+		if m.round >= 2 && len(m.dirtyList) >= m.lastDirty {
+			m.stallRounds++
+		} else {
+			m.stallRounds = 0
+		}
+		m.lastDirty = len(m.dirtyList)
+		stuck = m.stallRounds >= 2
+	}
+	if len(m.dirtyList) > 0 && !stuck &&
 		len(m.dirtyList) > m.spec.stopThreshold() && m.round < m.spec.maxRounds() {
 		// Another pre-copy round over the dirty set.
 		//hatric:alloc-ok reuses the queue's capacity; grows only while the dirty set still grows
@@ -443,6 +509,9 @@ func (h *Hypervisor) finishRound(m *Migration, now arch.Cycles, lat *arch.Cycles
 	// Stop-and-copy: the VM freezes while the remaining dirty pages move
 	// and their translation coherence completes. The freeze is the
 	// downtime; every vCPU of the VM pays it.
+	if stuck && m.round < m.spec.maxRounds() {
+		m.report.EarlyStopCopy = true
+	}
 	var down arch.Cycles
 	//hatric:alloc-ok one stop-and-copy snapshot per migration, not per-reference work
 	final := append([]arch.GPP(nil), m.dirtyList...)

@@ -23,7 +23,7 @@ import (
 var criticalNames = map[string]bool{
 	"sim": true, "hv": true, "core": true, "coherence": true,
 	"walker": true, "workload": true, "tstruct": true, "cache": true,
-	"pagetable": true, "exp": true,
+	"pagetable": true, "exp": true, "faults": true,
 }
 
 // criticalPath reports whether the (base, undecorated) import path names

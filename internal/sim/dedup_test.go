@@ -92,6 +92,52 @@ func TestQuickBalloonDeterminism(t *testing.T) {
 	}
 }
 
+// TestQuickBalloonDeflate covers the scheduled-deflation path: the balloon
+// scenario with DeflateAt set re-faults the VM into the frames the
+// inflation reclaimed, bit-identically across runs. The return count is
+// bounded by the reclaim count (pages the guest already re-faulted on its
+// own are skipped), and the aggregate counter matches the report.
+func TestQuickBalloonDeflate(t *testing.T) {
+	for _, proto := range []string{"sw", "hatric", "unitd", "ideal"} {
+		t.Run(proto, func(t *testing.T) {
+			build := goldenScenarios()["balloon"]
+			run := func() *Result {
+				opts := build(proto)
+				opts.Balloons[0].DeflateAt = 60_000
+				sys, err := New(opts)
+				if err != nil {
+					t.Fatal(err)
+				}
+				res, err := sys.Run()
+				if err != nil {
+					t.Fatal(err)
+				}
+				return res
+			}
+			a, b := run(), run()
+			if a.Runtime != b.Runtime || a.Agg != b.Agg || a.Balloons[0] != b.Balloons[0] {
+				t.Errorf("deflation run diverged across reruns")
+			}
+			r := a.Balloons[0]
+			if !r.Completed {
+				t.Error("balloon never finished")
+			}
+			if r.Returned == 0 || a.Agg.BalloonReturns == 0 {
+				t.Errorf("deflation returned nothing: report=%d agg=%d", r.Returned, a.Agg.BalloonReturns)
+			}
+			if r.Returned > r.Reclaimed {
+				t.Errorf("returned %d more frames than the %d reclaimed", r.Returned, r.Reclaimed)
+			}
+			if a.Agg.BalloonReturns != uint64(r.Returned) {
+				t.Errorf("aggregate returns %d != report %d", a.Agg.BalloonReturns, r.Returned)
+			}
+			if a.Agg.StaleTranslationUses != 0 {
+				t.Errorf("%d stale translation uses during the deflation", a.Agg.StaleTranslationUses)
+			}
+		})
+	}
+}
+
 // TestQuickCompactionDeterminism does the same for the compaction daemon:
 // sliding-window relocations are bit-identical across runs and actually
 // move pages through the coherent remap path.

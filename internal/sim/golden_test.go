@@ -31,12 +31,18 @@ import (
 // fields existed; scenarios that do produce them (the storm scenarios
 // below) print them at the end, where the struct keeps them.
 var fpSkipZero = map[string]bool{
-	"KSMMerges":        true,
-	"KSMBreaks":        true,
-	"BalloonReclaims":  true,
-	"CompactionMoves":  true,
-	"ParallelEpochs":   true,
-	"ParallelDeferred": true,
+	"KSMMerges":            true,
+	"KSMBreaks":            true,
+	"BalloonReclaims":      true,
+	"CompactionMoves":      true,
+	"ParallelEpochs":       true,
+	"ParallelDeferred":     true,
+	"IPIsLost":             true,
+	"ShootdownRetries":     true,
+	"AcksLost":             true,
+	"RelayReissues":        true,
+	"MigrationLinkRetries": true,
+	"BalloonReturns":       true,
 }
 
 // fpCounters formats a stats.Counters byte-identically to fmt's %+v for
@@ -73,6 +79,51 @@ func fpCounters(c *stats.Counters) string {
 	return b.String()
 }
 
+// fpMigration formats a MigrationReport exactly as %+v did when the golden
+// fingerprints were frozen — the post-freeze fault-recovery fields
+// (LinkRetries, OutageCycles, EarlyStopCopy, LastError) are appended only
+// when one of them is set, so fault-free runs hash byte-identically.
+func fpMigration(m *hv.MigrationReport) string {
+	legacy := struct {
+		VM                int
+		Dest              arch.MemTier
+		Remote            bool
+		Started, Finished arch.Cycles
+		Rounds            []hv.RoundStats
+		PagesCopied       int
+		Redirtied         int
+		Downtime          arch.Cycles
+		FinalDirty        int
+		Completed         bool
+	}{m.VM, m.Dest, m.Remote, m.Started, m.Finished, m.Rounds,
+		m.PagesCopied, m.Redirtied, m.Downtime, m.FinalDirty, m.Completed}
+	s := fmt.Sprintf("%+v", legacy)
+	if m.LinkRetries != 0 || m.OutageCycles != 0 || m.EarlyStopCopy || m.LastError != "" {
+		s = strings.TrimSuffix(s, "}") + fmt.Sprintf(
+			" LinkRetries:%d OutageCycles:%d EarlyStopCopy:%v LastError:%s}",
+			m.LinkRetries, m.OutageCycles, m.EarlyStopCopy, m.LastError)
+	}
+	return s
+}
+
+// fpBalloon is fpMigration's counterpart for BalloonReport: the post-freeze
+// Returned field is appended only when a deflation actually ran.
+func fpBalloon(b *hv.BalloonReport) string {
+	legacy := struct {
+		VM                int
+		Target            int
+		Reclaimed         int
+		Shortfall         int
+		Started, Finished arch.Cycles
+		Completed         bool
+	}{b.VM, b.Target, b.Reclaimed, b.Shortfall, b.Started, b.Finished, b.Completed}
+	s := fmt.Sprintf("%+v", legacy)
+	if b.Returned != 0 {
+		s = strings.TrimSuffix(s, "}") + fmt.Sprintf(" Returned:%d}", b.Returned)
+	}
+	return s
+}
+
 // goldenFingerprint folds everything observable about a Result into one
 // hash: runtime, per-CPU and aggregate counters, per-VM attribution,
 // migration reports, QoS accounting, and (when present) balloon and KSM
@@ -92,13 +143,13 @@ func goldenFingerprint(res *Result) uint64 {
 	}
 	put("bytes=%d,%d\n", res.HBMBytes, res.DRAMBytes)
 	for _, m := range res.Migrations {
-		put("mig=%+v\n", m)
+		put("mig=%s\n", fpMigration(&m))
 	}
 	for _, q := range res.QoS {
 		put("qos=%+v\n", q)
 	}
 	for _, b := range res.Balloons {
-		put("balloon=%+v\n", b)
+		put("balloon=%s\n", fpBalloon(&b))
 	}
 	if res.KSM != nil {
 		put("ksm=%+v\n", *res.KSM)
@@ -115,7 +166,9 @@ func TestFingerprintFormatterCompat(t *testing.T) {
 	// The legacy format is today's %+v with the all-zero storm-counter tail
 	// removed — exactly what %+v printed when the fingerprints were frozen.
 	tail := " KSMMerges:0 KSMBreaks:0 BalloonReclaims:0 CompactionMoves:0" +
-		" ParallelEpochs:0 ParallelDeferred:0}"
+		" ParallelEpochs:0 ParallelDeferred:0" +
+		" IPIsLost:0 ShootdownRetries:0 AcksLost:0 RelayReissues:0" +
+		" MigrationLinkRetries:0 BalloonReturns:0}"
 	want := fmt.Sprintf("%+v", legacy)
 	if !strings.HasSuffix(want, tail) {
 		t.Fatalf("storm counters no longer the final fields of stats.Counters: %s", want)

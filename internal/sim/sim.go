@@ -9,6 +9,7 @@ import (
 	"hatric/internal/coherence"
 	"hatric/internal/core"
 	"hatric/internal/energy"
+	"hatric/internal/faults"
 	"hatric/internal/hv"
 	"hatric/internal/memdev"
 	"hatric/internal/pagetable"
@@ -147,6 +148,14 @@ type Options struct {
 	// CheckStale verifies every translation against the page tables and
 	// counts mismatches (must stay zero under a correct protocol).
 	CheckStale bool
+
+	// Faults configures deterministic fault injection (lost shootdown
+	// IPIs, dropped invalidation acks, migration-link outages — see
+	// internal/faults). The zero value injects nothing and keeps the run
+	// bit-identical to the fault-free machine; decisions are a pure
+	// function of (seed, site, sequence), so fault-injected runs replay
+	// bit-identically too.
+	Faults faults.Config
 
 	// VCPUsPerCPU is the overcommit ratio: it time-slices this many vCPUs
 	// onto every physical CPU. 0 or 1 pins vCPUs 1:1 onto physical CPUs —
@@ -364,6 +373,7 @@ type System struct {
 	vms     []*hv.VM
 	hyp     *hv.Hypervisor
 	proto   core.Protocol
+	faults  *faults.Injector
 
 	cnt   []*stats.Counters
 	clock []arch.Cycles
@@ -458,6 +468,9 @@ func New(opts Options) (*System, error) {
 	}
 
 	s := &System{opts: opts, cfg: cfg, sched: ratio > 1}
+	// The injector must exist before the protocol and hypervisor are
+	// built: both cache Machine.FaultInjector() at construction.
+	s.faults = faults.NewInjector(opts.Faults, opts.Seed)
 	s.mem = memdev.New(cfg.Mem)
 	s.store = pagetable.NewStore(cfg.Mem.PTFrames)
 
@@ -800,6 +813,10 @@ func (s *System) ReadPTE(spa arch.SPA) (uint64, bool) {
 	return pte.Frame(), pte.Valid() && pte.Present()
 }
 
+// FaultInjector implements core.Machine: the run's fault injector, nil
+// on fault-free machines.
+func (s *System) FaultInjector() *faults.Injector { return s.faults }
+
 // --- accessors used by tests and the experiment harness ---
 
 // VM returns the first virtual machine (the whole machine in single-VM
@@ -918,12 +935,13 @@ func (s *System) drainMigrations() error {
 	return nil
 }
 
-// drainBalloons completes balloon inflations still pending after the last
-// stream finished (the trigger cycle lay beyond the run, or the target was
-// not reached in time): the driver vCPU keeps pumping on its own clock.
-// Every pump either reclaims at least one frame or completes the balloon
-// (reservation floor / nothing evictable), so the progress guard is purely
-// defensive.
+// drainBalloons completes balloon inflations (and scheduled deflations)
+// still pending after the last stream finished (a trigger cycle lay
+// beyond the run, or the target was not reached in time): the driver vCPU
+// keeps pumping on its own clock, fast-forwarded to whichever trigger the
+// balloon waits for next. Progress is judged by the balloon's own
+// progress counter — a deflation quantum that only skips already-resident
+// pages consumes no driver cycles yet advances through the evicted list.
 func (s *System) drainBalloons() error {
 	if !s.ballooning {
 		return nil
@@ -931,12 +949,12 @@ func (s *System) drainBalloons() error {
 	for _, b := range s.hyp.Balloons() {
 		cpu := b.DriverCPU()
 		for !b.Done() {
-			if s.clock[cpu] < b.Spec().At {
-				s.clock[cpu] = b.Spec().At
+			if t := b.NextTrigger(); t > 0 && s.clock[cpu] < t {
+				s.clock[cpu] = t
 			}
-			before := b.Report().Reclaimed
+			before := b.Progress()
 			s.clock[cpu] += s.hyp.PumpBalloons(cpu, s.clock[cpu])
-			if b.Report().Reclaimed == before && !b.Done() {
+			if b.Progress() == before && !b.Done() {
 				return fmt.Errorf("sim: balloon on VM %d stalled (no progress at cycle %d)",
 					b.Spec().VM, uint64(s.clock[cpu]))
 			}

@@ -151,6 +151,23 @@ type Counters struct {
 	// watch when tuning EpochCycles.
 	ParallelEpochs   uint64
 	ParallelDeferred uint64
+
+	// Fault injection and recovery (internal/faults; all six stay zero —
+	// and the fingerprints frozen — unless sim.Options.Faults enables a
+	// fault site). IPIsLost counts shootdown IPIs lost in delivery and
+	// ShootdownRetries the timeout-triggered re-sends (both on the
+	// initiator). AcksLost counts invalidation-relay acknowledgments lost
+	// and RelayReissues the directory's reissues after AckTimeoutCycles
+	// (both on the target CPU). MigrationLinkRetries counts migration pump
+	// quanta that found the link down and backed off (driver vCPU).
+	// BalloonReturns counts frames a balloon deflation handed back to the
+	// VM through the re-fault path (driver vCPU).
+	IPIsLost             uint64
+	ShootdownRetries     uint64
+	AcksLost             uint64
+	RelayReissues        uint64
+	MigrationLinkRetries uint64
+	BalloonReturns       uint64
 }
 
 // Add accumulates o into c.
@@ -223,6 +240,12 @@ func (c *Counters) Add(o *Counters) {
 	c.CompactionMoves += o.CompactionMoves
 	c.ParallelEpochs += o.ParallelEpochs
 	c.ParallelDeferred += o.ParallelDeferred
+	c.IPIsLost += o.IPIsLost
+	c.ShootdownRetries += o.ShootdownRetries
+	c.AcksLost += o.AcksLost
+	c.RelayReissues += o.RelayReissues
+	c.MigrationLinkRetries += o.MigrationLinkRetries
+	c.BalloonReturns += o.BalloonReturns
 }
 
 // Sub subtracts o from c field by field. The time-sliced scheduler uses it
